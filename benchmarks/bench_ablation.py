@@ -1,0 +1,89 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not figures from the paper — these isolate the contribution of
+individual design decisions:
+
+* **Jaccard clustering** (Algorithm 2's greedy pairing) vs arrival-order
+  leaf pairing in the intra-block tree.  Expectation: clustering
+  reduces mismatch proofs, SP time and VO size on similarity-rich data.
+* **IP-tree depth threshold**: deeper grids classify more precisely but
+  cost more to maintain; the paper "switches back" past a threshold.
+* **Skip-list base**: distance schedules starting at 2 vs 4.
+"""
+
+import pytest
+
+from benchmarks.common import (
+    get_dataset,
+    get_network,
+    print_row,
+    run_time_window_workload,
+    workload,
+)
+from repro import VChainNetwork
+from repro.chain import ProtocolParams
+from repro.datasets import make_subscription_queries
+from repro.subscribe import SubscriptionEngine
+
+CHAIN_BLOCKS = 32
+WINDOW = 24
+
+
+@pytest.mark.parametrize("clustered", (True, False))
+@pytest.mark.parametrize("dataset_name", ("4SQ", "WX"))
+def test_ablation_clustering(benchmark, dataset_name, clustered):
+    dataset = get_dataset(dataset_name, CHAIN_BLOCKS)
+    net = get_network(
+        dataset_name, CHAIN_BLOCKS, "acc2", "intra", clustered=clustered
+    )
+    queries = workload(dataset, WINDOW)
+    result = benchmark.pedantic(
+        run_time_window_workload, args=(net, queries), rounds=1, iterations=1
+    )
+    info = result.as_info()
+    benchmark.extra_info.update(info)
+    label = "jaccard" if clustered else "arrival-order"
+    print_row(f"Ablation clustering {dataset_name} {label}", info)
+
+
+@pytest.mark.parametrize("max_depth", (1, 3, 6))
+def test_ablation_iptree_depth(benchmark, max_depth):
+    dataset = get_dataset("4SQ", 16)
+    queries = make_subscription_queries(dataset, n_queries=20, seed=23)
+
+    def run():
+        params = ProtocolParams(mode="both", bits=dataset.bits, skip_size=2)
+        net = VChainNetwork.create(acc_name="acc2", params=params, seed=17)
+        engine = SubscriptionEngine(
+            net.accumulator, net.encoder, params,
+            use_iptree=True, iptree_max_depth=max_depth,
+        )
+        for query in queries:
+            engine.register(query)
+        for timestamp, objects in dataset.blocks:
+            engine.process_block(net.miner.mine_block(objects, timestamp=timestamp))
+        return engine
+
+    engine = benchmark.pedantic(run, rounds=1, iterations=1)
+    info = {
+        "sp_cpu_s": round(engine.stats.sp_seconds, 4),
+        "proofs": engine.stats.proofs_computed,
+        "shared": engine.stats.proofs_shared,
+    }
+    benchmark.extra_info.update(info)
+    print_row(f"Ablation IP-tree depth={max_depth}", info)
+
+
+@pytest.mark.parametrize("skip_base", (2, 4))
+def test_ablation_skip_base(benchmark, skip_base):
+    dataset = get_dataset("ETH", CHAIN_BLOCKS)
+    net = get_network(
+        "ETH", CHAIN_BLOCKS, "acc2", "both", skip_size=3, skip_base=skip_base
+    )
+    queries = workload(dataset, WINDOW)
+    result = benchmark.pedantic(
+        run_time_window_workload, args=(net, queries), rounds=1, iterations=1
+    )
+    info = result.as_info()
+    benchmark.extra_info.update(info)
+    print_row(f"Ablation skip-base={skip_base}", info)

@@ -1,0 +1,41 @@
+"""Figs 9–11 — time-window query performance.
+
+For each dataset, sweeps the query window and reports SP CPU time,
+user CPU time and VO size for the six schemes.  Expected shapes (paper
+Section 9.2):
+
+* indexes beat ``nil`` by ≥2× on 4SQ/ETH (low-similarity data prunes);
+* index-scheme costs grow *sub-linearly* with the window;
+* ``both`` ≥ ``intra`` on user CPU / VO size, biggest gain on ETH;
+* acc2's batch verification keeps user CPU nearly flat.
+"""
+
+import pytest
+
+from benchmarks.common import (
+    SCHEMES,
+    get_dataset,
+    get_network,
+    print_row,
+    run_time_window_workload,
+    workload,
+)
+
+CHAIN_BLOCKS = 40
+WINDOWS = (8, 16, 24, 32)
+DATASETS = ("4SQ", "WX", "ETH")
+
+
+@pytest.mark.parametrize("window", WINDOWS)
+@pytest.mark.parametrize("mode,acc_name", SCHEMES)
+@pytest.mark.parametrize("dataset_name", DATASETS)
+def test_time_window(benchmark, dataset_name, mode, acc_name, window):
+    dataset = get_dataset(dataset_name, CHAIN_BLOCKS)
+    net = get_network(dataset_name, CHAIN_BLOCKS, acc_name, mode)
+    queries = workload(dataset, window)
+    result = benchmark.pedantic(
+        run_time_window_workload, args=(net, queries), rounds=1, iterations=1
+    )
+    info = result.as_info()
+    benchmark.extra_info.update(info)
+    print_row(f"Fig9-11 {dataset_name} {mode}-{acc_name} w={window}", info)

@@ -1,0 +1,58 @@
+"""Fig 12 — subscription processing with and without the IP-tree.
+
+Sweeps the number of registered subscriptions for the four schemes
+{realtime, lazy} × {nip, ip} (acc2, both indexes enabled) and reports
+the SP's accumulated CPU time.  Expected shape: the IP-tree cuts SP
+time by ≥50% (shared mismatch proofs), and the gain grows with the
+number of queries.
+"""
+
+import pytest
+
+from benchmarks.common import get_dataset, print_row
+from repro import VChainNetwork
+from repro.chain import ProtocolParams
+from repro.datasets import make_subscription_queries
+from repro.subscribe import SubscriptionEngine
+
+CHAIN_BLOCKS = 24
+QUERY_COUNTS = (10, 20, 40)
+SCHEMES = [
+    ("real", False), ("real", True), ("lazy", False), ("lazy", True),
+]
+
+
+def _run_engine(dataset, queries, lazy, use_iptree):
+    params = ProtocolParams(mode="both", bits=dataset.bits, skip_size=3, skip_base=4)
+    net = VChainNetwork.create(acc_name="acc2", params=params, seed=17)
+    engine = SubscriptionEngine(
+        net.accumulator, net.encoder, params, use_iptree=use_iptree, lazy=lazy
+    )
+    for query in queries:
+        engine.register(query)
+    for timestamp, objects in dataset.blocks:
+        block = net.miner.mine_block(objects, timestamp=timestamp)
+        engine.process_block(block)
+    return engine
+
+
+@pytest.mark.parametrize("n_queries", QUERY_COUNTS)
+@pytest.mark.parametrize("timing,use_iptree", SCHEMES)
+@pytest.mark.parametrize("dataset_name", ("4SQ", "WX", "ETH"))
+def test_fig12_iptree(benchmark, dataset_name, timing, use_iptree, n_queries):
+    dataset = get_dataset(dataset_name, CHAIN_BLOCKS)
+    queries = make_subscription_queries(dataset, n_queries=n_queries, seed=23)
+    engine = benchmark.pedantic(
+        _run_engine,
+        args=(dataset, queries, timing == "lazy", use_iptree),
+        rounds=1,
+        iterations=1,
+    )
+    info = {
+        "sp_cpu_s": round(engine.stats.sp_seconds, 4),
+        "proofs": engine.stats.proofs_computed,
+        "shared": engine.stats.proofs_shared,
+    }
+    benchmark.extra_info.update(info)
+    label = f"{timing}-{'ip' if use_iptree else 'nip'}-acc2"
+    print_row(f"Fig12 {dataset_name} {label} q={n_queries}", info)

@@ -1,0 +1,79 @@
+"""Figs 13–15 — subscription query performance over the period.
+
+Sweeps the subscription period (in blocks) for {realtime-acc1,
+realtime-acc2, lazy-acc2} and reports accumulated SP CPU, accumulated
+user CPU and accumulated VO size.  Expected shapes (paper Section 9.3):
+
+* lazy ≪ realtime on user CPU and VO size, growing sub-linearly
+  (skip-list + ProofSum aggregation across blocks);
+* lazy's SP CPU is generally worse than realtime with the same
+  accumulator (aggregation work is the SP's to pay).
+"""
+
+import pytest
+
+from benchmarks.common import get_dataset, print_row
+from repro import VChainNetwork
+from repro.chain import ProtocolParams
+from repro.chain.light import LightNode
+from repro.datasets import make_subscription_queries
+from repro.subscribe import SubscriptionClient, SubscriptionEngine
+
+PERIODS = (8, 16, 32)
+SCHEMES = (("realtime", "acc1"), ("realtime", "acc2"), ("lazy", "acc2"))
+N_QUERIES = 6
+
+
+def _run_period(dataset, n_blocks, timing, acc_name):
+    params = ProtocolParams(mode="both", bits=dataset.bits, skip_size=3, skip_base=4)
+    net = VChainNetwork.create(
+        acc_name=acc_name, params=params, seed=17, acc1_capacity=1 << 20
+    )
+    engine = SubscriptionEngine(
+        net.accumulator, net.encoder, params, use_iptree=True, lazy=timing == "lazy"
+    )
+    light = LightNode()
+    client = SubscriptionClient(light, net.accumulator, net.encoder, params)
+    queries = make_subscription_queries(dataset, n_queries=N_QUERIES, seed=23)
+    qids = []
+    for query in queries:
+        qid = engine.register(query)
+        client.track(qid, query)
+        qids.append(qid)
+
+    backend = net.accumulator.backend
+    user_seconds = 0.0
+    vo_kb = 0.0
+    deliveries = []
+    for timestamp, objects in dataset.blocks[:n_blocks]:
+        block = net.miner.mine_block(objects, timestamp=timestamp)
+        light.sync(net.chain)
+        deliveries.extend(engine.process_block(block))
+    if timing == "lazy":
+        for qid in qids:
+            tail = engine.flush(qid)
+            if tail is not None:
+                deliveries.append(tail)
+    for delivery in deliveries:
+        _verified, stats = client.on_delivery(delivery)
+        user_seconds += stats.user_seconds
+        vo_kb += delivery.vo.nbytes(backend) / 1024
+    return engine, user_seconds, vo_kb
+
+
+@pytest.mark.parametrize("period", PERIODS)
+@pytest.mark.parametrize("timing,acc_name", SCHEMES)
+@pytest.mark.parametrize("dataset_name", ("4SQ", "WX", "ETH"))
+def test_subscription_period(benchmark, dataset_name, timing, acc_name, period):
+    dataset = get_dataset(dataset_name, max(PERIODS))
+    engine, user_seconds, vo_kb = benchmark.pedantic(
+        _run_period, args=(dataset, period, timing, acc_name), rounds=1, iterations=1
+    )
+    info = {
+        "sp_cpu_s": round(engine.stats.sp_seconds, 4),
+        "user_cpu_s": round(user_seconds, 4),
+        "vo_kb": round(vo_kb, 2),
+        "deliveries": engine.stats.deliveries,
+    }
+    benchmark.extra_info.update(info)
+    print_row(f"Fig13-15 {dataset_name} {timing}-{acc_name} p={period}", info)

@@ -1,0 +1,93 @@
+"""Fig 16 — comparison with the MHT baseline across dimensionality.
+
+Synthetic WX-style data with d = 1..9 numeric attributes (keywords
+removed — MHTs cannot index set-valued attributes, exactly the paper's
+setup).  Reports per-block ADS construction time and the ADS size
+normalised by the raw block size.  Expected shapes:
+
+* accumulator construction time roughly flat in d; MHT time blows up
+  (2^d − 1 sorted trees per block);
+* accumulator ADS stays near-constant; MHT ADS grows exponentially,
+  exceeding 10× the raw block beyond d ≈ 3–4.
+"""
+
+import pytest
+
+from benchmarks.common import print_row, timed
+from repro import VChainNetwork
+from repro.baselines import MHTBaseline
+from repro.chain import ProtocolParams
+from repro.chain.metrics import block_ads_nbytes, raw_block_nbytes
+from repro.datasets import weather_like
+
+DIMS = (1, 3, 5, 7, 9)
+N_BLOCKS = 2
+OBJECTS_PER_BLOCK = 12
+
+
+def _dataset(dims):
+    ds = weather_like(
+        N_BLOCKS, objects_per_block=OBJECTS_PER_BLOCK, dims=dims, seed=7
+    )
+    # strip keywords: the MHT baseline cannot handle set-valued attributes
+    from repro.chain.object import DataObject
+
+    ds.blocks = [
+        (
+            ts,
+            [
+                DataObject(
+                    object_id=o.object_id,
+                    timestamp=o.timestamp,
+                    vector=o.vector,
+                    keywords=frozenset(),
+                )
+                for o in objs
+            ],
+        )
+        for ts, objs in ds.blocks
+    ]
+    return ds
+
+
+def _acc_build(dataset, acc_name):
+    params = ProtocolParams(mode="intra", bits=dataset.bits)
+    net = VChainNetwork.create(
+        acc_name=acc_name, params=params, seed=17, acc1_capacity=1 << 20
+    )
+    for timestamp, objects in dataset.blocks:
+        net.miner.mine_block(objects, timestamp=timestamp)
+    return net
+
+
+@pytest.mark.parametrize("dims", DIMS)
+@pytest.mark.parametrize("scheme", ("acc1", "acc2", "MHT"))
+def test_fig16_dimensionality(benchmark, scheme, dims):
+    dataset = _dataset(dims)
+    if scheme == "MHT":
+        baseline = MHTBaseline(dims)
+
+        def build():
+            return [
+                baseline.build_block_ads(objects) for _ts, objects in dataset.blocks
+            ]
+
+        all_trees = benchmark.pedantic(build, rounds=1, iterations=1)
+        ads = sum(MHTBaseline.ads_nbytes(trees) for trees in all_trees) / N_BLOCKS
+        raw = sum(
+            sum(o.nbytes() for o in objs) + 96 for _ts, objs in dataset.blocks
+        ) / N_BLOCKS
+    else:
+        net = benchmark.pedantic(
+            _acc_build, args=(dataset, scheme), rounds=1, iterations=1
+        )
+        backend = net.accumulator.backend
+        ads = sum(block_ads_nbytes(b, backend) for b in net.chain) / N_BLOCKS
+        raw = sum(raw_block_nbytes(b) for b in net.chain) / N_BLOCKS
+    info = {
+        "build_s_per_block": round(benchmark.stats.stats.mean / N_BLOCKS, 4),
+        "normalized_block_size": round((raw + ads) / raw, 2),
+        "ads_kb": round(ads / 1024, 2),
+    }
+    benchmark.extra_info.update(info)
+    print_row(f"Fig16 {scheme} d={dims}", info)

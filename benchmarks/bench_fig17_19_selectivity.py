@@ -1,0 +1,41 @@
+"""Figs 17–19 (Appendix D.2) — impact of range selectivity.
+
+Fixed maximum window, selectivity of the numeric range swept from 10%
+to 50% (acc1 and acc2, both indexes enabled).  Expected shapes:
+
+* SP CPU *decreases* as selectivity grows — more objects selected
+  means fewer mismatch proofs, and proving dominates SP time;
+* user CPU stays largely flat;
+* VO size grows slightly (more result objects and hashes on the wire).
+"""
+
+import pytest
+
+from benchmarks.common import (
+    get_dataset,
+    get_network,
+    print_row,
+    run_time_window_workload,
+    workload,
+)
+
+CHAIN_BLOCKS = 40
+WINDOW = 32
+SELECTIVITIES = (0.10, 0.20, 0.30, 0.40, 0.50)
+
+
+@pytest.mark.parametrize("selectivity", SELECTIVITIES)
+@pytest.mark.parametrize("acc_name", ("acc1", "acc2"))
+@pytest.mark.parametrize("dataset_name", ("4SQ", "WX", "ETH"))
+def test_selectivity(benchmark, dataset_name, acc_name, selectivity):
+    dataset = get_dataset(dataset_name, CHAIN_BLOCKS)
+    net = get_network(dataset_name, CHAIN_BLOCKS, acc_name, "both")
+    queries = workload(dataset, WINDOW, selectivity=selectivity)
+    result = benchmark.pedantic(
+        run_time_window_workload, args=(net, queries), rounds=1, iterations=1
+    )
+    info = result.as_info()
+    benchmark.extra_info.update(info)
+    print_row(
+        f"Fig17-19 {dataset_name} {acc_name} sel={int(selectivity * 100)}%", info
+    )

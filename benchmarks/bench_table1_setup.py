@@ -1,0 +1,56 @@
+"""Table 1 — miner's setup cost.
+
+Reproduces the ADS construction time (per block) and ADS size (per
+block) for the six schemes {nil, intra, both} × {acc1, acc2} on the
+three datasets, plus the light-node header size.  Expected shapes:
+
+* ``both`` construction slower than ``intra`` slower than ``nil``;
+* acc2 dramatically cheaper than acc1 for ``both`` (Sum-aggregation
+  reuses previous blocks' digests instead of re-accumulating);
+* ADS size independent of the accumulator and growing with the index.
+"""
+
+import pytest
+
+from benchmarks.common import SCHEMES, get_dataset, print_row
+from repro.chain import Blockchain, Miner, ProtocolParams
+from repro.chain.metrics import block_ads_nbytes
+from repro import VChainNetwork
+
+N_BLOCKS = 16
+DATASETS = ("4SQ", "WX", "ETH")
+
+
+def _mine_all(dataset, acc_name, mode):
+    params = ProtocolParams(
+        mode=mode, bits=dataset.bits, skip_size=3, skip_base=4, difficulty_bits=0
+    )
+    net = VChainNetwork.create(
+        acc_name=acc_name, params=params, seed=17, acc1_capacity=1 << 20
+    )
+    for timestamp, objects in dataset.blocks:
+        net.miner.mine_block(objects, timestamp=timestamp)
+    return net
+
+
+@pytest.mark.parametrize("mode,acc_name", SCHEMES)
+@pytest.mark.parametrize("dataset_name", DATASETS)
+def test_table1_setup(benchmark, dataset_name, mode, acc_name):
+    dataset = get_dataset(dataset_name, N_BLOCKS)
+    net = benchmark.pedantic(
+        _mine_all, args=(dataset, acc_name, mode), rounds=1, iterations=1
+    )
+    backend = net.accumulator.backend
+    per_block_kb = sum(
+        block_ads_nbytes(block, backend) for block in net.chain
+    ) / len(net.chain) / 1024
+    header_bits = (
+        sum(h.nbytes() for h in net.chain.headers()) / len(net.chain) * 8
+    )
+    info = {
+        "T_s_per_block": round(benchmark.stats.stats.mean / N_BLOCKS, 4),
+        "S_kb_per_block": round(per_block_kb, 2),
+        "header_bits": int(header_bits),
+    }
+    benchmark.extra_info.update(info)
+    print_row(f"Table1 {dataset_name} {mode}-{acc_name}", info)

@@ -1,0 +1,7 @@
+"""Legacy setup shim: this environment's pip lacks the ``wheel`` package,
+so editable installs must go through ``setup.py develop``.  All project
+metadata lives in ``pyproject.toml``."""
+
+from setuptools import setup
+
+setup()

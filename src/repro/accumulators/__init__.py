@@ -1,0 +1,58 @@
+"""Multiset accumulators (paper Sections 4 and 5.2)."""
+
+from repro.accumulators.acc1 import Acc1
+from repro.accumulators.acc2 import Acc2
+from repro.accumulators.base import (
+    AccumulatorValue,
+    DisjointProof,
+    MultisetAccumulator,
+)
+from repro.accumulators.encoding import (
+    ElementEncoder,
+    Multiset,
+    multiset_sum,
+    multiset_union,
+    multisets_disjoint,
+)
+from repro.accumulators.keys import (
+    Acc1PublicKey,
+    Acc2PublicKey,
+    KeyOracle,
+    SecretKey,
+    keygen_acc1,
+    keygen_acc2,
+)
+
+__all__ = [
+    "Acc1",
+    "Acc1PublicKey",
+    "Acc2",
+    "Acc2PublicKey",
+    "AccumulatorValue",
+    "DisjointProof",
+    "ElementEncoder",
+    "KeyOracle",
+    "Multiset",
+    "MultisetAccumulator",
+    "SecretKey",
+    "keygen_acc1",
+    "keygen_acc2",
+    "multiset_sum",
+    "multiset_union",
+    "multisets_disjoint",
+]
+
+
+def make_accumulator(name, backend, capacity=1024, rng=None):
+    """Convenience factory: build ``acc1`` or ``acc2`` with fresh keys.
+
+    Returns ``(secret_key, accumulator)``.  ``capacity`` bounds acc1
+    multiset size; acc2 ignores it (its oracle-backed domain is 2^32).
+    """
+    if name == "acc1":
+        secret, public = keygen_acc1(backend, capacity=capacity, rng=rng)
+        return secret, Acc1(public)
+    if name == "acc2":
+        secret, public = keygen_acc2(backend, rng=rng)
+        return secret, Acc2(public)
+    raise ValueError(f"unknown accumulator: {name!r}")

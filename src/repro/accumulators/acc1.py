@@ -1,0 +1,89 @@
+"""Construction 1: bilinear accumulator under q-SDH (paper Sec. 5.2.1).
+
+The commitment to a multiset ``X`` is ``acc(X) = g^{P(s)}`` with the
+characteristic polynomial ``P(X) = Π_{x∈X} (x + s)``.  It is computed
+*without* the trapdoor by expanding the polynomial's coefficients and
+multi-exponentiating over the published powers ``g^{s^i}``.
+
+Disjointness proofs use the extended Euclidean algorithm: if
+``X1 ∩ X2 = ∅`` the characteristic polynomials are coprime, so there are
+``Q1, Q2`` with ``P1·Q1 + P2·Q2 = 1``, and the proof is
+``π = (g^{Q1(s)}, g^{Q2(s)})``.  Verification checks
+
+    e(acc(X1), F1*) · e(acc(X2), F2*) == e(g, g).
+
+Strengths: compact key (linear in the largest multiset).  Limitation:
+no aggregation of values or proofs — that's what acc2 adds.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.accumulators.base import AccumulatorValue, DisjointProof, MultisetAccumulator
+from repro.accumulators.keys import Acc1PublicKey
+from repro.crypto.polynomial import Poly, PolynomialRing
+from repro.errors import KeyCapacityError, NotDisjointError
+
+
+class Acc1(MultisetAccumulator):
+    """q-SDH multiset accumulator (Papamanthou et al. construction)."""
+
+    name = "acc1"
+
+    def __init__(self, public_key: Acc1PublicKey) -> None:
+        self.public_key = public_key
+        self.backend = public_key.backend
+        self._ring = PolynomialRing(self.backend.scalar_field)
+        # e(g, g) is fixed; cache it for the verification equation.
+        generator = self.backend.generator()
+        self._pair_gg = self.backend.pair(generator, generator)
+
+    # -- internals ---------------------------------------------------------
+    def _char_poly(self, encoded: Counter) -> Poly:
+        """``Π (x_i + s)`` as a polynomial in ``s`` (multiplicities kept)."""
+        values: list[int] = []
+        for element, count in encoded.items():
+            values.extend([element] * count)
+        return self._ring.from_roots_shifted(values)
+
+    def _commit_poly(self, poly: Poly):
+        """``g^{poly(s)}`` via multi-exponentiation over key powers."""
+        degree = self._ring.degree(poly)
+        if degree > self.public_key.capacity:
+            raise KeyCapacityError(
+                f"multiset size {degree} exceeds acc1 key capacity "
+                f"{self.public_key.capacity}"
+            )
+        bases = [self.public_key.power(i) for i in range(degree + 1)]
+        return self.backend.multi_exp(bases, list(poly))
+
+    # -- accumulator API ----------------------------------------------------
+    def accumulate(self, encoded: Counter) -> AccumulatorValue:
+        return AccumulatorValue(parts=(self._commit_poly(self._char_poly(encoded)),))
+
+    def prove_disjoint(self, encoded_a: Counter, encoded_b: Counter) -> DisjointProof:
+        common = set(encoded_a) & set(encoded_b)
+        if common:
+            raise NotDisjointError(f"multisets share encoded elements {sorted(common)!r}")
+        poly_a = self._char_poly(encoded_a)
+        poly_b = self._char_poly(encoded_b)
+        bezout_a, bezout_b = self._ring.bezout_disjoint(poly_a, poly_b)
+        return DisjointProof(
+            parts=(self._commit_poly(bezout_a), self._commit_poly(bezout_b))
+        )
+
+    def verify_disjoint(
+        self,
+        value_a: AccumulatorValue,
+        value_b: AccumulatorValue,
+        proof: DisjointProof,
+    ) -> bool:
+        if len(value_a.parts) != 1 or len(value_b.parts) != 1 or len(proof.parts) != 2:
+            return False
+        backend = self.backend
+        left = backend.gt_op(
+            backend.pair(value_a.parts[0], proof.parts[0]),
+            backend.pair(value_b.parts[0], proof.parts[1]),
+        )
+        return backend.gt_eq(left, self._pair_gg)

@@ -1,0 +1,85 @@
+"""Abstract multiset-accumulator interface (paper Section 4).
+
+Both constructions implement:
+
+* ``accumulate(X)``   — the constant-size commitment ``acc(X)``;
+* ``prove_disjoint``  — a proof π that two committed multisets share no
+  element;
+* ``verify_disjoint`` — the pairing-equation check run by the light node.
+
+The interface works on *encoded* multisets (``Counter[int]``); callers
+encode raw attribute strings with
+:class:`repro.accumulators.encoding.ElementEncoder` first, so that a
+single encoding pass per block is shared by every accumulator call.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any
+
+from repro.crypto.backend import PairingBackend
+
+
+@dataclass(frozen=True)
+class AccumulatorValue:
+    """A commitment ``acc(X)``; ``parts`` is construction-specific."""
+
+    parts: tuple[Any, ...]
+
+    def nbytes(self, backend: PairingBackend) -> int:
+        """Transmitted size: one group element per part."""
+        return backend.element_nbytes * len(self.parts)
+
+
+@dataclass(frozen=True)
+class DisjointProof:
+    """A proof π for ``X1 ∩ X2 = ∅``; ``parts`` is construction-specific."""
+
+    parts: tuple[Any, ...]
+
+    def nbytes(self, backend: PairingBackend) -> int:
+        return backend.element_nbytes * len(self.parts)
+
+
+class MultisetAccumulator(ABC):
+    """Common contract for Construction 1 (q-SDH) and 2 (q-DHE)."""
+
+    #: short identifier used in benchmark labels: "acc1" / "acc2"
+    name: str
+    backend: PairingBackend
+
+    @abstractmethod
+    def accumulate(self, encoded: Counter) -> AccumulatorValue:
+        """``Setup(X, pk)`` — commitment to the encoded multiset."""
+
+    @abstractmethod
+    def prove_disjoint(self, encoded_a: Counter, encoded_b: Counter) -> DisjointProof:
+        """``ProveDisjoint(X1, X2, pk)``; raises ``NotDisjointError``
+        when the multisets intersect (no valid proof exists)."""
+
+    @abstractmethod
+    def verify_disjoint(
+        self,
+        value_a: AccumulatorValue,
+        value_b: AccumulatorValue,
+        proof: DisjointProof,
+    ) -> bool:
+        """``VerifyDisjoint`` — True iff the proof authenticates
+        ``X1 ∩ X2 = ∅`` for the committed multisets."""
+
+    @property
+    def supports_aggregation(self) -> bool:
+        """Whether ``sum_values``/``sum_proofs`` are available (acc2)."""
+        return False
+
+    # Aggregation primitives exist only on acc2; define here so callers
+    # can feature-test via ``supports_aggregation`` and still get a clear
+    # error if they ignore it.
+    def sum_values(self, values: list[AccumulatorValue]) -> AccumulatorValue:
+        raise NotImplementedError(f"{self.name} does not support Sum()")
+
+    def sum_proofs(self, proofs: list[DisjointProof]) -> DisjointProof:
+        raise NotImplementedError(f"{self.name} does not support ProofSum()")

@@ -1,0 +1,82 @@
+"""Encoding attribute values into accumulator domains.
+
+Accumulators operate on integers, not strings: acc1 needs elements of
+Z_r (the scalar field), acc2 needs elements of ``[1, q-1]`` (exponent
+slots).  The paper's remedy for acc2's huge implied key is a trusted
+oracle serving key powers on demand (Section 5.2.2); we adopt exactly
+that (see :mod:`repro.accumulators.keys`), which lets ``q`` be large
+(default ``2^32``) so hash-encoding collisions are negligible at our
+workload scales.
+
+Multisets are represented as ``collections.Counter`` over the *raw*
+attribute strings; :func:`encode_multiset` maps them into counters over
+the integer domain.  All parties (miner, SP, user) use the same encoder
+deterministically — it is public parameterisation, not a secret.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+
+from repro.crypto.hashing import digest_to_int, hash_str
+from repro.errors import CryptoError
+
+Multiset = Counter  # Counter[str] — raw attribute multisets
+EncodedMultiset = Counter  # Counter[int] — accumulator-domain multisets
+
+
+class ElementEncoder:
+    """Deterministic map from attribute strings to an integer domain.
+
+    ``domain_size`` is the size of the target range; elements land in
+    ``[1, domain_size]`` (never 0, which would be a degenerate
+    accumulator root for acc1 and an invalid exponent slot for acc2).
+    """
+
+    def __init__(self, domain_size: int) -> None:
+        if domain_size < 2:
+            raise CryptoError("encoder domain must contain at least 2 values")
+        self.domain_size = domain_size
+        self._cache: dict[str, int] = {}
+
+    def encode(self, item: str) -> int:
+        """Hash ``item`` into ``[1, domain_size]`` (cached)."""
+        code = self._cache.get(item)
+        if code is None:
+            code = digest_to_int(hash_str(item), self.domain_size) + 1
+            self._cache[item] = code
+        return code
+
+    def encode_multiset(self, items: Multiset | Iterable[str]) -> EncodedMultiset:
+        """Encode a raw multiset, preserving multiplicities.
+
+        Distinct strings that collide under the hash merge into one
+        encoded element with summed multiplicity — semantically the
+        encoded domain *is* the accumulator's view of the world, exactly
+        as in the paper where attributes are hashed before accumulation.
+        """
+        encoded: EncodedMultiset = Counter()
+        if isinstance(items, Counter):
+            for item, count in items.items():
+                encoded[self.encode(item)] += count
+        else:
+            for item in items:
+                encoded[self.encode(item)] += 1
+        return encoded
+
+
+def multiset_union(a: Multiset, b: Multiset) -> Multiset:
+    """Set-style union ``max(count_a, count_b)`` (intra-index node rule)."""
+    return a | b
+
+
+def multiset_sum(a: Multiset, b: Multiset) -> Multiset:
+    """Additive union (inter-index skip rule; what acc2 ``Sum`` mirrors)."""
+    return a + b
+
+
+def multisets_disjoint(a: Multiset, b: Multiset) -> bool:
+    """True when no element occurs in both multisets."""
+    small, large = (a, b) if len(a) <= len(b) else (b, a)
+    return not any(element in large for element in small)

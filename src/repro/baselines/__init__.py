@@ -1,0 +1,5 @@
+"""Baseline authenticated data structures (for comparison experiments)."""
+
+from repro.baselines.mht import MHTBaseline, SortedMHT
+
+__all__ = ["MHTBaseline", "SortedMHT"]

@@ -1,0 +1,159 @@
+"""MHT-based baseline ADS (paper Section 5 discussion + Appendix D.1).
+
+The traditional approach builds a sorted Merkle Hash Tree per query key.
+To support range queries over *arbitrary* attribute combinations of a
+``d``-dimensional database it needs one MHT per non-empty attribute
+subset — ``2^d − 1`` trees per block — which is what Fig 16 measures
+against the accumulator-based ADS (flat cost in ``d``).
+
+:class:`SortedMHT` is a complete authenticated structure, not a stub:
+it answers single-attribute range queries with boundary-inclusive
+proofs (the classic completeness trick: return the two objects just
+outside the range so the verifier can see nothing was omitted) and the
+verifier replays Merkle paths against the root.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.chain.object import DataObject
+from repro.crypto.hashing import digest
+from repro.errors import VerificationError
+
+
+@dataclass(frozen=True)
+class _Leaf:
+    key: tuple[int, ...]
+    obj: DataObject
+
+    def leaf_hash(self) -> bytes:
+        key_bytes = b"".join(k.to_bytes(8, "big") for k in self.key)
+        return digest(key_bytes, self.obj.serialize())
+
+
+class SortedMHT:
+    """A Merkle tree over objects sorted by a (composite) numeric key."""
+
+    def __init__(self, objects: list[DataObject], key_dims: tuple[int, ...]) -> None:
+        self.key_dims = key_dims
+        self._leaves = sorted(
+            (_Leaf(tuple(obj.vector[d] for d in key_dims), obj) for obj in objects),
+            key=lambda leaf: leaf.key,
+        )
+        self._levels: list[list[bytes]] = [
+            [leaf.leaf_hash() for leaf in self._leaves]
+        ]
+        while len(self._levels[-1]) > 1:
+            below = self._levels[-1]
+            level = [
+                # a lone tail node is promoted unchanged so audit paths
+                # can simply skip levels where it has no sibling
+                digest(below[i], below[i + 1]) if i + 1 < len(below) else below[i]
+                for i in range(0, len(below), 2)
+            ]
+            self._levels.append(level)
+
+    @property
+    def root(self) -> bytes:
+        return self._levels[-1][0]
+
+    @property
+    def n_nodes(self) -> int:
+        return sum(len(level) for level in self._levels)
+
+    def nbytes(self) -> int:
+        """ADS storage: every node hash (leaves store objects anyway)."""
+        return self.n_nodes * len(self.root)
+
+    # -- authenticated single-dimension range query ------------------------
+    def range_query(self, low: int, high: int) -> tuple[list[DataObject], dict]:
+        """Results plus a VO with boundary leaves and Merkle paths.
+
+        Keys compare on the first key dimension only (composite trees
+        are for multi-attribute sort orders; Fig 16 measures their
+        construction cost, queries use the leading attribute).
+        """
+        lo_idx = 0
+        while lo_idx < len(self._leaves) and self._leaves[lo_idx].key[0] < low:
+            lo_idx += 1
+        hi_idx = lo_idx
+        while hi_idx < len(self._leaves) and self._leaves[hi_idx].key[0] <= high:
+            hi_idx += 1
+        # boundary leaves prove completeness at both ends
+        start = max(0, lo_idx - 1)
+        end = min(len(self._leaves), hi_idx + 1)
+        vo = {
+            "span": (start, end),
+            "leaves": [
+                (self._leaves[i].key, self._leaves[i].obj) for i in range(start, end)
+            ],
+            "paths": [self._audit_path(i) for i in range(start, end)],
+            "n_leaves": len(self._leaves),
+        }
+        return [leaf.obj for leaf in self._leaves[lo_idx:hi_idx]], vo
+
+    def _audit_path(self, index: int) -> list[tuple[bool, bytes]]:
+        path = []
+        for level in self._levels[:-1]:
+            sibling = index ^ 1
+            if sibling < len(level):
+                path.append((sibling < index, level[sibling]))
+            index //= 2
+        return path
+
+    @staticmethod
+    def verify_range(
+        root: bytes, low: int, high: int, results: list[DataObject], vo: dict
+    ) -> None:
+        """Replay the VO; raises :class:`VerificationError` on forgery."""
+        start, end = vo["span"]
+        leaves = vo["leaves"]
+        paths = vo["paths"]
+        if len(leaves) != end - start or len(paths) != len(leaves):
+            raise VerificationError("MHT VO structure inconsistent")
+        # authenticate every returned leaf against the root
+        for offset, ((key, obj), path) in enumerate(zip(leaves, paths)):
+            node = _Leaf(tuple(key), obj).leaf_hash()
+            index = start + offset
+            for left_side, sibling in path:
+                node = digest(sibling, node) if left_side else digest(node, sibling)
+                index //= 2
+            if node != root:
+                raise VerificationError("MHT audit path does not reach the root")
+        # keys must be sorted and bracket the range (completeness)
+        keys = [key[0] for key, _obj in leaves]
+        if keys != sorted(keys):
+            raise VerificationError("MHT VO leaves are not in key order")
+        if start > 0 and keys and keys[0] >= low:
+            raise VerificationError("MHT VO missing the left boundary leaf")
+        if end < vo["n_leaves"] and keys and keys[-1] <= high:
+            raise VerificationError("MHT VO missing the right boundary leaf")
+        expected = [obj for key, obj in leaves if low <= key[0] <= high]
+        if [o.object_id for o in expected] != [o.object_id for o in results]:
+            raise VerificationError("MHT result set does not match the VO span")
+
+
+class MHTBaseline:
+    """Per-block ADS: one sorted MHT per non-empty attribute subset."""
+
+    def __init__(self, dims: int, max_subset: int | None = None) -> None:
+        self.dims = dims
+        self.max_subset = max_subset or dims
+
+    def attribute_subsets(self) -> list[tuple[int, ...]]:
+        subsets: list[tuple[int, ...]] = []
+        for size in range(1, self.max_subset + 1):
+            subsets.extend(combinations(range(self.dims), size))
+        return subsets
+
+    def build_block_ads(self, objects: list[DataObject]) -> dict[tuple[int, ...], SortedMHT]:
+        """All per-subset trees for one block (the Fig 16 cost driver)."""
+        return {
+            subset: SortedMHT(objects, subset) for subset in self.attribute_subsets()
+        }
+
+    @staticmethod
+    def ads_nbytes(trees: dict[tuple[int, ...], SortedMHT]) -> int:
+        return sum(tree.nbytes() for tree in trees.values())

@@ -1,0 +1,23 @@
+"""Blockchain substrate: objects, blocks, consensus, miner, light node."""
+
+from repro.chain.block import Block, BlockHeader, SkipEntry, ZERO_HASH
+from repro.chain.chain import Blockchain
+from repro.chain.consensus import check_nonce, solve_nonce
+from repro.chain.light import LightNode
+from repro.chain.miner import MODES, Miner, ProtocolParams
+from repro.chain.object import DataObject
+
+__all__ = [
+    "Block",
+    "BlockHeader",
+    "Blockchain",
+    "DataObject",
+    "LightNode",
+    "MODES",
+    "Miner",
+    "ProtocolParams",
+    "SkipEntry",
+    "ZERO_HASH",
+    "check_nonce",
+    "solve_nonce",
+]

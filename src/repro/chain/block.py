@@ -1,0 +1,103 @@
+"""Blocks and headers (paper Figs 2, 4, 6, 7).
+
+The header carries everything a light node stores: linkage hash,
+timestamp, consensus nonce, the Merkle/intra-index root (which binds
+both ObjectHash and every AttDigest), and the skip-list root of the
+inter-block index.  Header hashes chain blocks immutably; full nodes
+additionally hold the object payload and the materialised index trees.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.accumulators.base import AccumulatorValue
+from repro.chain.object import DataObject
+from repro.crypto.hashing import DIGEST_NBYTES, digest
+from repro.index.intra import IndexNode, encode_digest
+
+#: Placeholder for "no previous block" / "no skip list".
+ZERO_HASH = b"\x00" * DIGEST_NBYTES
+
+
+@dataclass(frozen=True)
+class BlockHeader:
+    """The light-node view of a block."""
+
+    height: int
+    prev_hash: bytes
+    timestamp: int
+    merkle_root: bytes
+    skiplist_root: bytes = ZERO_HASH
+    nonce: int = 0
+
+    def core_bytes(self) -> bytes:
+        """Everything the consensus nonce commits to."""
+        return digest(
+            self.height.to_bytes(8, "big"),
+            self.prev_hash,
+            self.timestamp.to_bytes(8, "big"),
+            self.merkle_root,
+            self.skiplist_root,
+        )
+
+    def block_hash(self) -> bytes:
+        """``PreBkHash`` of the next block."""
+        return digest(self.core_bytes(), self.nonce.to_bytes(8, "big"))
+
+    def nbytes(self) -> int:
+        """Header wire size (drives light-node storage accounting)."""
+        return 8 + DIGEST_NBYTES + 8 + DIGEST_NBYTES + (
+            DIGEST_NBYTES if self.skiplist_root != ZERO_HASH else 0
+        ) + 8
+
+
+@dataclass(frozen=True)
+class SkipEntry:
+    """One inter-block skip: summarises the last ``distance`` blocks.
+
+    ``attrs`` is the multiset *sum* over the covered blocks (the paper
+    uses summation so acc2 can aggregate), ``att_digest`` its
+    accumulator value, and ``pre_skipped_hash`` binds the identity of
+    the covered blocks (their header hashes and this block's own
+    Merkle root).
+    """
+
+    distance: int
+    covered_heights: tuple[int, ...]
+    attrs: Counter
+    att_digest: AccumulatorValue
+    pre_skipped_hash: bytes
+
+    def entry_hash(self, backend) -> bytes:
+        return digest(self.pre_skipped_hash, encode_digest(backend, self.att_digest))
+
+
+def skiplist_root_hash(entries: list[SkipEntry], backend) -> bytes:
+    """``SkipListRoot = H(hash_L1 | hash_L2 | ...)`` (ZERO if no entries)."""
+    if not entries:
+        return ZERO_HASH
+    return digest(*(entry.entry_hash(backend) for entry in entries))
+
+
+@dataclass
+class Block:
+    """Full-node view: header + payload + materialised ADS."""
+
+    header: BlockHeader
+    objects: list[DataObject]
+    index_root: IndexNode
+    skip_entries: list[SkipEntry] = field(default_factory=list)
+    #: multiset sum over all objects (feeds skip entries of later blocks)
+    attrs_sum: Counter = field(default_factory=Counter)
+    #: accumulator value of ``attrs_sum`` (acc2 reuses it incrementally)
+    sum_digest: AccumulatorValue | None = None
+
+    @property
+    def height(self) -> int:
+        return self.header.height
+
+    @property
+    def timestamp(self) -> int:
+        return self.header.timestamp

@@ -1,0 +1,69 @@
+"""The blockchain container shared by full nodes.
+
+Append-only list of blocks with structural validation: header linkage,
+monotone timestamps, and consensus-proof checking.  Window selection by
+timestamp serves the time-window query path; the headers view feeds
+light nodes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.chain.block import Block, BlockHeader, ZERO_HASH
+from repro.chain.consensus import check_nonce
+from repro.errors import ChainError
+
+
+class Blockchain:
+    """An append-only, validated sequence of blocks."""
+
+    def __init__(self, difficulty_bits: int = 0) -> None:
+        self.difficulty_bits = difficulty_bits
+        self._blocks: list[Block] = []
+
+    # -- mutation -----------------------------------------------------------
+    def append(self, block: Block) -> None:
+        header = block.header
+        if header.height != len(self._blocks):
+            raise ChainError(
+                f"height {header.height} does not extend chain of length {len(self._blocks)}"
+            )
+        expected_prev = self._blocks[-1].header.block_hash() if self._blocks else ZERO_HASH
+        if header.prev_hash != expected_prev:
+            raise ChainError("prev_hash does not match the chain tip")
+        if self._blocks and header.timestamp < self._blocks[-1].header.timestamp:
+            raise ChainError("block timestamp regressed")
+        if not check_nonce(header.core_bytes(), header.nonce, self.difficulty_bits):
+            raise ChainError("consensus proof invalid")
+        if header.merkle_root != block.index_root.node_hash:
+            raise ChainError("header merkle_root does not bind the index tree")
+        self._blocks.append(block)
+
+    # -- access ---------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self._blocks)
+
+    def block(self, height: int) -> Block:
+        if not 0 <= height < len(self._blocks):
+            raise ChainError(f"no block at height {height}")
+        return self._blocks[height]
+
+    @property
+    def tip(self) -> Block | None:
+        return self._blocks[-1] if self._blocks else None
+
+    def headers(self) -> list[BlockHeader]:
+        """Everything a light node syncs."""
+        return [block.header for block in self._blocks]
+
+    def heights_in_window(self, start: int, end: int) -> list[int]:
+        """Heights of blocks whose timestamp falls in ``[start, end]``."""
+        return [
+            block.header.height
+            for block in self._blocks
+            if start <= block.header.timestamp <= end
+        ]

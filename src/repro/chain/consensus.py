@@ -1,0 +1,40 @@
+"""Simulated Proof-of-Work consensus (paper Section 2).
+
+``ConsProof`` is a nonce with ``H(core | nonce) ≤ Z`` where ``Z``
+encodes the mining difficulty as a number of leading zero bits.  The
+ADS design is deliberately consensus-independent (that is one of the
+paper's compatibility claims), so this module is small and swappable;
+benchmarks run with ``difficulty_bits=0`` to keep mining off the
+measured path, integration tests run with a real non-zero difficulty.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hashing import digest
+from repro.errors import ChainError
+
+#: Upper bound so a pathological difficulty cannot hang tests forever.
+_MAX_ATTEMPTS = 1 << 28
+
+
+def solve_nonce(core: bytes, difficulty_bits: int) -> int:
+    """Find the smallest nonce satisfying the difficulty target."""
+    if difficulty_bits < 0 or difficulty_bits > 64:
+        raise ChainError("difficulty must be within [0, 64] bits")
+    if difficulty_bits == 0:
+        return 0
+    target = 1 << (256 - difficulty_bits)
+    for nonce in range(_MAX_ATTEMPTS):
+        attempt = digest(core, nonce.to_bytes(8, "big"))
+        if int.from_bytes(attempt, "big") < target:
+            return nonce
+    raise ChainError("exhausted nonce search space")
+
+
+def check_nonce(core: bytes, nonce: int, difficulty_bits: int) -> bool:
+    """Verify a consensus proof."""
+    if difficulty_bits == 0:
+        return True
+    target = 1 << (256 - difficulty_bits)
+    attempt = digest(core, nonce.to_bytes(8, "big"))
+    return int.from_bytes(attempt, "big") < target

@@ -1,0 +1,66 @@
+"""Light node: header-only chain replica (paper Fig 1).
+
+The query user runs a light node.  It syncs block headers from the
+network (modelled here as reading them from any full node's chain),
+re-validates linkage and consensus proofs — a light node must not trust
+the full node it syncs from — and serves headers to the verifier.
+"""
+
+from __future__ import annotations
+
+from repro.chain.block import BlockHeader, ZERO_HASH
+from repro.chain.chain import Blockchain
+from repro.chain.consensus import check_nonce
+from repro.errors import ChainError
+
+
+class LightNode:
+    """Stores and validates block headers only."""
+
+    def __init__(self, difficulty_bits: int = 0) -> None:
+        self.difficulty_bits = difficulty_bits
+        self._headers: list[BlockHeader] = []
+
+    def sync(self, source: Blockchain | list[BlockHeader]) -> int:
+        """Ingest new headers; returns how many were appended."""
+        headers = source.headers() if isinstance(source, Blockchain) else source
+        appended = 0
+        for header in headers[len(self._headers):]:
+            self.append_header(header)
+            appended += 1
+        return appended
+
+    def append_header(self, header: BlockHeader) -> None:
+        if header.height != len(self._headers):
+            raise ChainError("header height does not extend the light chain")
+        expected_prev = (
+            self._headers[-1].block_hash() if self._headers else ZERO_HASH
+        )
+        if header.prev_hash != expected_prev:
+            raise ChainError("header prev_hash mismatch during light sync")
+        if not check_nonce(header.core_bytes(), header.nonce, self.difficulty_bits):
+            raise ChainError("header consensus proof invalid")
+        self._headers.append(header)
+
+    # -- access ---------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._headers)
+
+    def header(self, height: int) -> BlockHeader:
+        if not 0 <= height < len(self._headers):
+            raise ChainError(f"light node has no header at height {height}")
+        return self._headers[height]
+
+    def headers(self) -> list[BlockHeader]:
+        return list(self._headers)
+
+    def heights_in_window(self, start: int, end: int) -> list[int]:
+        return [
+            header.height
+            for header in self._headers
+            if start <= header.timestamp <= end
+        ]
+
+    def storage_nbytes(self) -> int:
+        """Total header storage (the paper reports 800/960 bits/header)."""
+        return sum(header.nbytes() for header in self._headers)

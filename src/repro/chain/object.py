@@ -1,0 +1,61 @@
+"""Temporal data objects (paper Section 3).
+
+Each object is ``o_i = ⟨t_i, V_i, W_i⟩``: a timestamp, a vector of
+numerical attributes, and a set-valued attribute.  The range→set
+transform (Section 5.3) turns ``V_i`` into binary-prefix elements, so
+the object's *unified* attribute multiset is ``W'_i = trans(V_i) + W_i``
+and every query reduces to CNF set-matching against ``W'_i``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.rangetrans import value_prefix_set
+from repro.crypto.hashing import digest
+from repro.errors import QueryError
+
+
+@dataclass(frozen=True)
+class DataObject:
+    """One timestamped record stored in a block.
+
+    ``vector`` components must be quantised integers in ``[0, 2^bits)``
+    for whatever prefix width ``bits`` the deployment uses; datasets are
+    responsible for quantisation (see :mod:`repro.datasets`).
+    """
+
+    object_id: int
+    timestamp: int
+    vector: tuple[int, ...]
+    keywords: frozenset[str] = field(default_factory=frozenset)
+
+    def attribute_multiset(self, bits: int) -> Counter:
+        """``W' = trans(V) + W`` — the unified set-valued attribute."""
+        attrs: Counter = Counter()
+        for dim, value in enumerate(self.vector):
+            for prefix in value_prefix_set(value, bits, dim):
+                attrs[prefix] += 1
+        for keyword in self.keywords:
+            attrs[keyword] += 1
+        return attrs
+
+    def serialize(self) -> bytes:
+        """Canonical byte encoding (input to ObjectHash)."""
+        parts = [
+            self.object_id.to_bytes(8, "big"),
+            self.timestamp.to_bytes(8, "big"),
+            len(self.vector).to_bytes(2, "big"),
+        ]
+        for value in self.vector:
+            if value < 0:
+                raise QueryError("vector components must be non-negative")
+            parts.append(value.to_bytes(8, "big"))
+        for keyword in sorted(self.keywords):
+            parts.append(keyword.encode("utf-8"))
+        return digest(*parts)
+
+    def nbytes(self) -> int:
+        """Approximate wire size of the raw object (for VO accounting)."""
+        return 16 + 8 * len(self.vector) + sum(len(k) for k in self.keywords)

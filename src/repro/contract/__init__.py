@@ -1,0 +1,5 @@
+"""Smart-contract (logical chain) deployment path — paper Appendix E."""
+
+from repro.contract.logical_chain import Event, HostChain, VChainContract
+
+__all__ = ["Event", "HostChain", "VChainContract"]

@@ -1,0 +1,124 @@
+"""Smart-contract deployment path (paper Appendix E).
+
+The paper notes vChain can be deployed without a new chain: a smart
+contract on a host blockchain maintains a *logical chain* whose blocks
+carry the vChain ADS.  This module reproduces that pattern in Python:
+:class:`HostChain` is a minimal contract-execution substrate (ordered
+transactions, deterministic state, an event log and a gas meter) and
+:class:`VChainContract` is the contract from Listing 1 — its
+``build_vchain`` entry point constructs the intra/inter indexes,
+derives the block hash, and appends to contract storage.
+
+The logical chain produced here is byte-compatible with the native one:
+the same :class:`~repro.core.prover.QueryProcessor` and verifier run
+against it unchanged (the integration tests do exactly that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.accumulators.base import MultisetAccumulator
+from repro.accumulators.encoding import ElementEncoder
+from repro.chain.block import Block, BlockHeader, ZERO_HASH
+from repro.chain.chain import Blockchain
+from repro.chain.miner import Miner, ProtocolParams
+from repro.chain.object import DataObject
+from repro.errors import ChainError
+
+
+@dataclass
+class Event:
+    """A contract event appended to the host-chain log."""
+
+    name: str
+    payload: dict[str, Any]
+
+
+@dataclass
+class HostChain:
+    """A minimal deterministic contract substrate.
+
+    Transactions are function calls executed in order; each call is
+    metered (a flat cost per object processed stands in for EVM gas)
+    and appends its events to the log.  There is no concurrency and no
+    reentrancy — the simplest model that still exercises the
+    contract-deployment code path end to end.
+    """
+
+    gas_per_object: int = 21000
+    events: list[Event] = field(default_factory=list)
+    gas_used: int = 0
+
+    def execute(self, call: Callable[[], list[Event]], n_objects: int) -> None:
+        self.gas_used += self.gas_per_object * n_objects
+        self.events.extend(call())
+
+
+class VChainContract:
+    """The Listing-1 contract: builds and stores logical vChain blocks."""
+
+    def __init__(
+        self,
+        host: HostChain,
+        accumulator: MultisetAccumulator,
+        encoder: ElementEncoder,
+        params: ProtocolParams,
+    ) -> None:
+        self.host = host
+        # contract storage: blockhash -> Block, plus the chain itself
+        self.chain = Blockchain(difficulty_bits=0)
+        self.storage: dict[bytes, Block] = {}
+        # the contract "is" the miner for the logical chain, but the host
+        # chain's consensus already orders transactions, so difficulty=0.
+        contract_params = ProtocolParams(
+            mode=params.mode,
+            bits=params.bits,
+            skip_size=params.skip_size,
+            skip_base=params.skip_base,
+            difficulty_bits=0,
+            clustered=params.clustered,
+        )
+        self._miner = Miner(self.chain, accumulator, encoder, contract_params)
+
+    def build_vchain(self, objects: list[DataObject], timestamp: int) -> bytes:
+        """The contract entry point; returns the new logical block hash."""
+        if not objects:
+            raise ChainError("BuildvChain called with no objects")
+
+        new_hash: list[bytes] = []
+
+        def _call() -> list[Event]:
+            block = self._miner.mine_block(objects, timestamp)
+            block_hash = block.header.block_hash()
+            self.storage[block_hash] = block
+            new_hash.append(block_hash)
+            return [
+                Event(
+                    name="VChainBlockBuilt",
+                    payload={
+                        "height": block.height,
+                        "block_hash": block_hash,
+                        "merkle_root": block.header.merkle_root,
+                        "skiplist_root": block.header.skiplist_root,
+                    },
+                )
+            ]
+
+        self.host.execute(_call, n_objects=len(objects))
+        return new_hash[0]
+
+    def block_by_hash(self, block_hash: bytes) -> Block:
+        block = self.storage.get(block_hash)
+        if block is None:
+            raise ChainError("unknown logical block hash")
+        return block
+
+    def headers(self) -> list[BlockHeader]:
+        return self.chain.headers()
+
+    @property
+    def tip_hash(self) -> bytes:
+        tip = self.chain.tip
+        return tip.header.block_hash() if tip else ZERO_HASH

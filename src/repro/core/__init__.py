@@ -1,0 +1,44 @@
+"""Core vChain machinery: queries, VOs, prover, verifier, facades.
+
+Attribute access is lazy (PEP 562): low-level modules such as
+:mod:`repro.core.rangetrans` are imported by :mod:`repro.chain` at class
+definition time, so an eager package ``__init__`` would create an import
+cycle (chain → core → prover → chain).
+"""
+
+from importlib import import_module
+
+_EXPORTS = {
+    "QueryProcessor": "repro.core.prover",
+    "QueryStats": "repro.core.prover",
+    "CNFCondition": "repro.core.query",
+    "Query": "repro.core.query",
+    "RangeCondition": "repro.core.query",
+    "SubscriptionQuery": "repro.core.query",
+    "TimeWindowQuery": "repro.core.query",
+    "quantize": "repro.core.rangetrans",
+    "range_cover": "repro.core.rangetrans",
+    "trans_range": "repro.core.rangetrans",
+    "trans_vector": "repro.core.rangetrans",
+    "value_prefix_set": "repro.core.rangetrans",
+    "ServiceProvider": "repro.core.sp",
+    "QueryUser": "repro.core.user",
+    "QueryVerifier": "repro.core.verifier",
+    "VerifyStats": "repro.core.verifier",
+    "BatchGroup": "repro.core.vo",
+    "TimeWindowVO": "repro.core.vo",
+    "VOBlock": "repro.core.vo",
+    "VOExpandNode": "repro.core.vo",
+    "VOMatchLeaf": "repro.core.vo",
+    "VOMismatchNode": "repro.core.vo",
+    "VOSkip": "repro.core.vo",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.core' has no attribute {name!r}")
+    return getattr(import_module(module_name), name)

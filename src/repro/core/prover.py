@@ -1,0 +1,246 @@
+"""SP-side verifiable query processing (Algorithms 1, 3 and 4).
+
+The :class:`QueryProcessor` walks the window newest→oldest.  At each
+block it first tries the inter-block skip list (largest distance first,
+Algorithm 4); failing that it runs the intra-index tree search
+(Algorithm 3), pruning mismatching subtrees with disjointness proofs and
+returning matching leaves as results.
+
+*Online batch verification* (Section 6.3): with an aggregating
+accumulator (acc2) and ``batch=True``, mismatch sites that share the
+same query clause are grouped; the SP computes **one** proof per group
+against the multiset *sum* of the group's members (algebraically equal
+to the ProofSum of the individual proofs) — fewer pairings for the user
+and fewer group elements on the wire.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.accumulators.base import MultisetAccumulator
+from repro.accumulators.encoding import ElementEncoder
+from repro.chain.block import Block
+from repro.chain.chain import Blockchain
+from repro.chain.object import DataObject
+from repro.chain.miner import ProtocolParams
+from repro.core.query import CNFCondition, TimeWindowQuery
+from repro.core.vo import (
+    BatchGroup,
+    TimeWindowVO,
+    VOBlock,
+    VOExpandNode,
+    VOMatchLeaf,
+    VOMismatchNode,
+    VONode,
+    VOSkip,
+)
+from repro.errors import QueryError
+from repro.index.intra import IndexNode, children_hash
+
+
+@dataclass
+class QueryStats:
+    """SP-side accounting for one query."""
+
+    sp_seconds: float = 0.0
+    blocks_scanned: int = 0
+    blocks_skipped: int = 0
+    proofs_computed: int = 0
+    nodes_visited: int = 0
+    results: int = 0
+
+
+@dataclass
+class _BatchCollector:
+    """Accumulates same-clause mismatch multisets for one query."""
+
+    accumulator: MultisetAccumulator
+    encoder: ElementEncoder
+    groups: dict[frozenset[str], int] = field(default_factory=dict)
+    sums: dict[int, Counter] = field(default_factory=dict)
+
+    def group_for(self, clause: frozenset[str], attrs: Counter) -> int:
+        group = self.groups.get(clause)
+        if group is None:
+            group = len(self.groups)
+            self.groups[clause] = group
+            self.sums[group] = Counter()
+        self.sums[group].update(attrs)
+        return group
+
+    def finalize(self) -> dict[int, BatchGroup]:
+        finished: dict[int, BatchGroup] = {}
+        for clause, group in self.groups.items():
+            proof = self.accumulator.prove_disjoint(
+                self.encoder.encode_multiset(self.sums[group]),
+                self.encoder.encode_multiset(Counter(clause)),
+            )
+            finished[group] = BatchGroup(clause=clause, proof=proof)
+        return finished
+
+
+class QueryProcessor:
+    """The service provider's verifiable query engine."""
+
+    def __init__(
+        self,
+        chain: Blockchain,
+        accumulator: MultisetAccumulator,
+        encoder: ElementEncoder,
+        params: ProtocolParams,
+    ) -> None:
+        self.chain = chain
+        self.accumulator = accumulator
+        self.encoder = encoder
+        self.params = params
+
+    # -- public API -----------------------------------------------------
+    def time_window_query(
+        self, query: TimeWindowQuery, batch: bool | None = None
+    ) -> tuple[list[DataObject], TimeWindowVO, QueryStats]:
+        """Process a time-window query; returns (results, VO, stats).
+
+        ``batch`` defaults to the accumulator's aggregation capability.
+        """
+        if batch is None:
+            batch = self.accumulator.supports_aggregation
+        if batch and not self.accumulator.supports_aggregation:
+            raise QueryError("online batch verification requires acc2")
+
+        start = time.perf_counter()
+        stats = QueryStats()
+        cnf = query.transformed(self.params.bits)
+        collector = (
+            _BatchCollector(self.accumulator, self.encoder) if batch else None
+        )
+        results: list[DataObject] = []
+        vo = TimeWindowVO()
+
+        heights = self.chain.heights_in_window(query.start, query.end)
+        cursor = len(heights) - 1
+        while cursor >= 0:
+            height = heights[cursor]
+            block = self.chain.block(height)
+            skip = self._try_skip(block, cnf, collector, stats)
+            if skip is not None:
+                vo.entries.append(skip)
+                cursor -= skip.distance
+                stats.blocks_skipped += min(skip.distance, cursor + skip.distance + 1)
+                continue
+            root_transcript = self._process_tree(
+                block.index_root, cnf, collector, results, stats
+            )
+            vo.entries.append(VOBlock(height=height, root=root_transcript))
+            stats.blocks_scanned += 1
+            cursor -= 1
+
+        if collector is not None:
+            vo.batch_groups = collector.finalize()
+            stats.proofs_computed += len(vo.batch_groups)
+        stats.results = len(results)
+        stats.sp_seconds = time.perf_counter() - start
+        return results, vo, stats
+
+    # -- Algorithm 4: inter-block skips ------------------------------------
+    def _try_skip(
+        self,
+        block: Block,
+        cnf: CNFCondition,
+        collector: _BatchCollector | None,
+        stats: QueryStats,
+    ) -> VOSkip | None:
+        if self.params.mode != "both" or not block.skip_entries:
+            return None
+        for entry in sorted(block.skip_entries, key=lambda e: -e.distance):
+            clause = cnf.mismatch_clause(entry.attrs)
+            if clause is None:
+                continue
+            proof = None
+            group = None
+            if collector is not None:
+                group = collector.group_for(clause, entry.attrs)
+            else:
+                proof = self.accumulator.prove_disjoint(
+                    self.encoder.encode_multiset(entry.attrs),
+                    self.encoder.encode_multiset(Counter(clause)),
+                )
+                stats.proofs_computed += 1
+            siblings = tuple(
+                (other.distance, other.entry_hash(self.accumulator.backend))
+                for other in block.skip_entries
+                if other.distance != entry.distance
+            )
+            return VOSkip(
+                height=block.height,
+                distance=entry.distance,
+                att_digest=entry.att_digest,
+                clause=clause,
+                proof=proof,
+                group=group,
+                sibling_hashes=siblings,
+            )
+        return None
+
+    # -- Algorithm 3: intra-block tree search --------------------------------
+    def _process_tree(
+        self,
+        node: IndexNode,
+        cnf: CNFCondition,
+        collector: _BatchCollector | None,
+        results: list[DataObject],
+        stats: QueryStats,
+    ) -> VONode:
+        stats.nodes_visited += 1
+        if node.att_digest is not None:
+            clause = cnf.mismatch_clause(node.attrs)
+            if clause is not None:
+                return self._mismatch_node(node, clause, collector, stats)
+            if node.is_leaf:
+                results.append(node.obj)
+                return VOMatchLeaf(obj=node.obj)
+            return VOExpandNode(
+                att_digest=node.att_digest,
+                children=tuple(
+                    self._process_tree(child, cnf, collector, results, stats)
+                    for child in node.children
+                ),
+            )
+        # nil-mode internal node: no digest, always explored
+        return VOExpandNode(
+            att_digest=None,
+            children=tuple(
+                self._process_tree(child, cnf, collector, results, stats)
+                for child in node.children
+            ),
+        )
+
+    def _mismatch_node(
+        self,
+        node: IndexNode,
+        clause: frozenset[str],
+        collector: _BatchCollector | None,
+        stats: QueryStats,
+    ) -> VOMismatchNode:
+        component = (
+            node.obj.serialize() if node.is_leaf else children_hash(node.children)
+        )
+        proof = None
+        group = None
+        if collector is not None:
+            group = collector.group_for(clause, node.attrs)
+        else:
+            proof = self.accumulator.prove_disjoint(
+                self.encoder.encode_multiset(node.attrs),
+                self.encoder.encode_multiset(Counter(clause)),
+            )
+            stats.proofs_computed += 1
+        return VOMismatchNode(
+            child_component=component,
+            att_digest=node.att_digest,
+            clause=clause,
+            proof=proof,
+            group=group,
+        )

@@ -1,0 +1,145 @@
+"""Query model: monotone CNF conditions, time-window and subscription
+queries (paper Section 3).
+
+A Boolean condition is a monotone CNF over the unified attribute domain:
+a conjunction of clauses, each clause a disjunction (a set) of
+attributes.  The range predicate ``V ∈ [α, β]`` is folded in via the
+Section 5.3 transform — each dimension contributes one OR-clause of
+dyadic prefixes — so matching and mismatch-proving reduce entirely to
+clause/multiset intersection tests:
+
+* ``W`` *matches* the CNF iff every clause intersects ``W``;
+* ``W`` *mismatches* iff some clause is disjoint from ``W`` — and that
+  clause is exactly the equivalence set handed to ``ProveDisjoint``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.core.rangetrans import trans_range
+from repro.errors import QueryError
+
+
+@dataclass(frozen=True)
+class CNFCondition:
+    """A monotone Boolean function in conjunctive normal form."""
+
+    clauses: tuple[frozenset[str], ...]
+
+    def __post_init__(self) -> None:
+        for clause in self.clauses:
+            if not clause:
+                raise QueryError("CNF clause must not be empty")
+
+    @staticmethod
+    def of(clauses: Iterable[Iterable[str]]) -> "CNFCondition":
+        """Build from nested iterables: ``[["Benz","BMW"],["Sedan"]]``."""
+        return CNFCondition(tuple(frozenset(clause) for clause in clauses))
+
+    @staticmethod
+    def true() -> "CNFCondition":
+        """The always-true condition (zero clauses)."""
+        return CNFCondition(())
+
+    def matches(self, attributes: Counter | frozenset[str]) -> bool:
+        """True iff every clause intersects the attribute multiset."""
+        return all(
+            any(element in attributes for element in clause) for clause in self.clauses
+        )
+
+    def mismatch_clause(self, attributes: Counter | frozenset[str]) -> frozenset[str] | None:
+        """The first clause disjoint from ``attributes``, or ``None``.
+
+        This is the "equivalence set" of Algorithm 1: returning it with a
+        disjointness proof convinces the verifier the object cannot
+        satisfy the conjunction.
+        """
+        for clause in self.clauses:
+            if not any(element in attributes for element in clause):
+                return clause
+        return None
+
+    def conjoin(self, other: "CNFCondition") -> "CNFCondition":
+        return CNFCondition(self.clauses + other.clauses)
+
+    def nbytes(self) -> int:
+        """Wire size of the condition (for VO accounting)."""
+        return sum(len(e.encode()) for clause in self.clauses for e in clause)
+
+
+@dataclass(frozen=True)
+class RangeCondition:
+    """Numeric predicate ``V ∈ [low, high]`` (component-wise)."""
+
+    low: tuple[int, ...]
+    high: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.low) != len(self.high):
+            raise QueryError("range bounds have mismatched dimensionality")
+        for lo, hi in zip(self.low, self.high):
+            if lo > hi:
+                raise QueryError(f"inverted range bound [{lo}, {hi}]")
+
+    def contains(self, vector: tuple[int, ...]) -> bool:
+        if len(vector) < len(self.low):
+            raise QueryError("vector dimensionality below range predicate's")
+        return all(
+            lo <= vector[dim] <= hi
+            for dim, (lo, hi) in enumerate(zip(self.low, self.high))
+        )
+
+    def to_cnf(self, bits: int) -> CNFCondition:
+        """Section 5.3: one dyadic-cover OR-clause per dimension."""
+        return CNFCondition(trans_range(self.low, self.high, bits))
+
+
+@dataclass(frozen=True)
+class Query:
+    """The Boolean range condition common to both query forms.
+
+    ``transformed(bits)`` produces the *unified* CNF ϒ' = trans([α,β]) ∧ ϒ
+    that provers and verifiers operate on.
+    """
+
+    numeric: RangeCondition | None = None
+    boolean: CNFCondition = field(default_factory=CNFCondition.true)
+
+    def transformed(self, bits: int) -> CNFCondition:
+        if self.numeric is None:
+            return self.boolean
+        return self.numeric.to_cnf(bits).conjoin(self.boolean)
+
+    def matches_object(self, obj, bits: int) -> bool:
+        """Ground-truth match on the raw object (used by the verifier to
+        re-check soundness of returned results, and by tests)."""
+        if self.numeric is not None and not self.numeric.contains(obj.vector):
+            return False
+        return self.boolean.matches(obj.attribute_multiset(bits))
+
+    def in_window(self, timestamp: int) -> bool:
+        """Base queries are unwindowed; TimeWindowQuery overrides."""
+        return True
+
+
+@dataclass(frozen=True)
+class TimeWindowQuery(Query):
+    """``q = ⟨[ts, te], [α, β], ϒ⟩`` — historical window query."""
+
+    start: int = 0
+    end: int = 2**63 - 1
+
+    def __post_init__(self) -> None:
+        if self.start > self.end:
+            raise QueryError("time window start exceeds end")
+
+    def in_window(self, timestamp: int) -> bool:
+        return self.start <= timestamp <= self.end
+
+
+@dataclass(frozen=True)
+class SubscriptionQuery(Query):
+    """``q = ⟨-, [α, β], ϒ⟩`` — continuous query until deregistered."""

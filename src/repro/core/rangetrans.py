@@ -1,0 +1,115 @@
+"""Range→set transformation (paper Section 5.3).
+
+Numerical values become sets of *binary prefixes*: the value 4 in a
+3-bit space is ``100``, transformed into ``{1*, 10*, 100}``.  A range
+``[α, β]`` becomes the minimal set of binary-tree nodes (dyadic
+intervals) exactly covering it — e.g. ``[0, 6]`` in 3 bits is
+``{0*, 10*, 110}``.  Then ``v ∈ [α, β]`` iff the two prefix sets
+intersect, which reduces numeric range predicates to the same
+set-disjointness machinery as keyword predicates.
+
+Prefixes are namespaced per dimension (the paper's subscript notation):
+``"2:10*"`` is the prefix ``10*`` of dimension 2, so multi-dimensional
+vectors cannot cross-match between dimensions.  Keyword attributes never
+contain ``:`` followed by binary digits in our datasets, and even a
+collision would only make a clause *easier* to match, never letting a
+mismatch masquerade as a match — soundness is re-checked on raw objects
+by the verifier.
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueryError
+
+
+def _prefix_token(dim: int, bits_used: str, total_bits: int) -> str:
+    """Render a prefix of ``bits_used`` (may be shorter than the space)."""
+    star = "*" if len(bits_used) < total_bits else ""
+    return f"{dim}:{bits_used}{star}"
+
+
+def value_prefix_set(value: int, bits: int, dim: int = 0) -> frozenset[str]:
+    """``trans(v)`` — all binary prefixes of ``v`` in a ``bits``-wide space.
+
+    Includes the full bit string and every proper prefix (including the
+    root ``*`` is omitted: the root matches everything and carries no
+    information, and the paper's example ``trans(4) = {1*, 10*, 100}``
+    likewise starts at the first bit).
+    """
+    if bits < 1:
+        raise QueryError("prefix space must have at least 1 bit")
+    if not 0 <= value < (1 << bits):
+        raise QueryError(f"value {value} outside [0, 2^{bits})")
+    bit_string = format(value, f"0{bits}b")
+    return frozenset(
+        _prefix_token(dim, bit_string[:length], bits) for length in range(1, bits + 1)
+    )
+
+
+def range_cover(low: int, high: int, bits: int, dim: int = 0) -> frozenset[str]:
+    """``trans([α, β])`` — minimal dyadic cover of ``[low, high]``.
+
+    Returns the prefix tokens of the highest tree nodes whose spans lie
+    entirely inside the range; their union is exactly ``[low, high]``.
+    """
+    if bits < 1:
+        raise QueryError("prefix space must have at least 1 bit")
+    space = 1 << bits
+    if not 0 <= low <= high < space:
+        raise QueryError(f"range [{low}, {high}] invalid for 2^{bits} space")
+
+    cover: list[str] = []
+
+    def descend(node_low: int, node_high: int, path: str) -> None:
+        if low <= node_low and node_high <= high:
+            if path:
+                cover.append(_prefix_token(0, path, bits))
+            else:
+                # whole space: cover with the two top-level prefixes so the
+                # clause stays non-empty and intersects every value.
+                cover.append(_prefix_token(0, "0", bits))
+                cover.append(_prefix_token(0, "1", bits))
+            return
+        if node_high < low or node_low > high:
+            return
+        mid = (node_low + node_high) // 2
+        descend(node_low, mid, path + "0")
+        descend(mid + 1, node_high, path + "1")
+
+    descend(0, space - 1, "")
+    # retarget tokens to the requested dimension
+    if dim != 0:
+        cover = [f"{dim}:{token.split(':', 1)[1]}" for token in cover]
+    return frozenset(cover)
+
+
+def trans_vector(vector: tuple[int, ...], bits: int) -> frozenset[str]:
+    """Prefix set of a multi-dimensional vector (per-dimension union)."""
+    prefixes: set[str] = set()
+    for dim, value in enumerate(vector):
+        prefixes |= value_prefix_set(value, bits, dim)
+    return frozenset(prefixes)
+
+
+def trans_range(
+    low: tuple[int, ...], high: tuple[int, ...], bits: int
+) -> tuple[frozenset[str], ...]:
+    """Range condition → CNF clauses (one OR-clause per dimension).
+
+    ``[(0,3),(6,4)]`` becomes ``(0:… ∨ …) ∧ (1:… ∨ …)`` per the paper's
+    multi-dimensional example; each returned frozenset is one clause.
+    """
+    if len(low) != len(high):
+        raise QueryError("range bounds have mismatched dimensionality")
+    return tuple(
+        range_cover(lo, hi, bits, dim) for dim, (lo, hi) in enumerate(zip(low, high))
+    )
+
+
+def quantize(value: float, low: float, high: float, bits: int) -> int:
+    """Map a real value in ``[low, high]`` onto the integer prefix space."""
+    if high <= low:
+        raise QueryError("quantize needs high > low")
+    space = (1 << bits) - 1
+    clipped = min(max(value, low), high)
+    return round((clipped - low) / (high - low) * space)

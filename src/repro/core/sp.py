@@ -1,0 +1,40 @@
+"""Service-provider facade (the untrusted full node answering queries)."""
+
+from __future__ import annotations
+
+from repro.accumulators.base import MultisetAccumulator
+from repro.accumulators.encoding import ElementEncoder
+from repro.chain.chain import Blockchain
+from repro.chain.miner import ProtocolParams
+from repro.chain.object import DataObject
+from repro.core.prover import QueryProcessor, QueryStats
+from repro.core.query import TimeWindowQuery
+from repro.core.vo import TimeWindowVO
+
+
+class ServiceProvider:
+    """A full node offering verifiable query services to light users.
+
+    Thin façade over :class:`QueryProcessor`; subscription queries are
+    handled by :class:`repro.subscribe.engine.SubscriptionEngine`, which
+    composes with this class (see the examples).
+    """
+
+    def __init__(
+        self,
+        chain: Blockchain,
+        accumulator: MultisetAccumulator,
+        encoder: ElementEncoder,
+        params: ProtocolParams,
+    ) -> None:
+        self.chain = chain
+        self.accumulator = accumulator
+        self.encoder = encoder
+        self.params = params
+        self.processor = QueryProcessor(chain, accumulator, encoder, params)
+
+    def time_window_query(
+        self, query: TimeWindowQuery, batch: bool | None = None
+    ) -> tuple[list[DataObject], TimeWindowVO, QueryStats]:
+        """Answer a historical Boolean range query with a VO."""
+        return self.processor.time_window_query(query, batch=batch)

@@ -1,0 +1,49 @@
+"""Query-user facade (the light node issuing verifiable queries)."""
+
+from __future__ import annotations
+
+from repro.accumulators.base import MultisetAccumulator
+from repro.accumulators.encoding import ElementEncoder
+from repro.chain.chain import Blockchain
+from repro.chain.light import LightNode
+from repro.chain.miner import ProtocolParams
+from repro.chain.object import DataObject
+from repro.core.query import TimeWindowQuery
+from repro.core.verifier import QueryVerifier, VerifyStats
+from repro.core.vo import TimeWindowVO
+
+
+class QueryUser:
+    """A light node: syncs headers, queries an SP, verifies the answer."""
+
+    def __init__(
+        self,
+        accumulator: MultisetAccumulator,
+        encoder: ElementEncoder,
+        params: ProtocolParams,
+    ) -> None:
+        self.light = LightNode(difficulty_bits=params.difficulty_bits)
+        self.verifier = QueryVerifier(self.light, accumulator, encoder, params)
+        self.params = params
+
+    def sync_headers(self, source: Blockchain) -> int:
+        """Pull new block headers from any full node."""
+        return self.light.sync(source)
+
+    def verify(
+        self,
+        query: TimeWindowQuery,
+        results: list[DataObject],
+        vo: TimeWindowVO,
+    ) -> tuple[list[DataObject], VerifyStats]:
+        """Check an SP response; raises VerificationError when forged."""
+        return self.verifier.verify_time_window(query, results, vo)
+
+    def query(self, sp, query: TimeWindowQuery, batch: bool | None = None):
+        """One-shot convenience: ask ``sp`` and verify its answer.
+
+        Returns ``(results, vo, sp_stats, user_stats)``.
+        """
+        results, vo, sp_stats = sp.time_window_query(query, batch=batch)
+        verified, user_stats = self.verify(query, results, vo)
+        return verified, vo, sp_stats, user_stats

@@ -1,0 +1,141 @@
+"""Verification objects (VOs).
+
+A VO is the SP's cryptographic transcript of a query: for every block in
+the window, either a tree transcript (matching leaves returned in full,
+mismatching subtrees pruned with a disjointness proof, expanded internal
+nodes with their AttDigests) or a skip-list entry covering a run of
+blocks at once.  The user replays the transcript against its own block
+headers.
+
+Three node kinds (mirroring Algorithm 3's cases):
+
+* :class:`VOMatchLeaf` — the object itself; the verifier recomputes the
+  object hash *and* its AttDigest from raw attributes, so a tampered
+  object breaks the Merkle reconstruction.
+* :class:`VOMismatchNode` — a pruned subtree: the child-hash component,
+  the node's AttDigest, the query clause it is disjoint from, and either
+  an individual proof or a reference to a batch group.
+* :class:`VOExpandNode` — an explored internal node (digest needed to
+  recompute its hash; ``None`` in nil-mode trees).
+
+``nbytes`` methods account wire size exactly: group elements at real
+group widths, hashes at 32 bytes, objects at their serialized size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.accumulators.base import AccumulatorValue, DisjointProof
+from repro.chain.object import DataObject
+from repro.crypto.hashing import DIGEST_NBYTES
+
+
+def _clause_nbytes(clause: frozenset[str]) -> int:
+    return sum(len(element.encode()) for element in clause)
+
+
+@dataclass(frozen=True)
+class VOMatchLeaf:
+    """A result object, returned in full."""
+
+    obj: DataObject
+
+    def nbytes(self, backend) -> int:
+        return self.obj.nbytes()
+
+
+@dataclass(frozen=True)
+class VOMismatchNode:
+    """A pruned (mismatching) subtree with its disjointness evidence."""
+
+    child_component: bytes
+    att_digest: AccumulatorValue
+    clause: frozenset[str]
+    proof: DisjointProof | None = None
+    group: int | None = None
+
+    def nbytes(self, backend) -> int:
+        total = DIGEST_NBYTES + self.att_digest.nbytes(backend)
+        total += _clause_nbytes(self.clause)
+        if self.proof is not None:
+            total += self.proof.nbytes(backend)
+        return total
+
+
+@dataclass(frozen=True)
+class VOExpandNode:
+    """An explored internal node; children transcripts in order."""
+
+    att_digest: AccumulatorValue | None
+    children: tuple["VONode", ...]
+
+    def nbytes(self, backend) -> int:
+        total = self.att_digest.nbytes(backend) if self.att_digest else 0
+        return total + sum(child.nbytes(backend) for child in self.children)
+
+
+VONode = VOMatchLeaf | VOMismatchNode | VOExpandNode
+
+
+@dataclass(frozen=True)
+class VOBlock:
+    """Per-block transcript rooted at the intra-index root."""
+
+    height: int
+    root: VONode
+
+    def nbytes(self, backend) -> int:
+        return 8 + self.root.nbytes(backend)
+
+
+@dataclass(frozen=True)
+class VOSkip:
+    """An inter-block skip: one proof covering ``distance`` blocks.
+
+    ``sibling_hashes`` carries the entry hashes of the *other* skip
+    distances at this block so the verifier can recompute SkipListRoot.
+    """
+
+    height: int
+    distance: int
+    att_digest: AccumulatorValue
+    clause: frozenset[str]
+    proof: DisjointProof | None = None
+    group: int | None = None
+    sibling_hashes: tuple[tuple[int, bytes], ...] = ()
+
+    def nbytes(self, backend) -> int:
+        total = 16 + self.att_digest.nbytes(backend) + _clause_nbytes(self.clause)
+        if self.proof is not None:
+            total += self.proof.nbytes(backend)
+        return total + DIGEST_NBYTES * len(self.sibling_hashes)
+
+
+@dataclass(frozen=True)
+class BatchGroup:
+    """One aggregated disjointness proof shared by many mismatch sites.
+
+    Online batch verification (Sec. 6.3): all member nodes/skips are
+    disjoint from ``clause``; the verifier Sums their digests and checks
+    the single aggregated proof.  acc2 only.
+    """
+
+    clause: frozenset[str]
+    proof: DisjointProof
+
+    def nbytes(self, backend) -> int:
+        return _clause_nbytes(self.clause) + self.proof.nbytes(backend)
+
+
+@dataclass
+class TimeWindowVO:
+    """Full VO for a time-window query: entries ordered newest→oldest."""
+
+    entries: list[VOBlock | VOSkip] = field(default_factory=list)
+    batch_groups: dict[int, BatchGroup] = field(default_factory=dict)
+
+    def nbytes(self, backend) -> int:
+        total = sum(entry.nbytes(backend) for entry in self.entries)
+        total += sum(group.nbytes(backend) for group in self.batch_groups.values())
+        return total

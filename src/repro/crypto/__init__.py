@@ -1,0 +1,20 @@
+"""Cryptographic substrate: fields, polynomials, pairing, backends."""
+
+from repro.crypto.backend import PairingBackend, SupersingularBackend, get_backend
+from repro.crypto.field import PrimeField
+from repro.crypto.hashing import DIGEST_NBYTES, digest, digest_to_int, hash_str
+from repro.crypto.polynomial import PolynomialRing
+from repro.crypto.simulated import SimulatedBackend
+
+__all__ = [
+    "DIGEST_NBYTES",
+    "PairingBackend",
+    "PolynomialRing",
+    "PrimeField",
+    "SimulatedBackend",
+    "SupersingularBackend",
+    "digest",
+    "digest_to_int",
+    "get_backend",
+    "hash_str",
+]

@@ -1,0 +1,227 @@
+"""Pairing-group backend abstraction.
+
+The accumulators are written against an abstract symmetric pairing group
+so that the same algorithm code runs on two substrates:
+
+* :class:`SupersingularBackend` — the real Tate pairing from
+  :mod:`repro.crypto.pairing` (cryptographically meaningful; slower);
+* :class:`SimulatedBackend` (in :mod:`repro.crypto.simulated`) — exponent
+  arithmetic mod ``r`` with identical algebra, used for large benchmark
+  sweeps where the paper used the MCL C++ library.
+
+Group elements are opaque to callers; use the backend methods.  The real
+backend represents G elements as affine points and GT elements as F_p²
+values.  ``encode``/``gt_encode`` give canonical bytes for hashing into
+block headers, and ``element_nbytes``/``gt_nbytes`` drive VO-size
+accounting (both backends report the *real* group widths so simulated
+benchmark VO sizes match what a production deployment would transmit).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Any
+
+from repro.crypto import curve
+from repro.crypto.curve import FP2_ONE, fp2_inv, fp2_mul, fp2_pow
+from repro.crypto.field import PrimeField
+from repro.crypto.pairing import tate_pairing
+
+GroupElement = Any
+GTElement = Any
+
+#: Serialized width of a G element: two 64-byte coordinates + 1 tag byte.
+_G_NBYTES = 129
+#: Serialized width of a GT (F_p²) element: two 64-byte coefficients.
+_GT_NBYTES = 128
+
+
+class PairingBackend(ABC):
+    """A symmetric bilinear group ``e: G × G → GT`` of prime order ``r``."""
+
+    #: human-readable backend identifier ("ss512" / "simulated")
+    name: str
+    #: prime group order r
+    order: int
+    #: scalar field Z_r
+    scalar_field: PrimeField
+
+    # -- G operations ---------------------------------------------------
+    @abstractmethod
+    def generator(self) -> GroupElement:
+        """The fixed generator ``g`` of G."""
+
+    @abstractmethod
+    def identity(self) -> GroupElement:
+        """The neutral element of G."""
+
+    @abstractmethod
+    def op(self, a: GroupElement, b: GroupElement) -> GroupElement:
+        """The group operation (written multiplicatively in the paper)."""
+
+    @abstractmethod
+    def exp(self, base: GroupElement, scalar: int) -> GroupElement:
+        """``base^scalar`` (scalar multiplication)."""
+
+    @abstractmethod
+    def eq(self, a: GroupElement, b: GroupElement) -> bool:
+        """Constant-structure equality of G elements."""
+
+    @abstractmethod
+    def encode(self, a: GroupElement) -> bytes:
+        """Canonical byte encoding (for hashing / VO size accounting)."""
+
+    @abstractmethod
+    def decode(self, data: bytes) -> GroupElement:
+        """Parse a G element; raises CryptoError on malformed input.
+
+        Security-relevant: the real backend validates curve membership
+        and subgroup order, so a malicious SP cannot smuggle invalid
+        points through a deserialized VO.
+        """
+
+    # -- GT operations -----------------------------------------------------
+    @abstractmethod
+    def pair(self, a: GroupElement, b: GroupElement) -> GTElement:
+        """The bilinear map ``e(a, b)``."""
+
+    @abstractmethod
+    def gt_identity(self) -> GTElement:
+        ...
+
+    @abstractmethod
+    def gt_op(self, a: GTElement, b: GTElement) -> GTElement:
+        ...
+
+    @abstractmethod
+    def gt_exp(self, base: GTElement, scalar: int) -> GTElement:
+        ...
+
+    @abstractmethod
+    def gt_inv(self, a: GTElement) -> GTElement:
+        ...
+
+    @abstractmethod
+    def gt_eq(self, a: GTElement, b: GTElement) -> bool:
+        ...
+
+    @abstractmethod
+    def gt_encode(self, a: GTElement) -> bytes:
+        ...
+
+    # -- helpers shared by all backends ------------------------------------
+    @property
+    def element_nbytes(self) -> int:
+        """Transmitted size of one G element (real-group width)."""
+        return _G_NBYTES
+
+    @property
+    def gt_nbytes(self) -> int:
+        """Transmitted size of one GT element (real-group width)."""
+        return _GT_NBYTES
+
+    def multi_exp(self, bases: list[GroupElement], scalars: list[int]) -> GroupElement:
+        """``Π bases[i]^scalars[i]`` — the workhorse of Setup().
+
+        A straightforward loop; backends may override with something
+        smarter if profiling demands it.
+        """
+        acc = self.identity()
+        for base, scalar in zip(bases, scalars, strict=True):
+            if scalar % self.order == 0:
+                continue
+            acc = self.op(acc, self.exp(base, scalar))
+        return acc
+
+    def random_scalar(self, rng: random.Random) -> int:
+        """Uniform non-zero scalar in Z_r (for key generation)."""
+        return rng.randrange(1, self.order)
+
+
+class SupersingularBackend(PairingBackend):
+    """The real pairing group (see :mod:`repro.crypto.curve`)."""
+
+    name = "ss512"
+
+    def __init__(self) -> None:
+        self.order = curve.SUBGROUP_ORDER
+        self.scalar_field = curve.Fr
+        self._generator = curve.GENERATOR
+
+    def generator(self) -> curve.Point:
+        return self._generator
+
+    def identity(self) -> curve.Point:
+        return None
+
+    def op(self, a: curve.Point, b: curve.Point) -> curve.Point:
+        return curve.add(a, b)
+
+    def exp(self, base: curve.Point, scalar: int) -> curve.Point:
+        return curve.multiply(base, scalar % self.order)
+
+    def eq(self, a: curve.Point, b: curve.Point) -> bool:
+        return a == b
+
+    def encode(self, a: curve.Point) -> bytes:
+        if a is None:
+            return b"\x00" * _G_NBYTES
+        x, y = a
+        return b"\x04" + x.to_bytes(64, "big") + y.to_bytes(64, "big")
+
+    def decode(self, data: bytes) -> curve.Point:
+        from repro.errors import CryptoError
+
+        if len(data) != _G_NBYTES:
+            raise CryptoError("G element encoding has wrong length")
+        if data[0] == 0:
+            if any(data):
+                raise CryptoError("malformed identity encoding")
+            return None
+        if data[0] != 4:
+            raise CryptoError("unknown G element encoding tag")
+        point = (
+            int.from_bytes(data[1:65], "big"),
+            int.from_bytes(data[65:129], "big"),
+        )
+        curve.validate_subgroup(point)
+        return point
+
+    def pair(self, a: curve.Point, b: curve.Point) -> curve.Fp2Element:
+        return tate_pairing(a, b)
+
+    def gt_identity(self) -> curve.Fp2Element:
+        return FP2_ONE
+
+    def gt_op(self, a: curve.Fp2Element, b: curve.Fp2Element) -> curve.Fp2Element:
+        return fp2_mul(a, b)
+
+    def gt_exp(self, base: curve.Fp2Element, scalar: int) -> curve.Fp2Element:
+        return fp2_pow(base, scalar % self.order)
+
+    def gt_inv(self, a: curve.Fp2Element) -> curve.Fp2Element:
+        return fp2_inv(a)
+
+    def gt_eq(self, a: curve.Fp2Element, b: curve.Fp2Element) -> bool:
+        return a == b
+
+    def gt_encode(self, a: curve.Fp2Element) -> bytes:
+        return a[0].to_bytes(64, "big") + a[1].to_bytes(64, "big")
+
+
+def get_backend(name: str = "ss512") -> PairingBackend:
+    """Backend factory: ``"ss512"``, ``"bn254"`` (both real) or
+    ``"simulated"`` (fast exponent arithmetic for benchmarks)."""
+    if name == "ss512":
+        return SupersingularBackend()
+    if name == "bn254":
+        # local imports avoid cycles at module load
+        from repro.crypto.bn_backend import BN254Backend
+
+        return BN254Backend()
+    if name == "simulated":
+        from repro.crypto.simulated import SimulatedBackend
+
+        return SimulatedBackend()
+    raise ValueError(f"unknown pairing backend: {name!r}")

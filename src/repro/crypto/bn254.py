@@ -1,0 +1,376 @@
+"""The BN254 (alt_bn128) pairing curve.
+
+The paper's implementation uses the MCL library over Barreto–Naehrig
+curves; this module provides the same curve family from scratch: the
+base field F_p, quadratic and twelfth-degree extension towers, both
+source groups (G1 over F_p, G2 over the sextic twist over F_p²), and
+the ate pairing via a Miller loop with the Frobenius end-corrections.
+
+Parameters are the public EIP-196/197 constants.  The pairing is
+*asymmetric* (``e: G1 × G2 → GT``); :class:`repro.crypto.bn_backend`
+wraps it into the symmetric interface the accumulators use.  Pure
+Python, so a pairing costs on the order of a second — fine for the
+``slow``-marked correctness tests, not for benchmark sweeps.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CryptoError
+
+#: Base field prime.
+FIELD_MODULUS = 21888242871839275222246405745257275088696311157297823662689037894645226208583  # noqa: E501
+#: Order of G1/G2 (a prime; also the GT exponent group order).
+CURVE_ORDER = 21888242871839275222246405745257275088548364400416034343698204186575808495617  # noqa: E501
+
+ATE_LOOP_COUNT = 29793968203157093288
+LOG_ATE_LOOP_COUNT = 63
+
+_P = FIELD_MODULUS
+
+
+class FQ:
+    """Element of the base field F_p."""
+
+    __slots__ = ("n",)
+
+    def __init__(self, n: int) -> None:
+        self.n = n % _P
+
+    def __add__(self, other):
+        return FQ(self.n + _coerce(other))
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return FQ(self.n - _coerce(other))
+
+    def __rsub__(self, other):
+        return FQ(_coerce(other) - self.n)
+
+    def __mul__(self, other):
+        return FQ(self.n * _coerce(other))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        return FQ(self.n * pow(_coerce(other), -1, _P))
+
+    def __pow__(self, exponent: int):
+        return FQ(pow(self.n, exponent, _P))
+
+    def __neg__(self):
+        return FQ(-self.n)
+
+    def __eq__(self, other):
+        if isinstance(other, FQ):
+            return self.n == other.n
+        if isinstance(other, int):
+            return self.n == other % _P
+        return NotImplemented
+
+    def __hash__(self):
+        return hash(("FQ", self.n))
+
+    def __repr__(self):
+        return f"FQ({self.n})"
+
+    @classmethod
+    def one(cls):
+        return cls(1)
+
+    @classmethod
+    def zero(cls):
+        return cls(0)
+
+
+def _coerce(value) -> int:
+    if isinstance(value, FQ):
+        return value.n
+    if isinstance(value, int):
+        return value
+    raise TypeError(f"cannot coerce {type(value).__name__} into FQ")
+
+
+class FQP:
+    """Element of F_p[X] / modulus — the extension-tower workhorse."""
+
+    degree = 0
+    modulus_coeffs: tuple[int, ...] = ()
+
+    def __init__(self, coeffs) -> None:
+        if len(coeffs) != self.degree:
+            raise CryptoError(
+                f"{type(self).__name__} needs {self.degree} coefficients"
+            )
+        self.coeffs = tuple(c % _P for c in coeffs)
+
+    # -- ring ops -------------------------------------------------------
+    def __add__(self, other):
+        self._same(other)
+        return type(self)([a + b for a, b in zip(self.coeffs, other.coeffs)])
+
+    def __sub__(self, other):
+        self._same(other)
+        return type(self)([a - b for a, b in zip(self.coeffs, other.coeffs)])
+
+    def __mul__(self, other):
+        if isinstance(other, (int, FQ)):
+            k = _coerce(other)
+            return type(self)([c * k for c in self.coeffs])
+        self._same(other)
+        deg = self.degree
+        buf = [0] * (deg * 2 - 1)
+        for i, a in enumerate(self.coeffs):
+            if a == 0:
+                continue
+            for j, b in enumerate(other.coeffs):
+                buf[i + j] += a * b
+        for exp in range(deg * 2 - 2, deg - 1, -1):
+            top = buf[exp]
+            if top == 0:
+                continue
+            buf[exp] = 0
+            for i, mc in enumerate(self.modulus_coeffs):
+                buf[exp - deg + i] -= top * mc
+        return type(self)(buf[:deg])
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        if isinstance(other, (int, FQ)):
+            inv = pow(_coerce(other), -1, _P)
+            return type(self)([c * inv for c in self.coeffs])
+        self._same(other)
+        return self * other.inv()
+
+    def __pow__(self, exponent: int):
+        if exponent < 0:
+            return self.inv() ** (-exponent)
+        result = type(self).one()
+        base = self
+        while exponent:
+            if exponent & 1:
+                result = result * base
+            base = base * base
+            exponent >>= 1
+        return result
+
+    def __neg__(self):
+        return type(self)([-c for c in self.coeffs])
+
+    def __eq__(self, other):
+        return type(self) is type(other) and self.coeffs == other.coeffs
+
+    def __hash__(self):
+        return hash((type(self).__name__, self.coeffs))
+
+    def __repr__(self):
+        return f"{type(self).__name__}({list(self.coeffs)})"
+
+    def inv(self):
+        """Inverse via extended Euclid over F_p[X]."""
+        lm, hm = [1] + [0] * self.degree, [0] * (self.degree + 1)
+        low = list(self.coeffs) + [0]
+        high = list(self.modulus_coeffs) + [1]
+        while _deg(low):
+            r = _poly_div(high, low)
+            r += [0] * (self.degree + 1 - len(r))
+            nm = list(hm)
+            new = list(high)
+            for i in range(self.degree + 1):
+                for j in range(self.degree + 1 - i):
+                    nm[i + j] -= lm[i] * r[j]
+                    new[i + j] -= low[i] * r[j]
+            nm = [c % _P for c in nm]
+            new = [c % _P for c in new]
+            lm, low, hm, high = nm, new, lm, low
+        if low[0] == 0:
+            raise CryptoError("zero has no inverse in the extension field")
+        inv0 = pow(low[0], -1, _P)
+        return type(self)([c * inv0 % _P for c in lm[: self.degree]])
+
+    def _same(self, other) -> None:
+        if type(self) is not type(other):
+            raise CryptoError("mixed extension-field arithmetic")
+
+    @classmethod
+    def one(cls):
+        return cls([1] + [0] * (cls.degree - 1))
+
+    @classmethod
+    def zero(cls):
+        return cls([0] * cls.degree)
+
+
+def _deg(poly) -> int:
+    d = len(poly) - 1
+    while d and poly[d] == 0:
+        d -= 1
+    return d
+
+
+def _poly_div(a, b):
+    """Quotient of dense polynomials over F_p (py_ecc-style helper)."""
+    dega, degb = _deg(a), _deg(b)
+    temp = list(a)
+    quotient = [0] * len(a)
+    inv_lead = pow(b[degb], -1, _P)
+    for i in range(dega - degb, -1, -1):
+        factor = temp[degb + i] * inv_lead % _P
+        quotient[i] = (quotient[i] + factor) % _P
+        for c in range(degb + 1):
+            temp[c + i] -= b[c] * factor
+        temp = [t % _P for t in temp]
+    return quotient[: _deg(quotient) + 1] or [0]
+
+
+class FQ2(FQP):
+    degree = 2
+    modulus_coeffs = (1, 0)  # w² = -1
+
+
+class FQ12(FQP):
+    degree = 12
+    modulus_coeffs = (82, 0, 0, 0, 0, 0, -18, 0, 0, 0, 0, 0)  # w¹² = 18w⁶ − 82
+
+
+# -- curve arithmetic (generic over the coefficient field) -------------------
+B1 = FQ(3)
+B2 = FQ2([3, 0]) / FQ2([9, 1])
+
+G1 = (FQ(1), FQ(2))
+G2 = (
+    FQ2([
+        10857046999023057135944570762232829481370756359578518086990519993285655852781,
+        11559732032986387107991004021392285783925812861821192530917403151452391805634,
+    ]),
+    FQ2([
+        8495653923123431417604973247489272438418190587263600148770280649306958101930,
+        4082367875863433681332203403145435568316851327593401208105741076214120093531,
+    ]),
+)
+
+Point = tuple | None
+
+
+def is_on_curve(point: Point, b) -> bool:
+    if point is None:
+        return True
+    x, y = point
+    return y * y - x * x * x == b
+
+
+def double(point: Point) -> Point:
+    if point is None:
+        return None
+    x, y = point
+    m = (x * x * 3) / (y * 2)
+    new_x = m * m - x * 2
+    new_y = -m * new_x + m * x - y
+    return (new_x, new_y)
+
+
+def add(p1: Point, p2: Point) -> Point:
+    if p1 is None:
+        return p2
+    if p2 is None:
+        return p1
+    x1, y1 = p1
+    x2, y2 = p2
+    if x1 == x2 and y1 == y2:
+        return double(p1)
+    if x1 == x2:
+        return None
+    m = (y2 - y1) / (x2 - x1)
+    new_x = m * m - x1 - x2
+    new_y = -m * new_x + m * x1 - y1
+    return (new_x, new_y)
+
+
+def multiply(point: Point, scalar: int) -> Point:
+    if scalar < 0:
+        return multiply(neg(point), -scalar)
+    result: Point = None
+    addend = point
+    while scalar:
+        if scalar & 1:
+            result = add(result, addend)
+        addend = double(addend)
+        scalar >>= 1
+    return result
+
+
+def neg(point: Point) -> Point:
+    if point is None:
+        return None
+    x, y = point
+    return (x, -y)
+
+
+# -- twist and pairing -----------------------------------------------------------
+_W = FQ12([0, 1] + [0] * 10)
+
+
+def twist(point) -> Point:
+    """Map a G2 point (over FQ2) onto the curve over FQ12."""
+    if point is None:
+        return None
+    x, y = point
+    xc = [x.coeffs[0] - x.coeffs[1] * 9, x.coeffs[1]]
+    yc = [y.coeffs[0] - y.coeffs[1] * 9, y.coeffs[1]]
+    nx = FQ12([xc[0]] + [0] * 5 + [xc[1]] + [0] * 5)
+    ny = FQ12([yc[0]] + [0] * 5 + [yc[1]] + [0] * 5)
+    return (nx * (_W ** 2), ny * (_W ** 3))
+
+
+def cast_to_fq12(point) -> Point:
+    if point is None:
+        return None
+    x, y = point
+    return (
+        FQ12([x.n] + [0] * 11),
+        FQ12([y.n] + [0] * 11),
+    )
+
+
+def _linefunc(p1, p2, t):
+    """Line through p1, p2 evaluated at t (affine; py_ecc formulation)."""
+    x1, y1 = p1
+    x2, y2 = p2
+    xt, yt = t
+    if x1 != x2:
+        m = (y2 - y1) / (x2 - x1)
+        return m * (xt - x1) - (yt - y1)
+    if y1 == y2:
+        m = (x1 * x1 * 3) / (y1 * 2)
+        return m * (xt - x1) - (yt - y1)
+    return xt - x1
+
+
+def miller_loop(q: Point, p: Point) -> FQ12:
+    """Ate pairing Miller loop with Frobenius end-correction."""
+    if q is None or p is None:
+        return FQ12.one()
+    r = q
+    f = FQ12.one()
+    for i in range(LOG_ATE_LOOP_COUNT, -1, -1):
+        f = f * f * _linefunc(r, r, p)
+        r = double(r)
+        if ATE_LOOP_COUNT & (2 ** i):
+            f = f * _linefunc(r, q, p)
+            r = add(r, q)
+    q1 = (q[0] ** _P, q[1] ** _P)
+    nq2 = (q1[0] ** _P, -(q1[1] ** _P))
+    f = f * _linefunc(r, q1, p)
+    r = add(r, q1)
+    f = f * _linefunc(r, nq2, p)
+    return f ** ((_P ** 12 - 1) // CURVE_ORDER)
+
+
+def pairing(q, p) -> FQ12:
+    """``e(P, Q)`` with P ∈ G1 (over FQ), Q ∈ G2 (over FQ2)."""
+    if q is not None and not is_on_curve(q, B2):
+        raise CryptoError("G2 point not on the twisted curve")
+    if p is not None and not is_on_curve(p, B1):
+        raise CryptoError("G1 point not on the curve")
+    return miller_loop(twist(q), cast_to_fq12(p))

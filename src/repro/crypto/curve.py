@@ -1,0 +1,175 @@
+"""The supersingular pairing curve ``E: y² = x³ + x`` over F_p.
+
+With ``p ≡ 3 (mod 4)`` this curve is supersingular, has exactly ``p + 1``
+points, and admits the distortion map ``φ(x, y) = (-x, i·y)`` into
+``E(F_p²)`` (where ``i² = -1``), which makes the modified Tate pairing
+*symmetric*: ``e(P, Q) = t(P, φ(Q))`` with ``e: G × G → μ_r ⊂ F_p²``.
+
+The parameters below were generated once (seeded search, see DESIGN.md):
+``p`` is a 511-bit prime with ``p + 1 = c·r`` for the 160-bit prime ``r``,
+and ``G`` generates the order-``r`` subgroup.  This mirrors the symmetric
+pairing setting the vChain paper assumes (``G`` and ``H`` of prime order
+``p`` with ``e: G×G→H``).
+
+Points are affine tuples ``(x, y)`` of integers; the point at infinity is
+``None``.  F_p² elements are tuples ``(a, b)`` meaning ``a + b·i``.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.field import PrimeField
+from repro.errors import CryptoError
+
+# -- generated curve parameters (seeded search; see DESIGN.md) --------------
+#: 511-bit base-field prime, p ≡ 3 (mod 4), p + 1 = COFACTOR * SUBGROUP_ORDER.
+FIELD_PRIME = 6698761076839292804798032345080728102601495312568582201020813101747641604372147025074805141966745545006801312365215495120673940650645247493170428513098411  # noqa: E501
+#: 160-bit prime order of the pairing subgroup G.
+SUBGROUP_ORDER = 1132706623188116297760294080913586700152711772617
+#: (p + 1) / r — multiplying a random point by this lands in G.
+COFACTOR = 5913941827218206318452853784867549722579928714313055682319682572522111400768920319289074442463165537442636
+#: Generator of the order-r subgroup.
+GENERATOR = (
+    644988812605011586882974006249781298230332375867338719806419586490892375218630209426126269839108199141760862373542734226452828421601520073703467960137507,  # noqa: E501
+    3764700575257986830275127429272243840806088968049223078610082245509513780559587296633051565309428704792825022847512834742751350099724705828205459740325817,  # noqa: E501
+)
+
+Fp = PrimeField(FIELD_PRIME)
+Fr = PrimeField(SUBGROUP_ORDER)
+
+Point = tuple[int, int] | None
+
+
+# -- affine curve arithmetic over F_p -----------------------------------------
+def is_on_curve(point: Point) -> bool:
+    """Check ``y² = x³ + x`` (infinity counts as on-curve)."""
+    if point is None:
+        return True
+    x, y = point
+    p = FIELD_PRIME
+    return y * y % p == (x * x % p * x + x) % p
+
+
+def add(lhs: Point, rhs: Point) -> Point:
+    """Affine point addition (chord-and-tangent)."""
+    if lhs is None:
+        return rhs
+    if rhs is None:
+        return lhs
+    p = FIELD_PRIME
+    x1, y1 = lhs
+    x2, y2 = rhs
+    if x1 == x2:
+        if (y1 + y2) % p == 0:
+            return None
+        # tangent; a = 1 for y² = x³ + x
+        lam = (3 * x1 * x1 + 1) * pow(2 * y1, -1, p) % p
+    else:
+        lam = (y2 - y1) * pow(x2 - x1, -1, p) % p
+    x3 = (lam * lam - x1 - x2) % p
+    y3 = (lam * (x1 - x3) - y1) % p
+    return (x3, y3)
+
+
+def neg(point: Point) -> Point:
+    if point is None:
+        return None
+    x, y = point
+    return (x, (-y) % FIELD_PRIME)
+
+
+def multiply(point: Point, scalar: int) -> Point:
+    """Double-and-add scalar multiplication; scalar taken mod group order."""
+    if scalar < 0:
+        return neg(multiply(point, -scalar))
+    result: Point = None
+    addend = point
+    while scalar:
+        if scalar & 1:
+            result = add(result, addend)
+        addend = add(addend, addend)
+        scalar >>= 1
+    return result
+
+
+def random_subgroup_point(rng) -> Point:
+    """Hash-free random point in the order-r subgroup (for tests)."""
+    p = FIELD_PRIME
+    while True:
+        x = rng.randrange(p)
+        rhs = (x * x * x + x) % p
+        y = Fp.sqrt(rhs)
+        if y is None:
+            continue
+        candidate = multiply((x, y), COFACTOR)
+        if candidate is not None:
+            return candidate
+
+
+def validate_subgroup(point: Point) -> None:
+    """Raise unless ``point`` is on-curve and in the order-r subgroup."""
+    if not is_on_curve(point):
+        raise CryptoError("point is not on the curve")
+    if point is not None and multiply(point, SUBGROUP_ORDER) is not None:
+        raise CryptoError("point is not in the prime-order subgroup")
+
+
+# -- F_p² arithmetic (for the pairing target group) ---------------------------
+# Elements are (a, b) = a + b·i with i² = -1; valid because p ≡ 3 (mod 4)
+# makes -1 a non-residue, so X² + 1 is irreducible over F_p.
+Fp2Element = tuple[int, int]
+
+FP2_ONE: Fp2Element = (1, 0)
+FP2_ZERO: Fp2Element = (0, 0)
+
+
+def fp2_add(u: Fp2Element, v: Fp2Element) -> Fp2Element:
+    p = FIELD_PRIME
+    return ((u[0] + v[0]) % p, (u[1] + v[1]) % p)
+
+
+def fp2_sub(u: Fp2Element, v: Fp2Element) -> Fp2Element:
+    p = FIELD_PRIME
+    return ((u[0] - v[0]) % p, (u[1] - v[1]) % p)
+
+
+def fp2_mul(u: Fp2Element, v: Fp2Element) -> Fp2Element:
+    p = FIELD_PRIME
+    a, b = u
+    c, d = v
+    real = (a * c - b * d) % p
+    imag = (a * d + b * c) % p
+    return (real, imag)
+
+
+def fp2_square(u: Fp2Element) -> Fp2Element:
+    p = FIELD_PRIME
+    a, b = u
+    return ((a - b) * (a + b) % p, 2 * a * b % p)
+
+
+def fp2_inv(u: Fp2Element) -> Fp2Element:
+    p = FIELD_PRIME
+    a, b = u
+    norm = (a * a + b * b) % p
+    if norm == 0:
+        raise CryptoError("zero has no inverse in F_p2")
+    inv_norm = pow(norm, -1, p)
+    return (a * inv_norm % p, (-b) * inv_norm % p)
+
+
+def fp2_pow(u: Fp2Element, e: int) -> Fp2Element:
+    if e < 0:
+        return fp2_pow(fp2_inv(u), -e)
+    result = FP2_ONE
+    base = u
+    while e:
+        if e & 1:
+            result = fp2_mul(result, base)
+        base = fp2_square(base)
+        e >>= 1
+    return result
+
+
+def fp2_conjugate(u: Fp2Element) -> Fp2Element:
+    """Frobenius x ↦ x^p on F_p², i.e. conjugation a + bi ↦ a - bi."""
+    return (u[0], (-u[1]) % FIELD_PRIME)

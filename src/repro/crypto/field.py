@@ -1,0 +1,99 @@
+"""Prime-field arithmetic.
+
+The pairing curve lives over a 511-bit prime field F_p and the accumulator
+exponents live in the scalar field Z_r, where ``r`` is the order of the
+pairing-friendly subgroup.  Both are instances of :class:`PrimeField`.
+
+Elements are plain integers in ``[0, modulus)``; the field object carries
+the modulus and provides the operations.  This representation keeps hot
+loops (the Miller loop, polynomial expansion) free of per-element object
+allocation, which matters a great deal in pure Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CryptoError
+
+
+@dataclass(frozen=True)
+class PrimeField:
+    """Arithmetic in Z_p for a fixed prime ``p``."""
+
+    modulus: int
+
+    def __post_init__(self) -> None:
+        if self.modulus < 2:
+            raise CryptoError("field modulus must be >= 2")
+
+    # -- element construction -------------------------------------------
+    def element(self, value: int) -> int:
+        """Reduce ``value`` into the canonical range ``[0, p)``."""
+        return value % self.modulus
+
+    @property
+    def zero(self) -> int:
+        return 0
+
+    @property
+    def one(self) -> int:
+        return 1
+
+    # -- ring operations --------------------------------------------------
+    def add(self, a: int, b: int) -> int:
+        return (a + b) % self.modulus
+
+    def sub(self, a: int, b: int) -> int:
+        return (a - b) % self.modulus
+
+    def mul(self, a: int, b: int) -> int:
+        return (a * b) % self.modulus
+
+    def neg(self, a: int) -> int:
+        return (-a) % self.modulus
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse; raises on zero."""
+        if a % self.modulus == 0:
+            raise CryptoError("zero has no multiplicative inverse")
+        return pow(a, -1, self.modulus)
+
+    def div(self, a: int, b: int) -> int:
+        return (a * self.inv(b)) % self.modulus
+
+    def pow(self, a: int, e: int) -> int:
+        return pow(a, e, self.modulus)
+
+    # -- square roots (p ≡ 3 mod 4 fast path) ----------------------------
+    def sqrt(self, a: int) -> int | None:
+        """Return a square root of ``a`` or ``None`` if non-residue.
+
+        Only the ``p ≡ 3 (mod 4)`` case is needed by the supersingular
+        curve; :class:`PrimeField` supports exactly that case and raises
+        otherwise so a silent wrong answer is impossible.
+        """
+        a %= self.modulus
+        if a == 0:
+            return 0
+        if self.modulus % 4 != 3:
+            raise CryptoError("sqrt implemented only for p ≡ 3 (mod 4)")
+        root = pow(a, (self.modulus + 1) // 4, self.modulus)
+        if root * root % self.modulus != a:
+            return None
+        return root
+
+    def is_residue(self, a: int) -> bool:
+        """True when ``a`` is a quadratic residue (0 counts as residue)."""
+        a %= self.modulus
+        if a == 0:
+            return True
+        return pow(a, (self.modulus - 1) // 2, self.modulus) == 1
+
+    # -- misc -------------------------------------------------------------
+    def rand(self, rng) -> int:
+        """A uniform element sampled from ``rng`` (a ``random.Random``)."""
+        return rng.randrange(self.modulus)
+
+    def __contains__(self, value: int) -> bool:
+        return 0 <= value < self.modulus

@@ -1,0 +1,46 @@
+"""Hashing helpers.
+
+The paper uses 160-bit SHA-1 via Crypto++; we use SHA-256 throughout
+(truncation would buy nothing in Python) and expose a single
+:func:`digest` entry point so every header/Merkle/VO hash goes through
+one canonical, length-prefixed concatenation scheme.  Length prefixing
+matters: without it ``H(a | b)`` is ambiguous and the "hash chain"
+security argument of Section 8 would not survive adversarially chosen
+attribute strings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+#: Byte width of every digest in the system.
+DIGEST_NBYTES = 32
+
+
+def digest(*parts: bytes) -> bytes:
+    """SHA-256 over the length-prefixed concatenation of ``parts``."""
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(len(part).to_bytes(8, "big"))
+        h.update(part)
+    return h.digest()
+
+
+def digest_to_int(data: bytes, modulus: int) -> int:
+    """Map a digest into ``[0, modulus)`` with negligible bias.
+
+    Expands the digest to twice the modulus width before reducing, the
+    standard trick to keep the modular bias below ``2^-|modulus|``.
+    """
+    nbytes = (modulus.bit_length() + 7) // 8 * 2
+    stretched = b""
+    counter = 0
+    while len(stretched) < nbytes:
+        stretched += hashlib.sha256(counter.to_bytes(4, "big") + data).digest()
+        counter += 1
+    return int.from_bytes(stretched[:nbytes], "big") % modulus
+
+
+def hash_str(value: str) -> bytes:
+    """Digest of a unicode string (UTF-8)."""
+    return digest(value.encode("utf-8"))

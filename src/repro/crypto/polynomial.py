@@ -1,0 +1,224 @@
+"""Dense univariate polynomial arithmetic over Z_r.
+
+The q-SDH accumulator (Construction 1) works in the exponent with the
+characteristic polynomial ``P(X) = Π (x_i + s)`` of a multiset and needs
+
+* expansion of ``Π (X + x_i)`` into coefficients, so that ``g^{P(s)}`` can
+  be computed from the published powers ``g^{s^i}`` *without* knowing
+  ``s`` (polynomial interpolation in the exponent);
+* the extended Euclidean algorithm to find Bézout cosets ``Q1, Q2`` with
+  ``P1·Q1 + P2·Q2 = 1`` whenever the multisets are disjoint (their
+  characteristic polynomials then share no roots).
+
+Polynomials are coefficient lists, lowest degree first: ``[c0, c1, ...]``.
+The zero polynomial is ``[]``; every non-zero polynomial keeps a non-zero
+leading coefficient (normalised representation).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.crypto.field import PrimeField
+from repro.errors import CryptoError
+
+Poly = list[int]
+
+#: Above this coefficient-product size, multiplication switches to
+#: Kronecker substitution (see :meth:`PolynomialRing.mul`).
+_KRONECKER_THRESHOLD = 2048
+
+
+class PolynomialRing:
+    """The ring Z_r[X] for a prime-field coefficient domain."""
+
+    def __init__(self, field: PrimeField) -> None:
+        self.field = field
+        # Kronecker limb: wide enough that a convolution coefficient
+        # (≤ n·(p-1)²) never overflows one limb for any realistic n.
+        self._limb_nbytes = (2 * field.modulus.bit_length() + 63) // 8 + 1
+
+    # -- construction ------------------------------------------------------
+    def normalize(self, coeffs: Sequence[int]) -> Poly:
+        """Reduce coefficients mod r and strip leading zeros."""
+        out = [c % self.field.modulus for c in coeffs]
+        while out and out[-1] == 0:
+            out.pop()
+        return out
+
+    @property
+    def zero(self) -> Poly:
+        return []
+
+    @property
+    def one(self) -> Poly:
+        return [1]
+
+    def constant(self, c: int) -> Poly:
+        return self.normalize([c])
+
+    def from_roots_shifted(self, values: Iterable[int]) -> Poly:
+        """Expand ``Π (X + v_i)`` — the accumulator polynomial.
+
+        Note the *plus*: the accumulator uses ``(x_i + s)``, so the roots
+        are ``-x_i``.  Multiset semantics are natural: repeated values
+        simply contribute repeated factors.
+
+        Large products use a product tree over Kronecker multiplications,
+        which is what keeps acc1 setup over inter-block multisets (many
+        thousands of factors) tractable in pure Python.
+        """
+        p = self.field.modulus
+        factors = [[v % p, 1] for v in values]
+        if not factors:
+            return [1]
+        if len(factors) <= 64:
+            result: Poly = [1]
+            for factor in factors:
+                v = factor[0]
+                # multiply result by (X + v) in-place
+                result.append(0)
+                for i in range(len(result) - 1, 0, -1):
+                    result[i] = (result[i - 1] + result[i] * v) % p
+                result[0] = result[0] * v % p
+            return result
+        # product tree: pairwise multiply until one polynomial remains
+        while len(factors) > 1:
+            paired = [
+                self.mul(factors[i], factors[i + 1])
+                for i in range(0, len(factors) - 1, 2)
+            ]
+            if len(factors) % 2:
+                paired.append(factors[-1])
+            factors = paired
+        return factors[0]
+
+    # -- queries -------------------------------------------------------------
+    def degree(self, a: Poly) -> int:
+        """Degree; the zero polynomial has degree -1 by convention."""
+        return len(a) - 1
+
+    def is_zero(self, a: Poly) -> bool:
+        return not a
+
+    def evaluate(self, a: Poly, x: int) -> int:
+        """Horner evaluation of ``a`` at ``x``."""
+        p = self.field.modulus
+        acc = 0
+        for c in reversed(a):
+            acc = (acc * x + c) % p
+        return acc
+
+    # -- ring operations -------------------------------------------------------
+    def add(self, a: Poly, b: Poly) -> Poly:
+        p = self.field.modulus
+        if len(a) < len(b):
+            a, b = b, a
+        out = list(a)
+        for i, c in enumerate(b):
+            out[i] = (out[i] + c) % p
+        return self.normalize(out)
+
+    def sub(self, a: Poly, b: Poly) -> Poly:
+        p = self.field.modulus
+        n = max(len(a), len(b))
+        out = [0] * n
+        for i in range(n):
+            ca = a[i] if i < len(a) else 0
+            cb = b[i] if i < len(b) else 0
+            out[i] = (ca - cb) % p
+        return self.normalize(out)
+
+    def mul(self, a: Poly, b: Poly) -> Poly:
+        if not a or not b:
+            return []
+        if len(a) * len(b) > _KRONECKER_THRESHOLD:
+            return self._kronecker_mul(a, b)
+        p = self.field.modulus
+        out = [0] * (len(a) + len(b) - 1)
+        for i, ca in enumerate(a):
+            if ca == 0:
+                continue
+            for j, cb in enumerate(b):
+                out[i + j] = (out[i + j] + ca * cb) % p
+        return self.normalize(out)
+
+    def _kronecker_mul(self, a: Poly, b: Poly) -> Poly:
+        """Polynomial product via Kronecker substitution.
+
+        Coefficients are packed into fixed-width limbs of one big
+        integer; CPython's subquadratic big-int multiplication then does
+        the convolution, and limbs are unpacked and reduced mod p.  The
+        limb width guarantees convolution sums never overflow a limb
+        (coefficients are non-negative, so there are no borrows).
+        """
+        width = self._limb_nbytes
+        a_int = int.from_bytes(
+            b"".join(c.to_bytes(width, "little") for c in a), "little"
+        )
+        b_int = int.from_bytes(
+            b"".join(c.to_bytes(width, "little") for c in b), "little"
+        )
+        product = (a_int * b_int).to_bytes((len(a) + len(b)) * width, "little")
+        p = self.field.modulus
+        out = [
+            int.from_bytes(product[i * width : (i + 1) * width], "little") % p
+            for i in range(len(a) + len(b) - 1)
+        ]
+        return self.normalize(out)
+
+    def scale(self, a: Poly, k: int) -> Poly:
+        p = self.field.modulus
+        k %= p
+        return self.normalize([c * k % p for c in a])
+
+    def divmod(self, a: Poly, b: Poly) -> tuple[Poly, Poly]:
+        """Quotient and remainder of ``a / b``; ``b`` must be non-zero."""
+        if not b:
+            raise CryptoError("polynomial division by zero")
+        p = self.field.modulus
+        rem = list(a)
+        quot = [0] * max(0, len(a) - len(b) + 1)
+        inv_lead = pow(b[-1], -1, p)
+        for shift in range(len(rem) - len(b), -1, -1):
+            factor = rem[shift + len(b) - 1] * inv_lead % p
+            if factor:
+                quot[shift] = factor
+                for i, c in enumerate(b):
+                    rem[shift + i] = (rem[shift + i] - factor * c) % p
+        return self.normalize(quot), self.normalize(rem)
+
+    # -- gcd machinery ------------------------------------------------------------
+    def xgcd(self, a: Poly, b: Poly) -> tuple[Poly, Poly, Poly]:
+        """Extended Euclid: returns ``(g, u, v)`` with ``u·a + v·b = g``.
+
+        ``g`` is normalised to be monic (or zero).  Disjoint multisets
+        yield ``g = [1]``, giving exactly the Bézout pair the q-SDH
+        disjointness proof needs.
+        """
+        r0, r1 = list(a), list(b)
+        u0, u1 = self.one, self.zero
+        v0, v1 = self.zero, self.one
+        while r1:
+            q, rem = self.divmod(r0, r1)
+            r0, r1 = r1, rem
+            u0, u1 = u1, self.sub(u0, self.mul(q, u1))
+            v0, v1 = v1, self.sub(v0, self.mul(q, v1))
+        if r0:
+            # make gcd monic so callers can test g == [1] directly
+            inv_lead = pow(r0[-1], -1, self.field.modulus)
+            r0 = self.scale(r0, inv_lead)
+            u0 = self.scale(u0, inv_lead)
+            v0 = self.scale(v0, inv_lead)
+        return r0, u0, v0
+
+    def bezout_disjoint(self, a: Poly, b: Poly) -> tuple[Poly, Poly]:
+        """Return ``(Q1, Q2)`` with ``a·Q1 + b·Q2 = 1``.
+
+        Raises :class:`CryptoError` when ``gcd(a, b) != 1`` — i.e. when the
+        underlying multisets intersect and no disjointness proof exists.
+        """
+        g, u, v = self.xgcd(a, b)
+        if g != self.one:
+            raise CryptoError("polynomials are not coprime; multisets intersect")
+        return u, v

@@ -1,0 +1,114 @@
+"""Exponent-arithmetic pairing simulation for large-scale benchmarks.
+
+The paper's experiments run millions of pairing operations through the
+MCL C++ library; pure-Python curve arithmetic cannot sustain those sweep
+sizes.  This backend keeps the *algebra* of a symmetric bilinear group
+bit-for-bit identical while replacing elliptic-curve points with their
+discrete logarithms:
+
+* a G element is its exponent ``a`` (meaning ``g^a``), an int mod ``r``;
+* the group operation is exponent addition, exponentiation is
+  multiplication;
+* the pairing is ``e(g^a, g^b) = gt^(a·b)`` — literally multiply the
+  exponents mod ``r``.
+
+Every identity the accumulators rely on (bilinearity, Sum/ProofSum
+linearity, Bézout verification) holds *exactly*, so correctness results
+and relative performance shapes transfer.  What is lost is hardness:
+discrete logs are trivially readable, so this backend is **benchmark and
+test scaffolding only** and `get_backend("ss512")` must be used for any
+security-relevant run.  VO sizes are still reported at real group widths
+(inherited from :class:`PairingBackend`), so bandwidth numbers remain
+faithful.
+
+Elements carry a small tag so G and GT values cannot be confused — a
+class of bug the real backend would catch by type, and which the security
+tests exercise.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.backend import PairingBackend, _G_NBYTES, _GT_NBYTES
+from repro.crypto.curve import SUBGROUP_ORDER, Fr
+from repro.errors import CryptoError
+
+_G_TAG = 0
+_GT_TAG = 1
+
+SimElement = tuple[int, int]  # (tag, exponent mod r)
+
+
+class SimulatedBackend(PairingBackend):
+    """Discrete-log simulation of the ss512 group (fast, insecure)."""
+
+    name = "simulated"
+
+    def __init__(self) -> None:
+        self.order = SUBGROUP_ORDER
+        self.scalar_field = Fr
+
+    # -- G ---------------------------------------------------------------
+    def generator(self) -> SimElement:
+        return (_G_TAG, 1)
+
+    def identity(self) -> SimElement:
+        return (_G_TAG, 0)
+
+    def op(self, a: SimElement, b: SimElement) -> SimElement:
+        self._check(a, _G_TAG)
+        self._check(b, _G_TAG)
+        return (_G_TAG, (a[1] + b[1]) % self.order)
+
+    def exp(self, base: SimElement, scalar: int) -> SimElement:
+        self._check(base, _G_TAG)
+        return (_G_TAG, base[1] * scalar % self.order)
+
+    def eq(self, a: SimElement, b: SimElement) -> bool:
+        return a == b
+
+    def encode(self, a: SimElement) -> bytes:
+        self._check(a, _G_TAG)
+        return a[1].to_bytes(_G_NBYTES, "big")
+
+    def decode(self, data: bytes) -> SimElement:
+        if len(data) != _G_NBYTES:
+            raise CryptoError("G element encoding has wrong length")
+        value = int.from_bytes(data, "big")
+        if value >= self.order:
+            raise CryptoError("G element encoding out of range")
+        return (_G_TAG, value)
+
+    # -- GT ---------------------------------------------------------------
+    def pair(self, a: SimElement, b: SimElement) -> SimElement:
+        self._check(a, _G_TAG)
+        self._check(b, _G_TAG)
+        return (_GT_TAG, a[1] * b[1] % self.order)
+
+    def gt_identity(self) -> SimElement:
+        return (_GT_TAG, 0)
+
+    def gt_op(self, a: SimElement, b: SimElement) -> SimElement:
+        self._check(a, _GT_TAG)
+        self._check(b, _GT_TAG)
+        return (_GT_TAG, (a[1] + b[1]) % self.order)
+
+    def gt_exp(self, base: SimElement, scalar: int) -> SimElement:
+        self._check(base, _GT_TAG)
+        return (_GT_TAG, base[1] * scalar % self.order)
+
+    def gt_inv(self, a: SimElement) -> SimElement:
+        self._check(a, _GT_TAG)
+        return (_GT_TAG, (-a[1]) % self.order)
+
+    def gt_eq(self, a: SimElement, b: SimElement) -> bool:
+        return a == b
+
+    def gt_encode(self, a: SimElement) -> bytes:
+        self._check(a, _GT_TAG)
+        return a[1].to_bytes(_GT_NBYTES, "big")
+
+    # -- internals ------------------------------------------------------------
+    @staticmethod
+    def _check(element: SimElement, tag: int) -> None:
+        if not isinstance(element, tuple) or len(element) != 2 or element[0] != tag:
+            raise CryptoError("group/GT element confusion in simulated backend")

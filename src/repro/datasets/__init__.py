@@ -1,0 +1,33 @@
+"""Synthetic datasets and query workloads for the evaluation."""
+
+from repro.datasets.base import Dataset, sample_keywords, zipf_choice
+from repro.datasets.synthetic import (
+    DEFAULT_BITS,
+    GENERATORS,
+    ethereum_like,
+    foursquare_like,
+    weather_like,
+)
+from repro.datasets.workload import (
+    DATASET_DEFAULTS,
+    make_subscription_queries,
+    make_time_window_queries,
+    random_boolean,
+    random_range,
+)
+
+__all__ = [
+    "DATASET_DEFAULTS",
+    "DEFAULT_BITS",
+    "Dataset",
+    "GENERATORS",
+    "ethereum_like",
+    "foursquare_like",
+    "make_subscription_queries",
+    "make_time_window_queries",
+    "random_boolean",
+    "random_range",
+    "sample_keywords",
+    "weather_like",
+    "zipf_choice",
+]

@@ -1,0 +1,59 @@
+"""Dataset model shared by the synthetic generators.
+
+A dataset is a sequence of blocks, each a ``(timestamp, objects)`` pair,
+plus the metadata the benchmarks need (dimensionality, vocabulary,
+block interval).  The paper's three datasets are reproduced as seeded
+synthetic generators matching their published statistics (see
+DESIGN.md's substitution table); all generators are deterministic given
+a seed, so experiments are exactly repeatable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.chain.object import DataObject
+
+
+@dataclass
+class Dataset:
+    """A generated workload: blocks of objects plus metadata."""
+
+    name: str
+    blocks: list[tuple[int, list[DataObject]]]
+    dims: int
+    bits: int
+    vocabulary: list[str]
+    block_interval: int
+
+    @property
+    def n_objects(self) -> int:
+        return sum(len(objects) for _, objects in self.blocks)
+
+    def all_objects(self) -> list[DataObject]:
+        return [obj for _, objects in self.blocks for obj in objects]
+
+
+def zipf_choice(rng: random.Random, population: list[str], exponent: float = 1.1) -> str:
+    """Zipf-distributed pick (rank-frequency) — keyword popularity skew."""
+    # inverse-CDF sampling over a truncated zeta distribution
+    n = len(population)
+    weights_total = sum(1.0 / (rank ** exponent) for rank in range(1, n + 1))
+    target = rng.random() * weights_total
+    acc = 0.0
+    for rank, item in enumerate(population, start=1):
+        acc += 1.0 / (rank ** exponent)
+        if acc >= target:
+            return item
+    return population[-1]
+
+
+def sample_keywords(
+    rng: random.Random, vocabulary: list[str], count: int, exponent: float = 1.1
+) -> frozenset[str]:
+    """``count`` distinct Zipf-weighted keywords."""
+    chosen: set[str] = set()
+    while len(chosen) < count:
+        chosen.add(zipf_choice(rng, vocabulary, exponent))
+    return frozenset(chosen)

@@ -1,0 +1,118 @@
+"""Query workload generation (paper Section 9 defaults).
+
+The evaluation draws 20 random queries per experiment with a controlled
+numeric-range *selectivity* (fraction of the numeric space the range
+covers: 10% for 4SQ/WX, 50% for ETH) and a disjunctive Boolean clause
+of a fixed size (3 for 4SQ/WX, 9 for ETH).  WX range predicates involve
+two of the seven attributes.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.query import (
+    CNFCondition,
+    RangeCondition,
+    SubscriptionQuery,
+    TimeWindowQuery,
+)
+from repro.datasets.base import Dataset
+from repro.errors import QueryError
+
+#: Per-dataset evaluation defaults from Section 9.
+DATASET_DEFAULTS = {
+    "4SQ": {"selectivity": 0.10, "clause_size": 3, "range_dims": 2},
+    "WX": {"selectivity": 0.10, "clause_size": 3, "range_dims": 2},
+    "ETH": {"selectivity": 0.50, "clause_size": 9, "range_dims": 1},
+}
+
+
+def random_range(
+    rng: random.Random, dims: int, bits: int, selectivity: float, range_dims: int
+) -> RangeCondition:
+    """A random axis-aligned range covering ``selectivity`` of the space.
+
+    Only the first ``range_dims`` dimensions are constrained (the rest
+    span fully), mirroring WX's two-attribute predicates.
+    """
+    if not 0.0 < selectivity <= 1.0:
+        raise QueryError("selectivity must be in (0, 1]")
+    space = 1 << bits
+    constrained = min(range_dims, dims)
+    per_dim = selectivity ** (1.0 / constrained)
+    width = max(1, round(per_dim * space))
+    low: list[int] = []
+    high: list[int] = []
+    for dim in range(dims):
+        if dim < constrained:
+            start = rng.randrange(max(1, space - width + 1))
+            low.append(start)
+            high.append(min(space - 1, start + width - 1))
+        else:
+            low.append(0)
+            high.append(space - 1)
+    return RangeCondition(low=tuple(low), high=tuple(high))
+
+
+def random_boolean(
+    rng: random.Random, vocabulary: list[str], clause_size: int
+) -> CNFCondition:
+    """One disjunctive clause of ``clause_size`` vocabulary terms."""
+    terms = rng.sample(vocabulary, min(clause_size, len(vocabulary)))
+    return CNFCondition.of([terms])
+
+
+def make_time_window_queries(
+    dataset: Dataset,
+    n_queries: int,
+    window_blocks: int,
+    seed: int = 20,
+    selectivity: float | None = None,
+    clause_size: int | None = None,
+) -> list[TimeWindowQuery]:
+    """The paper's workload: random queries over a trailing window."""
+    defaults = DATASET_DEFAULTS.get(dataset.name, DATASET_DEFAULTS["4SQ"])
+    selectivity = selectivity if selectivity is not None else defaults["selectivity"]
+    clause_size = clause_size if clause_size is not None else defaults["clause_size"]
+    rng = random.Random(seed)
+    last_ts = dataset.blocks[-1][0]
+    window = window_blocks * dataset.block_interval
+    queries = []
+    for _ in range(n_queries):
+        queries.append(
+            TimeWindowQuery(
+                start=max(0, last_ts - window + dataset.block_interval),
+                end=last_ts,
+                numeric=random_range(
+                    rng, dataset.dims, dataset.bits, selectivity, defaults["range_dims"]
+                ),
+                boolean=random_boolean(rng, dataset.vocabulary, clause_size),
+            )
+        )
+    return queries
+
+
+def make_subscription_queries(
+    dataset: Dataset,
+    n_queries: int,
+    seed: int = 21,
+    selectivity: float | None = None,
+    clause_size: int | None = None,
+) -> list[SubscriptionQuery]:
+    """Random subscriptions with the same predicate distribution."""
+    defaults = DATASET_DEFAULTS.get(dataset.name, DATASET_DEFAULTS["4SQ"])
+    selectivity = selectivity if selectivity is not None else defaults["selectivity"]
+    clause_size = clause_size if clause_size is not None else defaults["clause_size"]
+    rng = random.Random(seed)
+    queries = []
+    for _ in range(n_queries):
+        queries.append(
+            SubscriptionQuery(
+                numeric=random_range(
+                    rng, dataset.dims, dataset.bits, selectivity, defaults["range_dims"]
+                ),
+                boolean=random_boolean(rng, dataset.vocabulary, clause_size),
+            )
+        )
+    return queries

@@ -1,0 +1,30 @@
+"""Authenticated indexes: intra-block tree and inter-block skip list.
+
+Lazy exports (PEP 562) — :mod:`repro.chain.block` imports
+:mod:`repro.index.intra` while :mod:`repro.index.inter` imports
+:mod:`repro.chain.block`, so the package ``__init__`` must not import
+both eagerly.
+"""
+
+from importlib import import_module
+
+_EXPORTS = {
+    "build_skip_entries": "repro.index.inter",
+    "pre_skipped_hash": "repro.index.inter",
+    "skip_distances": "repro.index.inter",
+    "IndexNode": "repro.index.intra",
+    "build_flat_tree": "repro.index.intra",
+    "build_intra_tree": "repro.index.intra",
+    "children_hash": "repro.index.intra",
+    "encode_digest": "repro.index.intra",
+    "internal_hash": "repro.index.intra",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.index' has no attribute {name!r}")
+    return getattr(import_module(module_name), name)

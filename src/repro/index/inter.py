@@ -1,0 +1,90 @@
+"""Inter-block index construction (paper Section 6.2, Fig 7).
+
+Each block carries a skip list whose entry at distance ``k`` summarises
+the attribute multisets of the ``k`` most recent blocks (the current
+one included — Algorithm 4 skips the current block too when a skip
+matches).  The multiset *sum* is used so that under acc2 the entry's
+digest is the plain group product of the covered blocks' digests; that
+linearity is what makes Table 1's acc2 construction times for ``both``
+so much lower than acc1's.
+
+Entry binding: ``hash_Lk = H(PreSkippedHash_Lk | enc(AttDigest_Lk))``,
+``SkipListRoot = H(hash_L1 | hash_L2 | ...)``.  ``PreSkippedHash_Lk``
+commits to the *identity* of the covered blocks: the current block's
+Merkle root plus the header hashes of the ``k-1`` preceding blocks (the
+current header hash cannot be used — it would be circular).  A light
+node can recompute it from its own header store, so a lying SP cannot
+re-target a skip proof at different blocks.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.accumulators.base import MultisetAccumulator
+from repro.accumulators.encoding import ElementEncoder
+from repro.chain.block import Block, SkipEntry
+from repro.crypto.hashing import digest
+
+
+def skip_distances(size: int, base: int = 4) -> list[int]:
+    """The geometric distance schedule: ``base · 2^i`` for ``i < size``.
+
+    ``size=5, base=4`` gives 4, 8, 16, 32, 64 — matching the paper's
+    "size of SkipList 5 / maximum jump 64" axis in Figs 20–22.
+    """
+    return [base * (1 << i) for i in range(size)]
+
+
+def pre_skipped_hash(merkle_root: bytes, prev_header_hashes: list[bytes]) -> bytes:
+    """Bind the covered block identities (newest first)."""
+    return digest(merkle_root, *prev_header_hashes)
+
+
+def build_skip_entries(
+    previous_blocks: list[Block],
+    merkle_root: bytes,
+    attrs_sum: Counter,
+    sum_digest,
+    accumulator: MultisetAccumulator,
+    encoder: ElementEncoder,
+    size: int,
+    base: int = 4,
+) -> list[SkipEntry]:
+    """Skip entries for the block being mined.
+
+    ``previous_blocks`` is the current chain (oldest→newest);
+    ``merkle_root`` / ``attrs_sum`` / ``sum_digest`` describe the new
+    block.  Entries are built only for distances fully covered by
+    existing history; shorter chains simply have fewer entries, which
+    the SkipListRoot hash reflects.
+    """
+    entries: list[SkipEntry] = []
+    height = len(previous_blocks)  # height of the block being mined
+    for distance in skip_distances(size, base):
+        if distance - 1 > height:
+            break  # not enough history for this (and any larger) distance
+        covered = tuple(range(height - distance + 1, height + 1))
+        attrs = Counter(attrs_sum)
+        for h in covered[:-1]:
+            attrs.update(previous_blocks[h].attrs_sum)
+        if accumulator.supports_aggregation:
+            # acc2: digest of a multiset sum is the product of digests —
+            # reuse the per-block digests instead of re-accumulating.
+            parts = [sum_digest] + [previous_blocks[h].sum_digest for h in covered[:-1]]
+            att_digest = accumulator.sum_values(parts)
+        else:
+            att_digest = accumulator.accumulate(encoder.encode_multiset(attrs))
+        prev_hashes = [
+            previous_blocks[h].header.block_hash() for h in reversed(covered[:-1])
+        ]
+        entries.append(
+            SkipEntry(
+                distance=distance,
+                covered_heights=covered,
+                attrs=attrs,
+                att_digest=att_digest,
+                pre_skipped_hash=pre_skipped_hash(merkle_root, prev_hashes),
+            )
+        )
+    return entries

@@ -1,0 +1,173 @@
+"""Intra-block index (paper Section 6.1, Algorithm 2).
+
+A binary Merkle tree over the block's objects where every node carries
+three fields: the child hash, the attribute multiset ``W_n`` (union of
+its children's), and ``AttDigest_n = acc(W_n)``.  The miner clusters
+leaves greedily by Jaccard similarity so that objects likely to
+mismatch a query *together* end up under one subtree — one disjointness
+proof then prunes the whole subtree.
+
+Hash rules (Definitions 6.1/6.2, with explicit length prefixing):
+
+* leaf:      ``hash = H( H(object) | enc(AttDigest) )``
+* internal:  ``hash = H( H(h_left | h_right) | enc(AttDigest) )``
+
+The same module also builds the *flat* (``nil``) tree used as the
+no-index baseline: arrival-order leaves, internal nodes carry hashes
+only, so every mismatching object needs its own proof.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.accumulators.base import AccumulatorValue, MultisetAccumulator
+from repro.accumulators.encoding import ElementEncoder
+from repro.chain.object import DataObject
+from repro.crypto.hashing import digest
+from repro.errors import ChainError
+
+
+def encode_digest(backend, value: AccumulatorValue | None) -> bytes:
+    """Canonical bytes of an accumulator value (empty for nil nodes)."""
+    if value is None:
+        return b""
+    return b"".join(backend.encode(part) for part in value.parts)
+
+
+@dataclass
+class IndexNode:
+    """One node of the intra-block tree (leaf or internal)."""
+
+    node_hash: bytes
+    attrs: Counter | None
+    att_digest: AccumulatorValue | None
+    children: tuple["IndexNode", ...] = ()
+    obj: DataObject | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.obj is not None
+
+    def leaf_count(self) -> int:
+        if self.is_leaf:
+            return 1
+        return sum(child.leaf_count() for child in self.children)
+
+    def iter_leaves(self):
+        if self.is_leaf:
+            yield self
+        else:
+            for child in self.children:
+                yield from child.iter_leaves()
+
+
+def children_hash(children: tuple[IndexNode, ...]) -> bytes:
+    """``H(h_left | h_right)`` — the child-hash component of a node."""
+    return digest(*(child.node_hash for child in children))
+
+
+def internal_hash(child_component: bytes, digest_bytes: bytes) -> bytes:
+    """``H( child_component | enc(AttDigest) )`` for digest-bearing nodes."""
+    return digest(child_component, digest_bytes)
+
+
+def _make_leaf(
+    obj: DataObject,
+    accumulator: MultisetAccumulator,
+    encoder: ElementEncoder,
+    bits: int,
+) -> IndexNode:
+    attrs = obj.attribute_multiset(bits)
+    att_digest = accumulator.accumulate(encoder.encode_multiset(attrs))
+    digest_bytes = encode_digest(accumulator.backend, att_digest)
+    return IndexNode(
+        node_hash=internal_hash(obj.serialize(), digest_bytes),
+        attrs=attrs,
+        att_digest=att_digest,
+        obj=obj,
+    )
+
+
+def _merge(
+    left: IndexNode,
+    right: IndexNode,
+    accumulator: MultisetAccumulator,
+    encoder: ElementEncoder,
+    with_digest: bool,
+) -> IndexNode:
+    children = (left, right)
+    component = children_hash(children)
+    if not with_digest:
+        return IndexNode(node_hash=component, attrs=None, att_digest=None, children=children)
+    attrs = left.attrs | right.attrs  # multiset union (Definition 6.1)
+    att_digest = accumulator.accumulate(encoder.encode_multiset(attrs))
+    digest_bytes = encode_digest(accumulator.backend, att_digest)
+    return IndexNode(
+        node_hash=internal_hash(component, digest_bytes),
+        attrs=attrs,
+        att_digest=att_digest,
+        children=children,
+    )
+
+
+def _jaccard(a: Counter, b: Counter) -> float:
+    union_size = (a | b).total()
+    if union_size == 0:
+        return 0.0
+    return (a & b).total() / union_size
+
+
+def build_intra_tree(
+    objects: list[DataObject],
+    accumulator: MultisetAccumulator,
+    encoder: ElementEncoder,
+    bits: int,
+    clustered: bool = True,
+) -> IndexNode:
+    """Algorithm 2: bottom-up greedy Jaccard clustering.
+
+    With ``clustered=False`` leaves are paired in arrival order — the
+    ablation baseline for the clustering design choice.
+    """
+    if not objects:
+        raise ChainError("cannot build an index over an empty block")
+    nodes = [_make_leaf(obj, accumulator, encoder, bits) for obj in objects]
+    while len(nodes) > 1:
+        merged: list[IndexNode] = []
+        while len(nodes) > 1:
+            if clustered:
+                left_pos = max(range(len(nodes)), key=lambda i: nodes[i].attrs.total())
+                left = nodes.pop(left_pos)
+                right_pos = max(
+                    range(len(nodes)), key=lambda i: _jaccard(left.attrs, nodes[i].attrs)
+                )
+                right = nodes.pop(right_pos)
+            else:
+                left = nodes.pop(0)
+                right = nodes.pop(0)
+            merged.append(_merge(left, right, accumulator, encoder, with_digest=True))
+        # an odd node is carried up to the next level unchanged
+        nodes = merged + nodes
+    return nodes[0]
+
+
+def build_flat_tree(
+    objects: list[DataObject],
+    accumulator: MultisetAccumulator,
+    encoder: ElementEncoder,
+    bits: int,
+) -> IndexNode:
+    """The ``nil`` baseline: digests only at leaves, no clustering."""
+    if not objects:
+        raise ChainError("cannot build an index over an empty block")
+    nodes = [_make_leaf(obj, accumulator, encoder, bits) for obj in objects]
+    while len(nodes) > 1:
+        merged = []
+        while len(nodes) > 1:
+            left = nodes.pop(0)
+            right = nodes.pop(0)
+            merged.append(_merge(left, right, accumulator, encoder, with_digest=False))
+        nodes = merged + nodes
+    return nodes[0]

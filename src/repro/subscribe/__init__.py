@@ -1,0 +1,16 @@
+"""Verifiable subscription queries (paper Section 7)."""
+
+from repro.subscribe.client import SubscriptionClient
+from repro.subscribe.engine import Delivery, EngineStats, SubscriptionEngine
+from repro.subscribe.iptree import IPNode, IPTree, RegisteredQuery, register_query
+
+__all__ = [
+    "Delivery",
+    "EngineStats",
+    "IPNode",
+    "IPTree",
+    "RegisteredQuery",
+    "SubscriptionClient",
+    "SubscriptionEngine",
+    "register_query",
+]

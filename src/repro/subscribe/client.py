@@ -1,0 +1,71 @@
+"""User-side subscription verification.
+
+A light-node subscriber tracks, per registered query, the next block
+height it expects evidence for.  Every delivery must cover a contiguous
+run starting exactly there — a gap means the SP withheld a block, an
+overlap means it is replaying old evidence — and the run's VO is
+replayed with the standard :class:`QueryVerifier` machinery.
+"""
+
+from __future__ import annotations
+
+from repro.accumulators.base import MultisetAccumulator
+from repro.accumulators.encoding import ElementEncoder
+from repro.chain.light import LightNode
+from repro.chain.miner import ProtocolParams
+from repro.chain.object import DataObject
+from repro.core.query import SubscriptionQuery
+from repro.core.verifier import QueryVerifier, VerifyStats
+from repro.errors import SubscriptionError, VerificationError
+from repro.subscribe.engine import Delivery
+
+
+class SubscriptionClient:
+    """Verifies the SP's subscription deliveries for one light node."""
+
+    def __init__(
+        self,
+        light: LightNode,
+        accumulator: MultisetAccumulator,
+        encoder: ElementEncoder,
+        params: ProtocolParams,
+    ) -> None:
+        self.light = light
+        self.verifier = QueryVerifier(light, accumulator, encoder, params)
+        self.params = params
+        self._queries: dict[int, SubscriptionQuery] = {}
+        self._next_height: dict[int, int] = {}
+
+    def track(self, query_id: int, query: SubscriptionQuery, since_height: int = 0) -> None:
+        """Mirror a registration made with the SP's engine."""
+        if query_id in self._queries:
+            raise SubscriptionError(f"query {query_id} is already tracked")
+        self._queries[query_id] = query
+        self._next_height[query_id] = since_height
+
+    def untrack(self, query_id: int) -> None:
+        self._queries.pop(query_id, None)
+        self._next_height.pop(query_id, None)
+
+    def on_delivery(self, delivery: Delivery) -> tuple[list[DataObject], VerifyStats]:
+        """Verify one delivery; raises VerificationError when forged."""
+        query = self._queries.get(delivery.query_id)
+        if query is None:
+            raise SubscriptionError(f"delivery for untracked query {delivery.query_id}")
+        expected = self._next_height[delivery.query_id]
+        if delivery.from_height != expected:
+            raise VerificationError(
+                f"delivery starts at height {delivery.from_height}, expected {expected}"
+            )
+        if delivery.up_to_height < delivery.from_height:
+            raise VerificationError("delivery covers an empty height range")
+        if delivery.up_to_height >= len(self.light):
+            raise VerificationError("delivery claims blocks beyond the light chain")
+        verified, stats = self.verifier.verify_over_heights(
+            query, delivery.heights(), delivery.results, delivery.vo
+        )
+        self._next_height[delivery.query_id] = delivery.up_to_height + 1
+        return verified, stats
+
+    def next_height(self, query_id: int) -> int:
+        return self._next_height[query_id]

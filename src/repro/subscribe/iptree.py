@@ -1,0 +1,269 @@
+"""Inverted prefix tree over subscription queries (Section 7.1, Alg 6).
+
+The IP-Tree indexes *queries* (not data): a grid tree over the numeric
+space where each node carries two inverted files —
+
+* **RCIF** (range-condition inverted file): every query whose numeric
+  range intersects the node's cell, tagged ``full`` or ``partial``;
+* **BCIF** (Boolean-condition inverted file): for full-cover queries,
+  a map from each CNF clause (equivalence set) to the queries sharing
+  it, so one clause test — and one disjointness proof — serves all of
+  them.
+
+``classify`` evaluates a super-object (an intra-index node's attribute
+multiset) against every registered query in one traversal, following
+the object's grid path.  Full-cover queries met on the path are
+numeric-matches and only need their BCIF clauses tested; queries never
+met on any intersecting cell mismatch numerically.  Partial-cover
+queries at the leaves fall back to direct per-dimension clause tests
+(also the behaviour past the depth threshold, matching the paper's
+"switch back" rule).  Whatever the path taken, a reported mismatch
+clause is always one of the *query's own* transformed CNF clauses, so
+downstream proofs verify under the standard contract.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from itertools import product
+
+from repro.core.query import CNFCondition, SubscriptionQuery
+from repro.errors import SubscriptionError
+
+Cell = tuple[tuple[int, int], ...]  # per-dimension inclusive (lo, hi)
+
+
+@dataclass
+class RegisteredQuery:
+    """A subscription with its transformation pre-computed."""
+
+    query_id: int
+    query: SubscriptionQuery
+    numeric_clauses: tuple[frozenset[str], ...]
+    boolean_clauses: tuple[frozenset[str], ...]
+
+    @property
+    def all_clauses(self) -> tuple[frozenset[str], ...]:
+        return self.numeric_clauses + self.boolean_clauses
+
+    def mismatch_clause(self, attrs: Counter) -> frozenset[str] | None:
+        """First clause (numeric then Boolean) disjoint from ``attrs``."""
+        for clause in self.all_clauses:
+            if not any(element in attrs for element in clause):
+                return clause
+        return None
+
+
+def register_query(
+    query_id: int, query: SubscriptionQuery, bits: int
+) -> RegisteredQuery:
+    """Pre-transform a subscription for engine/IP-tree consumption."""
+    numeric = (
+        query.numeric.to_cnf(bits).clauses if query.numeric is not None else ()
+    )
+    return RegisteredQuery(
+        query_id=query_id,
+        query=query,
+        numeric_clauses=tuple(numeric),
+        boolean_clauses=tuple(query.boolean.clauses),
+    )
+
+
+@dataclass
+class IPNode:
+    """One grid cell with its inverted files."""
+
+    cell: Cell
+    depth: int
+    rcif: dict[int, bool] = field(default_factory=dict)  # qid -> is_full_cover
+    bcif: dict[frozenset[str], set[int]] = field(default_factory=dict)
+    children: list["IPNode"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def partial_queries(self) -> list[int]:
+        return [qid for qid, full in self.rcif.items() if not full]
+
+
+class IPTree:
+    """The inverted prefix tree (quad/2^d-ary grid over queries)."""
+
+    def __init__(self, dims: int, bits: int, max_depth: int = 6) -> None:
+        if dims < 1:
+            raise SubscriptionError("IP-tree needs at least one dimension")
+        self.dims = dims
+        self.bits = bits
+        self.max_depth = min(max_depth, bits)
+        span = (0, (1 << bits) - 1)
+        self.root = IPNode(cell=tuple(span for _ in range(dims)), depth=0)
+        self._queries: dict[int, RegisteredQuery] = {}
+
+    # -- registration (Algorithm 6, incremental form) --------------------
+    def insert(self, registered: RegisteredQuery) -> None:
+        if registered.query_id in self._queries:
+            raise SubscriptionError(f"query {registered.query_id} already registered")
+        self._queries[registered.query_id] = registered
+        self._insert_at(self.root, registered)
+
+    def remove(self, query_id: int) -> RegisteredQuery:
+        registered = self._queries.pop(query_id, None)
+        if registered is None:
+            raise SubscriptionError(f"query {query_id} is not registered")
+        self._remove_at(self.root, registered)
+        return registered
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    @property
+    def queries(self) -> dict[int, RegisteredQuery]:
+        return self._queries
+
+    def _query_range(self, registered: RegisteredQuery) -> Cell:
+        numeric = registered.query.numeric
+        if numeric is None:
+            return self.root.cell
+        span = (0, (1 << self.bits) - 1)
+        bounds = list(zip(numeric.low, numeric.high))
+        # ranges narrower than the grid dimensionality cover the rest fully
+        bounds += [span] * (self.dims - len(bounds))
+        return tuple(bounds[: self.dims])
+
+    @staticmethod
+    def _cover(query_range: Cell, cell: Cell) -> str:
+        """'full' / 'partial' / 'none' relation of a range over a cell."""
+        full = True
+        for (qlo, qhi), (clo, chi) in zip(query_range, cell):
+            if qhi < clo or qlo > chi:
+                return "none"
+            if qlo > clo or qhi < chi:
+                full = False
+        return "full" if full else "partial"
+
+    def _split(self, node: IPNode) -> None:
+        halves = []
+        for lo, hi in node.cell:
+            mid = (lo + hi) // 2
+            halves.append(((lo, mid), (mid + 1, hi)))
+        for combo in product(*halves):
+            node.children.append(IPNode(cell=tuple(combo), depth=node.depth + 1))
+        # push existing partial queries down (full ones stay at this node)
+        for qid in node.partial_queries():
+            registered = self._queries[qid]
+            for child in node.children:
+                self._insert_at(child, registered)
+
+    def _insert_at(self, node: IPNode, registered: RegisteredQuery) -> None:
+        cover = self._cover(self._query_range(registered), node.cell)
+        if cover == "none":
+            return
+        if cover == "full":
+            node.rcif[registered.query_id] = True
+            for clause in registered.boolean_clauses:
+                node.bcif.setdefault(clause, set()).add(registered.query_id)
+            return
+        node.rcif[registered.query_id] = False
+        if node.is_leaf and node.depth < self.max_depth:
+            self._split(node)
+        for child in node.children:
+            self._insert_at(child, registered)
+
+    def _remove_at(self, node: IPNode, registered: RegisteredQuery) -> None:
+        if node.rcif.pop(registered.query_id, None) is None:
+            return
+        for clause in registered.boolean_clauses:
+            members = node.bcif.get(clause)
+            if members is not None:
+                members.discard(registered.query_id)
+                if not members:
+                    del node.bcif[clause]
+        for child in node.children:
+            self._remove_at(child, registered)
+
+    # -- classification (Algorithm 7) ---------------------------------------
+    def _cell_token(self, node: IPNode) -> list[str] | None:
+        """Per-dimension prefix tokens identifying the cell, or None at root."""
+        if node.depth == 0:
+            return None
+        tokens = []
+        for dim, (lo, _hi) in enumerate(node.cell):
+            prefix = format(lo, f"0{self.bits}b")[: node.depth]
+            star = "*" if node.depth < self.bits else ""
+            tokens.append(f"{dim}:{prefix}{star}")
+        return tokens
+
+    def _intersects(self, node: IPNode, attrs: Counter) -> bool:
+        """Could the super-object contain a value inside this cell?"""
+        tokens = self._cell_token(node)
+        if tokens is None:
+            return True
+        return all(token in attrs for token in tokens)
+
+    def classify(
+        self, attrs: Counter
+    ) -> tuple[dict[int, frozenset[str]], set[int]]:
+        """Classify every registered query against a super-object.
+
+        Returns ``(mismatches, candidates)``: ``mismatches`` maps query
+        id → the CNF clause proven disjoint; ``candidates`` are queries
+        that may match and need deeper intra-index descent (or are
+        matches, at a leaf).
+        """
+        mismatches: dict[int, frozenset[str]] = {}
+        candidates: set[int] = set()
+        seen: set[int] = set()
+        # cache clause→disjoint verdicts so BCIF sharing pays off
+        clause_disjoint: dict[frozenset[str], bool] = {}
+
+        def disjoint(clause: frozenset[str]) -> bool:
+            verdict = clause_disjoint.get(clause)
+            if verdict is None:
+                verdict = not any(element in attrs for element in clause)
+                clause_disjoint[clause] = verdict
+            return verdict
+
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if not self._intersects(node, attrs):
+                continue
+            for qid, full in node.rcif.items():
+                if qid in seen:
+                    continue
+                if full:
+                    seen.add(qid)
+                    registered = self._queries[qid]
+                    clause = next(
+                        (c for c in registered.boolean_clauses if disjoint(c)), None
+                    )
+                    if clause is not None:
+                        mismatches[qid] = clause
+                    else:
+                        candidates.add(qid)
+                elif node.is_leaf:
+                    seen.add(qid)
+                    registered = self._queries[qid]
+                    clause = next(
+                        (c for c in registered.all_clauses if disjoint(c)), None
+                    )
+                    if clause is not None:
+                        mismatches[qid] = clause
+                    else:
+                        candidates.add(qid)
+            stack.extend(node.children)
+
+        # queries on no intersecting cell mismatch numerically
+        for qid, registered in self._queries.items():
+            if qid in seen:
+                continue
+            clause = registered.mismatch_clause(attrs)
+            if clause is None:
+                # conservative: prefix-token intersection said "no cell",
+                # but clause-level tests cannot prove it — keep candidate.
+                candidates.add(qid)
+            else:
+                mismatches[qid] = clause
+        return mismatches, candidates

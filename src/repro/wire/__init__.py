@@ -1,0 +1,39 @@
+"""Canonical wire format for SP↔user messages."""
+
+from repro.wire.codec import Reader, WireError, Writer
+from repro.wire.vo_codec import (
+    decode_response,
+    decode_time_window_vo,
+    encode_response,
+    encode_time_window_vo,
+    read_header,
+    read_node,
+    read_object,
+    read_proof,
+    read_value,
+    write_header,
+    write_node,
+    write_object,
+    write_proof,
+    write_value,
+)
+
+__all__ = [
+    "Reader",
+    "WireError",
+    "Writer",
+    "decode_response",
+    "decode_time_window_vo",
+    "encode_response",
+    "encode_time_window_vo",
+    "read_header",
+    "read_node",
+    "read_object",
+    "read_proof",
+    "read_value",
+    "write_header",
+    "write_node",
+    "write_object",
+    "write_proof",
+    "write_value",
+]

@@ -1,0 +1,124 @@
+"""Low-level binary codec primitives.
+
+VOs, deliveries and headers cross the network between SP and user, so
+they need a canonical wire format.  The codec is deliberately simple
+and deterministic: big-endian varints for integers, length-prefixed
+byte strings, and tagged unions for VO node kinds.  Every ``Reader``
+method validates lengths and raises :class:`WireError` rather than
+over-reading — a malicious SP controls these bytes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+class WireError(ReproError):
+    """Malformed wire data (truncated, bad tag, out-of-range length)."""
+
+
+#: Upper bound for any single length prefix — a decoded VO should never
+#: need a gigabyte-scale field; this stops memory-bomb payloads early.
+MAX_FIELD_LENGTH = 1 << 30
+
+
+class Writer:
+    """Appends canonical primitives to a byte buffer."""
+
+    def __init__(self) -> None:
+        self._parts: list[bytes] = []
+
+    def uvarint(self, value: int) -> "Writer":
+        if value < 0:
+            raise WireError("uvarint cannot encode negatives")
+        out = bytearray()
+        while True:
+            byte = value & 0x7F
+            value >>= 7
+            if value:
+                out.append(byte | 0x80)
+            else:
+                out.append(byte)
+                break
+        self._parts.append(bytes(out))
+        return self
+
+    def byte(self, value: int) -> "Writer":
+        if not 0 <= value <= 0xFF:
+            raise WireError("byte out of range")
+        self._parts.append(bytes([value]))
+        return self
+
+    def raw(self, data: bytes) -> "Writer":
+        """Fixed-width bytes (caller knows the length from context)."""
+        self._parts.append(data)
+        return self
+
+    def blob(self, data: bytes) -> "Writer":
+        """Length-prefixed bytes."""
+        self.uvarint(len(data))
+        self._parts.append(data)
+        return self
+
+    def text(self, value: str) -> "Writer":
+        return self.blob(value.encode("utf-8"))
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._parts)
+
+
+class Reader:
+    """Consumes primitives from a byte buffer with bounds checking."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def uvarint(self) -> int:
+        shift = 0
+        value = 0
+        while True:
+            if self._pos >= len(self._data):
+                raise WireError("truncated uvarint")
+            byte = self._data[self._pos]
+            self._pos += 1
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return value
+            shift += 7
+            if shift > 63:
+                raise WireError("uvarint too long")
+
+    def byte(self) -> int:
+        if self._pos >= len(self._data):
+            raise WireError("truncated byte")
+        value = self._data[self._pos]
+        self._pos += 1
+        return value
+
+    def raw(self, length: int) -> bytes:
+        if length < 0 or self._pos + length > len(self._data):
+            raise WireError("truncated fixed-width field")
+        out = self._data[self._pos : self._pos + length]
+        self._pos += length
+        return out
+
+    def blob(self) -> bytes:
+        length = self.uvarint()
+        if length > MAX_FIELD_LENGTH:
+            raise WireError("field length exceeds sanity bound")
+        return self.raw(length)
+
+    def text(self) -> str:
+        try:
+            return self.blob().decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireError("invalid UTF-8 in text field") from exc
+
+    def expect_end(self) -> None:
+        if self._pos != len(self._data):
+            raise WireError(f"{len(self._data) - self._pos} trailing byte(s)")
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos

@@ -1,0 +1,305 @@
+"""Wire encoding of the protocol's transmitted objects.
+
+Encodes/decodes everything that crosses the SP↔user link: data
+objects, block headers, accumulator values, disjointness proofs, VO
+trees, full time-window VOs and subscription deliveries.  Decoding is
+backend-aware: group elements go through ``backend.decode``, which on
+the real backend validates curve and subgroup membership — a forged
+point is rejected at the parsing boundary, before any verification
+logic runs.
+
+Round-trip property: ``decode(encode(x)) == x`` for every supported
+type (exercised heavily in ``tests/test_wire.py``), and encoded sizes
+track the ``nbytes`` accounting used by the benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.accumulators.base import AccumulatorValue, DisjointProof
+from repro.chain.block import BlockHeader
+from repro.chain.object import DataObject
+from repro.core.vo import (
+    BatchGroup,
+    TimeWindowVO,
+    VOBlock,
+    VOExpandNode,
+    VOMatchLeaf,
+    VOMismatchNode,
+    VONode,
+    VOSkip,
+)
+from repro.crypto.backend import PairingBackend
+from repro.crypto.hashing import DIGEST_NBYTES
+from repro.wire.codec import Reader, Writer, WireError
+
+_NODE_MATCH = 1
+_NODE_MISMATCH = 2
+_NODE_EXPAND = 3
+
+_ENTRY_BLOCK = 1
+_ENTRY_SKIP = 2
+
+#: group/absent markers for optional proof / group fields
+_ABSENT = 0
+_PRESENT = 1
+
+
+# -- data objects --------------------------------------------------------------
+def write_object(writer: Writer, obj: DataObject) -> None:
+    writer.uvarint(obj.object_id)
+    writer.uvarint(obj.timestamp)
+    writer.uvarint(len(obj.vector))
+    for value in obj.vector:
+        writer.uvarint(value)
+    writer.uvarint(len(obj.keywords))
+    for keyword in sorted(obj.keywords):
+        writer.text(keyword)
+
+
+def read_object(reader: Reader) -> DataObject:
+    object_id = reader.uvarint()
+    timestamp = reader.uvarint()
+    vector = tuple(reader.uvarint() for _ in range(reader.uvarint()))
+    keywords = frozenset(reader.text() for _ in range(reader.uvarint()))
+    return DataObject(
+        object_id=object_id, timestamp=timestamp, vector=vector, keywords=keywords
+    )
+
+
+# -- headers ---------------------------------------------------------------------
+def write_header(writer: Writer, header: BlockHeader) -> None:
+    writer.uvarint(header.height)
+    writer.raw(header.prev_hash)
+    writer.uvarint(header.timestamp)
+    writer.raw(header.merkle_root)
+    writer.raw(header.skiplist_root)
+    writer.uvarint(header.nonce)
+
+
+def read_header(reader: Reader) -> BlockHeader:
+    return BlockHeader(
+        height=reader.uvarint(),
+        prev_hash=reader.raw(DIGEST_NBYTES),
+        timestamp=reader.uvarint(),
+        merkle_root=reader.raw(DIGEST_NBYTES),
+        skiplist_root=reader.raw(DIGEST_NBYTES),
+        nonce=reader.uvarint(),
+    )
+
+
+# -- accumulator material -----------------------------------------------------------
+def write_value(writer: Writer, backend: PairingBackend, value: AccumulatorValue) -> None:
+    writer.uvarint(len(value.parts))
+    for part in value.parts:
+        writer.raw(backend.encode(part))
+
+
+def read_value(reader: Reader, backend: PairingBackend) -> AccumulatorValue:
+    count = reader.uvarint()
+    if count > 4:
+        raise WireError("accumulator value has implausibly many parts")
+    return AccumulatorValue(
+        parts=tuple(
+            backend.decode(reader.raw(backend.element_nbytes)) for _ in range(count)
+        )
+    )
+
+
+def write_proof(writer: Writer, backend: PairingBackend, proof: DisjointProof) -> None:
+    writer.uvarint(len(proof.parts))
+    for part in proof.parts:
+        writer.raw(backend.encode(part))
+
+
+def read_proof(reader: Reader, backend: PairingBackend) -> DisjointProof:
+    count = reader.uvarint()
+    if count > 4:
+        raise WireError("disjointness proof has implausibly many parts")
+    return DisjointProof(
+        parts=tuple(
+            backend.decode(reader.raw(backend.element_nbytes)) for _ in range(count)
+        )
+    )
+
+
+def _write_clause(writer: Writer, clause: frozenset[str]) -> None:
+    writer.uvarint(len(clause))
+    for element in sorted(clause):
+        writer.text(element)
+
+
+def _read_clause(reader: Reader) -> frozenset[str]:
+    return frozenset(reader.text() for _ in range(reader.uvarint()))
+
+
+def _write_optional_evidence(writer, backend, proof, group) -> None:
+    if proof is not None:
+        writer.byte(_PRESENT)
+        write_proof(writer, backend, proof)
+    else:
+        writer.byte(_ABSENT)
+    if group is not None:
+        writer.byte(_PRESENT)
+        writer.uvarint(group)
+    else:
+        writer.byte(_ABSENT)
+
+
+def _read_optional_evidence(reader, backend):
+    proof = read_proof(reader, backend) if reader.byte() == _PRESENT else None
+    group = reader.uvarint() if reader.byte() == _PRESENT else None
+    return proof, group
+
+
+# -- VO trees -------------------------------------------------------------------------
+def write_node(writer: Writer, backend: PairingBackend, node: VONode) -> None:
+    if isinstance(node, VOMatchLeaf):
+        writer.byte(_NODE_MATCH)
+        write_object(writer, node.obj)
+    elif isinstance(node, VOMismatchNode):
+        writer.byte(_NODE_MISMATCH)
+        writer.raw(node.child_component)
+        write_value(writer, backend, node.att_digest)
+        _write_clause(writer, node.clause)
+        _write_optional_evidence(writer, backend, node.proof, node.group)
+    elif isinstance(node, VOExpandNode):
+        writer.byte(_NODE_EXPAND)
+        if node.att_digest is not None:
+            writer.byte(_PRESENT)
+            write_value(writer, backend, node.att_digest)
+        else:
+            writer.byte(_ABSENT)
+        writer.uvarint(len(node.children))
+        for child in node.children:
+            write_node(writer, backend, child)
+    else:
+        raise WireError(f"unknown VO node type {type(node).__name__}")
+
+
+def read_node(reader: Reader, backend: PairingBackend, depth: int = 0) -> VONode:
+    if depth > 64:
+        raise WireError("VO tree nesting too deep")
+    tag = reader.byte()
+    if tag == _NODE_MATCH:
+        return VOMatchLeaf(obj=read_object(reader))
+    if tag == _NODE_MISMATCH:
+        component = reader.raw(DIGEST_NBYTES)
+        value = read_value(reader, backend)
+        clause = _read_clause(reader)
+        proof, group = _read_optional_evidence(reader, backend)
+        return VOMismatchNode(
+            child_component=component,
+            att_digest=value,
+            clause=clause,
+            proof=proof,
+            group=group,
+        )
+    if tag == _NODE_EXPAND:
+        value = read_value(reader, backend) if reader.byte() == _PRESENT else None
+        count = reader.uvarint()
+        if count > 64:
+            raise WireError("expand node has implausibly many children")
+        children = tuple(read_node(reader, backend, depth + 1) for _ in range(count))
+        return VOExpandNode(att_digest=value, children=children)
+    raise WireError(f"unknown VO node tag {tag}")
+
+
+# -- full VOs -------------------------------------------------------------------------
+def encode_time_window_vo(backend: PairingBackend, vo: TimeWindowVO) -> bytes:
+    writer = Writer()
+    writer.uvarint(len(vo.entries))
+    for entry in vo.entries:
+        if isinstance(entry, VOBlock):
+            writer.byte(_ENTRY_BLOCK)
+            writer.uvarint(entry.height)
+            write_node(writer, backend, entry.root)
+        elif isinstance(entry, VOSkip):
+            writer.byte(_ENTRY_SKIP)
+            writer.uvarint(entry.height)
+            writer.uvarint(entry.distance)
+            write_value(writer, backend, entry.att_digest)
+            _write_clause(writer, entry.clause)
+            _write_optional_evidence(writer, backend, entry.proof, entry.group)
+            writer.uvarint(len(entry.sibling_hashes))
+            for distance, sibling in entry.sibling_hashes:
+                writer.uvarint(distance)
+                writer.raw(sibling)
+        else:
+            raise WireError(f"unknown VO entry type {type(entry).__name__}")
+    writer.uvarint(len(vo.batch_groups))
+    for group_id in sorted(vo.batch_groups):
+        group = vo.batch_groups[group_id]
+        writer.uvarint(group_id)
+        _write_clause(writer, group.clause)
+        write_proof(writer, backend, group.proof)
+    return writer.getvalue()
+
+
+def decode_time_window_vo(backend: PairingBackend, data: bytes) -> TimeWindowVO:
+    reader = Reader(data)
+    entries: list[VOBlock | VOSkip] = []
+    n_entries = reader.uvarint()
+    if n_entries > MAX_ENTRIES:
+        raise WireError("VO has implausibly many entries")
+    for _ in range(n_entries):
+        tag = reader.byte()
+        if tag == _ENTRY_BLOCK:
+            height = reader.uvarint()
+            entries.append(VOBlock(height=height, root=read_node(reader, backend)))
+        elif tag == _ENTRY_SKIP:
+            height = reader.uvarint()
+            distance = reader.uvarint()
+            value = read_value(reader, backend)
+            clause = _read_clause(reader)
+            proof, group = _read_optional_evidence(reader, backend)
+            siblings = tuple(
+                (reader.uvarint(), reader.raw(DIGEST_NBYTES))
+                for _ in range(reader.uvarint())
+            )
+            entries.append(
+                VOSkip(
+                    height=height,
+                    distance=distance,
+                    att_digest=value,
+                    clause=clause,
+                    proof=proof,
+                    group=group,
+                    sibling_hashes=siblings,
+                )
+            )
+        else:
+            raise WireError(f"unknown VO entry tag {tag}")
+    groups: dict[int, BatchGroup] = {}
+    for _ in range(reader.uvarint()):
+        group_id = reader.uvarint()
+        clause = _read_clause(reader)
+        proof = read_proof(reader, backend)
+        groups[group_id] = BatchGroup(clause=clause, proof=proof)
+    reader.expect_end()
+    return TimeWindowVO(entries=entries, batch_groups=groups)
+
+
+#: sanity bound on the number of VO entries a user will parse
+MAX_ENTRIES = 1 << 20
+
+
+def encode_response(
+    backend: PairingBackend, results: list[DataObject], vo: TimeWindowVO
+) -> bytes:
+    """The full SP response ⟨R, VO⟩ as one message."""
+    writer = Writer()
+    writer.uvarint(len(results))
+    for obj in results:
+        write_object(writer, obj)
+    writer.blob(encode_time_window_vo(backend, vo))
+    return writer.getvalue()
+
+
+def decode_response(
+    backend: PairingBackend, data: bytes
+) -> tuple[list[DataObject], TimeWindowVO]:
+    reader = Reader(data)
+    results = [read_object(reader) for _ in range(reader.uvarint())]
+    vo = decode_time_window_vo(backend, reader.blob())
+    reader.expect_end()
+    return results, vo

@@ -1,0 +1,81 @@
+"""Shared fixtures.
+
+Most tests run on the simulated backend (identical algebra, fast); the
+real-pairing backend is exercised by a small set of ``slow``-marked
+tests.  Fixtures are module-scoped where construction is expensive.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.accumulators import ElementEncoder, make_accumulator
+from repro.chain import Blockchain, DataObject, Miner, ProtocolParams
+from repro.crypto import get_backend
+
+
+@pytest.fixture(scope="session")
+def sim_backend():
+    return get_backend("simulated")
+
+
+@pytest.fixture(scope="session")
+def real_backend():
+    return get_backend("ss512")
+
+
+@pytest.fixture(scope="session")
+def sim_acc1(sim_backend):
+    _sk, acc = make_accumulator("acc1", sim_backend, capacity=512, rng=random.Random(11))
+    return acc
+
+
+@pytest.fixture(scope="session")
+def sim_acc2(sim_backend):
+    _sk, acc = make_accumulator("acc2", sim_backend, rng=random.Random(12))
+    return acc
+
+
+@pytest.fixture(scope="session")
+def encoder_r(sim_backend):
+    """Encoder into Z_r — the acc1 domain."""
+    return ElementEncoder(sim_backend.order - 1)
+
+
+@pytest.fixture(scope="session")
+def encoder_q():
+    """Encoder into [1, 2^32 - 1] — the acc2 domain."""
+    return ElementEncoder(2**32 - 1)
+
+
+def make_objects(rng: random.Random, n: int, start_id: int, timestamp: int,
+                 dims: int = 2, bits: int = 8, vocab=None) -> list[DataObject]:
+    """Random objects for ad-hoc chains."""
+    vocab = vocab or ["Sedan", "Van", "Benz", "BMW", "Audi", "Tesla", "Ford"]
+    space = 1 << bits
+    return [
+        DataObject(
+            object_id=start_id + i,
+            timestamp=timestamp,
+            vector=tuple(rng.randrange(space) for _ in range(dims)),
+            keywords=frozenset(rng.sample(vocab, 2)),
+        )
+        for i in range(n)
+    ]
+
+
+@pytest.fixture()
+def small_chain(sim_acc2, encoder_q):
+    """A 20-block / 3-objects-per-block chain with the 'both' index."""
+    params = ProtocolParams(mode="both", bits=8, skip_size=2, difficulty_bits=0)
+    chain = Blockchain()
+    miner = Miner(chain, sim_acc2, encoder_q, params)
+    rng = random.Random(5)
+    oid = 0
+    for h in range(20):
+        objs = make_objects(rng, 3, oid, timestamp=h * 10)
+        oid += 3
+        miner.mine_block(objs, timestamp=h * 10)
+    return chain, params

@@ -1,0 +1,123 @@
+"""Tests for Construction 1 (q-SDH accumulator)."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.accumulators import Acc1, ElementEncoder, keygen_acc1, make_accumulator
+from repro.crypto import get_backend
+from repro.errors import KeyCapacityError, NotDisjointError
+
+BACKEND = get_backend("simulated")
+_SK, ACC = make_accumulator("acc1", BACKEND, capacity=64, rng=random.Random(1))
+ENC = ElementEncoder(BACKEND.order - 1)
+
+words = st.text(alphabet="abcdefghij", min_size=1, max_size=4)
+
+
+def enc(*items: str) -> Counter:
+    return ENC.encode_multiset(Counter(items))
+
+
+def test_accumulate_is_deterministic():
+    assert ACC.accumulate(enc("a", "b")).parts == ACC.accumulate(enc("b", "a")).parts
+
+
+def test_accumulate_sensitive_to_multiplicity():
+    assert ACC.accumulate(enc("a")).parts != ACC.accumulate(enc("a", "a")).parts
+
+
+def test_accumulate_value_single_part():
+    value = ACC.accumulate(enc("a"))
+    assert len(value.parts) == 1
+    assert value.nbytes(BACKEND) == BACKEND.element_nbytes
+
+
+def test_empty_multiset_accumulates_to_generator():
+    # empty product polynomial is 1, so acc(∅) = g
+    value = ACC.accumulate(Counter())
+    assert BACKEND.eq(value.parts[0], BACKEND.generator())
+
+
+def test_disjoint_roundtrip():
+    x1, x2 = enc("Van", "Benz"), enc("Sedan")
+    proof = ACC.prove_disjoint(x1, x2)
+    assert ACC.verify_disjoint(ACC.accumulate(x1), ACC.accumulate(x2), proof)
+
+
+def test_proof_has_two_parts():
+    proof = ACC.prove_disjoint(enc("a"), enc("b"))
+    assert len(proof.parts) == 2
+    assert proof.nbytes(BACKEND) == 2 * BACKEND.element_nbytes
+
+
+def test_prove_disjoint_rejects_intersection():
+    with pytest.raises(NotDisjointError):
+        ACC.prove_disjoint(enc("a", "b"), enc("b", "c"))
+
+
+def test_verify_rejects_wrong_value():
+    x1, x2, x3 = enc("a"), enc("b"), enc("c")
+    proof = ACC.prove_disjoint(x1, x2)
+    assert not ACC.verify_disjoint(ACC.accumulate(x3), ACC.accumulate(x2), proof)
+
+
+def test_verify_rejects_swapped_proof_parts():
+    x1, x2 = enc("a", "b"), enc("c")
+    proof = ACC.prove_disjoint(x1, x2)
+    from repro.accumulators.base import DisjointProof
+
+    swapped = DisjointProof(parts=(proof.parts[1], proof.parts[0]))
+    assert not ACC.verify_disjoint(ACC.accumulate(x1), ACC.accumulate(x2), swapped)
+
+
+def test_verify_rejects_malformed_shapes():
+    x1, x2 = enc("a"), enc("b")
+    proof = ACC.prove_disjoint(x1, x2)
+    from repro.accumulators.base import AccumulatorValue, DisjointProof
+
+    bad_value = AccumulatorValue(parts=(BACKEND.generator(), BACKEND.generator()))
+    assert not ACC.verify_disjoint(bad_value, ACC.accumulate(x2), proof)
+    bad_proof = DisjointProof(parts=(BACKEND.generator(),))
+    assert not ACC.verify_disjoint(ACC.accumulate(x1), ACC.accumulate(x2), bad_proof)
+
+
+def test_capacity_enforced():
+    _sk, pk = keygen_acc1(BACKEND, capacity=2, rng=random.Random(2))
+    small = Acc1(pk)
+    small.accumulate(enc("a", "b"))
+    with pytest.raises(KeyCapacityError):
+        small.accumulate(enc("a", "b", "c"))
+
+
+def test_no_aggregation_support():
+    assert not ACC.supports_aggregation
+    with pytest.raises(NotImplementedError):
+        ACC.sum_values([ACC.accumulate(enc("a"))])
+    with pytest.raises(NotImplementedError):
+        ACC.sum_proofs([])
+
+
+@settings(max_examples=25, deadline=None)
+@given(xs=st.sets(words, min_size=1, max_size=6), ys=st.sets(words, min_size=1, max_size=6))
+def test_roundtrip_random_sets(xs, ys):
+    ys = ys - xs
+    if not ys:
+        return
+    x_enc, y_enc = enc(*xs), enc(*ys)
+    proof = ACC.prove_disjoint(x_enc, y_enc)
+    assert ACC.verify_disjoint(ACC.accumulate(x_enc), ACC.accumulate(y_enc), proof)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    xs=st.sets(words, min_size=1, max_size=6),
+    ys=st.sets(words, min_size=1, max_size=6),
+)
+def test_intersecting_sets_never_prove(xs, ys):
+    if not (xs & ys):
+        return
+    with pytest.raises(NotDisjointError):
+        ACC.prove_disjoint(enc(*xs), enc(*ys))

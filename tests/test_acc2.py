@@ -1,0 +1,164 @@
+"""Tests for Construction 2 (q-DHE accumulator with aggregation)."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.accumulators import Acc2, ElementEncoder, keygen_acc2, make_accumulator
+from repro.accumulators.base import AccumulatorValue, DisjointProof
+from repro.crypto import get_backend
+from repro.errors import AggregationError, CryptoError, NotDisjointError
+
+BACKEND = get_backend("simulated")
+_SK, ACC = make_accumulator("acc2", BACKEND, rng=random.Random(4))
+ENC = ElementEncoder(2**32 - 1)
+
+words = st.text(alphabet="abcdefghij", min_size=1, max_size=4)
+
+
+def enc(*items: str) -> Counter:
+    return ENC.encode_multiset(Counter(items))
+
+
+def test_accumulate_two_parts():
+    value = ACC.accumulate(enc("a", "b"))
+    assert len(value.parts) == 2
+    assert value.nbytes(BACKEND) == 2 * BACKEND.element_nbytes
+
+
+def test_accumulate_multiplicity_sensitive():
+    assert ACC.accumulate(enc("a")).parts != ACC.accumulate(enc("a", "a")).parts
+
+
+def test_domain_bounds_enforced():
+    with pytest.raises(CryptoError):
+        ACC.accumulate(Counter({0: 1}))
+    with pytest.raises(CryptoError):
+        ACC.accumulate(Counter({ACC.public_key.domain: 1}))
+
+
+def test_disjoint_roundtrip():
+    x1, x2 = enc("Van", "Benz"), enc("Sedan")
+    proof = ACC.prove_disjoint(x1, x2)
+    assert ACC.verify_disjoint(ACC.accumulate(x1), ACC.accumulate(x2), proof)
+
+
+def test_prove_rejects_intersection():
+    with pytest.raises(NotDisjointError):
+        ACC.prove_disjoint(enc("a", "b"), enc("b"))
+
+
+def test_verify_rejects_wrong_value():
+    x1, x2, x3 = enc("a"), enc("b"), enc("c")
+    proof = ACC.prove_disjoint(x1, x2)
+    assert not ACC.verify_disjoint(ACC.accumulate(x3), ACC.accumulate(x2), proof)
+
+
+def test_verify_rejects_malformed_shapes():
+    x1, x2 = enc("a"), enc("b")
+    proof = ACC.prove_disjoint(x1, x2)
+    bad_value = AccumulatorValue(parts=(BACKEND.generator(),))
+    assert not ACC.verify_disjoint(bad_value, ACC.accumulate(x2), proof)
+    bad_proof = DisjointProof(parts=(BACKEND.generator(), BACKEND.generator()))
+    assert not ACC.verify_disjoint(ACC.accumulate(x1), ACC.accumulate(x2), bad_proof)
+
+
+def test_verification_is_order_sensitive_but_both_directions_work():
+    # the equation pairs dA(X1) with dB(X2); proving (X2, X1) also works
+    x1, x2 = enc("a"), enc("b")
+    proof12 = ACC.prove_disjoint(x1, x2)
+    proof21 = ACC.prove_disjoint(x2, x1)
+    assert ACC.verify_disjoint(ACC.accumulate(x1), ACC.accumulate(x2), proof12)
+    assert ACC.verify_disjoint(ACC.accumulate(x2), ACC.accumulate(x1), proof21)
+
+
+# -- aggregation ---------------------------------------------------------------
+
+def test_sum_values_is_multiset_sum():
+    a, b = enc("a"), enc("a", "b")
+    summed = ACC.sum_values([ACC.accumulate(a), ACC.accumulate(b)])
+    direct = ACC.accumulate(enc("a", "a", "b"))
+    assert summed.parts == direct.parts
+
+
+def test_sum_values_empty_raises():
+    with pytest.raises(AggregationError):
+        ACC.sum_values([])
+
+
+def test_sum_values_rejects_malformed():
+    with pytest.raises(AggregationError):
+        ACC.sum_values([AccumulatorValue(parts=(BACKEND.generator(),))])
+
+
+def test_proof_sum_aggregates_same_clause():
+    clause = enc("x")
+    a, b = enc("a", "b"), enc("c")
+    pa = ACC.prove_disjoint(a, clause)
+    pb = ACC.prove_disjoint(b, clause)
+    aggregated = ACC.sum_proofs([pa, pb])
+    summed = ACC.sum_values([ACC.accumulate(a), ACC.accumulate(b)])
+    assert ACC.verify_disjoint(summed, ACC.accumulate(clause), aggregated)
+
+
+def test_proof_sum_equals_direct_proof_on_sum():
+    clause = enc("x")
+    a, b = enc("a"), enc("b")
+    aggregated = ACC.sum_proofs(
+        [ACC.prove_disjoint(a, clause), ACC.prove_disjoint(b, clause)]
+    )
+    direct = ACC.prove_disjoint(enc("a", "b"), clause)
+    assert aggregated.parts == direct.parts
+
+
+def test_proof_sum_with_mixed_clauses_fails_verification():
+    a, b = enc("a"), enc("b")
+    pa = ACC.prove_disjoint(a, enc("x"))
+    pb = ACC.prove_disjoint(b, enc("y"))
+    bad = ACC.sum_proofs([pa, pb])
+    summed = ACC.sum_values([ACC.accumulate(a), ACC.accumulate(b)])
+    assert not ACC.verify_disjoint(summed, ACC.accumulate(enc("x")), bad)
+
+
+def test_proof_sum_empty_raises():
+    with pytest.raises(AggregationError):
+        ACC.sum_proofs([])
+
+
+def test_supports_aggregation_flag():
+    assert ACC.supports_aggregation
+
+
+def test_small_domain_cross_terms():
+    # exercise the exponent histogram logic near domain edges
+    _sk, pk = keygen_acc2(BACKEND, domain=8, rng=random.Random(5))
+    acc = Acc2(pk)
+    x1, x2 = Counter({1: 1, 7: 1}), Counter({2: 2})
+    proof = acc.prove_disjoint(x1, x2)
+    assert acc.verify_disjoint(acc.accumulate(x1), acc.accumulate(x2), proof)
+
+
+@settings(max_examples=25, deadline=None)
+@given(xs=st.sets(words, min_size=1, max_size=5), ys=st.sets(words, min_size=1, max_size=5))
+def test_roundtrip_random_sets(xs, ys):
+    ys = ys - xs
+    if not ys:
+        return
+    proof = ACC.prove_disjoint(enc(*xs), enc(*ys))
+    assert ACC.verify_disjoint(
+        ACC.accumulate(enc(*xs)), ACC.accumulate(enc(*ys)), proof
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    groups=st.lists(st.sets(words, min_size=1, max_size=3), min_size=1, max_size=4),
+)
+def test_sum_values_associative(groups):
+    values = [ACC.accumulate(enc(*group)) for group in groups]
+    total = Counter()
+    for group in groups:
+        total.update(Counter(group))
+    assert ACC.sum_values(values).parts == ACC.accumulate(ENC.encode_multiset(total)).parts

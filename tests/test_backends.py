@@ -1,0 +1,98 @@
+"""Backend abstraction tests: both backends obey the same group laws."""
+
+import random
+
+import pytest
+
+from repro.crypto import get_backend
+from repro.crypto.backend import SupersingularBackend
+from repro.crypto.simulated import SimulatedBackend
+from repro.errors import CryptoError
+
+
+def test_factory():
+    assert isinstance(get_backend("simulated"), SimulatedBackend)
+    assert isinstance(get_backend("ss512"), SupersingularBackend)
+    with pytest.raises(ValueError):
+        get_backend("nope")
+
+
+@pytest.fixture(params=["simulated", pytest.param("ss512", marks=pytest.mark.slow)])
+def backend(request):
+    return get_backend(request.param)
+
+
+def test_group_laws(backend):
+    g = backend.generator()
+    rng = random.Random(1)
+    a = rng.randrange(1, backend.order)
+    b = rng.randrange(1, backend.order)
+    ga, gb = backend.exp(g, a), backend.exp(g, b)
+    # g^a · g^b = g^{a+b}
+    assert backend.eq(backend.op(ga, gb), backend.exp(g, (a + b) % backend.order))
+    # identity
+    assert backend.eq(backend.op(ga, backend.identity()), ga)
+    # exponent wraps at the group order
+    assert backend.eq(backend.exp(g, backend.order), backend.identity())
+
+
+def test_pairing_bilinearity(backend):
+    g = backend.generator()
+    rng = random.Random(2)
+    a = rng.randrange(1, backend.order)
+    b = rng.randrange(1, backend.order)
+    lhs = backend.pair(backend.exp(g, a), backend.exp(g, b))
+    rhs = backend.gt_exp(backend.pair(g, g), a * b % backend.order)
+    assert backend.gt_eq(lhs, rhs)
+
+
+def test_gt_group_laws(backend):
+    e = backend.pair(backend.generator(), backend.generator())
+    assert backend.gt_eq(backend.gt_op(e, backend.gt_identity()), e)
+    assert backend.gt_eq(backend.gt_op(e, backend.gt_inv(e)), backend.gt_identity())
+    assert backend.gt_eq(backend.gt_exp(e, 2), backend.gt_op(e, e))
+
+
+def test_encoding_widths(backend):
+    g = backend.generator()
+    assert len(backend.encode(g)) == backend.element_nbytes
+    e = backend.pair(g, g)
+    assert len(backend.gt_encode(e)) == backend.gt_nbytes
+
+
+def test_encoding_distinguishes_elements(backend):
+    g = backend.generator()
+    assert backend.encode(g) != backend.encode(backend.exp(g, 2))
+    assert backend.encode(backend.identity()) != backend.encode(g)
+
+
+def test_multi_exp_matches_manual(backend):
+    g = backend.generator()
+    bases = [backend.exp(g, k) for k in (1, 5, 9)]
+    scalars = [3, 0, 2]
+    expected = backend.exp(g, 3 * 1 + 0 * 5 + 2 * 9)
+    assert backend.eq(backend.multi_exp(bases, scalars), expected)
+
+
+def test_multi_exp_length_mismatch(backend):
+    with pytest.raises(ValueError):
+        backend.multi_exp([backend.generator()], [1, 2])
+
+
+def test_simulated_tag_confusion_rejected():
+    backend = get_backend("simulated")
+    g = backend.generator()
+    gt = backend.pair(g, g)
+    with pytest.raises(CryptoError):
+        backend.op(g, gt)  # GT element where G expected
+    with pytest.raises(CryptoError):
+        backend.gt_op(gt, g)
+    with pytest.raises(CryptoError):
+        backend.pair(gt, g)
+
+
+def test_random_scalar_nonzero():
+    backend = get_backend("simulated")
+    rng = random.Random(3)
+    for _ in range(50):
+        assert 1 <= backend.random_scalar(rng) < backend.order

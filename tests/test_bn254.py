@@ -1,0 +1,145 @@
+"""Tests for the BN254 curve, extension tower, and symmetric backend."""
+
+import pytest
+
+from repro.crypto import bn254 as bn
+from repro.crypto import get_backend
+from repro.errors import CryptoError
+
+
+# -- field tower (fast) ---------------------------------------------------------
+def test_fq_arithmetic():
+    assert bn.FQ(2) + bn.FQ(3) == bn.FQ(5)
+    assert bn.FQ(2) * bn.FQ(3) == 6
+    assert bn.FQ(2) / bn.FQ(2) == bn.FQ.one()
+    assert bn.FQ(2) ** 10 == bn.FQ(1024)
+    assert -bn.FQ(1) == bn.FQ(bn.FIELD_MODULUS - 1)
+    assert 1 - bn.FQ(2) == bn.FQ(-1)
+
+
+def test_fq2_is_a_field():
+    x = bn.FQ2([1, 2])
+    assert x + x == x * 2
+    assert x / x == bn.FQ2.one()
+    assert x * x.inv() == bn.FQ2.one()
+    # w² = -1
+    w = bn.FQ2([0, 1])
+    assert w * w == -bn.FQ2.one()
+
+
+def test_fq12_is_a_field():
+    x = bn.FQ12([1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12])
+    assert x * x.inv() == bn.FQ12.one()
+    assert (x ** 3) == x * x * x
+    assert x ** 0 == bn.FQ12.one()
+
+
+def test_fqp_rejects_wrong_arity():
+    with pytest.raises(CryptoError):
+        bn.FQ2([1, 2, 3])
+    with pytest.raises(CryptoError):
+        bn.FQ2([1, 2]) * bn.FQ12.one()
+
+
+def test_zero_has_no_inverse():
+    with pytest.raises(CryptoError):
+        bn.FQ2.zero().inv()
+
+
+# -- curve groups (fast) ----------------------------------------------------------
+def test_generators_on_curve():
+    assert bn.is_on_curve(bn.G1, bn.B1)
+    assert bn.is_on_curve(bn.G2, bn.B2)
+
+
+def test_g1_group_law():
+    assert bn.add(bn.add(bn.G1, bn.G1), bn.G1) == bn.multiply(bn.G1, 3)
+    assert bn.add(bn.G1, bn.neg(bn.G1)) is None
+    assert bn.multiply(bn.G1, bn.CURVE_ORDER) is None
+
+
+def test_g2_group_law():
+    assert bn.add(bn.add(bn.G2, bn.G2), bn.G2) == bn.multiply(bn.G2, 3)
+    assert bn.multiply(bn.G2, bn.CURVE_ORDER) is None
+
+
+def test_twist_lands_on_fq12_curve():
+    twisted = bn.twist(bn.G2)
+    b12 = bn.FQ12([3] + [0] * 11)
+    assert bn.is_on_curve(twisted, b12)
+
+
+# -- pairing (slow) ------------------------------------------------------------------
+@pytest.mark.slow
+def test_pairing_bilinear_and_nondegenerate():
+    e = bn.pairing(bn.G2, bn.G1)
+    assert e != bn.FQ12.one()
+    assert bn.pairing(bn.G2, bn.multiply(bn.G1, 2)) == e * e
+    assert bn.pairing(bn.multiply(bn.G2, 2), bn.G1) == e * e
+    assert e ** bn.CURVE_ORDER == bn.FQ12.one()
+
+
+@pytest.mark.slow
+def test_pairing_rejects_off_curve_inputs():
+    with pytest.raises(CryptoError):
+        bn.pairing(bn.G2, (bn.FQ(1), bn.FQ(1)))
+
+
+# -- symmetric backend --------------------------------------------------------------
+def test_backend_group_ops_fast_paths():
+    backend = get_backend("bn254")
+    g = backend.generator()
+    assert backend.eq(backend.op(g, backend.identity()), g)
+    two_g = backend.exp(g, 2)
+    assert backend.eq(backend.op(g, g), two_g)
+    assert backend.eq(backend.exp(g, backend.order), backend.identity())
+
+
+def test_backend_encode_decode_roundtrip():
+    backend = get_backend("bn254")
+    element = backend.exp(backend.generator(), 123456789)
+    data = backend.encode(element)
+    assert len(data) == backend.element_nbytes == 194
+    assert backend.eq(backend.decode(data), element)
+    assert backend.eq(
+        backend.decode(backend.encode(backend.identity())), backend.identity()
+    )
+
+
+def test_backend_decode_rejects_forged_points():
+    backend = get_backend("bn254")
+    data = bytearray(backend.encode(backend.generator()))
+    data[10] ^= 1  # corrupt a G1 coordinate
+    with pytest.raises(CryptoError):
+        backend.decode(bytes(data))
+
+
+@pytest.mark.slow
+def test_backend_pairing_symmetric_on_diagonals():
+    backend = get_backend("bn254")
+    g = backend.generator()
+    a = backend.exp(g, 5)
+    b = backend.exp(g, 7)
+    assert backend.gt_eq(backend.pair(a, b), backend.pair(b, a))
+    assert backend.gt_eq(
+        backend.pair(a, b), backend.gt_exp(backend.pair(g, g), 35)
+    )
+
+
+@pytest.mark.slow
+def test_accumulator_roundtrip_on_bn254():
+    """The paper's algebra runs unchanged on the BN backend."""
+    import random
+    from collections import Counter
+
+    from repro.accumulators import ElementEncoder, make_accumulator
+
+    backend = get_backend("bn254")
+    encoder = ElementEncoder(2**32 - 1)
+    _sk, acc = make_accumulator("acc2", backend, rng=random.Random(1))
+    x1 = encoder.encode_multiset(Counter({"Van": 1, "Benz": 1}))
+    x2 = encoder.encode_multiset(Counter({"Sedan": 1}))
+    proof = acc.prove_disjoint(x1, x2)
+    assert acc.verify_disjoint(acc.accumulate(x1), acc.accumulate(x2), proof)
+    bad = acc.accumulate(encoder.encode_multiset(Counter({"Sedan": 2})))
+    assert not acc.verify_disjoint(bad, acc.accumulate(x2), proof)

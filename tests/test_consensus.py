@@ -1,0 +1,44 @@
+"""Tests for the simulated PoW consensus."""
+
+import pytest
+
+from repro.chain.consensus import check_nonce, solve_nonce
+from repro.crypto.hashing import digest
+from repro.errors import ChainError
+
+CORE = digest(b"header-core")
+
+
+def test_zero_difficulty_trivial():
+    assert solve_nonce(CORE, 0) == 0
+    assert check_nonce(CORE, 12345, 0)
+
+
+def test_solve_and_check_roundtrip():
+    nonce = solve_nonce(CORE, 8)
+    assert check_nonce(CORE, nonce, 8)
+
+
+def test_check_rejects_wrong_nonce():
+    nonce = solve_nonce(CORE, 12)
+    assert not check_nonce(CORE, nonce + 1, 12) or solve_nonce(CORE, 12) == nonce + 1
+
+
+def test_nonce_depends_on_core():
+    nonce = solve_nonce(CORE, 10)
+    other = digest(b"different-core")
+    # overwhelmingly the same nonce fails for a different core at 10 bits
+    assert not check_nonce(other, nonce, 10) or solve_nonce(other, 10) == nonce
+
+
+def test_difficulty_bounds():
+    with pytest.raises(ChainError):
+        solve_nonce(CORE, -1)
+    with pytest.raises(ChainError):
+        solve_nonce(CORE, 65)
+
+
+def test_higher_difficulty_needs_geq_nonce():
+    easy = solve_nonce(CORE, 4)
+    hard = solve_nonce(CORE, 12)
+    assert hard >= easy

@@ -1,0 +1,79 @@
+"""Tests for the smart-contract logical chain (Appendix E)."""
+
+import random
+
+import pytest
+
+from repro.accumulators import ElementEncoder, make_accumulator
+from repro.chain import ProtocolParams
+from repro.chain.light import LightNode
+from repro.contract import HostChain, VChainContract
+from repro.core.prover import QueryProcessor
+from repro.core.query import CNFCondition, TimeWindowQuery
+from repro.core.verifier import QueryVerifier
+from repro.crypto import get_backend
+from repro.errors import ChainError
+from tests.conftest import make_objects
+
+PARAMS = ProtocolParams(mode="both", bits=8, skip_size=2, difficulty_bits=0)
+
+
+@pytest.fixture()
+def contract(sim_acc2, encoder_q):
+    host = HostChain()
+    contract = VChainContract(host, sim_acc2, encoder_q, PARAMS)
+    rng = random.Random(30)
+    oid = 0
+    for h in range(10):
+        objs = make_objects(rng, 3, oid, timestamp=h * 10)
+        oid += 3
+        contract.build_vchain(objs, timestamp=h * 10)
+    return contract
+
+
+def test_contract_builds_logical_chain(contract):
+    assert len(contract.chain) == 10
+    assert len(contract.storage) == 10
+    assert contract.tip_hash in contract.storage
+
+
+def test_contract_emits_events(contract):
+    events = contract.host.events
+    assert len(events) == 10
+    assert all(e.name == "VChainBlockBuilt" for e in events)
+    assert [e.payload["height"] for e in events] == list(range(10))
+
+
+def test_gas_metering(contract):
+    assert contract.host.gas_used == 10 * 3 * contract.host.gas_per_object
+
+
+def test_block_lookup_by_hash(contract):
+    block = contract.block_by_hash(contract.tip_hash)
+    assert block.height == 9
+    with pytest.raises(ChainError):
+        contract.block_by_hash(b"\x00" * 32)
+
+
+def test_empty_call_rejected(contract):
+    with pytest.raises(ChainError):
+        contract.build_vchain([], timestamp=99)
+
+
+def test_queries_verify_over_contract_chain(contract, sim_acc2, encoder_q):
+    """The logical chain is protocol-compatible: the standard prover and
+    verifier run against it unchanged."""
+    light = LightNode()
+    light.sync(contract.chain)
+    processor = QueryProcessor(contract.chain, sim_acc2, encoder_q, PARAMS)
+    verifier = QueryVerifier(light, sim_acc2, encoder_q, PARAMS)
+    query = TimeWindowQuery(start=0, end=90, boolean=CNFCondition.of([["Benz", "BMW"]]))
+    results, vo, _stats = processor.time_window_query(query)
+    verified, _vstats = verifier.verify_time_window(query, results, vo)
+    truth = sorted(
+        o.object_id
+        for b in contract.chain
+        for o in b.objects
+        if query.matches_object(o, PARAMS.bits)
+    )
+    assert sorted(o.object_id for o in verified) == truth

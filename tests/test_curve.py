@@ -1,0 +1,106 @@
+"""Unit tests for the supersingular curve and F_p² arithmetic."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import curve
+from repro.errors import CryptoError
+
+RNG = random.Random(31)
+G = curve.GENERATOR
+
+
+def test_generator_on_curve_and_in_subgroup():
+    assert curve.is_on_curve(G)
+    curve.validate_subgroup(G)
+    assert curve.multiply(G, curve.SUBGROUP_ORDER) is None
+
+
+def test_curve_cardinality_relation():
+    # supersingular: #E = p + 1 = cofactor * r
+    assert curve.COFACTOR * curve.SUBGROUP_ORDER == curve.FIELD_PRIME + 1
+
+
+def test_infinity_is_identity():
+    assert curve.add(None, G) == G
+    assert curve.add(G, None) == G
+    assert curve.add(G, curve.neg(G)) is None
+    assert curve.is_on_curve(None)
+    assert curve.neg(None) is None
+
+
+def test_doubling_matches_repeated_addition():
+    assert curve.add(G, G) == curve.multiply(G, 2)
+    assert curve.add(curve.add(G, G), G) == curve.multiply(G, 3)
+
+
+def test_multiply_zero_and_negative():
+    assert curve.multiply(G, 0) is None
+    assert curve.multiply(G, -1) == curve.neg(G)
+
+
+@settings(max_examples=10, deadline=None)
+@given(a=st.integers(min_value=1, max_value=2**32), b=st.integers(min_value=1, max_value=2**32))
+def test_scalar_multiplication_is_homomorphic(a, b):
+    left = curve.multiply(G, a + b)
+    right = curve.add(curve.multiply(G, a), curve.multiply(G, b))
+    assert left == right
+
+
+def test_random_subgroup_point_valid():
+    point = curve.random_subgroup_point(RNG)
+    curve.validate_subgroup(point)
+
+
+def test_validate_subgroup_rejects_off_curve():
+    with pytest.raises(CryptoError):
+        curve.validate_subgroup((1, 1))
+
+
+def test_point_addition_results_stay_on_curve():
+    p = curve.multiply(G, 12345)
+    q = curve.multiply(G, 99999)
+    assert curve.is_on_curve(curve.add(p, q))
+
+
+# -- F_p² ---------------------------------------------------------------------
+
+def test_fp2_mul_i_squared_is_minus_one():
+    i = (0, 1)
+    minus_one = (curve.FIELD_PRIME - 1, 0)
+    assert curve.fp2_mul(i, i) == minus_one
+
+
+def test_fp2_add_sub_roundtrip():
+    u, v = (3, 4), (10, 20)
+    assert curve.fp2_sub(curve.fp2_add(u, v), v) == u
+
+
+def test_fp2_square_matches_mul():
+    u = (12345, 6789)
+    assert curve.fp2_square(u) == curve.fp2_mul(u, u)
+
+
+def test_fp2_inverse_roundtrip():
+    u = (55, 66)
+    assert curve.fp2_mul(u, curve.fp2_inv(u)) == curve.FP2_ONE
+
+
+def test_fp2_inv_zero_raises():
+    with pytest.raises(CryptoError):
+        curve.fp2_inv(curve.FP2_ZERO)
+
+
+def test_fp2_pow_laws():
+    u = (7, 9)
+    assert curve.fp2_pow(u, 0) == curve.FP2_ONE
+    assert curve.fp2_pow(u, 5) == curve.fp2_mul(curve.fp2_pow(u, 3), curve.fp2_pow(u, 2))
+    assert curve.fp2_mul(curve.fp2_pow(u, -2), curve.fp2_pow(u, 2)) == curve.FP2_ONE
+
+
+def test_fp2_conjugate_is_frobenius():
+    u = (7, 9)
+    # x^p equals the conjugate in F_p²
+    assert curve.fp2_pow(u, curve.FIELD_PRIME) == curve.fp2_conjugate(u)

@@ -1,0 +1,119 @@
+"""Tests for the synthetic dataset generators and workloads."""
+
+import random
+
+import pytest
+
+from repro.datasets import (
+    DATASET_DEFAULTS,
+    ethereum_like,
+    foursquare_like,
+    make_subscription_queries,
+    make_time_window_queries,
+    random_range,
+    weather_like,
+)
+from repro.errors import QueryError
+
+
+@pytest.mark.parametrize(
+    "generator,dims,kw_count",
+    [(foursquare_like, 2, 2), (weather_like, 7, 2), (ethereum_like, 1, 2)],
+)
+def test_generator_shapes(generator, dims, kw_count):
+    ds = generator(n_blocks=8)
+    assert len(ds.blocks) == 8
+    assert ds.dims == dims
+    for _ts, objects in ds.blocks:
+        for obj in objects:
+            assert len(obj.vector) == dims
+            assert len(obj.keywords) == kw_count
+            assert all(0 <= v < (1 << ds.bits) for v in obj.vector)
+
+
+def test_generators_deterministic():
+    a = foursquare_like(5, seed=42)
+    b = foursquare_like(5, seed=42)
+    assert [o.serialize() for _t, objs in a.blocks for o in objs] == [
+        o.serialize() for _t, objs in b.blocks for o in objs
+    ]
+    c = foursquare_like(5, seed=43)
+    assert a.blocks[0][1][0].serialize() != c.blocks[0][1][0].serialize()
+
+
+def test_object_ids_unique():
+    ds = ethereum_like(10)
+    ids = [o.object_id for o in ds.all_objects()]
+    assert len(ids) == len(set(ids))
+
+
+def test_timestamps_follow_block_interval():
+    ds = weather_like(4)
+    times = [ts for ts, _objs in ds.blocks]
+    assert times == [i * ds.block_interval for i in range(4)]
+
+
+def test_eth_vocabulary_sparse():
+    ds = ethereum_like(20)
+    used = {kw for o in ds.all_objects() for kw in o.keywords}
+    # addresses rarely repeat: the used set is a large fraction of draws
+    assert len(used) > 0.5 * 2 * ds.n_objects * 0.5
+
+
+def test_dataset_counts():
+    ds = foursquare_like(6, objects_per_block=5)
+    assert ds.n_objects == 30
+    assert len(ds.all_objects()) == 30
+
+
+def test_random_range_selectivity():
+    rng = random.Random(1)
+    space = 1 << 8
+    for sel in (0.1, 0.5):
+        widths = []
+        for _ in range(50):
+            cond = random_range(rng, dims=2, bits=8, selectivity=sel, range_dims=2)
+            w0 = cond.high[0] - cond.low[0] + 1
+            w1 = cond.high[1] - cond.low[1] + 1
+            widths.append(w0 * w1 / space**2)
+        mean = sum(widths) / len(widths)
+        assert sel * 0.5 <= mean <= sel * 1.6
+
+
+def test_random_range_unconstrained_dims():
+    rng = random.Random(2)
+    cond = random_range(rng, dims=7, bits=8, selectivity=0.1, range_dims=2)
+    for dim in range(2, 7):
+        assert cond.low[dim] == 0 and cond.high[dim] == 255
+
+
+def test_random_range_rejects_bad_selectivity():
+    with pytest.raises(QueryError):
+        random_range(random.Random(3), 1, 8, 0.0, 1)
+
+
+def test_time_window_workload():
+    ds = foursquare_like(30)
+    queries = make_time_window_queries(ds, n_queries=5, window_blocks=10, seed=1)
+    assert len(queries) == 5
+    last_ts = ds.blocks[-1][0]
+    for q in queries:
+        assert q.end == last_ts
+        assert q.start == last_ts - 9 * ds.block_interval
+        assert len(q.boolean.clauses) == 1
+        assert len(q.boolean.clauses[0]) == DATASET_DEFAULTS["4SQ"]["clause_size"]
+
+
+def test_subscription_workload():
+    ds = ethereum_like(10)
+    queries = make_subscription_queries(ds, n_queries=4, seed=2)
+    assert len(queries) == 4
+    for q in queries:
+        assert len(q.boolean.clauses[0]) == DATASET_DEFAULTS["ETH"]["clause_size"]
+
+
+def test_workload_deterministic():
+    ds = foursquare_like(20)
+    a = make_time_window_queries(ds, 3, 5, seed=9)
+    b = make_time_window_queries(ds, 3, 5, seed=9)
+    assert a == b

@@ -1,0 +1,77 @@
+"""Tests for attribute encoding and multiset helpers."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.accumulators.encoding import (
+    ElementEncoder,
+    multiset_sum,
+    multiset_union,
+    multisets_disjoint,
+)
+from repro.errors import CryptoError
+
+words = st.text(alphabet="abcdefgh", min_size=1, max_size=6)
+
+
+def test_domain_must_be_meaningful():
+    with pytest.raises(CryptoError):
+        ElementEncoder(1)
+
+
+def test_encode_deterministic_and_in_range():
+    enc = ElementEncoder(1000)
+    first = enc.encode("Benz")
+    assert enc.encode("Benz") == first
+    assert 1 <= first <= 1000
+
+
+def test_encode_distinct_strings_usually_distinct():
+    enc = ElementEncoder(2**32 - 1)
+    codes = {enc.encode(f"item{i}") for i in range(500)}
+    assert len(codes) == 500
+
+
+def test_encode_multiset_preserves_multiplicity():
+    enc = ElementEncoder(2**32 - 1)
+    encoded = enc.encode_multiset(Counter({"a": 2, "b": 1}))
+    assert encoded[enc.encode("a")] == 2
+    assert encoded[enc.encode("b")] == 1
+    assert encoded.total() == 3
+
+
+def test_encode_multiset_from_iterable():
+    enc = ElementEncoder(2**32 - 1)
+    encoded = enc.encode_multiset(["a", "a", "b"])
+    assert encoded[enc.encode("a")] == 2
+
+
+def test_multiset_union_takes_max_counts():
+    a, b = Counter({"x": 2, "y": 1}), Counter({"x": 1, "z": 3})
+    assert multiset_union(a, b) == Counter({"x": 2, "y": 1, "z": 3})
+
+
+def test_multiset_sum_adds_counts():
+    a, b = Counter({"x": 2}), Counter({"x": 1, "z": 3})
+    assert multiset_sum(a, b) == Counter({"x": 3, "z": 3})
+
+
+def test_disjointness_helper():
+    assert multisets_disjoint(Counter({"a": 1}), Counter({"b": 1}))
+    assert not multisets_disjoint(Counter({"a": 1}), Counter({"a": 2, "b": 1}))
+    assert multisets_disjoint(Counter(), Counter({"b": 1}))
+
+
+@given(xs=st.lists(words, max_size=10), ys=st.lists(words, max_size=10))
+def test_disjoint_matches_set_semantics(xs, ys):
+    a, b = Counter(xs), Counter(ys)
+    assert multisets_disjoint(a, b) == (not (set(a) & set(b)))
+
+
+@given(xs=st.lists(words, max_size=10), ys=st.lists(words, max_size=10))
+def test_union_and_sum_supports(xs, ys):
+    a, b = Counter(xs), Counter(ys)
+    assert set(multiset_union(a, b)) == set(a) | set(b)
+    assert set(multiset_sum(a, b)) == set(a) | set(b)

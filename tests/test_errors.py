@@ -1,0 +1,31 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    leaves = [
+        errors.CryptoError,
+        errors.KeyCapacityError,
+        errors.NotDisjointError,
+        errors.AggregationError,
+        errors.VerificationError,
+        errors.ChainError,
+        errors.QueryError,
+        errors.SubscriptionError,
+    ]
+    for cls in leaves:
+        assert issubclass(cls, errors.ReproError)
+
+
+def test_crypto_sub_hierarchy():
+    assert issubclass(errors.KeyCapacityError, errors.CryptoError)
+    assert issubclass(errors.NotDisjointError, errors.CryptoError)
+    assert issubclass(errors.AggregationError, errors.CryptoError)
+
+
+def test_single_except_catches_everything():
+    with pytest.raises(errors.ReproError):
+        raise errors.VerificationError("boom")

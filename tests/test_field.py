@@ -1,0 +1,121 @@
+"""Unit tests for prime-field arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.curve import FIELD_PRIME, SUBGROUP_ORDER
+from repro.crypto.field import PrimeField
+from repro.errors import CryptoError
+
+SMALL = PrimeField(10007)  # a prime ≡ 3 (mod 4)
+FR = PrimeField(SUBGROUP_ORDER)
+FP = PrimeField(FIELD_PRIME)
+
+elements = st.integers(min_value=0, max_value=10006)
+nonzero = st.integers(min_value=1, max_value=10006)
+
+
+def test_modulus_must_be_at_least_two():
+    with pytest.raises(CryptoError):
+        PrimeField(1)
+
+
+def test_element_reduces_into_range():
+    assert SMALL.element(10007) == 0
+    assert SMALL.element(-1) == 10006
+    assert SMALL.element(3) == 3
+
+
+def test_basic_ops():
+    assert SMALL.add(10000, 10) == 3
+    assert SMALL.sub(3, 5) == 10005
+    assert SMALL.mul(100, 101) == 100 * 101 % 10007
+    assert SMALL.neg(1) == 10006
+    assert SMALL.pow(2, 13) == pow(2, 13, 10007)
+
+
+def test_zero_one_constants():
+    assert SMALL.zero == 0
+    assert SMALL.one == 1
+
+
+def test_inverse_roundtrip():
+    for value in (1, 2, 5000, 10006):
+        assert SMALL.mul(value, SMALL.inv(value)) == 1
+
+
+def test_inverse_of_zero_raises():
+    with pytest.raises(CryptoError):
+        SMALL.inv(0)
+    with pytest.raises(CryptoError):
+        SMALL.inv(10007)  # reduces to zero
+
+
+def test_div():
+    assert SMALL.div(10, 5) == 2
+    assert SMALL.mul(SMALL.div(7, 3), 3) == 7
+
+
+@given(a=elements, b=elements)
+def test_add_commutes(a, b):
+    assert SMALL.add(a, b) == SMALL.add(b, a)
+
+
+@given(a=elements, b=elements, c=elements)
+def test_mul_distributes(a, b, c):
+    left = SMALL.mul(a, SMALL.add(b, c))
+    right = SMALL.add(SMALL.mul(a, b), SMALL.mul(a, c))
+    assert left == right
+
+
+@given(a=nonzero)
+def test_inv_is_involution(a):
+    assert SMALL.inv(SMALL.inv(a)) == a
+
+
+def test_sqrt_of_zero():
+    assert SMALL.sqrt(0) == 0
+
+
+@given(a=elements)
+def test_sqrt_squares_back(a):
+    square = SMALL.mul(a, a)
+    root = SMALL.sqrt(square)
+    assert root is not None
+    assert SMALL.mul(root, root) == square
+
+
+def test_sqrt_none_for_non_residue():
+    # -1 is a non-residue when p ≡ 3 (mod 4)
+    assert SMALL.sqrt(10006) is None
+    assert not SMALL.is_residue(10006)
+
+
+def test_sqrt_requires_3_mod_4():
+    field = PrimeField(13)  # 13 ≡ 1 (mod 4)
+    with pytest.raises(CryptoError):
+        field.sqrt(4)
+
+
+def test_is_residue_zero_counts():
+    assert SMALL.is_residue(0)
+    assert SMALL.is_residue(4)
+
+
+def test_curve_primes_are_3_mod_4():
+    assert FIELD_PRIME % 4 == 3
+    assert FP.sqrt(4) in (2, FIELD_PRIME - 2)
+
+
+def test_contains():
+    assert 5 in SMALL
+    assert 10007 not in SMALL
+    assert -1 not in SMALL
+
+
+def test_rand_in_range():
+    import random
+
+    rng = random.Random(0)
+    for _ in range(20):
+        assert FR.rand(rng) in FR

@@ -1,0 +1,45 @@
+"""Tests for the canonical hashing helpers."""
+
+from hypothesis import given, strategies as st
+
+from repro.crypto.hashing import DIGEST_NBYTES, digest, digest_to_int, hash_str
+
+
+def test_digest_width():
+    assert len(digest(b"a")) == DIGEST_NBYTES
+    assert len(digest()) == DIGEST_NBYTES
+
+
+def test_digest_deterministic():
+    assert digest(b"a", b"b") == digest(b"a", b"b")
+
+
+def test_length_prefixing_disambiguates():
+    # without length prefixes these would collide
+    assert digest(b"ab", b"c") != digest(b"a", b"bc")
+    assert digest(b"abc") != digest(b"ab", b"c")
+    assert digest(b"", b"x") != digest(b"x", b"")
+
+
+@given(st.binary(max_size=64), st.binary(max_size=64))
+def test_digest_injective_in_practice(a, b):
+    if a != b:
+        assert digest(a) != digest(b)
+
+
+@given(st.binary(min_size=1, max_size=64))
+def test_digest_to_int_in_range(data):
+    modulus = 997
+    value = digest_to_int(digest(data), modulus)
+    assert 0 <= value < modulus
+
+
+def test_digest_to_int_spreads():
+    modulus = 2**32
+    values = {digest_to_int(digest(str(i).encode()), modulus) for i in range(100)}
+    assert len(values) == 100  # no collisions at this scale
+
+
+def test_hash_str_utf8():
+    assert hash_str("Benz") == digest("Benz".encode())
+    assert hash_str("Benz") != hash_str("benz")

@@ -1,0 +1,85 @@
+"""Unit tests for the inter-block skip list construction."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.chain import Blockchain, Miner, ProtocolParams
+from repro.crypto.hashing import digest
+from repro.index.inter import build_skip_entries, pre_skipped_hash, skip_distances
+from tests.conftest import make_objects
+
+
+def test_skip_distance_schedule():
+    assert skip_distances(0) == []
+    assert skip_distances(1) == [4]
+    assert skip_distances(3) == [4, 8, 16]
+    assert skip_distances(5) == [4, 8, 16, 32, 64]
+    assert skip_distances(3, base=2) == [2, 4, 8]
+
+
+def test_pre_skipped_hash_binds_order():
+    a, b = digest(b"a"), digest(b"b")
+    root = digest(b"root")
+    assert pre_skipped_hash(root, [a, b]) != pre_skipped_hash(root, [b, a])
+    assert pre_skipped_hash(root, [a]) != pre_skipped_hash(digest(b"x"), [a])
+
+
+@pytest.fixture()
+def mined(sim_acc2, encoder_q):
+    params = ProtocolParams(mode="both", bits=8, skip_size=3, skip_base=4)
+    chain = Blockchain()
+    miner = Miner(chain, sim_acc2, encoder_q, params)
+    rng = random.Random(77)
+    for h in range(20):
+        miner.mine_block(make_objects(rng, 2, h * 2, h), timestamp=h)
+    return chain
+
+
+def test_entries_only_for_available_history(mined):
+    assert [e.distance for e in mined.block(0).skip_entries] == []
+    assert [e.distance for e in mined.block(3).skip_entries] == [4]
+    assert [e.distance for e in mined.block(7).skip_entries] == [4, 8]
+    assert [e.distance for e in mined.block(15).skip_entries] == [4, 8, 16]
+
+
+def test_covered_heights_include_current_block(mined):
+    entry = mined.block(10).skip_entries[0]
+    assert entry.covered_heights == (7, 8, 9, 10)
+
+
+def test_entry_hash_changes_with_digest(mined, sim_acc2):
+    backend = sim_acc2.backend
+    entries = mined.block(15).skip_entries
+    hashes = {e.entry_hash(backend) for e in entries}
+    assert len(hashes) == len(entries)
+
+
+def test_acc1_and_acc2_commit_same_multisets(sim_acc1, sim_acc2, encoder_r, encoder_q):
+    """Both accumulators must summarise identical skip multisets."""
+    rng = random.Random(5)
+    blocks = {}
+    for acc, enc in ((sim_acc1, encoder_r), (sim_acc2, encoder_q)):
+        params = ProtocolParams(mode="both", bits=8, skip_size=1)
+        chain = Blockchain()
+        miner = Miner(chain, acc, enc, params)
+        rng_local = random.Random(5)
+        for h in range(6):
+            miner.mine_block(make_objects(rng_local, 2, h * 2, h), timestamp=h)
+        blocks[acc.name] = chain.block(5).skip_entries[0]
+    assert blocks["acc1"].attrs == blocks["acc2"].attrs
+    assert blocks["acc1"].covered_heights == blocks["acc2"].covered_heights
+
+
+def test_build_skip_entries_empty_history(sim_acc2, encoder_q):
+    entries = build_skip_entries(
+        previous_blocks=[],
+        merkle_root=digest(b"m"),
+        attrs_sum=Counter({"a": 1}),
+        sum_digest=sim_acc2.accumulate(encoder_q.encode_multiset(Counter({"a": 1}))),
+        accumulator=sim_acc2,
+        encoder=encoder_q,
+        size=3,
+    )
+    assert entries == []

@@ -1,0 +1,134 @@
+"""Tests for the intra-block index tree (Algorithm 2)."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.crypto.hashing import digest
+from repro.errors import ChainError
+from repro.index.intra import (
+    build_flat_tree,
+    build_intra_tree,
+    children_hash,
+    encode_digest,
+    internal_hash,
+)
+from tests.conftest import make_objects
+
+
+@pytest.fixture()
+def objects():
+    return make_objects(random.Random(2), 6, start_id=0, timestamp=0)
+
+
+def test_empty_block_rejected(sim_acc2, encoder_q):
+    with pytest.raises(ChainError):
+        build_intra_tree([], sim_acc2, encoder_q, bits=8)
+    with pytest.raises(ChainError):
+        build_flat_tree([], sim_acc2, encoder_q, bits=8)
+
+
+def test_single_object_tree_is_leaf(sim_acc2, encoder_q, objects):
+    root = build_intra_tree(objects[:1], sim_acc2, encoder_q, bits=8)
+    assert root.is_leaf
+    assert root.obj is objects[0]
+    assert root.att_digest is not None
+
+
+def test_leaf_count_preserved(sim_acc2, encoder_q, objects):
+    for count in (1, 2, 3, 5, 6):
+        root = build_intra_tree(objects[:count], sim_acc2, encoder_q, bits=8)
+        assert root.leaf_count() == count
+        assert sorted(l.obj.object_id for l in root.iter_leaves()) == sorted(
+            o.object_id for o in objects[:count]
+        )
+
+
+def test_internal_nodes_carry_union_multisets(sim_acc2, encoder_q, objects):
+    root = build_intra_tree(objects, sim_acc2, encoder_q, bits=8)
+
+    def check(node):
+        if node.is_leaf:
+            assert node.attrs == node.obj.attribute_multiset(8)
+            return node.attrs
+        merged = Counter()
+        for child in node.children:
+            merged |= check(child)
+        assert node.attrs == merged
+        return node.attrs
+
+    check(root)
+
+
+def test_node_digests_match_attrs(sim_acc2, encoder_q, objects):
+    root = build_intra_tree(objects[:4], sim_acc2, encoder_q, bits=8)
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        expected = sim_acc2.accumulate(encoder_q.encode_multiset(node.attrs))
+        assert node.att_digest.parts == expected.parts
+        stack.extend(node.children)
+
+
+def test_hash_definitions(sim_acc2, encoder_q, objects):
+    root = build_intra_tree(objects[:2], sim_acc2, encoder_q, bits=8)
+    digest_bytes = encode_digest(sim_acc2.backend, root.att_digest)
+    assert root.node_hash == internal_hash(children_hash(root.children), digest_bytes)
+    leaf = root.children[0]
+    leaf_bytes = encode_digest(sim_acc2.backend, leaf.att_digest)
+    assert leaf.node_hash == internal_hash(leaf.obj.serialize(), leaf_bytes)
+
+
+def test_flat_tree_internal_nodes_have_no_digest(sim_acc2, encoder_q, objects):
+    root = build_flat_tree(objects, sim_acc2, encoder_q, bits=8)
+    assert root.att_digest is None
+    assert root.attrs is None
+    for leaf in root.iter_leaves():
+        assert leaf.att_digest is not None
+
+
+def test_flat_tree_internal_hash_is_child_component(sim_acc2, encoder_q, objects):
+    root = build_flat_tree(objects[:2], sim_acc2, encoder_q, bits=8)
+    assert root.node_hash == digest(*(c.node_hash for c in root.children))
+
+
+def test_clustering_groups_similar_objects(sim_acc2, encoder_q):
+    """Two disjoint keyword families must end up in separate subtrees."""
+    from repro.chain.object import DataObject
+
+    family_a = [
+        DataObject(object_id=i, timestamp=0, vector=(0,), keywords=frozenset({"a1", "a2"}))
+        for i in range(2)
+    ]
+    family_b = [
+        DataObject(object_id=10 + i, timestamp=0, vector=(255,), keywords=frozenset({"b1", "b2"}))
+        for i in range(2)
+    ]
+    # interleave arrival order so only clustering can separate them
+    objects = [family_a[0], family_b[0], family_a[1], family_b[1]]
+    root = build_intra_tree(objects, sim_acc2, encoder_q, bits=8)
+    subtree_ids = [
+        sorted(l.obj.object_id for l in child.iter_leaves()) for child in root.children
+    ]
+    assert sorted(subtree_ids) == [[0, 1], [10, 11]]
+
+
+def test_unclustered_build_keeps_arrival_order(sim_acc2, encoder_q, objects):
+    root = build_intra_tree(objects[:4], sim_acc2, encoder_q, bits=8, clustered=False)
+    leaves = [l.obj.object_id for l in root.iter_leaves()]
+    assert leaves == [0, 1, 2, 3]
+
+
+def test_odd_leaf_carried_up(sim_acc2, encoder_q, objects):
+    root = build_intra_tree(objects[:3], sim_acc2, encoder_q, bits=8, clustered=False)
+    assert root.leaf_count() == 3
+    # one child is the carried leaf or a 2-leaf subtree
+    sizes = sorted(child.leaf_count() for child in root.children)
+    assert sizes == [1, 2]
+
+
+def test_trees_differ_when_content_differs(sim_acc2, encoder_q, objects):
+    a = build_intra_tree(objects[:2], sim_acc2, encoder_q, bits=8)
+    b = build_intra_tree(objects[2:4], sim_acc2, encoder_q, bits=8)
+    assert a.node_hash != b.node_hash

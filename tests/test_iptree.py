@@ -1,0 +1,178 @@
+"""Tests for the inverted prefix tree (Algorithm 6 / Fig 8)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.chain.object import DataObject
+from repro.core.query import CNFCondition, RangeCondition, SubscriptionQuery
+from repro.errors import SubscriptionError
+from repro.subscribe.iptree import IPTree, register_query
+
+BITS = 2  # a 4x4 grid, exactly the paper's Fig 8 space
+
+
+def fig8_queries():
+    """The four subscriptions of the paper's Fig 8 (coordinates in [0,3])."""
+    return [
+        SubscriptionQuery(  # q1: [(0,2),(1,3)], Van ∧ Benz
+            numeric=RangeCondition(low=(0, 2), high=(1, 3)),
+            boolean=CNFCondition.of([["Van"], ["Benz"]]),
+        ),
+        SubscriptionQuery(  # q2: [(0,0),(1,3)], Van ∧ BMW
+            numeric=RangeCondition(low=(0, 0), high=(1, 3)),
+            boolean=CNFCondition.of([["Van"], ["BMW"]]),
+        ),
+        SubscriptionQuery(  # q3: [(0,0),(0,2)], Sedan ∧ Audi
+            numeric=RangeCondition(low=(0, 0), high=(0, 2)),
+            boolean=CNFCondition.of([["Sedan"], ["Audi"]]),
+        ),
+        SubscriptionQuery(  # q4: [(2,0),(3,3)], Sedan ∧ Benz
+            numeric=RangeCondition(low=(2, 0), high=(3, 3)),
+            boolean=CNFCondition.of([["Sedan"], ["Benz"]]),
+        ),
+    ]
+
+
+@pytest.fixture()
+def tree():
+    t = IPTree(dims=2, bits=BITS, max_depth=2)
+    for i, q in enumerate(fig8_queries()):
+        t.insert(register_query(i, q, BITS))
+    return t
+
+
+def test_root_holds_all_queries(tree):
+    assert set(tree.root.rcif) == {0, 1, 2, 3}
+    assert len(tree) == 4
+
+
+def test_root_split_into_four(tree):
+    assert len(tree.root.children) == 4
+
+
+def test_upper_left_cell_matches_paper(tree):
+    """Fig 8's N1 = cell x∈[0,1], y∈[2,3]: q1,q2 full, q3 partial."""
+    n1 = next(
+        c for c in tree.root.children if c.cell == ((0, 1), (2, 3))
+    )
+    assert n1.rcif.get(0) is True  # q1 full
+    assert n1.rcif.get(1) is True  # q2 full
+    assert n1.rcif.get(2) is False  # q3 partial
+    assert 3 not in n1.rcif  # q4 does not intersect
+    # BCIF: {Van}→{q1,q2}, {Benz}→{q1}, {BMW}→{q2}
+    assert n1.bcif[frozenset({"Van"})] == {0, 1}
+    assert n1.bcif[frozenset({"Benz"})] == {0}
+    assert n1.bcif[frozenset({"BMW"})] == {1}
+
+
+def test_partial_query_pushed_into_subcells(tree):
+    n1 = next(c for c in tree.root.children if c.cell == ((0, 1), (2, 3)))
+    assert n1.children, "partial query q3 must split N1"
+    # q3 covers x=0, y∈[2,2]; its full-covered subcell gets it in BCIF
+    full_cells = [c for c in n1.children if c.rcif.get(2) is True]
+    assert full_cells
+    assert all(frozenset({"Sedan"}) in c.bcif for c in full_cells)
+
+
+def test_duplicate_registration_rejected(tree):
+    with pytest.raises(SubscriptionError):
+        tree.insert(register_query(0, fig8_queries()[0], BITS))
+
+
+def test_remove_clears_all_files(tree):
+    tree.remove(0)
+    assert len(tree) == 3
+
+    def check(node):
+        assert 0 not in node.rcif
+        for members in node.bcif.values():
+            assert 0 not in members
+        for child in node.children:
+            check(child)
+
+    check(tree.root)
+    with pytest.raises(SubscriptionError):
+        tree.remove(0)
+
+
+def classification_truth(queries, obj, bits):
+    out = {}
+    for i, q in enumerate(queries):
+        out[i] = q.matches_object(obj, bits)
+    return out
+
+
+@pytest.mark.parametrize(
+    "vector,keywords",
+    [
+        ((0, 2), {"Van", "Benz"}),   # the paper's example object
+        ((0, 2), {"Sedan", "Audi"}),
+        ((3, 0), {"Sedan", "Benz"}),
+        ((1, 1), {"Van", "BMW"}),
+        ((2, 3), {"Tesla"}),
+    ],
+)
+def test_classify_single_objects_consistent(tree, vector, keywords):
+    queries = fig8_queries()
+    obj = DataObject(object_id=0, timestamp=0, vector=vector, keywords=frozenset(keywords))
+    attrs = obj.attribute_multiset(BITS)
+    mismatches, candidates = tree.classify(attrs)
+    assert set(mismatches) | candidates == {0, 1, 2, 3}
+    assert not (set(mismatches) & candidates)
+    truth = classification_truth(queries, obj, BITS)
+    for qid, matched in truth.items():
+        if matched:
+            # a matching query must never be classified as mismatch
+            assert qid in candidates
+        if qid in mismatches:
+            # reported clause must be a real clause of the query, disjoint
+            clause = mismatches[qid]
+            registered = tree.queries[qid]
+            assert clause in registered.all_clauses
+            assert not any(element in attrs for element in clause)
+
+
+def test_classify_paper_example_object(tree):
+    """Fig 8's oi = ⟨(0,2), {Van, Benz}⟩: q1 match; q2, q3, q4 mismatch."""
+    obj = DataObject(
+        object_id=0, timestamp=0, vector=(0, 2), keywords=frozenset({"Van", "Benz"})
+    )
+    mismatches, candidates = tree.classify(obj.attribute_multiset(BITS))
+    assert 0 in candidates  # q1 matches
+    assert set(mismatches) == {1, 2, 3}
+    # q2 fails its Boolean condition, q4 its numeric range
+    assert mismatches[1] == frozenset({"BMW"})
+    assert mismatches[3] in tree.queries[3].all_clauses
+
+
+def test_classify_super_object(tree):
+    """A multiset spanning two objects stays conservative (no false mismatch)."""
+    a = DataObject(object_id=0, timestamp=0, vector=(0, 2), keywords=frozenset({"Van", "Benz"}))
+    b = DataObject(object_id=1, timestamp=0, vector=(3, 0), keywords=frozenset({"Sedan"}))
+    attrs = a.attribute_multiset(BITS) + b.attribute_multiset(BITS)
+    mismatches, candidates = tree.classify(attrs)
+    # q1 (matches a) and q4 (could match b numerically) must stay candidates
+    assert 0 in candidates
+    assert 3 in candidates
+
+
+def test_query_without_numeric_covers_root():
+    t = IPTree(dims=2, bits=4, max_depth=3)
+    q = SubscriptionQuery(boolean=CNFCondition.of([["k"]]))
+    t.insert(register_query(7, q, 4))
+    assert t.root.rcif[7] is True
+    assert frozenset({"k"}) in t.root.bcif
+
+
+def test_max_depth_respected():
+    t = IPTree(dims=1, bits=8, max_depth=2)
+    q = SubscriptionQuery(numeric=RangeCondition(low=(3,), high=(200,)))
+    t.insert(register_query(0, q, 8))
+
+    def depth(node):
+        if not node.children:
+            return node.depth
+        return max(depth(c) for c in node.children)
+
+    assert depth(t.root) <= 2

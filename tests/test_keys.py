@@ -1,0 +1,87 @@
+"""Tests for key generation and the trusted key oracle."""
+
+import random
+
+import pytest
+
+from repro.accumulators.keys import (
+    KeyOracle,
+    SecretKey,
+    keygen_acc1,
+    keygen_acc2,
+)
+from repro.crypto import get_backend
+from repro.errors import CryptoError, KeyCapacityError
+
+BACKEND = get_backend("simulated")
+
+
+def test_oracle_power_zero_is_generator():
+    oracle = KeyOracle(BACKEND, SecretKey(s=7))
+    assert BACKEND.eq(oracle.power(0), BACKEND.generator())
+
+
+def test_oracle_powers_follow_s():
+    s = 12345
+    oracle = KeyOracle(BACKEND, SecretKey(s=s))
+    g = BACKEND.generator()
+    for i in range(5):
+        assert BACKEND.eq(oracle.power(i), BACKEND.exp(g, pow(s, i, BACKEND.order)))
+
+
+def test_oracle_rejects_negative_index():
+    oracle = KeyOracle(BACKEND, SecretKey(s=7))
+    with pytest.raises(CryptoError):
+        oracle.power(-1)
+
+
+def test_oracle_withholds_forbidden_index():
+    oracle = KeyOracle(BACKEND, SecretKey(s=7), forbidden=frozenset({3}))
+    oracle.power(2)
+    oracle.power(4)
+    with pytest.raises(KeyCapacityError):
+        oracle.power(3)
+
+
+def test_materialize_returns_prefix():
+    oracle = KeyOracle(BACKEND, SecretKey(s=9))
+    powers = oracle.materialize(4)
+    assert len(powers) == 5
+    assert BACKEND.eq(powers[0], BACKEND.generator())
+
+
+def test_materialize_refuses_forbidden_range():
+    oracle = KeyOracle(BACKEND, SecretKey(s=9), forbidden=frozenset({2}))
+    with pytest.raises(KeyCapacityError):
+        oracle.materialize(4)
+
+
+def test_acc1_capacity_enforced():
+    _sk, pk = keygen_acc1(BACKEND, capacity=3, rng=random.Random(1))
+    pk.power(3)
+    with pytest.raises(KeyCapacityError):
+        pk.power(4)
+
+
+def test_acc2_forbidden_and_range():
+    _sk, pk = keygen_acc2(BACKEND, domain=16, rng=random.Random(2))
+    pk.power(15)
+    pk.power(17)
+    pk.power(2 * 16 - 2)
+    with pytest.raises(KeyCapacityError):
+        pk.power(16)  # g^{s^q}
+    with pytest.raises(KeyCapacityError):
+        pk.power(2 * 16 - 1)  # beyond 2q-2
+    with pytest.raises(KeyCapacityError):
+        pk.power(-1)
+
+
+def test_keygen_secret_in_scalar_field():
+    sk, _pk = keygen_acc1(BACKEND, capacity=4, rng=random.Random(3))
+    assert 1 <= sk.s < BACKEND.order
+
+
+def test_keygen_deterministic_with_seed():
+    sk_a, _ = keygen_acc2(BACKEND, rng=random.Random(7))
+    sk_b, _ = keygen_acc2(BACKEND, rng=random.Random(7))
+    assert sk_a.s == sk_b.s

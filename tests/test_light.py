@@ -1,0 +1,65 @@
+"""Tests for the light node (header-only replica)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.chain.light import LightNode
+from repro.errors import ChainError
+
+
+def test_sync_from_chain(small_chain):
+    chain, _params = small_chain
+    light = LightNode()
+    assert light.sync(chain) == len(chain)
+    assert len(light) == len(chain)
+    assert light.header(5).height == 5
+
+
+def test_incremental_sync(small_chain):
+    chain, _params = small_chain
+    light = LightNode()
+    light.sync(chain.headers()[:10])
+    assert len(light) == 10
+    assert light.sync(chain) == len(chain) - 10
+
+
+def test_sync_rejects_broken_linkage(small_chain):
+    chain, _params = small_chain
+    headers = chain.headers()
+    light = LightNode()
+    light.sync(headers[:5])
+    tampered = replace(headers[5], prev_hash=b"\x01" * 32)
+    with pytest.raises(ChainError):
+        light.append_header(tampered)
+
+
+def test_sync_rejects_wrong_height(small_chain):
+    chain, _params = small_chain
+    light = LightNode()
+    with pytest.raises(ChainError):
+        light.append_header(chain.headers()[3])
+
+
+def test_header_access_bounds(small_chain):
+    chain, _params = small_chain
+    light = LightNode()
+    light.sync(chain)
+    with pytest.raises(ChainError):
+        light.header(len(chain))
+
+
+def test_heights_in_window(small_chain):
+    chain, _params = small_chain
+    light = LightNode()
+    light.sync(chain)
+    assert light.heights_in_window(30, 60) == chain.heights_in_window(30, 60)
+
+
+def test_storage_accounting(small_chain):
+    chain, _params = small_chain
+    light = LightNode()
+    light.sync(chain)
+    per_header = light.storage_nbytes() / len(light)
+    # headers are ~100-130 bytes (paper: 800-960 bits)
+    assert 80 <= per_header <= 160

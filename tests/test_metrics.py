@@ -1,0 +1,55 @@
+"""Tests for ADS storage accounting."""
+
+import random
+
+from repro.accumulators import ElementEncoder, make_accumulator
+from repro.chain import Blockchain, Miner, ProtocolParams
+from repro.chain.metrics import (
+    block_ads_nbytes,
+    raw_block_nbytes,
+    skiplist_ads_nbytes,
+    tree_ads_nbytes,
+)
+from repro.crypto import get_backend
+from tests.conftest import make_objects
+
+
+def mine_one(mode, skip_size=2, n_prev=10):
+    backend = get_backend("simulated")
+    _sk, acc = make_accumulator("acc2", backend, rng=random.Random(1))
+    encoder = ElementEncoder(2**32 - 1)
+    params = ProtocolParams(mode=mode, bits=8, skip_size=skip_size)
+    chain = Blockchain()
+    miner = Miner(chain, acc, encoder, params)
+    rng = random.Random(2)
+    block = None
+    for h in range(n_prev):
+        block = miner.mine_block(make_objects(rng, 4, h * 4, h), timestamp=h)
+    return block, backend
+
+
+def test_nil_tree_only_counts_leaf_digests():
+    block, backend = mine_one("nil")
+    # 4 leaves × one 2-part acc2 digest each
+    assert tree_ads_nbytes(block.index_root, backend) == 4 * 2 * backend.element_nbytes
+
+
+def test_intra_counts_internal_digests_too():
+    nil_block, backend = mine_one("nil")
+    intra_block, _ = mine_one("intra")
+    assert tree_ads_nbytes(intra_block.index_root, backend) > tree_ads_nbytes(
+        nil_block.index_root, backend
+    )
+
+
+def test_both_adds_skiplist_bytes():
+    intra_block, backend = mine_one("intra")
+    both_block, _ = mine_one("both")
+    assert skiplist_ads_nbytes(intra_block, backend) == 0
+    assert skiplist_ads_nbytes(both_block, backend) > 0
+    assert block_ads_nbytes(both_block, backend) > block_ads_nbytes(intra_block, backend)
+
+
+def test_raw_block_size_positive():
+    block, _backend = mine_one("nil")
+    assert raw_block_nbytes(block) > 0

@@ -1,0 +1,107 @@
+"""Tests for the MHT baseline (sorted Merkle trees per attribute subset)."""
+
+import random
+
+import pytest
+
+from repro.baselines.mht import MHTBaseline, SortedMHT
+from repro.errors import VerificationError
+from tests.conftest import make_objects
+
+
+@pytest.fixture()
+def objects():
+    return make_objects(random.Random(21), 10, start_id=0, timestamp=0, dims=3)
+
+
+def test_root_deterministic(objects):
+    a = SortedMHT(objects, key_dims=(0,))
+    b = SortedMHT(list(reversed(objects)), key_dims=(0,))
+    assert a.root == b.root  # sorting canonicalises input order
+
+
+def test_root_depends_on_key_dims(objects):
+    assert SortedMHT(objects, (0,)).root != SortedMHT(objects, (1,)).root
+
+
+def test_range_query_returns_correct_results(objects):
+    tree = SortedMHT(objects, key_dims=(0,))
+    results, vo = tree.range_query(50, 200)
+    expected = sorted(
+        (o for o in objects if 50 <= o.vector[0] <= 200), key=lambda o: o.vector[0]
+    )
+    assert [o.object_id for o in results] == [o.object_id for o in expected]
+    SortedMHT.verify_range(tree.root, 50, 200, results, vo)
+
+
+def test_empty_range_verifies(objects):
+    tree = SortedMHT(objects, key_dims=(0,))
+    results, vo = tree.range_query(1000, 2000)
+    assert results == []
+    SortedMHT.verify_range(tree.root, 1000, 2000, results, vo)
+
+
+def test_full_range(objects):
+    tree = SortedMHT(objects, key_dims=(0,))
+    results, vo = tree.range_query(0, 255)
+    assert len(results) == len(objects)
+    SortedMHT.verify_range(tree.root, 0, 255, results, vo)
+
+
+def test_dropped_result_detected(objects):
+    tree = SortedMHT(objects, key_dims=(0,))
+    results, vo = tree.range_query(0, 255)
+    with pytest.raises(VerificationError):
+        SortedMHT.verify_range(tree.root, 0, 255, results[:-1], vo)
+
+
+def test_tampered_leaf_detected(objects):
+    tree = SortedMHT(objects, key_dims=(0,))
+    results, vo = tree.range_query(0, 255)
+    key, obj = vo["leaves"][0]
+    from repro.chain.object import DataObject
+
+    forged = DataObject(
+        object_id=obj.object_id,
+        timestamp=obj.timestamp,
+        vector=obj.vector,
+        keywords=obj.keywords | {"evil"},
+    )
+    vo["leaves"][0] = (key, forged)
+    with pytest.raises(VerificationError):
+        SortedMHT.verify_range(tree.root, 0, 255, results, vo)
+
+
+def test_wrong_root_detected(objects):
+    tree = SortedMHT(objects, key_dims=(0,))
+    results, vo = tree.range_query(0, 100)
+    with pytest.raises(VerificationError):
+        SortedMHT.verify_range(b"\x00" * 32, 0, 100, results, vo)
+
+
+def test_boundary_leaves_present(objects):
+    tree = SortedMHT(objects, key_dims=(0,))
+    keys = sorted(o.vector[0] for o in objects)
+    mid_low, mid_high = keys[3], keys[6]
+    results, vo = tree.range_query(mid_low, mid_high)
+    SortedMHT.verify_range(tree.root, mid_low, mid_high, results, vo)
+    leaf_keys = [k[0] for k, _o in vo["leaves"]]
+    assert leaf_keys[0] < mid_low or vo["span"][0] == 0
+    assert leaf_keys[-1] > mid_high or vo["span"][1] == len(objects)
+
+
+def test_baseline_subset_counts():
+    assert len(MHTBaseline(1).attribute_subsets()) == 1
+    assert len(MHTBaseline(3).attribute_subsets()) == 7
+    assert len(MHTBaseline(5).attribute_subsets()) == 31  # 2^d - 1
+
+
+def test_baseline_ads_grows_exponentially(objects):
+    small = MHTBaseline(1).build_block_ads(objects)
+    large = MHTBaseline(3).build_block_ads(objects)
+    assert MHTBaseline.ads_nbytes(large) > 5 * MHTBaseline.ads_nbytes(small)
+
+
+def test_max_subset_cap(objects):
+    capped = MHTBaseline(5, max_subset=2)
+    assert len(capped.attribute_subsets()) == 5 + 10

@@ -1,0 +1,60 @@
+"""Tests for temporal data objects."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.chain.object import DataObject
+from repro.errors import QueryError
+
+
+def test_attribute_multiset_combines_prefixes_and_keywords():
+    obj = DataObject(object_id=1, timestamp=0, vector=(4,), keywords=frozenset({"Benz"}))
+    attrs = obj.attribute_multiset(3)
+    assert attrs["Benz"] == 1
+    assert attrs["0:1*"] == 1
+    assert attrs["0:100"] == 1
+    assert attrs.total() == 4  # 3 prefixes + 1 keyword
+
+
+def test_attribute_multiset_multi_dim():
+    obj = DataObject(object_id=1, timestamp=0, vector=(4, 2), keywords=frozenset())
+    attrs = obj.attribute_multiset(3)
+    assert "1:010" in attrs
+    assert attrs.total() == 6
+
+
+def test_serialize_deterministic_and_distinct():
+    a = DataObject(object_id=1, timestamp=2, vector=(3,), keywords=frozenset({"x"}))
+    b = DataObject(object_id=1, timestamp=2, vector=(3,), keywords=frozenset({"x"}))
+    c = DataObject(object_id=1, timestamp=2, vector=(3,), keywords=frozenset({"y"}))
+    assert a.serialize() == b.serialize()
+    assert a.serialize() != c.serialize()
+
+
+def test_serialize_keyword_order_canonical():
+    a = DataObject(object_id=1, timestamp=0, vector=(), keywords=frozenset({"a", "b"}))
+    b = DataObject(object_id=1, timestamp=0, vector=(), keywords=frozenset({"b", "a"}))
+    assert a.serialize() == b.serialize()
+
+
+def test_serialize_rejects_negative_vector():
+    obj = DataObject(object_id=1, timestamp=0, vector=(-1,), keywords=frozenset())
+    with pytest.raises(QueryError):
+        obj.serialize()
+
+
+def test_nbytes_reflects_payload():
+    small = DataObject(object_id=1, timestamp=0, vector=(1,), keywords=frozenset())
+    big = DataObject(object_id=1, timestamp=0, vector=(1, 2, 3), keywords=frozenset({"abcdef"}))
+    assert big.nbytes() > small.nbytes()
+
+
+@given(
+    oid=st.integers(min_value=0, max_value=2**32),
+    ts=st.integers(min_value=0, max_value=2**32),
+    vec=st.tuples(st.integers(min_value=0, max_value=255)),
+)
+def test_serialize_sensitive_to_every_field(oid, ts, vec):
+    base = DataObject(object_id=oid, timestamp=ts, vector=vec, keywords=frozenset())
+    bumped = DataObject(object_id=oid + 1, timestamp=ts, vector=vec, keywords=frozenset())
+    assert base.serialize() != bumped.serialize()

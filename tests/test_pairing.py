@@ -1,0 +1,55 @@
+"""Tests for the symmetric Tate pairing (real backend; slow-marked)."""
+
+import random
+
+import pytest
+
+from repro.crypto import curve
+from repro.crypto.pairing import tate_pairing
+
+pytestmark = pytest.mark.slow
+
+G = curve.GENERATOR
+RNG = random.Random(17)
+
+
+def test_non_degenerate():
+    assert tate_pairing(G, G) != curve.FP2_ONE
+
+
+def test_identity_absorbs():
+    assert tate_pairing(None, G) == curve.FP2_ONE
+    assert tate_pairing(G, None) == curve.FP2_ONE
+
+
+def test_bilinearity_left():
+    a = RNG.randrange(1, curve.SUBGROUP_ORDER)
+    lhs = tate_pairing(curve.multiply(G, a), G)
+    rhs = curve.fp2_pow(tate_pairing(G, G), a)
+    assert lhs == rhs
+
+
+def test_bilinearity_right():
+    b = RNG.randrange(1, curve.SUBGROUP_ORDER)
+    lhs = tate_pairing(G, curve.multiply(G, b))
+    rhs = curve.fp2_pow(tate_pairing(G, G), b)
+    assert lhs == rhs
+
+
+def test_bilinearity_joint():
+    a = RNG.randrange(1, 2**40)
+    b = RNG.randrange(1, 2**40)
+    lhs = tate_pairing(curve.multiply(G, a), curve.multiply(G, b))
+    rhs = curve.fp2_pow(tate_pairing(G, G), a * b % curve.SUBGROUP_ORDER)
+    assert lhs == rhs
+
+
+def test_pairing_value_has_order_r():
+    value = tate_pairing(G, G)
+    assert curve.fp2_pow(value, curve.SUBGROUP_ORDER) == curve.FP2_ONE
+
+
+def test_symmetry():
+    p = curve.multiply(G, 7)
+    q = curve.multiply(G, 11)
+    assert tate_pairing(p, q) == tate_pairing(q, p)

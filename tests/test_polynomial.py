@@ -1,0 +1,143 @@
+"""Unit and property tests for polynomial arithmetic over Z_r."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.field import PrimeField
+from repro.crypto.polynomial import PolynomialRing
+from repro.errors import CryptoError
+
+FIELD = PrimeField(10007)
+RING = PolynomialRing(FIELD)
+
+coeff = st.integers(min_value=0, max_value=10006)
+polys = st.lists(coeff, min_size=0, max_size=8)
+roots = st.lists(st.integers(min_value=1, max_value=10006), min_size=0, max_size=6)
+
+
+def test_normalize_strips_leading_zeros():
+    assert RING.normalize([1, 2, 0, 0]) == [1, 2]
+    assert RING.normalize([0, 0]) == []
+    assert RING.normalize([10007]) == []
+
+
+def test_constants():
+    assert RING.zero == []
+    assert RING.one == [1]
+    assert RING.constant(10007) == []
+    assert RING.constant(5) == [5]
+
+
+def test_degree_conventions():
+    assert RING.degree([]) == -1
+    assert RING.degree([3]) == 0
+    assert RING.degree([0, 1]) == 1
+
+
+def test_from_roots_shifted_expands_products():
+    # (X + 2)(X + 3) = X² + 5X + 6
+    assert RING.from_roots_shifted([2, 3]) == [6, 5, 1]
+    # empty product is 1
+    assert RING.from_roots_shifted([]) == [1]
+
+
+def test_from_roots_shifted_keeps_multiplicity():
+    # (X + 2)² = X² + 4X + 4
+    assert RING.from_roots_shifted([2, 2]) == [4, 4, 1]
+
+
+@given(values=roots, x=coeff)
+def test_from_roots_evaluates_to_product(values, x):
+    poly = RING.from_roots_shifted(values)
+    expected = 1
+    for v in values:
+        expected = expected * (x + v) % 10007
+    assert RING.evaluate(poly, x) == expected
+
+
+def test_add_sub_roundtrip():
+    a, b = [1, 2, 3], [4, 5]
+    assert RING.sub(RING.add(a, b), b) == a
+
+
+@given(a=polys, b=polys, x=coeff)
+def test_mul_matches_pointwise_evaluation(a, b, x):
+    a, b = RING.normalize(a), RING.normalize(b)
+    product = RING.mul(a, b)
+    assert RING.evaluate(product, x) == (
+        RING.evaluate(a, x) * RING.evaluate(b, x) % 10007
+    )
+
+
+def test_mul_by_zero():
+    assert RING.mul([1, 2], []) == []
+    assert RING.mul([], []) == []
+
+
+def test_scale():
+    assert RING.scale([1, 2], 3) == [3, 6]
+    assert RING.scale([1, 2], 0) == []
+
+
+def test_divmod_exact_division():
+    a = RING.from_roots_shifted([2, 3, 4])
+    b = RING.from_roots_shifted([3])
+    q, r = RING.divmod(a, b)
+    assert r == []
+    assert RING.mul(q, b) == a
+
+
+@given(a=polys, b=polys)
+def test_divmod_invariant(a, b):
+    a, b = RING.normalize(a), RING.normalize(b)
+    if not b:
+        return
+    q, r = RING.divmod(a, b)
+    assert RING.add(RING.mul(q, b), r) == a
+    assert RING.degree(r) < RING.degree(b)
+
+
+def test_divmod_by_zero_raises():
+    with pytest.raises(CryptoError):
+        RING.divmod([1, 2], [])
+
+
+def test_xgcd_of_coprime_is_one():
+    a = RING.from_roots_shifted([1, 2])
+    b = RING.from_roots_shifted([3])
+    g, u, v = RING.xgcd(a, b)
+    assert g == [1]
+    assert RING.add(RING.mul(u, a), RING.mul(v, b)) == [1]
+
+
+def test_xgcd_detects_common_root():
+    a = RING.from_roots_shifted([1, 2])
+    b = RING.from_roots_shifted([2, 3])
+    g, u, v = RING.xgcd(a, b)
+    # gcd is monic (X + 2)
+    assert g == [2, 1]
+    assert RING.add(RING.mul(u, a), RING.mul(v, b)) == g
+
+
+@given(xs=roots, ys=roots)
+def test_xgcd_bezout_identity(xs, ys):
+    a = RING.from_roots_shifted(xs)
+    b = RING.from_roots_shifted(ys)
+    g, u, v = RING.xgcd(a, b)
+    assert RING.add(RING.mul(u, a), RING.mul(v, b)) == g
+    if not (set(xs) & set(ys)):
+        assert g == [1]
+
+
+def test_bezout_disjoint_raises_on_common_root():
+    a = RING.from_roots_shifted([5])
+    b = RING.from_roots_shifted([5, 6])
+    with pytest.raises(CryptoError):
+        RING.bezout_disjoint(a, b)
+
+
+def test_bezout_disjoint_produces_identity():
+    a = RING.from_roots_shifted([1, 2, 3])
+    b = RING.from_roots_shifted([4, 5])
+    q1, q2 = RING.bezout_disjoint(a, b)
+    assert RING.add(RING.mul(a, q1), RING.mul(b, q2)) == [1]

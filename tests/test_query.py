@@ -1,0 +1,140 @@
+"""Tests for the query model (CNF conditions, range folding)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.chain.object import DataObject
+from repro.core.query import (
+    CNFCondition,
+    Query,
+    RangeCondition,
+    SubscriptionQuery,
+    TimeWindowQuery,
+)
+from repro.errors import QueryError
+
+
+def obj(vector=(4, 2), keywords=("Sedan", "Benz"), ts=0, oid=1):
+    return DataObject(object_id=oid, timestamp=ts, vector=vector, keywords=frozenset(keywords))
+
+
+def test_cnf_of_builder():
+    cnf = CNFCondition.of([["Benz", "BMW"], ["Sedan"]])
+    assert len(cnf.clauses) == 2
+    assert frozenset({"Sedan"}) in cnf.clauses
+
+
+def test_cnf_rejects_empty_clause():
+    with pytest.raises(QueryError):
+        CNFCondition.of([[]])
+
+
+def test_cnf_true_matches_everything():
+    assert CNFCondition.true().matches(Counter())
+    assert CNFCondition.true().mismatch_clause(Counter()) is None
+
+
+def test_cnf_matches_semantics():
+    cnf = CNFCondition.of([["Benz", "BMW"], ["Sedan"]])
+    assert cnf.matches(Counter({"Sedan": 1, "Benz": 1}))
+    assert not cnf.matches(Counter({"Sedan": 1, "Audi": 1}))
+    assert not cnf.matches(Counter({"Van": 1, "Benz": 1}))
+
+
+def test_mismatch_clause_returns_disjoint_clause():
+    cnf = CNFCondition.of([["Benz", "BMW"], ["Sedan"]])
+    clause = cnf.mismatch_clause(Counter({"Van": 1, "Benz": 1}))
+    assert clause == frozenset({"Sedan"})
+    assert cnf.mismatch_clause(Counter({"Sedan": 1, "Benz": 1})) is None
+
+
+def test_cnf_conjoin():
+    a = CNFCondition.of([["x"]])
+    b = CNFCondition.of([["y", "z"]])
+    combined = a.conjoin(b)
+    assert len(combined.clauses) == 2
+
+
+def test_cnf_nbytes_counts_terms():
+    cnf = CNFCondition.of([["ab", "c"]])
+    assert cnf.nbytes() == 3
+
+
+def test_range_condition_validation():
+    with pytest.raises(QueryError):
+        RangeCondition(low=(1,), high=(0,))
+    with pytest.raises(QueryError):
+        RangeCondition(low=(0, 0), high=(1,))
+
+
+def test_range_contains():
+    cond = RangeCondition(low=(0, 10), high=(5, 20))
+    assert cond.contains((3, 15))
+    assert not cond.contains((6, 15))
+    assert not cond.contains((3, 9))
+    with pytest.raises(QueryError):
+        cond.contains((3,))
+
+
+def test_range_contains_ignores_extra_dims():
+    cond = RangeCondition(low=(0,), high=(5,))
+    assert cond.contains((3, 999))
+
+
+def test_range_to_cnf_one_clause_per_dim():
+    cond = RangeCondition(low=(0, 3), high=(6, 4))
+    cnf = cond.to_cnf(3)
+    assert len(cnf.clauses) == 2
+
+
+def test_query_transformed_combines_range_and_boolean():
+    query = Query(
+        numeric=RangeCondition(low=(0,), high=(6,)),
+        boolean=CNFCondition.of([["Sedan"]]),
+    )
+    cnf = query.transformed(3)
+    assert len(cnf.clauses) == 2
+    assert frozenset({"Sedan"}) in cnf.clauses
+
+
+def test_query_without_numeric():
+    query = Query(boolean=CNFCondition.of([["Sedan"]]))
+    assert query.transformed(3) == query.boolean
+    assert query.in_window(123456)
+
+
+def test_matches_object_full_semantics():
+    query = Query(
+        numeric=RangeCondition(low=(0, 0), high=(6, 4)),
+        boolean=CNFCondition.of([["Benz", "BMW"]]),
+    )
+    assert query.matches_object(obj(vector=(4, 2), keywords=("Benz",)), bits=3)
+    assert not query.matches_object(obj(vector=(7, 2), keywords=("Benz",)), bits=3)
+    assert not query.matches_object(obj(vector=(4, 2), keywords=("Audi",)), bits=3)
+
+
+def test_matches_object_consistent_with_cnf_on_transformed_attrs():
+    query = Query(
+        numeric=RangeCondition(low=(0, 0), high=(6, 4)),
+        boolean=CNFCondition.of([["Benz"]]),
+    )
+    o = obj(vector=(4, 2), keywords=("Benz",))
+    cnf = query.transformed(3)
+    assert query.matches_object(o, 3) == cnf.matches(o.attribute_multiset(3))
+
+
+def test_time_window_query_window_check():
+    query = TimeWindowQuery(start=10, end=20)
+    assert query.in_window(10) and query.in_window(20)
+    assert not query.in_window(9) and not query.in_window(21)
+
+
+def test_time_window_rejects_inverted_window():
+    with pytest.raises(QueryError):
+        TimeWindowQuery(start=5, end=4)
+
+
+def test_subscription_query_is_unwindowed():
+    query = SubscriptionQuery(boolean=CNFCondition.of([["x"]]))
+    assert query.in_window(0) and query.in_window(10**12)

@@ -1,0 +1,122 @@
+"""Tests for the range→set transformation (paper Section 5.3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.rangetrans import (
+    quantize,
+    range_cover,
+    trans_range,
+    trans_vector,
+    value_prefix_set,
+)
+from repro.errors import QueryError
+
+
+def test_paper_example_trans_4():
+    # trans(4) = {1*, 10*, 100} in a 3-bit space
+    assert value_prefix_set(4, 3) == {"0:1*", "0:10*", "0:100"}
+
+
+def test_paper_example_cover_0_to_6():
+    # [0, 6] → {0*, 10*, 110}
+    assert range_cover(0, 6, 3) == {"0:0*", "0:10*", "0:110"}
+
+
+def test_paper_example_vector():
+    # (4, 2) → {1*₁, 10*₁, 100₁, 0*₂, 01*₂, 010₂}
+    assert trans_vector((4, 2), 3) == {
+        "0:1*", "0:10*", "0:100", "1:0*", "1:01*", "1:010",
+    }
+
+
+def test_paper_example_multidim_range():
+    # [(0,3),(6,4)] → clauses ({0*,10*,110}, {011,100}) per dimension
+    clauses = trans_range((0, 3), (6, 4), 3)
+    assert clauses[0] == frozenset({"0:0*", "0:10*", "0:110"})
+    assert clauses[1] == frozenset({"1:011", "1:100"})
+
+
+def test_paper_membership_examples():
+    # 4 ∈ [0,6]: prefix sets intersect at 10*
+    assert value_prefix_set(4, 3) & range_cover(0, 6, 3) == {"0:10*"}
+    # (4,2) ∉ [(0,3),(6,4)]: second dimension clause is disjoint
+    obj = trans_vector((4, 2), 3)
+    clauses = trans_range((0, 3), (6, 4), 3)
+    assert obj & clauses[0]
+    assert not (obj & clauses[1])
+
+
+def test_full_space_cover_is_two_top_prefixes():
+    assert range_cover(0, 7, 3) == {"0:0*", "0:1*"}
+
+
+def test_single_point_cover():
+    assert range_cover(5, 5, 3) == {"0:101"}
+
+
+def test_cover_dimension_tagging():
+    assert range_cover(0, 1, 2, dim=3) == {"3:0*"}
+
+
+def test_value_prefix_rejects_out_of_range():
+    with pytest.raises(QueryError):
+        value_prefix_set(8, 3)
+    with pytest.raises(QueryError):
+        value_prefix_set(-1, 3)
+    with pytest.raises(QueryError):
+        value_prefix_set(0, 0)
+
+
+def test_cover_rejects_bad_ranges():
+    with pytest.raises(QueryError):
+        range_cover(3, 2, 3)
+    with pytest.raises(QueryError):
+        range_cover(0, 8, 3)
+    with pytest.raises(QueryError):
+        range_cover(0, 1, 0)
+
+
+def test_trans_range_dim_mismatch():
+    with pytest.raises(QueryError):
+        trans_range((0,), (1, 2), 3)
+
+
+@given(
+    value=st.integers(min_value=0, max_value=255),
+    bound_a=st.integers(min_value=0, max_value=255),
+    bound_b=st.integers(min_value=0, max_value=255),
+)
+def test_membership_iff_intersection(value, bound_a, bound_b):
+    """The core correctness property: v ∈ [α,β] ⟺ trans(v) ∩ cover ≠ ∅."""
+    low, high = min(bound_a, bound_b), max(bound_a, bound_b)
+    prefixes = value_prefix_set(value, 8)
+    cover = range_cover(low, high, 8)
+    assert bool(prefixes & cover) == (low <= value <= high)
+
+
+@given(
+    low=st.integers(min_value=0, max_value=255),
+    width=st.integers(min_value=0, max_value=255),
+)
+def test_cover_is_minimal_dyadic(low, width):
+    """Cover size is bounded by 2·bits (the classic dyadic bound)."""
+    high = min(255, low + width)
+    cover = range_cover(low, high, 8)
+    assert 1 <= len(cover) <= 2 * 8
+
+
+def test_quantize_endpoints_and_midpoint():
+    assert quantize(0.0, 0.0, 1.0, 8) == 0
+    assert quantize(1.0, 0.0, 1.0, 8) == 255
+    assert quantize(0.5, 0.0, 1.0, 8) == 128
+
+
+def test_quantize_clips():
+    assert quantize(-5.0, 0.0, 1.0, 8) == 0
+    assert quantize(9.0, 0.0, 1.0, 8) == 255
+
+
+def test_quantize_rejects_empty_interval():
+    with pytest.raises(QueryError):
+        quantize(0.5, 1.0, 1.0, 8)

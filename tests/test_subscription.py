@@ -1,0 +1,248 @@
+"""End-to-end subscription tests: realtime, lazy, IP-tree on/off."""
+
+import random
+
+import pytest
+
+from repro.accumulators import make_accumulator
+from repro.chain import Blockchain, DataObject, Miner, ProtocolParams
+from repro.chain.light import LightNode
+from repro.core.query import CNFCondition, RangeCondition, SubscriptionQuery
+from repro.crypto import get_backend
+from repro.errors import QueryError, SubscriptionError, VerificationError
+from repro.subscribe import SubscriptionClient, SubscriptionEngine
+
+PARAMS = ProtocolParams(mode="both", bits=8, skip_size=3, skip_base=4, difficulty_bits=0)
+
+
+def make_queries():
+    return [
+        SubscriptionQuery(
+            numeric=RangeCondition(low=(0,), high=(255,)),
+            boolean=CNFCondition.of([["kw1", "kw2"]]),
+        ),
+        SubscriptionQuery(
+            numeric=RangeCondition(low=(0,), high=(60,)),
+            boolean=CNFCondition.of([["kw5"]]),
+        ),
+        SubscriptionQuery(
+            numeric=RangeCondition(low=(100,), high=(200,)),
+            boolean=CNFCondition.of([["kw1", "kw2"]]),
+        ),
+    ]
+
+
+def run_subscription(acc_name, lazy, use_iptree, n_blocks=50, seed=41):
+    backend = get_backend("simulated")
+    _sk, acc = make_accumulator(acc_name, backend, capacity=4096, rng=random.Random(1))
+    from repro.accumulators import ElementEncoder
+
+    encoder = (
+        ElementEncoder(backend.order - 1)
+        if acc_name == "acc1"
+        else ElementEncoder(2**32 - 1)
+    )
+    chain = Blockchain()
+    miner = Miner(chain, acc, encoder, PARAMS)
+    engine = SubscriptionEngine(acc, encoder, PARAMS, use_iptree=use_iptree, lazy=lazy)
+    light = LightNode()
+    client = SubscriptionClient(light, acc, encoder, PARAMS)
+
+    queries = make_queries()
+    qids = []
+    for q in queries:
+        qid = engine.register(q)
+        client.track(qid, q)
+        qids.append(qid)
+
+    rng = random.Random(seed)
+    vocab = [f"kw{i}" for i in range(150)]
+    oid = 0
+    truth = {qid: [] for qid in qids}
+    got = {qid: [] for qid in qids}
+    for h in range(n_blocks):
+        objs = [
+            DataObject(
+                object_id=oid + i,
+                timestamp=h * 5,
+                vector=(rng.randrange(256),),
+                keywords=frozenset(rng.sample(vocab, 2)),
+            )
+            for i in range(3)
+        ]
+        oid += 3
+        block = miner.mine_block(objs, timestamp=h * 5)
+        light.sync(chain)
+        for qid, q in zip(qids, queries):
+            truth[qid].extend(
+                o.object_id for o in objs if q.matches_object(o, PARAMS.bits)
+            )
+        for delivery in engine.process_block(block):
+            verified, _stats = client.on_delivery(delivery)
+            got[delivery.query_id].extend(o.object_id for o in verified)
+    if lazy:
+        for qid in qids:
+            delivery = engine.flush(qid)
+            if delivery is not None:
+                verified, _stats = client.on_delivery(delivery)
+                got[qid].extend(o.object_id for o in verified)
+    return engine, truth, got, qids
+
+
+@pytest.mark.parametrize("use_iptree", [False, True])
+@pytest.mark.parametrize("lazy", [False, True])
+def test_subscription_completeness_acc2(lazy, use_iptree):
+    _engine, truth, got, qids = run_subscription("acc2", lazy, use_iptree)
+    for qid in qids:
+        assert sorted(got[qid]) == sorted(truth[qid])
+    assert any(truth[qid] for qid in qids), "fixture should produce matches"
+
+
+def test_subscription_realtime_acc1():
+    _engine, truth, got, qids = run_subscription("acc1", lazy=False, use_iptree=True)
+    for qid in qids:
+        assert sorted(got[qid]) == sorted(truth[qid])
+
+
+def test_lazy_requires_aggregation():
+    backend = get_backend("simulated")
+    _sk, acc1 = make_accumulator("acc1", backend, capacity=64, rng=random.Random(2))
+    from repro.accumulators import ElementEncoder
+
+    with pytest.raises(QueryError):
+        SubscriptionEngine(acc1, ElementEncoder(backend.order - 1), PARAMS, lazy=True)
+
+
+def test_iptree_shares_proofs():
+    engine_ip, _t, _g, _q = run_subscription("acc2", lazy=False, use_iptree=True)
+    engine_nip, _t2, _g2, _q2 = run_subscription("acc2", lazy=False, use_iptree=False)
+    assert engine_ip.stats.proofs_computed < engine_nip.stats.proofs_computed
+    assert engine_ip.stats.proofs_shared > 0
+    assert engine_nip.stats.proofs_shared == 0
+
+
+def test_lazy_fewer_deliveries():
+    engine_rt, _t, _g, _q = run_subscription("acc2", lazy=False, use_iptree=True)
+    engine_lz, _t2, _g2, _q2 = run_subscription("acc2", lazy=True, use_iptree=True)
+    assert engine_lz.stats.deliveries < engine_rt.stats.deliveries
+
+
+def test_deregister_stops_processing():
+    backend = get_backend("simulated")
+    _sk, acc = make_accumulator("acc2", backend, rng=random.Random(3))
+    from repro.accumulators import ElementEncoder
+
+    encoder = ElementEncoder(2**32 - 1)
+    chain = Blockchain()
+    miner = Miner(chain, acc, encoder, PARAMS)
+    engine = SubscriptionEngine(acc, encoder, PARAMS)
+    qid = engine.register(make_queries()[0])
+    engine.deregister(qid)
+    rng = random.Random(4)
+    block = miner.mine_block(
+        [
+            DataObject(object_id=0, timestamp=0, vector=(1,), keywords=frozenset({"kw1"}))
+        ],
+        timestamp=0,
+    )
+    assert engine.process_block(block) == []
+    with pytest.raises(SubscriptionError):
+        engine.deregister(qid)
+    with pytest.raises(SubscriptionError):
+        engine.flush(qid)
+
+
+def test_client_rejects_gap_in_deliveries():
+    backend = get_backend("simulated")
+    _sk, acc = make_accumulator("acc2", backend, rng=random.Random(5))
+    from repro.accumulators import ElementEncoder
+
+    encoder = ElementEncoder(2**32 - 1)
+    chain = Blockchain()
+    miner = Miner(chain, acc, encoder, PARAMS)
+    engine = SubscriptionEngine(acc, encoder, PARAMS, lazy=False)
+    light = LightNode()
+    client = SubscriptionClient(light, acc, encoder, PARAMS)
+    query = make_queries()[0]
+    qid = engine.register(query)
+    client.track(qid, query)
+    rng = random.Random(6)
+    deliveries = []
+    for h in range(3):
+        block = miner.mine_block(
+            [
+                DataObject(
+                    object_id=h,
+                    timestamp=h,
+                    vector=(rng.randrange(256),),
+                    keywords=frozenset({f"kw{rng.randrange(50)}"}),
+                )
+            ],
+            timestamp=h,
+        )
+        light.sync(chain)
+        deliveries.extend(engine.process_block(block))
+    assert len(deliveries) == 3
+    # deliver block 0 then skip to block 2: the client must notice
+    client.on_delivery(deliveries[0])
+    with pytest.raises(VerificationError):
+        client.on_delivery(deliveries[2])
+
+
+def test_client_rejects_untracked_delivery():
+    backend = get_backend("simulated")
+    _sk, acc = make_accumulator("acc2", backend, rng=random.Random(7))
+    from repro.accumulators import ElementEncoder
+
+    encoder = ElementEncoder(2**32 - 1)
+    light = LightNode()
+    client = SubscriptionClient(light, acc, encoder, PARAMS)
+    from repro.core.vo import TimeWindowVO
+    from repro.subscribe.engine import Delivery
+
+    with pytest.raises(SubscriptionError):
+        client.on_delivery(
+            Delivery(query_id=9, from_height=0, up_to_height=0, results=[], vo=TimeWindowVO())
+        )
+
+
+def test_lazy_uses_skip_aggregation():
+    """With sparse data, lazy deliveries must contain VOSkip entries."""
+    backend = get_backend("simulated")
+    _sk, acc = make_accumulator("acc2", backend, rng=random.Random(8))
+    from repro.accumulators import ElementEncoder
+    from repro.core.vo import VOSkip
+
+    encoder = ElementEncoder(2**32 - 1)
+    chain = Blockchain()
+    miner = Miner(chain, acc, encoder, PARAMS)
+    engine = SubscriptionEngine(acc, encoder, PARAMS, lazy=True)
+    light = LightNode()
+    client = SubscriptionClient(light, acc, encoder, PARAMS)
+    query = SubscriptionQuery(boolean=CNFCondition.of([["needle"]]))
+    qid = engine.register(query)
+    client.track(qid, query)
+    rng = random.Random(9)
+    # 20 blocks that never contain "needle"
+    for h in range(20):
+        block = miner.mine_block(
+            [
+                DataObject(
+                    object_id=h,
+                    timestamp=h,
+                    vector=(rng.randrange(256),),
+                    keywords=frozenset({f"hay{h}"}),
+                )
+            ],
+            timestamp=h,
+        )
+        light.sync(chain)
+        assert engine.process_block(block) == []
+    delivery = engine.flush(qid)
+    assert delivery is not None
+    skips = [e for e in delivery.vo.entries if isinstance(e, VOSkip)]
+    assert skips, "lazy mode should aggregate runs into skip entries"
+    verified, stats = client.on_delivery(delivery)
+    assert verified == []
+    # far fewer disjoint checks than blocks covered
+    assert stats.disjoint_checks < 20

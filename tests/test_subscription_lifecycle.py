@@ -1,0 +1,98 @@
+"""Subscription lifecycle edge cases: late registration, untracking."""
+
+import random
+
+import pytest
+
+from repro.accumulators import ElementEncoder, make_accumulator
+from repro.chain import Blockchain, DataObject, Miner, ProtocolParams
+from repro.chain.light import LightNode
+from repro.core.query import CNFCondition, SubscriptionQuery
+from repro.crypto import get_backend
+from repro.errors import SubscriptionError
+from repro.subscribe import SubscriptionClient, SubscriptionEngine
+
+PARAMS = ProtocolParams(mode="both", bits=8, skip_size=2)
+
+
+@pytest.fixture()
+def stack():
+    backend = get_backend("simulated")
+    _sk, acc = make_accumulator("acc2", backend, rng=random.Random(1))
+    encoder = ElementEncoder(2**32 - 1)
+    chain = Blockchain()
+    miner = Miner(chain, acc, encoder, PARAMS)
+    engine = SubscriptionEngine(acc, encoder, PARAMS)
+    light = LightNode()
+    client = SubscriptionClient(light, acc, encoder, PARAMS)
+    return chain, miner, engine, light, client
+
+
+def _block(miner, height, keyword):
+    return miner.mine_block(
+        [
+            DataObject(
+                object_id=height,
+                timestamp=height,
+                vector=(height % 256,),
+                keywords=frozenset({keyword}),
+            )
+        ],
+        timestamp=height,
+    )
+
+
+def test_registration_since_height_skips_history(stack):
+    chain, miner, engine, light, client = stack
+    for h in range(3):
+        _block(miner, h, "early")
+    query = SubscriptionQuery(boolean=CNFCondition.of([["early", "late"]]))
+    qid = engine.register(query, since_height=3)
+    client.track(qid, query, since_height=3)
+    # the next block is the first the subscriber hears about
+    block = _block(miner, 3, "late")
+    light.sync(chain)
+    deliveries = engine.process_block(block)
+    assert len(deliveries) == 1
+    assert deliveries[0].from_height == 3
+    verified, _stats = client.on_delivery(deliveries[0])
+    assert [o.object_id for o in verified] == [3]
+
+
+def test_double_track_rejected(stack):
+    _chain, _miner, _engine, _light, client = stack
+    query = SubscriptionQuery(boolean=CNFCondition.of([["x"]]))
+    client.track(1, query)
+    with pytest.raises(SubscriptionError):
+        client.track(1, query)
+
+
+def test_untrack_then_delivery_rejected(stack):
+    chain, miner, engine, light, client = stack
+    query = SubscriptionQuery(boolean=CNFCondition.of([["x"]]))
+    qid = engine.register(query)
+    client.track(qid, query)
+    client.untrack(qid)
+    block = _block(miner, 0, "x")
+    light.sync(chain)
+    deliveries = engine.process_block(block)
+    with pytest.raises(SubscriptionError):
+        client.on_delivery(deliveries[0])
+
+
+def test_untrack_unknown_is_noop(stack):
+    _chain, _miner, _engine, _light, client = stack
+    client.untrack(123)  # must not raise
+
+
+def test_next_height_advances(stack):
+    chain, miner, engine, light, client = stack
+    query = SubscriptionQuery(boolean=CNFCondition.of([["x"]]))
+    qid = engine.register(query)
+    client.track(qid, query)
+    for h in range(4):
+        block = _block(miner, h, "x" if h % 2 else "y")
+        light.sync(chain)
+        for delivery in engine.process_block(block):
+            client.on_delivery(delivery)
+    assert client.next_height(qid) == 4

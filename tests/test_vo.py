@@ -1,0 +1,100 @@
+"""Unit tests for VO structures and size accounting."""
+
+from collections import Counter
+
+from repro.chain.object import DataObject
+from repro.core.vo import (
+    BatchGroup,
+    TimeWindowVO,
+    VOBlock,
+    VOExpandNode,
+    VOMatchLeaf,
+    VOMismatchNode,
+    VOSkip,
+)
+from repro.crypto.hashing import DIGEST_NBYTES
+
+
+def make_parts(sim_acc2, encoder_q):
+    value = sim_acc2.accumulate(encoder_q.encode_multiset(Counter({"a": 1})))
+    proof = sim_acc2.prove_disjoint(
+        encoder_q.encode_multiset(Counter({"a": 1})),
+        encoder_q.encode_multiset(Counter({"b": 1})),
+    )
+    return value, proof
+
+
+def test_match_leaf_size_is_object_size(sim_acc2):
+    obj = DataObject(object_id=1, timestamp=0, vector=(1,), keywords=frozenset({"x"}))
+    assert VOMatchLeaf(obj=obj).nbytes(sim_acc2.backend) == obj.nbytes()
+
+
+def test_mismatch_node_size(sim_acc2, encoder_q):
+    value, proof = make_parts(sim_acc2, encoder_q)
+    backend = sim_acc2.backend
+    node = VOMismatchNode(
+        child_component=b"\x00" * DIGEST_NBYTES,
+        att_digest=value,
+        clause=frozenset({"abc"}),
+        proof=proof,
+    )
+    expected = (
+        DIGEST_NBYTES + value.nbytes(backend) + 3 + proof.nbytes(backend)
+    )
+    assert node.nbytes(backend) == expected
+    # grouped node omits the proof bytes
+    grouped = VOMismatchNode(
+        child_component=b"\x00" * DIGEST_NBYTES,
+        att_digest=value,
+        clause=frozenset({"abc"}),
+        group=0,
+    )
+    assert grouped.nbytes(backend) == expected - proof.nbytes(backend)
+
+
+def test_expand_node_sums_children(sim_acc2, encoder_q):
+    value, proof = make_parts(sim_acc2, encoder_q)
+    backend = sim_acc2.backend
+    obj = DataObject(object_id=1, timestamp=0, vector=(1,), keywords=frozenset())
+    child = VOMatchLeaf(obj=obj)
+    node = VOExpandNode(att_digest=value, children=(child, child))
+    assert node.nbytes(backend) == value.nbytes(backend) + 2 * obj.nbytes()
+    bare = VOExpandNode(att_digest=None, children=(child,))
+    assert bare.nbytes(backend) == obj.nbytes()
+
+
+def test_skip_entry_size(sim_acc2, encoder_q):
+    value, proof = make_parts(sim_acc2, encoder_q)
+    backend = sim_acc2.backend
+    skip = VOSkip(
+        height=9,
+        distance=4,
+        att_digest=value,
+        clause=frozenset({"xy"}),
+        proof=proof,
+        sibling_hashes=((8, b"\x01" * DIGEST_NBYTES),),
+    )
+    expected = 16 + value.nbytes(backend) + 2 + proof.nbytes(backend) + DIGEST_NBYTES
+    assert skip.nbytes(backend) == expected
+
+
+def test_time_window_vo_totals(sim_acc2, encoder_q):
+    value, proof = make_parts(sim_acc2, encoder_q)
+    backend = sim_acc2.backend
+    node = VOMismatchNode(
+        child_component=b"\x00" * DIGEST_NBYTES,
+        att_digest=value,
+        clause=frozenset({"a"}),
+        proof=proof,
+    )
+    vo = TimeWindowVO(
+        entries=[VOBlock(height=0, root=node)],
+        batch_groups={0: BatchGroup(clause=frozenset({"a"}), proof=proof)},
+    )
+    assert vo.nbytes(backend) == (8 + node.nbytes(backend)) + (
+        1 + proof.nbytes(backend)
+    )
+
+
+def test_empty_vo_is_zero_bytes(sim_acc2):
+    assert TimeWindowVO().nbytes(sim_acc2.backend) == 0
