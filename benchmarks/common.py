@@ -118,17 +118,16 @@ class WorkloadResult:
 
 
 def run_time_window_workload(net: VChainNetwork, queries) -> WorkloadResult:
-    """Run queries through SP + verifier; average the three metrics."""
-    backend = net.accumulator.backend
+    """Run queries through the client API; average the three metrics."""
+    client = net.client
     batch = net.accumulator.supports_aggregation
     sp_total = user_total = vo_total = res_total = 0.0
     for query in queries:
-        results, vo, sp_stats = net.sp.time_window_query(query, batch=batch)
-        _verified, user_stats = net.user.verify(query, results, vo)
-        sp_total += sp_stats.sp_seconds
-        user_total += user_stats.user_seconds
-        vo_total += vo.nbytes(backend) / 1024
-        res_total += len(results)
+        resp = client.execute(query, batch=batch).raise_for_forgery()
+        sp_total += resp.sp_seconds
+        user_total += resp.user_seconds
+        vo_total += resp.vo_nbytes / 1024
+        res_total += len(resp.results)
     n = len(queries)
     return WorkloadResult(sp_total / n, user_total / n, vo_total / n, res_total / n)
 

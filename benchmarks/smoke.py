@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""CI smoke benchmark: one tiny end-to-end workload per backend.
+
+Runs a miniature time-window workload plus one subscription round
+through the client API and prints the three paper metrics.  Sized to
+finish well under a minute even on the pure-python ``ss512`` pairing —
+this is a liveness check for CI, not a measurement.
+
+Run:  python benchmarks/smoke.py [simulated|ss512]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro import VChainNetwork
+from repro.chain import ProtocolParams
+from repro.datasets import ethereum_like, make_time_window_queries
+
+from common import print_row
+
+#: per-backend scale: (n_blocks, objects_per_block, n_queries)
+_SCALE = {"simulated": (16, 4, 3), "ss512": (4, 2, 1)}
+
+
+def main(backend_name: str) -> None:
+    n_blocks, per_block, n_queries = _SCALE[backend_name]
+    started = time.perf_counter()
+    dataset = ethereum_like(n_blocks, objects_per_block=per_block, seed=13)
+    params = ProtocolParams(
+        mode="both", bits=dataset.bits, skip_size=2, difficulty_bits=0
+    )
+    net = VChainNetwork.create(
+        acc_name="acc2", backend_name=backend_name, params=params, seed=13
+    )
+    net.mine_dataset(dataset)
+
+    queries = make_time_window_queries(
+        dataset, n_queries=n_queries, window_blocks=max(2, n_blocks // 4), seed=31
+    )
+    sp_s = user_s = vo_kb = results = 0.0
+    for query in queries:
+        resp = net.client.execute(query).raise_for_forgery()
+        sp_s += resp.sp_seconds
+        user_s += resp.user_seconds
+        vo_kb += resp.vo_nbytes / 1024
+        results += len(resp.results)
+
+    with net.client.subscribe().any_of(dataset.vocabulary[0]).open() as stream:
+        net.mine(dataset.blocks[0][1], timestamp=dataset.blocks[-1][0] + 1)
+        deliveries = stream.poll()
+
+    print_row(
+        f"smoke/{backend_name}",
+        {
+            "sp_cpu_s": round(sp_s / n_queries, 4),
+            "user_cpu_s": round(user_s / n_queries, 4),
+            "vo_kb": round(vo_kb / n_queries, 2),
+            "avg_results": round(results / n_queries, 1),
+            "sub_deliveries": len(deliveries),
+            "wall_s": round(time.perf_counter() - started, 1),
+        },
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "simulated")

@@ -3,106 +3,89 @@
 paper's Example 3.2.
 
 Multiple users subscribe to Boolean range conditions such as
-``price ∈ [200, 250] ∧ Sedan ∧ (Benz ∨ BMW)``.  The SP's subscription
-engine (with the IP-tree sharing proofs across queries) pushes each new
-block's results with a VO; the light-node clients verify every delivery
-and would notice any withheld match.  The same workload then runs under
-*lazy authentication*: deliveries only happen when something matches,
-with whole mismatching runs aggregated through the inter-block skip
-list — compare the delivery counts and verification costs.
+``price ∈ [200, 250] ∧ Sedan ∧ (Benz ∨ BMW)`` through the client API.
+All three clients share one :class:`~repro.api.ServiceEndpoint`, so the
+SP's subscription engine (with the IP-tree) shares proofs across their
+queries; each light-node client verifies every delivery on its own
+stream and would notice any withheld match.  The same workload then
+runs under *lazy authentication*: deliveries only happen when something
+matches, with whole mismatching runs aggregated through the inter-block
+skip list — compare the delivery counts and verification costs.
 
 Run:  python examples/car_rental_subscription.py
 """
 
 import random
 
-from repro.accumulators import ElementEncoder, make_accumulator
-from repro.chain import Blockchain, DataObject, Miner, ProtocolParams
-from repro.chain.light import LightNode
-from repro.core import CNFCondition, RangeCondition, SubscriptionQuery
-from repro.crypto import get_backend
-from repro.subscribe import SubscriptionClient, SubscriptionEngine
+from repro import VChainClient, VChainNetwork
+from repro.api import ServiceEndpoint
+from repro.chain import ProtocolParams
+from repro.datasets import ObjectFactory
 
 BODIES = ["Sedan", "Van", "SUV", "Coupe"]
 BRANDS = ["Benz", "BMW", "Audi", "Tesla", "Toyota", "Ford", "Kia", "Volvo"]
 
-SUBSCRIPTIONS = {
-    "alice": SubscriptionQuery(
-        numeric=RangeCondition(low=(200,), high=(250,)),
-        boolean=CNFCondition.of([["Sedan"], ["Benz", "BMW"]]),
-    ),
-    "bob": SubscriptionQuery(
-        numeric=RangeCondition(low=(0,), high=(150,)),
-        boolean=CNFCondition.of([["Van", "SUV"]]),
-    ),
-    "carol": SubscriptionQuery(  # same Boolean reason as alice: proofs shared
-        numeric=RangeCondition(low=(100,), high=(250,)),
-        boolean=CNFCondition.of([["Sedan"], ["Benz", "BMW"]]),
-    ),
-}
+
+def open_streams(endpoint: ServiceEndpoint):
+    """One client + stream per subscriber, all sharing the endpoint."""
+    streams = {}
+    alice = VChainClient.local(endpoint)
+    streams["alice"] = (alice.subscribe()
+                        .range(low=(200,), high=(250,))
+                        .all_of("Sedan").any_of("Benz", "BMW").open())
+    bob = VChainClient.local(endpoint)
+    streams["bob"] = (bob.subscribe()
+                      .range(low=(0,), high=(150,))
+                      .any_of("Van", "SUV").open())
+    carol = VChainClient.local(endpoint)  # same Boolean reason as alice:
+    streams["carol"] = (carol.subscribe()  # proofs shared via the IP-tree
+                        .range(low=(100,), high=(250,))
+                        .all_of("Sedan").any_of("Benz", "BMW").open())
+    return streams
 
 
 def run(lazy: bool) -> None:
     params = ProtocolParams(mode="both", bits=8, skip_size=3, skip_base=4)
-    backend = get_backend("simulated")
-    _sk, acc = make_accumulator("acc2", backend, rng=random.Random(0))
-    encoder = ElementEncoder(2**32 - 1)
-    chain = Blockchain()
-    miner = Miner(chain, acc, encoder, params)
-    engine = SubscriptionEngine(acc, encoder, params, use_iptree=True, lazy=lazy)
-    light = LightNode()
-    clients = {}
-    for name, query in SUBSCRIPTIONS.items():
-        client = SubscriptionClient(light, acc, encoder, params)
-        qid = engine.register(query)
-        client.track(qid, query)
-        clients[qid] = (name, client)
+    net = VChainNetwork.create(acc_name="acc2", params=params, seed=0)
+    endpoint = ServiceEndpoint(net.sp, use_iptree=True, lazy=lazy)
+    streams = open_streams(endpoint)
 
     rng = random.Random(7)
-    oid = 0
-    delivered = {qid: 0 for qid in clients}
-    matches = {qid: [] for qid in clients}
-    checks = {qid: 0 for qid in clients}
+    factory = ObjectFactory()
+    delivered = {name: 0 for name in streams}
+    matches = {name: [] for name in streams}
+    checks = {name: 0 for name in streams}
     for height in range(48):
-        listings = [
-            DataObject(
-                object_id=(oid := oid + 1),
-                timestamp=height * 30,
-                vector=(rng.randrange(256),),
-                keywords=frozenset(
-                    {rng.choice(BODIES), rng.choice(BRANDS)}
-                ),
-            )
+        rows = [
+            ((rng.randrange(256),), {rng.choice(BODIES), rng.choice(BRANDS)})
             for _ in range(3)
         ]
-        block = miner.mine_block(listings, timestamp=height * 30)
-        light.sync(chain)
-        for delivery in engine.process_block(block):
-            name, client = clients[delivery.query_id]
-            verified, stats = client.on_delivery(delivery)
-            delivered[delivery.query_id] += 1
-            checks[delivery.query_id] += stats.disjoint_checks
-            matches[delivery.query_id].extend(verified)
+        net.mine(factory.batch(rows, timestamp=height * 30), timestamp=height * 30)
+        for name, stream in streams.items():
+            for delivery in stream.poll():
+                delivered[name] += 1
+                checks[name] += delivery.stats.disjoint_checks
+                matches[name].extend(delivery.results)
     if lazy:  # drain any pending mismatch evidence
-        for qid, (name, client) in clients.items():
-            delivery = engine.flush(qid)
-            if delivery is not None:
-                _verified, stats = client.on_delivery(delivery)
-                delivered[qid] += 1
-                checks[qid] += stats.disjoint_checks
+        for name, stream in streams.items():
+            for delivery in stream.flush():
+                delivered[name] += 1
+                checks[name] += delivery.stats.disjoint_checks
+                matches[name].extend(delivery.results)
 
     mode = "lazy" if lazy else "realtime"
     print(f"--- {mode} authentication ---")
-    for qid, (name, _client) in clients.items():
-        hits = matches[qid]
+    for name, stream in streams.items():
+        hits = matches[name]
         print(f"  {name:6s}: {len(hits):2d} match(es), "
-              f"{delivered[qid]:2d} deliveries, "
-              f"{checks[qid]:3d} disjointness checks")
+              f"{delivered[name]:2d} deliveries, "
+              f"{checks[name]:3d} disjointness checks")
         for obj in hits[:2]:
             print(f"          e.g. id={obj.object_id} price={obj.vector[0]} "
                   f"{sorted(obj.keywords)}")
-    print(f"  SP proofs computed={engine.stats.proofs_computed} "
-          f"shared via IP-tree={engine.stats.proofs_shared}")
+        stream.close()
+    print(f"  SP proofs computed={endpoint.engine.stats.proofs_computed} "
+          f"shared via IP-tree={endpoint.engine.stats.proofs_shared}")
 
 
 def main() -> None:

@@ -1,22 +1,22 @@
 #!/usr/bin/env python3
-"""Quickstart: the full vChain loop in ~60 lines.
+"""Quickstart: the full vChain loop through the client API.
 
 A miner builds ADS-augmented blocks, an untrusted service provider (SP)
-answers a Boolean range query with a verification object (VO), and a
-light-node user — holding only block headers — verifies both soundness
-and completeness.  Finally the SP turns malicious and gets caught.
+answers a fluent Boolean range query with a verification object (VO),
+and a light-node client — holding only block headers — verifies both
+soundness and completeness before handing the results back.  Finally
+the SP turns malicious and gets caught.
 
 Run:  python examples/quickstart.py
 """
 
 from repro import VChainNetwork
-from repro.chain import DataObject
-from repro.core import CNFCondition, RangeCondition, TimeWindowQuery
+from repro.datasets import ObjectFactory
 from repro.errors import VerificationError
 
 
 def main() -> None:
-    # Trusted setup + miner + SP + light-node user, wired together.
+    # Trusted setup + miner + SP + light-node client, wired together.
     net = VChainNetwork.create(acc_name="acc2", backend_name="simulated", seed=1)
 
     # The paper's running example: car rental offers ⟨price, keywords⟩.
@@ -24,42 +24,34 @@ def main() -> None:
         ("Sedan", "Benz", 210), ("Sedan", "Audi", 220), ("Van", "Benz", 230),
         ("Van", "BMW", 190), ("Sedan", "BMW", 240), ("Sedan", "Tesla", 255),
     ]
-    oid = 0
+    factory = ObjectFactory()
     for height, chunk in enumerate([listings[:3], listings[3:]]):
-        objects = [
-            DataObject(
-                object_id=(oid := oid + 1),
-                timestamp=height * 30,
-                vector=(price,),
-                keywords=frozenset({body, brand}),
-            )
-            for body, brand, price in chunk
-        ]
-        net.mine(objects, timestamp=height * 30)
+        rows = [((price,), {body, brand}) for body, brand, price in chunk]
+        net.mine(factory.batch(rows, timestamp=height * 30), timestamp=height * 30)
     print(f"chain: {len(net.chain)} blocks, "
           f"light node stores {net.user.light.storage_nbytes()} header bytes")
 
     # "price in [200, 250] AND Sedan AND (Benz OR BMW)" over the window.
-    query = TimeWindowQuery(
-        start=0, end=60,
-        numeric=RangeCondition(low=(200,), high=(250,)),
-        boolean=CNFCondition.of([["Sedan"], ["Benz", "BMW"]]),
-    )
-    results, vo, sp_stats = net.sp.time_window_query(query)
-    print(f"SP returned {len(results)} result(s), "
-          f"VO = {vo.nbytes(net.accumulator.backend)} bytes, "
-          f"{sp_stats.proofs_computed} disjointness proof(s)")
-
-    verified, user_stats = net.user.verify(query, results, vo)
-    for obj in verified:
+    resp = (net.client.query()
+            .window(0, 60)
+            .range(low=(200,), high=(250,))
+            .all_of("Sedan")
+            .any_of("Benz", "BMW")
+            .execute())
+    resp.raise_for_forgery()
+    print(f"SP returned {len(resp.results)} result(s), "
+          f"VO = {resp.vo_nbytes} bytes, "
+          f"{resp.sp_stats.proofs_computed} disjointness proof(s)")
+    for obj in resp.results:
         print(f"  verified match: id={obj.object_id} "
               f"price={obj.vector[0]} {sorted(obj.keywords)}")
-    print(f"user verification: {user_stats.disjoint_checks} pairing check(s), "
-          f"{user_stats.user_seconds * 1000:.1f} ms")
+    print(f"client verification: {resp.user_stats.disjoint_checks} pairing check(s), "
+          f"{resp.user_seconds * 1000:.1f} ms "
+          f"(round trip {resp.wall_seconds * 1000:.1f} ms)")
 
     # A malicious SP drops a result — the VO gives it away.
     try:
-        net.user.verify(query, results[:-1], vo)
+        net.user.verify(resp.query, resp.results[:-1], resp.vo)
     except VerificationError as err:
         print(f"tampering detected: {err}")
 

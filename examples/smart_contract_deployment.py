@@ -4,8 +4,10 @@
 Instead of modifying a blockchain's native block format, a contract on
 a host chain maintains a *logical* vChain: each contract call builds
 the intra/inter indexes for a batch of objects and stores the resulting
-block under its hash.  The standard prover and verifier then run
-against the logical chain unchanged.
+block under its hash.  The standard client API then runs against the
+logical chain unchanged — a :class:`~repro.core.sp.ServiceProvider`
+over ``contract.chain`` plugs straight into a
+:class:`~repro.api.VChainClient`.
 
 Run:  python examples/smart_contract_deployment.py
 """
@@ -13,13 +15,12 @@ Run:  python examples/smart_contract_deployment.py
 import random
 
 from repro.accumulators import ElementEncoder, make_accumulator
-from repro.chain import DataObject, ProtocolParams
-from repro.chain.light import LightNode
+from repro.api import VChainClient
+from repro.chain import ProtocolParams
 from repro.contract import HostChain, VChainContract
-from repro.core import CNFCondition, TimeWindowQuery
-from repro.core.prover import QueryProcessor
-from repro.core.verifier import QueryVerifier
+from repro.core.sp import ServiceProvider
 from repro.crypto import get_backend
+from repro.datasets import ObjectFactory
 
 
 def main() -> None:
@@ -33,36 +34,29 @@ def main() -> None:
 
     rng = random.Random(11)
     topics = ["patent", "trademark", "design", "blockchain", "query", "search"]
-    oid = 0
+    factory = ObjectFactory()
     for height in range(12):
-        filings = [
-            DataObject(
-                object_id=(oid := oid + 1),
-                timestamp=height * 60,
-                vector=(rng.randrange(256),),
-                keywords=frozenset(rng.sample(topics, 2)),
-            )
+        rows = [
+            ((rng.randrange(256),), rng.sample(topics, 2))
             for _ in range(4)
         ]
+        filings = factory.batch(rows, timestamp=height * 60)
         block_hash = contract.build_vchain(filings, timestamp=height * 60)
         print(f"contract call #{height}: logical block {block_hash.hex()[:16]}…")
     print(f"host chain: {len(host.events)} events, gas used = {host.gas_used}")
 
-    # A light node syncs the logical headers and queries through the SP.
-    light = LightNode()
-    light.sync(contract.chain)
-    processor = QueryProcessor(contract.chain, acc, encoder, params)
-    verifier = QueryVerifier(light, acc, encoder, params)
-
-    query = TimeWindowQuery(
-        start=0, end=12 * 60,
-        boolean=CNFCondition.of([["blockchain"], ["query", "search"]]),
-    )
-    results, vo, _stats = processor.time_window_query(query)
-    verified, _vstats = verifier.verify_time_window(query, results, vo)
-    print(f"verified {len(verified)} filing(s) matching "
+    # A light-node client syncs the logical headers and queries the SP.
+    sp = ServiceProvider(contract.chain, acc, encoder, params)
+    client = VChainClient.local(sp)
+    resp = (client.query()
+            .window(0, 12 * 60)
+            .all_of("blockchain")
+            .any_of("query", "search")
+            .execute())
+    resp.raise_for_forgery()
+    print(f"verified {len(resp.results)} filing(s) matching "
           f"blockchain ∧ (query ∨ search):")
-    for obj in verified:
+    for obj in resp.results:
         print(f"  id={obj.object_id} at t={obj.timestamp}: {sorted(obj.keywords)}")
 
 

@@ -2,9 +2,9 @@
 """Verifiable cryptocurrency transaction search (paper Example 3.1).
 
 An Ethereum-like workload: each object is a transfer ⟨amount,
-{send:…, recv:…}⟩.  A user asks for transactions in a time window with
-an amount range and specific sender/receiver addresses, and verifies
-the untrusted SP's answer.  Sparse address data is where the
+{send:…, recv:…}⟩.  A client asks for transactions in a time window
+with an amount range and specific sender/receiver addresses, and
+verifies the untrusted SP's answer.  Sparse address data is where the
 inter-block skip index shines: whole runs of blocks are dismissed with
 one proof each — watch the ``blocks skipped`` line.
 
@@ -13,7 +13,6 @@ Run:  python examples/transaction_search.py
 
 from repro import VChainNetwork
 from repro.chain import ProtocolParams
-from repro.core import CNFCondition, RangeCondition, TimeWindowQuery
 from repro.datasets import ethereum_like
 
 
@@ -33,27 +32,25 @@ def main() -> None:
         for obj in block.objects
         if obj.vector[0] >= 10
     )
-    query = TimeWindowQuery(
-        start=0,
-        end=dataset.blocks[-1][0],
-        numeric=RangeCondition(low=(10,), high=(255,)),
-        boolean=CNFCondition.of([[target]]),
-    )
     print(f"query: amount ∈ [10, 255] ∧ {target!r} over the whole window")
 
-    results, vo, sp_stats = net.sp.time_window_query(query)
-    verified, user_stats = net.user.verify(query, results, vo)
-    backend = net.accumulator.backend
-    print(f"results: {len(verified)} transaction(s)")
-    for obj in verified:
+    resp = (net.client.query()
+            .window(0, dataset.blocks[-1][0])
+            .range(low=(10,), high=(255,))
+            .all_of(target)
+            .execute())
+    resp.raise_for_forgery()
+    print(f"results: {len(resp.results)} transaction(s)")
+    for obj in resp.results:
         print(f"  tx id={obj.object_id} amount={obj.vector[0]} "
               f"addresses={sorted(obj.keywords)}")
+    sp_stats, user_stats = resp.sp_stats, resp.user_stats
     print(f"SP: {sp_stats.sp_seconds * 1000:.1f} ms, "
           f"blocks scanned={sp_stats.blocks_scanned} "
           f"skipped via inter-block index={sp_stats.blocks_skipped}")
-    print(f"user: {user_stats.user_seconds * 1000:.1f} ms, "
+    print(f"client: {resp.user_seconds * 1000:.1f} ms, "
           f"{user_stats.disjoint_checks} disjointness check(s); "
-          f"VO={vo.nbytes(backend)} bytes "
+          f"VO={resp.vo_nbytes} bytes "
           f"(vs {sum(o.nbytes() for b in net.chain for o in b.objects)} bytes "
           f"to download every transaction)")
 

@@ -15,7 +15,6 @@ from repro import VChainNetwork
 from repro.baselines import MHTBaseline
 from repro.chain import ProtocolParams
 from repro.chain.metrics import block_ads_nbytes, raw_block_nbytes
-from repro.core import CNFCondition, RangeCondition, TimeWindowQuery
 from repro.datasets import weather_like
 
 
@@ -27,30 +26,26 @@ def main() -> None:
     print(f"mined {len(net.chain)} hourly blocks, {dataset.n_objects} readings")
 
     space = (1 << dataset.bits) - 1
+    window_end = dataset.blocks[-1][0]
     # query 1: range on attributes (0, 1) — e.g. humidity × temperature
-    q_humid_temp = TimeWindowQuery(
-        start=0, end=dataset.blocks[-1][0],
-        numeric=RangeCondition(
-            low=(0, 0) + (0,) * 5, high=(space // 3, space // 2) + (space,) * 5
-        ),
-    )
+    q_humid_temp = (net.client.query()
+                    .window(0, window_end)
+                    .range(low=(0, 0) + (0,) * 5,
+                           high=(space // 3, space // 2) + (space,) * 5))
     # query 2: same chain, different attributes (3, 6) via full-span dims
-    q_wind_pressure = TimeWindowQuery(
-        start=0, end=dataset.blocks[-1][0],
-        numeric=RangeCondition(
-            low=(0, 0, 0, space // 2, 0, 0, 0),
-            high=(space,) * 3 + (space,) * 3 + (space // 4,),
-        ),
-        boolean=CNFCondition.of([["wx:0", "wx:1", "wx:2"]]),
-    )
-    for label, query in (("humidity×temp", q_humid_temp),
-                         ("wind×pressure+desc", q_wind_pressure)):
-        results, vo, sp_stats = net.sp.time_window_query(query)
-        verified, user_stats = net.user.verify(query, results, vo)
-        print(f"{label:20s}: {len(verified):3d} results, "
-              f"VO={vo.nbytes(net.accumulator.backend) / 1024:.1f} KB, "
-              f"SP={sp_stats.sp_seconds * 1000:.0f} ms, "
-              f"user={user_stats.user_seconds * 1000:.0f} ms")
+    q_wind_pressure = (net.client.query()
+                       .window(0, window_end)
+                       .range(low=(0, 0, 0, space // 2, 0, 0, 0),
+                              high=(space,) * 3 + (space,) * 3 + (space // 4,))
+                       .any_of("wx:0", "wx:1", "wx:2"))
+    for label, builder in (("humidity×temp", q_humid_temp),
+                           ("wind×pressure+desc", q_wind_pressure)):
+        resp = builder.execute()
+        resp.raise_for_forgery()
+        print(f"{label:20s}: {len(resp.results):3d} results, "
+              f"VO={resp.vo_nbytes / 1024:.1f} KB, "
+              f"SP={resp.sp_seconds * 1000:.0f} ms, "
+              f"client={resp.user_seconds * 1000:.0f} ms")
 
     # the one-size-fits-all argument: accumulator ADS vs per-subset MHTs
     block = net.chain.block(5)

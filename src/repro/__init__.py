@@ -4,35 +4,53 @@ databases (Xu, Zhang, Xu — SIGMOD 2019).
 Quickstart::
 
     from repro import VChainNetwork
-    from repro.core import CNFCondition, RangeCondition, TimeWindowQuery
 
     net = VChainNetwork.create(acc_name="acc2", backend_name="simulated")
     net.mine([...objects...], timestamp=0)
-    query = TimeWindowQuery(start=0, end=100,
-                            numeric=RangeCondition(low=(0,), high=(50,)),
-                            boolean=CNFCondition.of([["Sedan"], ["Benz", "BMW"]]))
-    results, vo, sp_stats, user_stats = net.user.query(net.sp, query)
 
-``backend_name="ss512"`` swaps in the real supersingular pairing;
-``"simulated"`` keeps the identical algebra on exponent arithmetic for
-large runs (see DESIGN.md).
+    resp = (net.client.query()
+                .window(0, 100)
+                .range(low=(0,), high=(50,))
+                .all_of("Sedan")
+                .any_of("Benz", "BMW")
+                .execute())
+    resp.raise_for_forgery()          # or check resp.ok
+    print(resp.results, resp.vo_nbytes, resp.sp_seconds, resp.user_seconds)
+
+    with net.client.subscribe().any_of("Benz").open() as stream:
+        net.mine([...more objects...], timestamp=30)
+        for delivery in stream.poll():
+            print(delivery.heights(), delivery.results)
+
+The client talks to the service provider through a pluggable
+:class:`repro.api.Transport`: in-process by default, or over a
+length-prefixed socket protocol (:class:`repro.api.SocketServer` +
+``VChainClient.connect``) where every request and response round-trips
+through canonical :mod:`repro.wire` bytes.  ``backend_name="ss512"``
+swaps in the real supersingular pairing; ``"simulated"`` keeps the
+identical algebra on exponent arithmetic for large runs (see
+DESIGN.md).  The legacy tuple-returning entrypoints
+(``QueryUser.query``, ``ServiceProvider.time_window_query``) still work
+but emit :class:`DeprecationWarning` — see ``docs/API.md``.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.accumulators import ElementEncoder, make_accumulator
 from repro.accumulators.base import MultisetAccumulator
-from repro.chain import Blockchain, DataObject, Miner, ProtocolParams
+from repro.api import ServiceEndpoint, VChainClient
+from repro.chain import Block, Blockchain, DataObject, Miner, ProtocolParams
 from repro.core.sp import ServiceProvider
 from repro.core.user import QueryUser
 from repro.crypto import get_backend
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "VChainClient",
     "VChainNetwork",
     "__version__",
 ]
@@ -44,7 +62,8 @@ class VChainNetwork:
 
     This is the three-party system model of the paper's Fig 3 in one
     object, for examples and tests; the individual pieces compose just
-    as well by hand.
+    as well by hand.  ``net.client`` is a ready
+    :class:`repro.api.VChainClient` over an in-process transport.
     """
 
     params: ProtocolParams
@@ -54,6 +73,8 @@ class VChainNetwork:
     miner: Miner
     sp: ServiceProvider
     user: QueryUser
+    _endpoint: ServiceEndpoint | None = field(default=None, repr=False)
+    _client: VChainClient | None = field(default=None, repr=False)
 
     @classmethod
     def create(
@@ -89,14 +110,39 @@ class VChainNetwork:
             user=user,
         )
 
-    def mine(self, objects: list[DataObject], timestamp: int):
+    @property
+    def endpoint(self) -> ServiceEndpoint:
+        """The SP-side request dispatcher all default clients share."""
+        if self._endpoint is None:
+            self._endpoint = ServiceEndpoint(self.sp)
+        return self._endpoint
+
+    @property
+    def client(self) -> VChainClient:
+        """A verifying client over the in-process transport (cached)."""
+        if self._client is None:
+            self._client = VChainClient.local(self.endpoint, user=self.user)
+        return self._client
+
+    def connect(self, **engine_options) -> VChainClient:
+        """A fresh client with its own light node and endpoint.
+
+        ``engine_options`` (``lazy=``, ``use_iptree=``, …) configure the
+        new endpoint's subscription engine.
+        """
+        return VChainClient.local(ServiceEndpoint(self.sp, **engine_options))
+
+    def mine(self, objects: list[DataObject], timestamp: int) -> Block:
         """Mine one block and sync the user's light node."""
         block = self.miner.mine_block(objects, timestamp)
         self.user.sync_headers(self.chain)
         return block
 
-    def mine_dataset(self, dataset) -> None:
-        """Mine every block of a generated dataset."""
-        for timestamp, objects in dataset.blocks:
+    def mine_dataset(self, dataset) -> list[Block]:
+        """Mine every block of a generated dataset; returns the blocks."""
+        blocks = [
             self.miner.mine_block(objects, timestamp)
+            for timestamp, objects in dataset.blocks
+        ]
         self.user.sync_headers(self.chain)
+        return blocks

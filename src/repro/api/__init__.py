@@ -1,0 +1,37 @@
+"""Client/server API for the vChain reproduction.
+
+The transport-ready surface over the paper's machinery: a fluent
+:class:`QueryBuilder`, rich :class:`VerifiedResponse` /
+:class:`VerifiedDelivery` results, a :class:`SubscriptionStream`, and
+pluggable :class:`Transport` implementations (in-process
+:class:`LocalTransport`, length-prefixed :class:`SocketTransport`).
+See ``docs/API.md`` for the guided tour.
+"""
+
+from repro.api.builder import QueryBuilder
+from repro.api.client import SubscriptionStream, VChainClient
+from repro.api.response import VerifiedDelivery, VerifiedResponse
+from repro.api.service import ServiceEndpoint
+from repro.api.transport import (
+    LocalTransport,
+    SocketServer,
+    SocketTransport,
+    Transport,
+    TransportError,
+    dispatch_request,
+)
+
+__all__ = [
+    "LocalTransport",
+    "QueryBuilder",
+    "ServiceEndpoint",
+    "SocketServer",
+    "SocketTransport",
+    "SubscriptionStream",
+    "Transport",
+    "TransportError",
+    "VChainClient",
+    "VerifiedDelivery",
+    "VerifiedResponse",
+    "dispatch_request",
+]

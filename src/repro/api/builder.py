@@ -1,0 +1,169 @@
+"""Fluent query construction.
+
+A :class:`QueryBuilder` assembles the paper's two query forms —
+``⟨[ts, te], [α, β], ϒ⟩`` and ``⟨-, [α, β], ϒ⟩`` — clause by clause,
+validating every step *at build time* so malformed queries never reach
+a transport::
+
+    client.query() \
+        .window(0, 100) \
+        .range(low=(180,), high=(250,)) \
+        .all_of("Sedan") \
+        .any_of("Benz", "BMW") \
+        .execute()
+
+``all_of`` adds one single-attribute CNF clause per argument (a pure
+conjunction); ``any_of`` adds one disjunctive clause; ``where`` splices
+in raw CNF clauses for anything more exotic.  The same builder serves
+subscriptions (``client.subscribe()``), where ``window`` is rejected.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core.query import (
+    CNFCondition,
+    RangeCondition,
+    SubscriptionQuery,
+    TimeWindowQuery,
+)
+from repro.errors import QueryError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.api.client import SubscriptionStream, VChainClient
+    from repro.api.response import VerifiedResponse
+
+
+def _as_bound(value: int | tuple[int, ...], label: str) -> tuple[int, ...]:
+    if isinstance(value, bool) or value is None:
+        raise QueryError(f"range {label} bound must be an int or tuple of ints")
+    if isinstance(value, int):
+        bound: tuple[int, ...] = (value,)
+    else:
+        try:
+            bound = tuple(value)
+        except TypeError:
+            raise QueryError(f"range {label} bound must be an int or tuple of ints")
+    if not bound or not all(
+        isinstance(v, int) and not isinstance(v, bool) for v in bound
+    ):
+        raise QueryError(f"range {label} bound must be a non-empty tuple of ints")
+    if any(v < 0 for v in bound):
+        # attribute values live in a non-negative encoded domain, and the
+        # wire format would reject negatives at encode time anyway —
+        # surface it here so local and remote transports agree
+        raise QueryError(f"range {label} bound must be non-negative")
+    return bound
+
+
+class QueryBuilder:
+    """Builds a TimeWindowQuery or SubscriptionQuery step by step."""
+
+    def __init__(
+        self, client: "VChainClient | None" = None, *, subscription: bool = False
+    ) -> None:
+        self._client = client
+        self._subscription = subscription
+        self._window: tuple[int, int] | None = None
+        self._numeric: RangeCondition | None = None
+        self._clauses: list[frozenset[str]] = []
+
+    # -- the fluent surface ------------------------------------------------
+    def window(self, start: int, end: int) -> "QueryBuilder":
+        """Restrict to block timestamps in ``[start, end]``."""
+        if self._subscription:
+            raise QueryError("subscription queries have no time window")
+        if self._window is not None:
+            raise QueryError("window() was already set")
+        if not all(
+            isinstance(v, int) and not isinstance(v, bool) for v in (start, end)
+        ):
+            raise QueryError("window bounds must be ints")
+        if start < 0:
+            raise QueryError("window bounds must be non-negative")
+        if start > end:
+            raise QueryError("time window start exceeds end")
+        self._window = (start, end)
+        return self
+
+    def range(
+        self,
+        low: int | tuple[int, ...] | None = None,
+        high: int | tuple[int, ...] | None = None,
+    ) -> "QueryBuilder":
+        """Numeric predicate ``V ∈ [low, high]``, component-wise."""
+        if self._numeric is not None:
+            raise QueryError("range() was already set")
+        if low is None or high is None:
+            raise QueryError("range() needs both low and high bounds")
+        self._numeric = RangeCondition(
+            low=_as_bound(low, "low"), high=_as_bound(high, "high")
+        )
+        return self
+
+    def all_of(self, *attributes: str) -> "QueryBuilder":
+        """Require every named attribute (one CNF clause each)."""
+        if not attributes:
+            raise QueryError("all_of() needs at least one attribute")
+        for attribute in attributes:
+            self._clauses.append(self._clause([attribute]))
+        return self
+
+    def any_of(self, *attributes: str) -> "QueryBuilder":
+        """Require at least one of the named attributes (one OR-clause)."""
+        if not attributes:
+            raise QueryError("any_of() needs at least one attribute")
+        self._clauses.append(self._clause(attributes))
+        return self
+
+    def where(self, clauses: Iterable[Iterable[str]]) -> "QueryBuilder":
+        """Splice raw CNF clauses, ``[["Benz", "BMW"], ["Sedan"]]`` style."""
+        appended = [self._clause(clause) for clause in clauses]
+        if not appended:
+            raise QueryError("where() needs at least one clause")
+        self._clauses.extend(appended)
+        return self
+
+    @staticmethod
+    def _clause(attributes: Iterable[str]) -> frozenset[str]:
+        clause = frozenset(attributes)
+        if not clause:
+            raise QueryError("CNF clause must not be empty")
+        if not all(isinstance(a, str) for a in clause):
+            raise QueryError("attributes must be strings")
+        return clause
+
+    # -- compilation -------------------------------------------------------
+    def build(self) -> TimeWindowQuery | SubscriptionQuery:
+        """Compile to the matching query dataclass."""
+        boolean = (
+            CNFCondition(tuple(self._clauses)) if self._clauses else CNFCondition.true()
+        )
+        if self._subscription:
+            return SubscriptionQuery(numeric=self._numeric, boolean=boolean)
+        start, end = self._window if self._window is not None else (0, 2**63 - 1)
+        return TimeWindowQuery(
+            start=start, end=end, numeric=self._numeric, boolean=boolean
+        )
+
+    # -- execution through the bound client --------------------------------
+    def execute(self, batch: bool | None = None) -> "VerifiedResponse":
+        """Run the compiled time-window query and verify the answer."""
+        if self._client is None:
+            raise QueryError("builder is not bound to a client; use build()")
+        if self._subscription:
+            raise QueryError("subscription builders open a stream, not execute()")
+        query = self.build()
+        assert isinstance(query, TimeWindowQuery)
+        return self._client.execute(query, batch=batch)
+
+    def open(self, since_height: int | None = None) -> "SubscriptionStream":
+        """Register the compiled subscription and open a delivery stream."""
+        if self._client is None:
+            raise QueryError("builder is not bound to a client; use build()")
+        if not self._subscription:
+            raise QueryError("time-window builders execute(), they do not open()")
+        query = self.build()
+        assert isinstance(query, SubscriptionQuery)
+        return self._client.stream(query, since_height=since_height)

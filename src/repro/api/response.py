@@ -1,0 +1,88 @@
+"""Rich result objects returned by the client API.
+
+:class:`VerifiedResponse` replaces the bare
+``(results, vo, sp_stats, user_stats)`` tuple of the legacy
+entrypoints.  The client *always* runs verification before handing the
+response back; a forged or tampered answer is captured rather than
+raised, so callers choose between the two idioms::
+
+    resp = client.query().window(0, 100).any_of("Benz").execute()
+    if resp.ok:
+        use(resp.results)
+
+    resp.raise_for_forgery()      # or: fail fast
+
+For transition, a VerifiedResponse still unpacks like the legacy
+4-tuple (``results, vo, sp_stats, user_stats = resp``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.chain.object import DataObject
+from repro.core.prover import QueryStats
+from repro.core.query import Query
+from repro.core.verifier import VerifyStats
+from repro.core.vo import TimeWindowVO
+from repro.errors import VerificationError
+
+
+@dataclass
+class VerifiedResponse:
+    """A fully verified SP answer with both parties' accounting."""
+
+    query: Query
+    results: list[DataObject]
+    vo: TimeWindowVO
+    sp_stats: QueryStats
+    user_stats: VerifyStats | None
+    #: exact wire size of the VO (what a remote user would download)
+    vo_nbytes: int
+    #: client-observed wall clock for the full round trip, including
+    #: transport encode/decode and verification
+    wall_seconds: float
+    #: the verification failure, when the SP's answer did not authenticate
+    error: VerificationError | None = field(default=None)
+
+    @property
+    def ok(self) -> bool:
+        """True iff the answer verified; ``results`` is empty otherwise."""
+        return self.error is None
+
+    def raise_for_forgery(self) -> "VerifiedResponse":
+        """Raise the captured :class:`VerificationError`, if any."""
+        if self.error is not None:
+            raise self.error
+        return self
+
+    @property
+    def sp_seconds(self) -> float:
+        return self.sp_stats.sp_seconds
+
+    @property
+    def user_seconds(self) -> float:
+        return self.user_stats.user_seconds if self.user_stats is not None else 0.0
+
+    def __iter__(self) -> Iterator:
+        """Legacy 4-tuple unpacking: results, vo, sp_stats, user_stats."""
+        yield self.results
+        yield self.vo
+        yield self.sp_stats
+        yield self.user_stats
+
+
+@dataclass(frozen=True)
+class VerifiedDelivery:
+    """One verified subscription push covering a contiguous height run."""
+
+    query_id: int
+    from_height: int
+    up_to_height: int
+    results: list[DataObject]
+    stats: VerifyStats
+    vo_nbytes: int
+
+    def heights(self) -> list[int]:
+        return list(range(self.from_height, self.up_to_height + 1))

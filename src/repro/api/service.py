@@ -1,0 +1,140 @@
+"""Server-side request dispatcher.
+
+:class:`ServiceEndpoint` is the one object a transport talks to on the
+SP side.  It owns the query processor (through the
+:class:`~repro.core.sp.ServiceProvider`) and one
+:class:`~repro.subscribe.engine.SubscriptionEngine`, multiplexes every
+registered subscription over newly mined blocks, and queues deliveries
+per query until the subscriber polls.  Both the in-process
+:class:`~repro.api.transport.LocalTransport` and the socket server
+dispatch into the same endpoint, so local and remote answers are
+identical by construction.
+
+Block ingestion is pull-based: each ``poll``/``flush`` first feeds any
+chain blocks the engine has not seen yet, in height order.  This keeps
+the endpoint free of callbacks into the miner — it only ever reads
+``sp.chain``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from repro.chain.block import BlockHeader
+from repro.chain.object import DataObject
+from repro.core.prover import QueryStats
+from repro.core.query import SubscriptionQuery, TimeWindowQuery
+from repro.core.sp import ServiceProvider
+from repro.core.vo import TimeWindowVO
+from repro.errors import SubscriptionError
+from repro.subscribe.engine import Delivery, SubscriptionEngine
+
+
+class ServiceEndpoint:
+    """Dispatches the full SP↔user protocol against one service provider."""
+
+    def __init__(
+        self,
+        sp: ServiceProvider,
+        *,
+        use_iptree: bool = True,
+        lazy: bool = False,
+        iptree_dims: int | None = None,
+        iptree_max_depth: int = 6,
+    ) -> None:
+        self.sp = sp
+        self.engine = SubscriptionEngine(
+            sp.accumulator,
+            sp.encoder,
+            sp.params,
+            use_iptree=use_iptree,
+            lazy=lazy,
+            iptree_dims=iptree_dims,
+            iptree_max_depth=iptree_max_depth,
+        )
+        self._queues: dict[int, deque[Delivery]] = {}
+        self._ingested = 0  # chain height the engine has processed up to
+        # one endpoint may serve many transports (and the socket server
+        # runs one thread per connection): every entrypoint that touches
+        # the engine or the queues holds this lock
+        self._lock = threading.RLock()
+
+    # -- time-window queries ----------------------------------------------
+    def time_window_query(
+        self, query: TimeWindowQuery, batch: bool | None = None
+    ) -> tuple[list[DataObject], TimeWindowVO, QueryStats]:
+        with self._lock:
+            return self.sp.processor.time_window_query(query, batch=batch)
+
+    # -- subscriptions -----------------------------------------------------
+    def register(
+        self, query: SubscriptionQuery, since_height: int | None = None
+    ) -> tuple[int, int]:
+        """Register a subscription; returns ``(query_id, since_height)``.
+
+        ``since_height`` defaults to the next block to be mined, i.e. a
+        new subscription sees the future, not the backlog.  An explicit
+        earlier height works as long as the engine has not processed it
+        yet — already-processed heights cannot be subscribed to
+        retroactively, because the engine never replays them.
+        """
+        with self._lock:
+            if since_height is None:
+                since_height = len(self.sp.chain)
+            elif since_height < self._ingested:
+                raise SubscriptionError(
+                    f"height {since_height} was already processed; "
+                    f"subscriptions start at {self._ingested} or later"
+                )
+            if not self._queues:
+                # no live subscription covers the blocks below
+                # ``since_height``: skip them instead of replaying the
+                # whole backlog through the engine on the next poll
+                self._ingested = since_height
+            query_id = self.engine.register(query, since_height=since_height)
+            self._queues[query_id] = deque()
+            return query_id, since_height
+
+    def deregister(self, query_id: int) -> None:
+        with self._lock:
+            self.engine.deregister(query_id)
+            self._queues.pop(query_id, None)
+
+    def poll(self, query_id: int) -> list[Delivery]:
+        """Due deliveries for one subscription (after ingesting new blocks)."""
+        with self._lock:
+            if query_id not in self._queues:
+                raise SubscriptionError(f"query {query_id} is not registered")
+            self._ingest()
+            queue = self._queues[query_id]
+            deliveries = list(queue)
+            queue.clear()
+            return deliveries
+
+    def flush(self, query_id: int) -> Delivery | None:
+        """Drain a lazy subscription's pending mismatch evidence."""
+        with self._lock:
+            if query_id not in self._queues:
+                raise SubscriptionError(f"query {query_id} is not registered")
+            self._ingest()
+            if self._queues[query_id]:
+                raise SubscriptionError(
+                    f"query {query_id} has undelivered results; poll before flushing"
+                )
+            return self.engine.flush(query_id)
+
+    def _ingest(self) -> None:
+        chain = self.sp.chain
+        while self._ingested < len(chain):
+            block = chain.block(self._ingested)
+            for delivery in self.engine.process_block(block):
+                queue = self._queues.get(delivery.query_id)
+                if queue is not None:
+                    queue.append(delivery)
+            self._ingested += 1
+
+    # -- header sync -------------------------------------------------------
+    def headers(self, from_height: int = 0) -> list[BlockHeader]:
+        with self._lock:
+            return self.sp.chain.headers()[from_height:]

@@ -1,0 +1,334 @@
+"""Pluggable SP↔user transports.
+
+A :class:`Transport` is the client's only handle on a service provider.
+Two implementations ship:
+
+* :class:`LocalTransport` — in-process and zero-copy: calls the
+  :class:`~repro.api.service.ServiceEndpoint` directly, passing query
+  and VO objects by reference.  The default for examples and tests.
+* :class:`SocketTransport` / :class:`SocketServer` — a length-prefixed
+  frame protocol over TCP.  Every request and response crosses the link
+  as canonical :mod:`repro.wire` bytes, so the full protocol is
+  exercised end-to-end: a forged group element in a response is
+  rejected by ``backend.decode`` while parsing, before any verification
+  logic runs.
+
+Frame format: a 4-byte big-endian length followed by the payload.
+Requests are :func:`repro.wire.encode_request` bytes; responses carry a
+status byte (``0`` ok, ``1`` error) followed by the per-request body.
+Server-side errors are re-raised client-side as the matching exception
+class.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+from typing import Protocol
+
+from repro.chain.block import BlockHeader
+from repro.chain.object import DataObject
+from repro.core.prover import QueryStats
+from repro.core.query import SubscriptionQuery, TimeWindowQuery
+from repro.core.vo import TimeWindowVO
+from repro.crypto.backend import PairingBackend
+from repro.errors import (
+    CryptoError,
+    QueryError,
+    ReproError,
+    SubscriptionError,
+    VerificationError,
+)
+from repro.subscribe.engine import Delivery
+from repro.wire import (
+    DeregisterRequest,
+    FlushRequest,
+    HeadersRequest,
+    PollRequest,
+    QueryRequest,
+    RegisterRequest,
+    WireError,
+    decode_deliveries,
+    decode_error,
+    decode_flush_response,
+    decode_headers_response,
+    decode_query_response,
+    decode_register_response,
+    decode_request,
+    encode_deliveries,
+    encode_error,
+    encode_flush_response,
+    encode_headers_response,
+    encode_query_response,
+    encode_register_response,
+    encode_request,
+)
+from repro.api.service import ServiceEndpoint
+
+_STATUS_OK = 0
+_STATUS_ERROR = 1
+
+#: a response frame may carry a large VO, but never gigabytes
+MAX_FRAME_NBYTES = 1 << 30
+
+#: error-kind tags carried in error responses, mapped back to classes
+_ERROR_CLASSES: dict[str, type[ReproError]] = {
+    "query": QueryError,
+    "subscription": SubscriptionError,
+    "verification": VerificationError,
+    "wire": WireError,
+    "crypto": CryptoError,
+    "error": ReproError,
+}
+
+
+def _error_kind(exc: ReproError) -> str:
+    for kind, cls in _ERROR_CLASSES.items():
+        if kind != "error" and isinstance(exc, cls):
+            return kind
+    return "error"
+
+
+class TransportError(ReproError):
+    """The transport link itself failed (closed socket, bad frame)."""
+
+
+class Transport(Protocol):
+    """What a client needs from a service provider, typed end to end."""
+
+    def time_window_query(
+        self, query: TimeWindowQuery, batch: bool | None = None
+    ) -> tuple[list[DataObject], TimeWindowVO, QueryStats]: ...
+
+    def register(
+        self, query: SubscriptionQuery, since_height: int | None = None
+    ) -> tuple[int, int]: ...
+
+    def deregister(self, query_id: int) -> None: ...
+
+    def poll(self, query_id: int) -> list[Delivery]: ...
+
+    def flush(self, query_id: int) -> Delivery | None: ...
+
+    def headers(self, from_height: int = 0) -> list[BlockHeader]: ...
+
+    def close(self) -> None: ...
+
+
+class LocalTransport:
+    """In-process transport: zero-copy calls into a ServiceEndpoint."""
+
+    def __init__(self, endpoint: ServiceEndpoint) -> None:
+        self.endpoint = endpoint
+
+    def time_window_query(
+        self, query: TimeWindowQuery, batch: bool | None = None
+    ) -> tuple[list[DataObject], TimeWindowVO, QueryStats]:
+        return self.endpoint.time_window_query(query, batch=batch)
+
+    def register(
+        self, query: SubscriptionQuery, since_height: int | None = None
+    ) -> tuple[int, int]:
+        return self.endpoint.register(query, since_height=since_height)
+
+    def deregister(self, query_id: int) -> None:
+        self.endpoint.deregister(query_id)
+
+    def poll(self, query_id: int) -> list[Delivery]:
+        return self.endpoint.poll(query_id)
+
+    def flush(self, query_id: int) -> Delivery | None:
+        return self.endpoint.flush(query_id)
+
+    def headers(self, from_height: int = 0) -> list[BlockHeader]:
+        return self.endpoint.headers(from_height)
+
+    def close(self) -> None:
+        pass
+
+
+# -- framing ------------------------------------------------------------------
+def _send_frame(sock: socket.socket, payload: bytes) -> None:
+    sock.sendall(struct.pack(">I", len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, length: int) -> bytes:
+    chunks = []
+    remaining = length
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise TransportError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_frame(sock: socket.socket) -> bytes:
+    (length,) = struct.unpack(">I", _recv_exact(sock, 4))
+    if length > MAX_FRAME_NBYTES:
+        raise TransportError("frame exceeds sanity bound")
+    return _recv_exact(sock, length)
+
+
+class SocketTransport:
+    """Client side of the length-prefixed TCP protocol."""
+
+    def __init__(self, address: tuple[str, int], backend: PairingBackend) -> None:
+        self.backend = backend
+        self._sock = socket.create_connection(address)
+        self._lock = threading.Lock()
+
+    def _request(self, payload: bytes) -> bytes:
+        with self._lock:
+            _send_frame(self._sock, payload)
+            response = _recv_frame(self._sock)
+        if not response:
+            raise TransportError("empty response frame")
+        status, body = response[0], response[1:]
+        if status == _STATUS_OK:
+            return body
+        if status == _STATUS_ERROR:
+            kind, message = decode_error(body)
+            raise _ERROR_CLASSES.get(kind, ReproError)(message)
+        raise TransportError(f"unknown response status {status}")
+
+    def time_window_query(
+        self, query: TimeWindowQuery, batch: bool | None = None
+    ) -> tuple[list[DataObject], TimeWindowVO, QueryStats]:
+        body = self._request(encode_request(QueryRequest(query=query, batch=batch)))
+        return decode_query_response(self.backend, body)
+
+    def register(
+        self, query: SubscriptionQuery, since_height: int | None = None
+    ) -> tuple[int, int]:
+        body = self._request(
+            encode_request(RegisterRequest(query=query, since_height=since_height))
+        )
+        return decode_register_response(body)
+
+    def deregister(self, query_id: int) -> None:
+        self._request(encode_request(DeregisterRequest(query_id=query_id)))
+
+    def poll(self, query_id: int) -> list[Delivery]:
+        body = self._request(encode_request(PollRequest(query_id=query_id)))
+        return decode_deliveries(self.backend, body)
+
+    def flush(self, query_id: int) -> Delivery | None:
+        body = self._request(encode_request(FlushRequest(query_id=query_id)))
+        return decode_flush_response(self.backend, body)
+
+    def headers(self, from_height: int = 0) -> list[BlockHeader]:
+        body = self._request(encode_request(HeadersRequest(from_height=from_height)))
+        return decode_headers_response(body)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "SocketTransport":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def dispatch_request(
+    endpoint: ServiceEndpoint, backend: PairingBackend, payload: bytes
+) -> bytes:
+    """Decode one request frame, run it, encode the response frame body."""
+    try:
+        request = decode_request(payload)
+        if isinstance(request, QueryRequest):
+            results, vo, stats = endpoint.time_window_query(
+                request.query, batch=request.batch
+            )
+            body = encode_query_response(backend, results, vo, stats)
+        elif isinstance(request, RegisterRequest):
+            query_id, since = endpoint.register(
+                request.query, since_height=request.since_height
+            )
+            body = encode_register_response(query_id, since)
+        elif isinstance(request, DeregisterRequest):
+            endpoint.deregister(request.query_id)
+            body = b""
+        elif isinstance(request, PollRequest):
+            body = encode_deliveries(backend, endpoint.poll(request.query_id))
+        elif isinstance(request, FlushRequest):
+            body = encode_flush_response(backend, endpoint.flush(request.query_id))
+        else:
+            body = encode_headers_response(endpoint.headers(request.from_height))
+    except ReproError as exc:
+        return bytes([_STATUS_ERROR]) + encode_error(_error_kind(exc), str(exc))
+    return bytes([_STATUS_OK]) + body
+
+
+class SocketServer:
+    """Serves one ServiceEndpoint over TCP, one thread per connection."""
+
+    def __init__(
+        self,
+        endpoint: ServiceEndpoint,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.endpoint = endpoint
+        self.backend = endpoint.sp.accumulator.backend
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen()
+        self.address: tuple[str, int] = self._listener.getsockname()[:2]
+        self._threads: list[threading.Thread] = []
+        self._accept_thread: threading.Thread | None = None
+        self._closing = False
+
+    def start(self) -> "SocketServer":
+        """Accept connections on a background daemon thread."""
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="vchain-socket-server", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def _accept_loop(self) -> None:
+        while not self._closing:
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        # requests on one connection are served strictly in order;
+        # across connections the ServiceEndpoint's own lock serialises
+        # engine and queue mutation, so concurrent clients are safe
+        with conn:
+            while True:
+                try:
+                    payload = _recv_frame(conn)
+                except TransportError:
+                    return  # client hung up
+                _send_frame(conn, dispatch_request(self.endpoint, self.backend, payload))
+
+    def stop(self) -> None:
+        self._closing = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=1.0)
+
+    def __enter__(self) -> "SocketServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import warnings
+
 from repro.accumulators.base import MultisetAccumulator
 from repro.accumulators.encoding import ElementEncoder
 from repro.chain.chain import Blockchain
@@ -15,9 +17,10 @@ from repro.core.vo import TimeWindowVO
 class ServiceProvider:
     """A full node offering verifiable query services to light users.
 
-    Thin façade over :class:`QueryProcessor`; subscription queries are
-    handled by :class:`repro.subscribe.engine.SubscriptionEngine`, which
-    composes with this class (see the examples).
+    Thin façade over :class:`QueryProcessor`.  Transports talk to it
+    through :class:`repro.api.ServiceEndpoint`, which also multiplexes
+    subscription queries via
+    :class:`repro.subscribe.engine.SubscriptionEngine`.
     """
 
     def __init__(
@@ -36,5 +39,16 @@ class ServiceProvider:
     def time_window_query(
         self, query: TimeWindowQuery, batch: bool | None = None
     ) -> tuple[list[DataObject], TimeWindowVO, QueryStats]:
-        """Answer a historical Boolean range query with a VO."""
+        """Deprecated direct entrypoint; use :class:`repro.api.VChainClient`.
+
+        The positional-tuple answer survives for compatibility, but new
+        code should go through a client and transport — the endpoint
+        path is what the wire protocol and its tests exercise.
+        """
+        warnings.warn(
+            "ServiceProvider.time_window_query() is deprecated; route queries "
+            "through repro.api.VChainClient (or a ServiceEndpoint)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.processor.time_window_query(query, batch=batch)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import warnings
+
 from repro.accumulators.base import MultisetAccumulator
 from repro.accumulators.encoding import ElementEncoder
 from repro.chain.chain import Blockchain
@@ -40,10 +42,26 @@ class QueryUser:
         return self.verifier.verify_time_window(query, results, vo)
 
     def query(self, sp, query: TimeWindowQuery, batch: bool | None = None):
-        """One-shot convenience: ask ``sp`` and verify its answer.
+        """Deprecated one-shot convenience; use :class:`repro.api.VChainClient`.
 
-        Returns ``(results, vo, sp_stats, user_stats)``.
+        Returns the legacy ``(results, vo, sp_stats, user_stats)`` tuple.
+        New code gets the same answer as a rich
+        :class:`~repro.api.VerifiedResponse` via
+        ``VChainClient.local(sp, user=self).execute(query)``.
         """
-        results, vo, sp_stats = sp.time_window_query(query, batch=batch)
+        warnings.warn(
+            "QueryUser.query() is deprecated; use repro.api.VChainClient",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.core.sp import ServiceProvider
+
+        if type(sp) is ServiceProvider:
+            # skip the deprecated facade so one legacy call warns once,
+            # while subclasses and other duck-typed providers keep their
+            # time_window_query override in the loop
+            results, vo, sp_stats = sp.processor.time_window_query(query, batch=batch)
+        else:
+            results, vo, sp_stats = sp.time_window_query(query, batch=batch)
         verified, user_stats = self.verify(query, results, vo)
         return verified, vo, sp_stats, user_stats

@@ -1,6 +1,6 @@
 """Synthetic datasets and query workloads for the evaluation."""
 
-from repro.datasets.base import Dataset, sample_keywords, zipf_choice
+from repro.datasets.base import Dataset, ObjectFactory, sample_keywords, zipf_choice
 from repro.datasets.synthetic import (
     DEFAULT_BITS,
     GENERATORS,
@@ -21,6 +21,7 @@ __all__ = [
     "DEFAULT_BITS",
     "Dataset",
     "GENERATORS",
+    "ObjectFactory",
     "ethereum_like",
     "foursquare_like",
     "make_subscription_queries",

@@ -35,6 +35,39 @@ class Dataset:
         return [obj for _, objects in self.blocks for obj in objects]
 
 
+class ObjectFactory:
+    """Builds :class:`DataObject` batches with sequential ids.
+
+    Every example used to hand-roll the same ``(oid := oid + 1)`` loop;
+    this is that loop, once.  ``make`` builds one object, ``batch``
+    builds one block's worth from ``(vector, keywords)`` rows.
+    """
+
+    def __init__(self, start_id: int = 1) -> None:
+        self._next_id = start_id
+
+    def make(
+        self,
+        vector: tuple[int, ...] | int,
+        keywords,
+        timestamp: int,
+    ) -> DataObject:
+        if isinstance(vector, int):
+            vector = (vector,)
+        obj = DataObject(
+            object_id=self._next_id,
+            timestamp=timestamp,
+            vector=tuple(vector),
+            keywords=frozenset(keywords),
+        )
+        self._next_id += 1
+        return obj
+
+    def batch(self, rows, timestamp: int) -> list[DataObject]:
+        """One block of objects from ``(vector, keywords)`` rows."""
+        return [self.make(vector, keywords, timestamp) for vector, keywords in rows]
+
+
 def zipf_choice(rng: random.Random, population: list[str], exponent: float = 1.1) -> str:
     """Zipf-distributed pick (rank-frequency) — keyword popularity skew."""
     # inverse-CDF sampling over a truncated zeta distribution

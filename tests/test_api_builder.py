@@ -1,0 +1,110 @@
+"""QueryBuilder: fluent construction, build-time validation."""
+
+import pytest
+
+from repro.api import QueryBuilder
+from repro.core.query import (
+    CNFCondition,
+    RangeCondition,
+    SubscriptionQuery,
+    TimeWindowQuery,
+)
+from repro.errors import QueryError
+
+
+def test_builds_full_time_window_query():
+    query = (
+        QueryBuilder()
+        .window(0, 100)
+        .range(low=(180,), high=(250,))
+        .all_of("Sedan")
+        .any_of("Benz", "BMW")
+        .build()
+    )
+    assert query == TimeWindowQuery(
+        start=0,
+        end=100,
+        numeric=RangeCondition(low=(180,), high=(250,)),
+        boolean=CNFCondition.of([["Sedan"], ["Benz", "BMW"]]),
+    )
+
+
+def test_defaults_to_unbounded_window_and_true_condition():
+    query = QueryBuilder().build()
+    assert isinstance(query, TimeWindowQuery)
+    assert query.start == 0 and query.end == 2**63 - 1
+    assert query.numeric is None and query.boolean == CNFCondition.true()
+
+
+def test_scalar_range_bounds_promote_to_one_dimension():
+    query = QueryBuilder().range(low=10, high=20).build()
+    assert query.numeric == RangeCondition(low=(10,), high=(20,))
+
+
+def test_where_splices_raw_clauses():
+    query = QueryBuilder().where([["a", "b"], ["c"]]).all_of("d").build()
+    assert query.boolean == CNFCondition.of([["a", "b"], ["c"], ["d"]])
+
+
+def test_all_of_adds_one_clause_per_attribute():
+    query = QueryBuilder().all_of("a", "b").build()
+    assert query.boolean == CNFCondition.of([["a"], ["b"]])
+
+
+def test_subscription_mode_builds_subscription_query():
+    query = QueryBuilder(subscription=True).any_of("Benz").build()
+    assert isinstance(query, SubscriptionQuery)
+    assert not isinstance(query, TimeWindowQuery)
+
+
+@pytest.mark.parametrize(
+    "spoil",
+    [
+        lambda b: b.window(10, 3),
+        lambda b: b.window(0, "x"),
+        lambda b: b.window(0, 1).window(0, 2),
+        lambda b: b.range(low=(1,)),
+        lambda b: b.range(high=(1,)),
+        lambda b: b.range(low=(2,), high=(1,)),
+        lambda b: b.range(low=(1, 2), high=(3,)),
+        lambda b: b.range(low=(1,), high=(2,)).range(low=(1,), high=(2,)),
+        lambda b: b.range(low=(1.5,), high=(2,)),
+        lambda b: b.range(low=True, high=2),
+        lambda b: b.range(low=-5, high=10),
+        lambda b: b.range(low=(0, -1), high=(2, 2)),
+        lambda b: b.window(-1, 10),
+        lambda b: b.window(0, True),
+        lambda b: b.all_of(),
+        lambda b: b.any_of(),
+        lambda b: b.any_of(7),
+        lambda b: b.where([]),
+        lambda b: b.where([[]]),
+    ],
+)
+def test_invalid_steps_fail_at_build_time(spoil):
+    with pytest.raises(QueryError):
+        spoil(QueryBuilder())
+
+
+def test_subscription_rejects_window():
+    with pytest.raises(QueryError):
+        QueryBuilder(subscription=True).window(0, 10)
+
+
+def test_unbound_builder_cannot_execute():
+    with pytest.raises(QueryError):
+        QueryBuilder().execute()
+    with pytest.raises(QueryError):
+        QueryBuilder(subscription=True).open()
+
+
+def test_mode_mismatch_between_execute_and_open():
+    class _FakeClient:
+        pass
+
+    builder = QueryBuilder(_FakeClient())
+    with pytest.raises(QueryError):
+        builder.open()
+    sub_builder = QueryBuilder(_FakeClient(), subscription=True)
+    with pytest.raises(QueryError):
+        sub_builder.execute()

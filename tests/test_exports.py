@@ -1,0 +1,51 @@
+"""Exports parity: every advertised name actually imports and resolves.
+
+``repro.core`` uses a PEP 562 lazy-export table; nothing would notice a
+stale entry until a user hits the AttributeError.  This walks every
+subpackage's ``__all__`` (and the core ``_EXPORTS`` table) and touches
+each name.
+"""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+import repro.core
+
+SUBPACKAGES = sorted(
+    "repro." + module.name
+    for module in pkgutil.iter_modules(repro.__path__)
+    if module.ispkg
+)
+
+
+def test_all_subpackages_are_covered():
+    # if a new subpackage appears, this file keeps covering it for free
+    assert {"repro.api", "repro.core", "repro.wire"} <= set(SUBPACKAGES)
+
+
+def test_core_lazy_export_table_matches_all():
+    assert sorted(repro.core._EXPORTS) == list(repro.core.__all__)
+
+
+def test_core_lazy_exports_resolve():
+    for name, module_name in repro.core._EXPORTS.items():
+        resolved = getattr(repro.core, name)
+        assert resolved is getattr(importlib.import_module(module_name), name)
+
+
+def test_core_unknown_attribute_still_raises():
+    with pytest.raises(AttributeError):
+        repro.core.NoSuchExport
+
+
+@pytest.mark.parametrize("module_name", ["repro"] + SUBPACKAGES)
+def test_dunder_all_resolves(module_name):
+    module = importlib.import_module(module_name)
+    exported = getattr(module, "__all__", None)
+    assert exported, f"{module_name} should declare __all__"
+    assert list(exported) == sorted(exported), f"{module_name}.__all__ unsorted"
+    for name in exported:
+        assert getattr(module, name) is not None, f"{module_name}.{name}"

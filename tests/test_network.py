@@ -32,6 +32,16 @@ def test_mine_syncs_light_node():
     assert len(net.user.light) == 1
 
 
+def test_mine_dataset_returns_mined_blocks():
+    net = VChainNetwork.create(
+        params=ProtocolParams(mode="both", bits=8, skip_size=2), seed=3
+    )
+    dataset = ethereum_like(6, objects_per_block=2)
+    blocks = net.mine_dataset(dataset)
+    assert [b.height for b in blocks] == list(range(6))
+    assert all(net.chain.block(b.height) is b for b in blocks)
+
+
 def test_mine_dataset_and_query_workload():
     net = VChainNetwork.create(
         params=ProtocolParams(mode="both", bits=8, skip_size=2), seed=3
