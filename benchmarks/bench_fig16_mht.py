@@ -13,7 +13,7 @@ normalised by the raw block size.  Expected shapes:
 
 import pytest
 
-from benchmarks.common import print_row, timed
+from benchmarks.common import print_row
 from repro import VChainNetwork
 from repro.baselines import MHTBaseline
 from repro.chain import ProtocolParams

@@ -1,0 +1,246 @@
+#!/usr/bin/env python3
+"""Load generator: concurrent clients against one serving endpoint.
+
+Two endpoints over the same mined chain answer the same workloads:
+
+* **serial** — ``max_workers=1``, caches disabled: the dispatcher the
+  repo had before the worker-pool refactor.
+* **concurrent** — the default pool with the VO-fragment and proof
+  caches enabled.
+
+N socket clients hammer each endpoint with an identical-window workload
+(every client asks the same query — the multi-user hot path the caches
+target) and a mixed workload (distinct query conditions plus
+register/poll/deregister subscription traffic).  Latency is measured
+per request at the transport layer (encode → TCP → serve → decode);
+the report carries p50/p99 latency, throughput, cache hit counts, and
+the concurrent-over-serial speedup, written to ``BENCH_load.json``.
+
+CI usage: ``--check benchmarks/baseline_load.json`` fails the run when
+identical-workload qps regresses more than ``--tolerance`` below the
+checked-in baseline, or the speedup drops under ``--min-speedup``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from common import build_network, get_dataset, print_row
+
+from repro.api import ServiceEndpoint, SocketServer, SocketTransport
+from repro.datasets import make_time_window_queries
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def run_workload(address, backend, n_clients: int, ops_per_client) -> dict:
+    """Hammer the server from ``n_clients`` threads; aggregate latencies.
+
+    ``ops_per_client(transport, client_index)`` yields one callable per
+    request; each call is timed individually.
+    """
+    latencies: list[float] = []
+    errors: list[Exception] = []
+    merge_lock = threading.Lock()
+    barrier = threading.Barrier(n_clients)
+
+    def client_loop(index: int) -> None:
+        mine: list[float] = []
+        try:
+            transport = SocketTransport(address, backend, timeout=120.0)
+        except Exception as exc:  # pragma: no cover - startup failure
+            errors.append(exc)
+            barrier.abort()  # release the clients already waiting
+            return
+        try:
+            ops = list(ops_per_client(transport, index))
+            barrier.wait(timeout=60)  # line up: all clients fire together
+            for op in ops:
+                started = time.perf_counter()
+                op()
+                mine.append(time.perf_counter() - started)
+        except threading.BrokenBarrierError as exc:
+            # a peer aborted (or the barrier timed out): record it so the
+            # run fails loudly instead of publishing partial numbers
+            errors.append(exc)
+        except Exception as exc:
+            errors.append(exc)
+            barrier.abort()
+        finally:
+            transport.close()
+        with merge_lock:
+            latencies.extend(mine)
+
+    threads = [
+        threading.Thread(target=client_loop, args=(index,))
+        for index in range(n_clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    if errors:
+        raise SystemExit(f"load generator failed: {errors[0]!r}")
+    if not latencies:
+        raise SystemExit("load generator produced no samples")
+    return {
+        "requests": len(latencies),
+        "total_s": round(wall, 4),
+        "qps": round(len(latencies) / wall, 2),
+        "p50_ms": round(percentile(latencies, 0.50) * 1000, 3),
+        "p99_ms": round(percentile(latencies, 0.99) * 1000, 3),
+    }
+
+
+def identical_ops(query, n_queries):
+    """Every client repeats the same window query."""
+
+    def ops(transport, _index):
+        return [
+            (lambda: transport.time_window_query(query))
+            for _ in range(n_queries)
+        ]
+
+    return ops
+
+
+def mixed_ops(queries, subscription, n_queries):
+    """Distinct per-client conditions plus subscription traffic."""
+
+    def ops(transport, index):
+        query = queries[index % len(queries)]
+        plan = [(lambda: transport.time_window_query(query)) for _ in range(n_queries)]
+        state: dict = {}
+
+        def register():
+            state["qid"], _since = transport.register(subscription)
+
+        def poll():
+            transport.poll(state["qid"])
+
+        def deregister():
+            transport.deregister(state["qid"])
+
+        return plan + [register, poll, poll, deregister]
+
+    return ops
+
+
+def serve(endpoint):
+    return SocketServer(endpoint, idle_timeout=300.0).start()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--queries", type=int, default=12,
+                        help="window queries per client per workload")
+    parser.add_argument("--blocks", type=int, default=10)
+    parser.add_argument("--workers", type=int, default=8,
+                        help="worker-pool size of the concurrent endpoint")
+    parser.add_argument("--out", default="BENCH_load.json")
+    parser.add_argument("--check", default=None,
+                        help="baseline JSON; exit 1 on qps regression")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional qps drop vs the baseline")
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="required concurrent/serial qps ratio (with --check)")
+    args = parser.parse_args()
+
+    dataset = get_dataset("4SQ", args.blocks)
+    net = build_network(dataset, "acc2", "both")
+    backend = net.accumulator.backend
+    [identical_query] = make_time_window_queries(
+        dataset, n_queries=1, window_blocks=args.blocks, seed=41
+    )
+    mixed_queries = make_time_window_queries(
+        dataset, n_queries=args.clients, window_blocks=max(2, args.blocks // 2),
+        seed=43,
+    )
+    subscription = net.client.subscribe().any_of(dataset.vocabulary[0]).build()
+
+    report = {
+        "config": {
+            "clients": args.clients,
+            "queries_per_client": args.queries,
+            "blocks": args.blocks,
+            "workers": args.workers,
+            "dataset": dataset.name,
+        }
+    }
+
+    serial_endpoint = ServiceEndpoint(
+        net.sp, max_workers=1, cache_fragments=0, cache_proofs=0
+    )
+    with serve(serial_endpoint) as server:
+        report["serial_identical"] = run_workload(
+            server.address, backend, args.clients,
+            identical_ops(identical_query, args.queries),
+        )
+    serial_endpoint.close()
+    print_row("serial/identical", report["serial_identical"])
+
+    concurrent_endpoint = ServiceEndpoint(net.sp, max_workers=args.workers)
+    with serve(concurrent_endpoint) as server:
+        report["concurrent_identical"] = run_workload(
+            server.address, backend, args.clients,
+            identical_ops(identical_query, args.queries),
+        )
+        # snapshot before the mixed workload so the published hit counts
+        # are attributable to the identical-window traffic alone
+        caches = concurrent_endpoint.cache_stats()
+        report["concurrent_identical"]["cache"] = caches["fragments"].as_info()
+        report["concurrent_identical"]["proof_cache"] = caches["proofs"].as_info()
+        report["concurrent_mixed"] = run_workload(
+            server.address, backend, args.clients,
+            mixed_ops(mixed_queries, subscription, args.queries),
+        )
+    concurrent_endpoint.close()
+    print_row("concurrent/identical", report["concurrent_identical"])
+    print_row("concurrent/mixed", report["concurrent_mixed"])
+
+    speedup = (
+        report["concurrent_identical"]["qps"] / report["serial_identical"]["qps"]
+    )
+    report["speedup_identical"] = round(speedup, 2)
+    print_row("summary", {
+        "speedup_identical": report["speedup_identical"],
+        "fragment_hits": caches["fragments"].hits,
+        "proof_hits": caches["proofs"].hits,
+    })
+
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if args.check:
+        baseline = json.loads(Path(args.check).read_text())
+        floor = baseline["qps"] * (1.0 - args.tolerance)
+        qps = report["concurrent_identical"]["qps"]
+        if qps < floor:
+            print(f"FAIL: qps {qps} under baseline floor {floor:.1f} "
+                  f"(baseline {baseline['qps']}, tolerance {args.tolerance})")
+            return 1
+        if speedup < args.min_speedup:
+            print(f"FAIL: speedup {speedup:.2f}x under required "
+                  f"{args.min_speedup:.1f}x")
+            return 1
+        print(f"OK: qps {qps} >= floor {floor:.1f}, "
+              f"speedup {speedup:.2f}x >= {args.min_speedup:.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

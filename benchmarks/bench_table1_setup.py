@@ -13,7 +13,7 @@ three datasets, plus the light-node header size.  Expected shapes:
 import pytest
 
 from benchmarks.common import SCHEMES, get_dataset, print_row
-from repro.chain import Blockchain, Miner, ProtocolParams
+from repro.chain import ProtocolParams
 from repro.chain.metrics import block_ads_nbytes
 from repro import VChainNetwork
 

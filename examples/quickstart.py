@@ -49,6 +49,27 @@ def main() -> None:
           f"{resp.user_seconds * 1000:.1f} ms "
           f"(round trip {resp.wall_seconds * 1000:.1f} ms)")
 
+    # Several queries verify in ONE pass: batch_verify aggregates every
+    # disjointness check that shares a clause — across all the VOs —
+    # into a single pairing, so a whole window of answers costs far
+    # fewer checks than verifying one by one.
+    weekly = [
+        (net.client.query()
+         .window(day * 30, day * 30 + 30)
+         .range(low=(200,), high=(250,))
+         .all_of("Sedan")
+         .any_of("Benz", "BMW")
+         .build())
+        for day in range(2)
+    ]
+    batch = net.client.execute_many(weekly)
+    for day, response in enumerate(batch):
+        response.raise_for_forgery()
+        print(f"day {day}: {len(response.results)} verified result(s)")
+    stats = batch[0].user_stats  # shared by the whole batch
+    print(f"batch verification: {stats.disjoint_checks} pairing check(s) "
+          f"covered {stats.batched_checks} aggregated check(s)")
+
     # A malicious SP drops a result — the VO gives it away.
     try:
         net.user.verify(resp.query, resp.results[:-1], resp.vo)

@@ -47,7 +47,7 @@ from repro.core.sp import ServiceProvider
 from repro.core.user import QueryUser
 from repro.crypto import get_backend
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "VChainClient",

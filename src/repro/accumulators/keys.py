@@ -19,7 +19,7 @@ an oracle view into a plain list for deployments with a small, fixed
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.crypto.backend import GroupElement, PairingBackend
 from repro.errors import CryptoError, KeyCapacityError

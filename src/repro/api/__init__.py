@@ -11,7 +11,7 @@ See ``docs/API.md`` for the guided tour.
 from repro.api.builder import QueryBuilder
 from repro.api.client import SubscriptionStream, VChainClient
 from repro.api.response import VerifiedDelivery, VerifiedResponse
-from repro.api.service import ServiceEndpoint
+from repro.api.service import ClientSession, EndpointStats, ServiceEndpoint
 from repro.api.transport import (
     LocalTransport,
     SocketServer,
@@ -22,6 +22,8 @@ from repro.api.transport import (
 )
 
 __all__ = [
+    "ClientSession",
+    "EndpointStats",
     "LocalTransport",
     "QueryBuilder",
     "ServiceEndpoint",

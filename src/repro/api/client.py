@@ -91,9 +91,14 @@ class VChainClient:
         encoder: ElementEncoder,
         params: ProtocolParams,
         user: QueryUser | None = None,
+        timeout: float | None = None,
     ) -> "VChainClient":
-        """Client over the length-prefixed socket transport."""
-        transport = SocketTransport(address, accumulator.backend)
+        """Client over the length-prefixed socket transport.
+
+        ``timeout`` bounds every socket operation so a hung server
+        raises instead of blocking the caller forever.
+        """
+        transport = SocketTransport(address, accumulator.backend, timeout=timeout)
         return cls(transport, accumulator, encoder, params, user=user)
 
     # -- fluent entrypoints ------------------------------------------------
@@ -132,6 +137,63 @@ class VChainClient:
             wall_seconds=time.perf_counter() - started,
             error=error,
         )
+
+    def execute_many(
+        self, queries: list[TimeWindowQuery], batch: bool | None = None
+    ) -> list[VerifiedResponse]:
+        """Run several queries, verifying all answers in one batch pass.
+
+        The SP answers each query separately, but client-side
+        verification goes through
+        :meth:`~repro.core.verifier.QueryVerifier.batch_verify`: all
+        disjointness checks sharing a clause — across every response —
+        collapse into one aggregated pairing, so verifying a whole
+        window of VOs costs far fewer pairings than verifying them one
+        by one.  The combined :class:`VerifyStats` is attached to every
+        response; ``wall_seconds`` covers the whole batch.
+
+        If the batch pass rejects, each answer is re-verified
+        individually so one forged response surfaces in *its* response
+        ``error`` without poisoning the rest.
+        """
+        started = time.perf_counter()
+        answers = [
+            self.transport.time_window_query(query, batch=batch)
+            for query in queries
+        ]
+        self.sync_headers()
+        items = [
+            (query, results, vo)
+            for query, (results, vo, _stats) in zip(queries, answers)
+        ]
+        try:
+            all_verified, user_stats = self.user.batch_verify(items)
+            verdicts = [
+                (verified, user_stats, None) for verified in all_verified
+            ]
+        except VerificationError:
+            verdicts = []
+            for query, results, vo in items:
+                try:
+                    verified, stats = self.user.verify(query, results, vo)
+                    verdicts.append((verified, stats, None))
+                except VerificationError as exc:
+                    verdicts.append(([], None, exc))
+        wall = time.perf_counter() - started
+        return [
+            VerifiedResponse(
+                query=query,
+                results=verified,
+                vo=vo,
+                sp_stats=sp_stats,
+                user_stats=user_stats,
+                vo_nbytes=vo.nbytes(self.accumulator.backend),
+                wall_seconds=wall,
+                error=error,
+            )
+            for (query, (results, vo, sp_stats)), (verified, user_stats, error)
+            in zip(zip(queries, answers), verdicts)
+        ]
 
     def stream(
         self, query: SubscriptionQuery, since_height: int | None = None

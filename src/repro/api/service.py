@@ -10,6 +10,22 @@ per query until the subscriber polls.  Both the in-process
 dispatch into the same endpoint, so local and remote answers are
 identical by construction.
 
+Concurrency model: time-window queries are **read-only** against the
+append-only chain, so they run on a worker pool (``max_workers``
+concurrent queries; excess callers queue) instead of serialising behind
+the endpoint lock.  Proving work is amortised across workers through a
+shared :class:`~repro.cache.VOFragmentCache` and
+:class:`~repro.cache.ProofCache` — VOs are recomputable, so overlapping
+windows and repeated conditions reuse per-block fragments and
+disjointness proofs instead of re-proving.  Subscription state (the
+engine, the delivery queues) stays behind one lock, because
+registration order and block ingestion must be serialised anyway.
+
+Each transport connection gets a :class:`ClientSession`; when the
+connection drops, the session deregisters every subscription it opened
+so a vanished client cannot leak engine state.  ``close()`` drains the
+worker pool for a graceful shutdown.
+
 Block ingestion is pull-based: each ``poll``/``flush`` first feeds any
 chain blocks the engine has not seen yet, in height order.  This keeps
 the endpoint free of callbacks into the miner — it only ever reads
@@ -20,15 +36,82 @@ from __future__ import annotations
 
 import threading
 from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
 
+from repro.cache import ProofCache, VOFragmentCache
 from repro.chain.block import BlockHeader
 from repro.chain.object import DataObject
 from repro.core.prover import QueryStats
 from repro.core.query import SubscriptionQuery, TimeWindowQuery
 from repro.core.sp import ServiceProvider
 from repro.core.vo import TimeWindowVO
-from repro.errors import SubscriptionError
+from repro.errors import ReproError, SubscriptionError
 from repro.subscribe.engine import Delivery, SubscriptionEngine
+
+
+@dataclass
+class EndpointStats:
+    """Serving counters across one endpoint's lifetime.
+
+    Increment through :meth:`bump` — counters are hit from every reader
+    and worker thread, and an unsynchronised ``+=`` loses updates.
+    """
+
+    queries: int = 0
+    registrations: int = 0
+    deregistrations: int = 0
+    polls: int = 0
+    flushes: int = 0
+    header_syncs: int = 0
+    sessions_opened: int = 0
+    sessions_closed: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def bump(self, counter: str) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + 1)
+
+
+class ClientSession:
+    """Per-connection state: the subscriptions this client opened.
+
+    Transports create one session per connection and ``close()`` it when
+    the connection ends (cleanly or not); every subscription the session
+    still owns is deregistered, so a hung or vanished client cannot leak
+    engine registrations or delivery queues.
+    """
+
+    def __init__(self, endpoint: "ServiceEndpoint") -> None:
+        self.endpoint = endpoint
+        self._query_ids: set[int] = set()
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def track(self, query_id: int) -> None:
+        with self._lock:
+            self._query_ids.add(query_id)
+
+    def untrack(self, query_id: int) -> None:
+        with self._lock:
+            self._query_ids.discard(query_id)
+
+    def close(self) -> None:
+        """Deregister everything this session still owns; idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            orphans = list(self._query_ids)
+            self._query_ids.clear()
+        for query_id in orphans:
+            try:
+                self.endpoint.deregister(query_id)
+            except SubscriptionError:
+                pass  # already deregistered through another path
+        self.endpoint.stats.bump("sessions_closed")
 
 
 class ServiceEndpoint:
@@ -42,8 +125,21 @@ class ServiceEndpoint:
         lazy: bool = False,
         iptree_dims: int | None = None,
         iptree_max_depth: int = 6,
+        max_workers: int = 8,
+        cache_fragments: int = 512,
+        cache_proofs: int = 4096,
     ) -> None:
+        """``max_workers`` bounds concurrent query execution (1 restores
+        the serial dispatcher); ``cache_fragments``/``cache_proofs``
+        size the per-endpoint VO-fragment and proof caches (0 disables
+        either)."""
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
         self.sp = sp
+        self.max_workers = max_workers
+        self.stats = EndpointStats()
+        self.fragment_cache = VOFragmentCache(cache_fragments)
+        self.proof_cache = ProofCache(sp.accumulator, sp.encoder, cache_proofs)
         self.engine = SubscriptionEngine(
             sp.accumulator,
             sp.encoder,
@@ -52,20 +148,73 @@ class ServiceEndpoint:
             lazy=lazy,
             iptree_dims=iptree_dims,
             iptree_max_depth=iptree_max_depth,
+            proof_cache=self.proof_cache,
         )
         self._queues: dict[int, deque[Delivery]] = {}
         self._ingested = 0  # chain height the engine has processed up to
         # one endpoint may serve many transports (and the socket server
-        # runs one thread per connection): every entrypoint that touches
-        # the engine or the queues holds this lock
+        # runs one reader thread per connection): every entrypoint that
+        # touches the engine or the queues holds this lock.  Queries do
+        # NOT take it — they go through the worker pool instead.
         self._lock = threading.RLock()
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="vchain-sp-worker"
+        )
+        self._closed = False
+
+    # -- sessions ----------------------------------------------------------
+    def session(self) -> ClientSession:
+        """A new per-connection session (transports close it on drop)."""
+        self.stats.bump("sessions_opened")
+        return ClientSession(self)
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting work; with ``wait``, drain in-flight queries."""
+        self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "ServiceEndpoint":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def cache_stats(self) -> dict:
+        """Snapshot of both serving caches, keyed ``fragments``/``proofs``."""
+        return {
+            "fragments": self.fragment_cache.stats(),
+            "proofs": self.proof_cache.stats(),
+        }
 
     # -- time-window queries ----------------------------------------------
     def time_window_query(
         self, query: TimeWindowQuery, batch: bool | None = None
     ) -> tuple[list[DataObject], TimeWindowVO, QueryStats]:
-        with self._lock:
-            return self.sp.processor.time_window_query(query, batch=batch)
+        """Run one query on the worker pool (blocks for the answer).
+
+        Callers beyond ``max_workers`` queue; a slow query therefore
+        delays at most the workers it occupies, never the subscription
+        path, which does not touch the pool.
+        """
+        if self._closed:
+            raise ReproError("service endpoint is closed")
+        self.stats.bump("queries")
+        try:
+            future = self._pool.submit(
+                self.sp.processor.time_window_query,
+                query,
+                batch=batch,
+                fragment_cache=self.fragment_cache,
+                proof_cache=self.proof_cache,
+            )
+        except RuntimeError:  # pool shut down between check and submit
+            raise ReproError("service endpoint is closed") from None
+        return future.result()
 
     # -- subscriptions -----------------------------------------------------
     def register(
@@ -80,6 +229,8 @@ class ServiceEndpoint:
         retroactively, because the engine never replays them.
         """
         with self._lock:
+            if self._closed:
+                raise ReproError("service endpoint is closed")
             if since_height is None:
                 since_height = len(self.sp.chain)
             elif since_height < self._ingested:
@@ -94,12 +245,14 @@ class ServiceEndpoint:
                 self._ingested = since_height
             query_id = self.engine.register(query, since_height=since_height)
             self._queues[query_id] = deque()
+            self.stats.bump("registrations")
             return query_id, since_height
 
     def deregister(self, query_id: int) -> None:
         with self._lock:
             self.engine.deregister(query_id)
             self._queues.pop(query_id, None)
+            self.stats.bump("deregistrations")
 
     def poll(self, query_id: int) -> list[Delivery]:
         """Due deliveries for one subscription (after ingesting new blocks)."""
@@ -110,6 +263,7 @@ class ServiceEndpoint:
             queue = self._queues[query_id]
             deliveries = list(queue)
             queue.clear()
+            self.stats.bump("polls")
             return deliveries
 
     def flush(self, query_id: int) -> Delivery | None:
@@ -122,6 +276,7 @@ class ServiceEndpoint:
                 raise SubscriptionError(
                     f"query {query_id} has undelivered results; poll before flushing"
                 )
+            self.stats.bump("flushes")
             return self.engine.flush(query_id)
 
     def _ingest(self) -> None:
@@ -137,4 +292,5 @@ class ServiceEndpoint:
     # -- header sync -------------------------------------------------------
     def headers(self, from_height: int = 0) -> list[BlockHeader]:
         with self._lock:
+            self.stats.bump("header_syncs")
             return self.sp.chain.headers()[from_height:]

@@ -64,7 +64,7 @@ from repro.wire import (
     encode_register_response,
     encode_request,
 )
-from repro.api.service import ServiceEndpoint
+from repro.api.service import ClientSession, ServiceEndpoint
 
 _STATUS_OK = 0
 _STATUS_ERROR = 1
@@ -173,11 +173,22 @@ def _recv_frame(sock: socket.socket) -> bytes:
 
 
 class SocketTransport:
-    """Client side of the length-prefixed TCP protocol."""
+    """Client side of the length-prefixed TCP protocol.
 
-    def __init__(self, address: tuple[str, int], backend: PairingBackend) -> None:
+    ``timeout`` (seconds) bounds every socket operation, so a hung or
+    overloaded server surfaces as :class:`TransportError` instead of
+    blocking the client forever.
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        backend: PairingBackend,
+        timeout: float | None = None,
+    ) -> None:
         self.backend = backend
-        self._sock = socket.create_connection(address)
+        self._sock = socket.create_connection(address, timeout=timeout)
+        self._sock.settimeout(timeout)
         self._lock = threading.Lock()
 
     def _request(self, payload: bytes) -> bytes:
@@ -237,9 +248,19 @@ class SocketTransport:
 
 
 def dispatch_request(
-    endpoint: ServiceEndpoint, backend: PairingBackend, payload: bytes
+    endpoint: ServiceEndpoint,
+    backend: PairingBackend,
+    payload: bytes,
+    session: "ClientSession | None" = None,
 ) -> bytes:
-    """Decode one request frame, run it, encode the response frame body."""
+    """Decode one request frame, run it, encode the response frame body.
+
+    With a ``session``, subscription registrations are tracked so the
+    transport can deregister them when the connection drops.  Errors —
+    including non-:class:`ReproError` server bugs — become error frames
+    rather than escaping, so one bad request never kills a connection
+    handler (per-session error isolation).
+    """
     try:
         request = decode_request(payload)
         if isinstance(request, QueryRequest):
@@ -251,9 +272,13 @@ def dispatch_request(
             query_id, since = endpoint.register(
                 request.query, since_height=request.since_height
             )
+            if session is not None:
+                session.track(query_id)
             body = encode_register_response(query_id, since)
         elif isinstance(request, DeregisterRequest):
             endpoint.deregister(request.query_id)
+            if session is not None:
+                session.untrack(request.query_id)
             body = b""
         elif isinstance(request, PollRequest):
             body = encode_deliveries(backend, endpoint.poll(request.query_id))
@@ -263,26 +288,46 @@ def dispatch_request(
             body = encode_headers_response(endpoint.headers(request.from_height))
     except ReproError as exc:
         return bytes([_STATUS_ERROR]) + encode_error(_error_kind(exc), str(exc))
+    except Exception as exc:  # isolate server bugs to the offending request
+        return bytes([_STATUS_ERROR]) + encode_error(
+            "error", f"internal server error: {exc}"
+        )
     return bytes([_STATUS_OK]) + body
 
 
 class SocketServer:
-    """Serves one ServiceEndpoint over TCP, one thread per connection."""
+    """Serves one ServiceEndpoint over TCP.
+
+    One lightweight *reader* thread per connection parses frames and
+    writes responses; the actual query work runs on the endpoint's
+    worker pool, so connection count and query concurrency are
+    independent knobs.  A slow or hung client occupies only its own
+    reader thread — never a pool worker, never another client's
+    connection — and ``idle_timeout`` reaps connections that stop
+    sending frames.  Each connection gets a
+    :class:`~repro.api.service.ClientSession`; its subscriptions are
+    deregistered when the connection ends, however it ends.
+    """
 
     def __init__(
         self,
         endpoint: ServiceEndpoint,
         host: str = "127.0.0.1",
         port: int = 0,
+        *,
+        idle_timeout: float | None = None,
     ) -> None:
         self.endpoint = endpoint
         self.backend = endpoint.sp.accumulator.backend
+        self.idle_timeout = idle_timeout
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
         self._listener.listen()
         self.address: tuple[str, int] = self._listener.getsockname()[:2]
-        self._threads: list[threading.Thread] = []
+        self._threads: set[threading.Thread] = set()
+        self._conns: set[socket.socket] = set()
+        self._conn_lock = threading.Lock()
         self._accept_thread: threading.Thread | None = None
         self._closing = False
 
@@ -300,25 +345,49 @@ class SocketServer:
                 conn, _addr = self._listener.accept()
             except OSError:
                 return  # listener closed
+            conn.settimeout(self.idle_timeout)
             thread = threading.Thread(
                 target=self._serve_connection, args=(conn,), daemon=True
             )
+            with self._conn_lock:
+                self._conns.add(conn)
+                self._threads.add(thread)
             thread.start()
-            self._threads.append(thread)
 
     def _serve_connection(self, conn: socket.socket) -> None:
-        # requests on one connection are served strictly in order;
-        # across connections the ServiceEndpoint's own lock serialises
-        # engine and queue mutation, so concurrent clients are safe
-        with conn:
-            while True:
+        # requests on one connection are served strictly in order; the
+        # endpoint runs queries on its worker pool and serialises
+        # subscription state itself, so concurrent clients are safe
+        session = self.endpoint.session()
+        try:
+            while not self._closing:
                 try:
                     payload = _recv_frame(conn)
-                except TransportError:
-                    return  # client hung up
-                _send_frame(conn, dispatch_request(self.endpoint, self.backend, payload))
+                except (TransportError, OSError):
+                    return  # client hung up, timed out, or sent garbage
+                response = dispatch_request(
+                    self.endpoint, self.backend, payload, session=session
+                )
+                try:
+                    _send_frame(conn, response)
+                except OSError:
+                    return
+        finally:
+            session.close()
+            with self._conn_lock:
+                self._conns.discard(conn)
+                # prune ourselves so a long-lived server does not hoard
+                # one dead Thread object per connection ever served
+                self._threads.discard(threading.current_thread())
+            try:
+                conn.close()
+            except OSError:
+                pass
 
-    def stop(self) -> None:
+    def stop(self, drain: bool = True, timeout: float = 5.0) -> None:
+        """Stop serving.  With ``drain``, in-flight requests finish and
+        their responses are sent before connections close; without it,
+        connections are torn down immediately."""
         self._closing = True
         try:
             self._listener.close()
@@ -326,6 +395,26 @@ class SocketServer:
             pass
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=1.0)
+        with self._conn_lock:
+            conns = list(self._conns)
+        for conn in conns:
+            try:
+                # half-close: readers see EOF and exit after finishing
+                # (and answering) the request they are working on
+                conn.shutdown(socket.SHUT_RD if drain else socket.SHUT_RDWR)
+            except OSError:
+                pass
+        with self._conn_lock:
+            threads = list(self._threads)
+        for thread in threads:
+            thread.join(timeout=timeout if drain else 0.5)
+        with self._conn_lock:
+            leftovers = list(self._conns)
+        for conn in leftovers:
+            try:
+                conn.close()
+            except OSError:
+                pass
 
     def __enter__(self) -> "SocketServer":
         return self.start()

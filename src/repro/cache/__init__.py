@@ -1,0 +1,30 @@
+"""Serving-path caches: thread-safe LRU plus proof/VO-fragment memos.
+
+VOs are recomputable from on-chain data, so the SP can share proving
+work across overlapping queries and subscribers instead of re-proving.
+:class:`~repro.api.service.ServiceEndpoint` owns one
+:class:`ProofCache` and one :class:`VOFragmentCache` per endpoint and
+threads them through :class:`~repro.core.prover.QueryProcessor`; see
+``docs/API.md`` ("Scaling & caching") for sizing guidance.
+"""
+
+from repro.cache.fragments import (
+    BlockFragment,
+    ProofCache,
+    VOFragmentCache,
+    bind_groups,
+    compute_disjoint_proof,
+    multiset_signature,
+)
+from repro.cache.lru import CacheStats, LRUCache
+
+__all__ = [
+    "BlockFragment",
+    "CacheStats",
+    "LRUCache",
+    "ProofCache",
+    "VOFragmentCache",
+    "bind_groups",
+    "compute_disjoint_proof",
+    "multiset_signature",
+]

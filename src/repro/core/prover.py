@@ -12,6 +12,15 @@ same query clause are grouped; the SP computes **one** proof per group
 against the multiset *sum* of the group's members (algebraically equal
 to the ProofSum of the individual proofs) — fewer pairings for the user
 and fewer group elements on the wire.
+
+*Serving caches* (the concurrency path): every step of the window walk
+is computed as a self-contained :class:`~repro.cache.BlockFragment` —
+a pure function of ``(block, CNF, batch mode)`` — so a
+:class:`~repro.cache.VOFragmentCache` can replay it for overlapping
+windows and a :class:`~repro.cache.ProofCache` can reuse individual
+disjointness proofs across queries and subscribers.  Both caches are
+optional per-call arguments; omitted, behaviour and output bytes are
+identical to the uncached path.
 """
 
 from __future__ import annotations
@@ -22,6 +31,13 @@ from dataclasses import dataclass, field
 
 from repro.accumulators.base import MultisetAccumulator
 from repro.accumulators.encoding import ElementEncoder
+from repro.cache.fragments import (
+    BlockFragment,
+    ProofCache,
+    VOFragmentCache,
+    bind_groups,
+    compute_disjoint_proof,
+)
 from repro.chain.block import Block
 from repro.chain.chain import Blockchain
 from repro.chain.object import DataObject
@@ -51,6 +67,12 @@ class QueryStats:
     proofs_computed: int = 0
     nodes_visited: int = 0
     results: int = 0
+    #: per-block VO fragments replayed from the fragment cache
+    cache_hits: int = 0
+    #: fragment-cache lookups that had to compute (cache enabled only)
+    cache_misses: int = 0
+    #: disjointness proofs served from the proof cache instead of proved
+    proofs_reused: int = 0
 
 
 @dataclass
@@ -71,15 +93,48 @@ class _BatchCollector:
         self.sums[group].update(attrs)
         return group
 
-    def finalize(self) -> dict[int, BatchGroup]:
+    def finalize(
+        self,
+        proof_cache: ProofCache | None = None,
+        stats: QueryStats | None = None,
+    ) -> dict[int, BatchGroup]:
         finished: dict[int, BatchGroup] = {}
         for clause, group in self.groups.items():
-            proof = self.accumulator.prove_disjoint(
-                self.encoder.encode_multiset(self.sums[group]),
-                self.encoder.encode_multiset(Counter(clause)),
-            )
+            attrs = self.sums[group]
+            if proof_cache is not None and proof_cache.enabled:
+                proof, hit = proof_cache.prove_disjoint(attrs, clause)
+            else:
+                proof = compute_disjoint_proof(
+                    self.accumulator, self.encoder, attrs, clause
+                )
+                hit = False
+            if stats is not None:
+                if hit:
+                    stats.proofs_reused += 1
+                else:
+                    stats.proofs_computed += 1
             finished[group] = BatchGroup(clause=clause, proof=proof)
         return finished
+
+
+class _FragmentCollector:
+    """Batch-mode recorder for one fragment: sums clauses, binds no ids.
+
+    Mismatch sites built against it get ``group=None`` (the normalised
+    form cached by :class:`~repro.cache.VOFragmentCache`); the per-clause
+    attribute sums are merged into a query-global
+    :class:`_BatchCollector` when the fragment is integrated.
+    """
+
+    def __init__(self) -> None:
+        self.sums: dict[frozenset[str], Counter] = {}
+
+    def group_for(self, clause: frozenset[str], attrs: Counter) -> None:
+        self.sums.setdefault(clause, Counter()).update(attrs)
+        return None
+
+    def snapshot(self) -> tuple[tuple[frozenset[str], Counter], ...]:
+        return tuple(self.sums.items())
 
 
 class QueryProcessor:
@@ -99,11 +154,20 @@ class QueryProcessor:
 
     # -- public API -----------------------------------------------------
     def time_window_query(
-        self, query: TimeWindowQuery, batch: bool | None = None
+        self,
+        query: TimeWindowQuery,
+        batch: bool | None = None,
+        *,
+        fragment_cache: VOFragmentCache | None = None,
+        proof_cache: ProofCache | None = None,
     ) -> tuple[list[DataObject], TimeWindowVO, QueryStats]:
         """Process a time-window query; returns (results, VO, stats).
 
         ``batch`` defaults to the accumulator's aggregation capability.
+        ``fragment_cache``/``proof_cache`` memoise per-block fragments
+        and disjointness proofs across calls; callers that share them
+        (the :class:`~repro.api.ServiceEndpoint` serving path) amortise
+        proving work over overlapping queries.
         """
         if batch is None:
             batch = self.accumulator.supports_aggregation
@@ -116,6 +180,7 @@ class QueryProcessor:
         collector = (
             _BatchCollector(self.accumulator, self.encoder) if batch else None
         )
+        caching = fragment_cache is not None and fragment_cache.enabled
         results: list[DataObject] = []
         vo = TimeWindowVO()
 
@@ -123,34 +188,97 @@ class QueryProcessor:
         cursor = len(heights) - 1
         while cursor >= 0:
             height = heights[cursor]
-            block = self.chain.block(height)
-            skip = self._try_skip(block, cnf, collector, stats)
-            if skip is not None:
-                vo.entries.append(skip)
-                cursor -= skip.distance
-                stats.blocks_skipped += min(skip.distance, cursor + skip.distance + 1)
-                continue
-            root_transcript = self._process_tree(
-                block.index_root, cnf, collector, results, stats
-            )
-            vo.entries.append(VOBlock(height=height, root=root_transcript))
-            stats.blocks_scanned += 1
-            cursor -= 1
+            fragment = None
+            key = None
+            if caching:
+                key = fragment_cache.key(height, cnf.clauses, batch)
+                fragment = fragment_cache.get(key)
+            if fragment is None:
+                fragment = self._compute_fragment(
+                    self.chain.block(height), cnf, batch, stats, proof_cache
+                )
+                if caching:
+                    fragment_cache.put(key, fragment)
+                    stats.cache_misses += 1
+            else:
+                stats.cache_hits += 1
+
+            entry = fragment.entry
+            if collector is not None and fragment.clause_sums:
+                for clause, attr_sum in fragment.clause_sums:
+                    collector.group_for(clause, attr_sum)
+                entry = bind_groups(entry, collector.groups)
+            results.extend(fragment.results)
+            vo.entries.append(entry)
+            cursor -= fragment.covered
+            if isinstance(entry, VOSkip):
+                stats.blocks_skipped += min(
+                    entry.distance, cursor + entry.distance + 1
+                )
+            else:
+                stats.blocks_scanned += 1
 
         if collector is not None:
-            vo.batch_groups = collector.finalize()
-            stats.proofs_computed += len(vo.batch_groups)
+            vo.batch_groups = collector.finalize(proof_cache, stats)
         stats.results = len(results)
         stats.sp_seconds = time.perf_counter() - start
         return results, vo, stats
+
+    # -- per-block fragments ------------------------------------------------
+    def _compute_fragment(
+        self,
+        block: Block,
+        cnf: CNFCondition,
+        batch: bool,
+        stats: QueryStats,
+        proof_cache: ProofCache | None,
+    ) -> BlockFragment:
+        """One window step as a reusable fragment (skip or transcript)."""
+        collector = _FragmentCollector() if batch else None
+        results: list[DataObject] = []
+        skip = self._try_skip(block, cnf, collector, stats, proof_cache)
+        if skip is not None:
+            entry: VOBlock | VOSkip = skip
+            covered = skip.distance
+        else:
+            root = self._process_tree(
+                block.index_root, cnf, collector, results, stats, proof_cache
+            )
+            entry = VOBlock(height=block.height, root=root)
+            covered = 1
+        return BlockFragment(
+            entry=entry,
+            results=tuple(results),
+            covered=covered,
+            clause_sums=collector.snapshot() if collector is not None else (),
+        )
+
+    def _prove(
+        self,
+        attrs: Counter,
+        clause: frozenset[str],
+        stats: QueryStats,
+        proof_cache: ProofCache | None,
+    ):
+        """An individual disjointness proof, via the proof cache if any."""
+        if proof_cache is not None and proof_cache.enabled:
+            proof, hit = proof_cache.prove_disjoint(attrs, clause)
+            if hit:
+                stats.proofs_reused += 1
+            else:
+                stats.proofs_computed += 1
+            return proof
+        stats.proofs_computed += 1
+        return compute_disjoint_proof(self.accumulator, self.encoder, attrs, clause)
 
     # -- Algorithm 4: inter-block skips ------------------------------------
     def _try_skip(
         self,
         block: Block,
         cnf: CNFCondition,
-        collector: _BatchCollector | None,
+        collector: _FragmentCollector | None,
         stats: QueryStats,
+        proof_cache: ProofCache | None,
     ) -> VOSkip | None:
         if self.params.mode != "both" or not block.skip_entries:
             return None
@@ -163,11 +291,7 @@ class QueryProcessor:
             if collector is not None:
                 group = collector.group_for(clause, entry.attrs)
             else:
-                proof = self.accumulator.prove_disjoint(
-                    self.encoder.encode_multiset(entry.attrs),
-                    self.encoder.encode_multiset(Counter(clause)),
-                )
-                stats.proofs_computed += 1
+                proof = self._prove(entry.attrs, clause, stats, proof_cache)
             siblings = tuple(
                 (other.distance, other.entry_hash(self.accumulator.backend))
                 for other in block.skip_entries
@@ -189,22 +313,27 @@ class QueryProcessor:
         self,
         node: IndexNode,
         cnf: CNFCondition,
-        collector: _BatchCollector | None,
+        collector: _FragmentCollector | None,
         results: list[DataObject],
         stats: QueryStats,
+        proof_cache: ProofCache | None,
     ) -> VONode:
         stats.nodes_visited += 1
         if node.att_digest is not None:
             clause = cnf.mismatch_clause(node.attrs)
             if clause is not None:
-                return self._mismatch_node(node, clause, collector, stats)
+                return self._mismatch_node(
+                    node, clause, collector, stats, proof_cache
+                )
             if node.is_leaf:
                 results.append(node.obj)
                 return VOMatchLeaf(obj=node.obj)
             return VOExpandNode(
                 att_digest=node.att_digest,
                 children=tuple(
-                    self._process_tree(child, cnf, collector, results, stats)
+                    self._process_tree(
+                        child, cnf, collector, results, stats, proof_cache
+                    )
                     for child in node.children
                 ),
             )
@@ -212,7 +341,9 @@ class QueryProcessor:
         return VOExpandNode(
             att_digest=None,
             children=tuple(
-                self._process_tree(child, cnf, collector, results, stats)
+                self._process_tree(
+                    child, cnf, collector, results, stats, proof_cache
+                )
                 for child in node.children
             ),
         )
@@ -221,8 +352,9 @@ class QueryProcessor:
         self,
         node: IndexNode,
         clause: frozenset[str],
-        collector: _BatchCollector | None,
+        collector: _FragmentCollector | None,
         stats: QueryStats,
+        proof_cache: ProofCache | None,
     ) -> VOMismatchNode:
         component = (
             node.obj.serialize() if node.is_leaf else children_hash(node.children)
@@ -232,11 +364,7 @@ class QueryProcessor:
         if collector is not None:
             group = collector.group_for(clause, node.attrs)
         else:
-            proof = self.accumulator.prove_disjoint(
-                self.encoder.encode_multiset(node.attrs),
-                self.encoder.encode_multiset(Counter(clause)),
-            )
-            stats.proofs_computed += 1
+            proof = self._prove(node.attrs, clause, stats, proof_cache)
         return VOMismatchNode(
             child_component=component,
             att_digest=node.att_digest,

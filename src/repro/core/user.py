@@ -41,6 +41,17 @@ class QueryUser:
         """Check an SP response; raises VerificationError when forged."""
         return self.verifier.verify_time_window(query, results, vo)
 
+    def batch_verify(
+        self, items: list[tuple]
+    ) -> tuple[list[list[DataObject]], VerifyStats]:
+        """Verify many ``(query, results, vo)`` answers in one pass.
+
+        Cross-VO disjointness checks against the same clause collapse
+        into one aggregated pairing (acc2); see
+        :meth:`repro.core.verifier.QueryVerifier.batch_verify`.
+        """
+        return self.verifier.batch_verify(items)
+
     def query(self, sp, query: TimeWindowQuery, batch: bool | None = None):
         """Deprecated one-shot convenience; use :class:`repro.api.VChainClient`.
 

@@ -18,11 +18,17 @@ check.  Verification cost (time, pairing count) is reported via
 
 from __future__ import annotations
 
+import random
 import time
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Sequence
 
-from repro.accumulators.base import AccumulatorValue, MultisetAccumulator
+from repro.accumulators.base import (
+    AccumulatorValue,
+    DisjointProof,
+    MultisetAccumulator,
+)
 from repro.accumulators.encoding import ElementEncoder
 from repro.chain.light import LightNode
 from repro.chain.miner import ProtocolParams
@@ -51,6 +57,8 @@ class VerifyStats:
     disjoint_checks: int = 0
     digests_recomputed: int = 0
     nodes_replayed: int = 0
+    #: individual checks folded into aggregated pairings by batch_verify
+    batched_checks: int = 0
 
 
 @dataclass
@@ -59,6 +67,16 @@ class _GroupMembers:
 
     clause: frozenset[str] | None = None
     digests: list[AccumulatorValue] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class _DeferredCheck:
+    """One disjointness check postponed by :meth:`QueryVerifier.batch_verify`."""
+
+    item: int
+    value: AccumulatorValue
+    clause: frozenset[str]
+    proof: DisjointProof
 
 
 class QueryVerifier:
@@ -97,12 +115,17 @@ class QueryVerifier:
         heights: list[int],
         claimed_results: list[DataObject],
         vo: TimeWindowVO,
+        *,
+        _defer: tuple[int, list[_DeferredCheck]] | None = None,
     ) -> tuple[list[DataObject], VerifyStats]:
         """Verify a VO claimed to cover exactly ``heights`` (ascending).
 
         Shared by time-window verification (heights derived from the
         query window) and subscription verification (heights are the
-        contiguous run since the previous delivery).
+        contiguous run since the previous delivery).  With ``_defer``
+        set (internal, used by :meth:`batch_verify`), the structural
+        replay runs in full but pairing-equation checks are collected
+        into the deferred list instead of being verified immediately.
         """
         started = time.perf_counter()
         stats = VerifyStats()
@@ -121,7 +144,7 @@ class QueryVerifier:
                         f"VO block height {entry.height}, expected {expected_height}"
                     )
                 root_hash = self._replay_node(
-                    entry.root, query, cnf, groups, verified, stats
+                    entry.root, query, cnf, groups, verified, stats, _defer
                 )
                 header = self.light.header(entry.height)
                 if root_hash != header.merkle_root:
@@ -130,7 +153,7 @@ class QueryVerifier:
                     )
                 cursor -= 1
             elif isinstance(entry, VOSkip):
-                self._replay_skip(entry, expected_height, cnf, groups, stats)
+                self._replay_skip(entry, expected_height, cnf, groups, stats, _defer)
                 cursor -= entry.distance
             else:  # pragma: no cover - structural guard
                 raise VerificationError(f"unknown VO entry type {type(entry).__name__}")
@@ -139,10 +162,106 @@ class QueryVerifier:
                 f"VO does not cover {cursor + 1} block(s) of the query window"
             )
 
-        self._check_groups(vo, groups, stats)
+        self._check_groups(vo, groups, stats, _defer)
         self._check_claimed(claimed_results, verified)
         stats.user_seconds = time.perf_counter() - started
         return verified, stats
+
+    def batch_verify(
+        self,
+        items: Sequence[tuple],
+    ) -> tuple[list[list[DataObject]], VerifyStats]:
+        """Verify many ``(query, claimed_results, vo)`` answers in one pass.
+
+        Structural replay (Merkle reconstruction, window coverage,
+        predicate re-checks) still runs per VO, but the pairing-equation
+        work is shared: all disjointness checks against the same clause
+        — across *all* the VOs — are aggregated into a single pairing
+        via acc2's ``Sum``/``ProofSum``, after scaling each member by a
+        random exponent so independently forged proofs cannot cancel.
+        Clause digests are computed once per distinct clause.
+
+        Returns the per-item verified result lists and one combined
+        :class:`VerifyStats` (``batched_checks`` counts the individual
+        checks folded into aggregates).  Raises
+        :class:`VerificationError` naming the offending batch item on
+        the first failure.  Without an aggregating accumulator the
+        checks fall back to individual pairings but still share the
+        clause-digest cache.
+        """
+        started = time.perf_counter()
+        stats = VerifyStats()
+        deferred: list[_DeferredCheck] = []
+        all_verified: list[list[DataObject]] = []
+        for index, (query, claimed, vo) in enumerate(items):
+            heights = self.light.heights_in_window(query.start, query.end)
+            try:
+                verified, item_stats = self.verify_over_heights(
+                    query, heights, claimed, vo, _defer=(index, deferred)
+                )
+            except VerificationError as exc:
+                raise VerificationError(f"batch item {index}: {exc}") from exc
+            stats.disjoint_checks += item_stats.disjoint_checks
+            stats.digests_recomputed += item_stats.digests_recomputed
+            stats.nodes_replayed += item_stats.nodes_replayed
+            all_verified.append(verified)
+        self._flush_deferred(deferred, stats)
+        stats.user_seconds = time.perf_counter() - started
+        return all_verified, stats
+
+    def _flush_deferred(
+        self, deferred: list[_DeferredCheck], stats: VerifyStats
+    ) -> None:
+        """Run the postponed disjointness checks, aggregated per clause."""
+        by_clause: dict[frozenset[str], list[_DeferredCheck]] = {}
+        for check in deferred:
+            by_clause.setdefault(check.clause, []).append(check)
+        rng = random.SystemRandom()
+        backend = self.accumulator.backend
+        for clause, checks in by_clause.items():
+            clause_digest = self._clause_digest(clause, stats)
+            if len(checks) > 1 and self.accumulator.supports_aggregation:
+                weights = [rng.randrange(1, backend.order) for _ in checks]
+                values = [
+                    AccumulatorValue(
+                        parts=tuple(
+                            backend.exp(part, weight) for part in check.value.parts
+                        )
+                    )
+                    for check, weight in zip(checks, weights)
+                ]
+                proofs = [
+                    DisjointProof(
+                        parts=tuple(
+                            backend.exp(part, weight) for part in check.proof.parts
+                        )
+                    )
+                    for check, weight in zip(checks, weights)
+                ]
+                stats.disjoint_checks += 1
+                stats.batched_checks += len(checks)
+                if self.accumulator.verify_disjoint(
+                    self.accumulator.sum_values(values),
+                    clause_digest,
+                    self.accumulator.sum_proofs(proofs),
+                ):
+                    continue
+                # aggregate failed: fall through to pinpoint the culprit
+            for check in checks:
+                stats.disjoint_checks += 1
+                if not self.accumulator.verify_disjoint(
+                    check.value, clause_digest, check.proof
+                ):
+                    raise VerificationError(
+                        f"batch item {check.item}: "
+                        "disjointness proof failed verification"
+                    )
+            if len(checks) > 1 and self.accumulator.supports_aggregation:
+                # unreachable algebraically: the aggregate is the weighted
+                # product of the individual equations
+                raise VerificationError(  # pragma: no cover - structural guard
+                    "aggregated batch verification failed without a culprit"
+                )
 
     # -- tree replay ------------------------------------------------------
     def _replay_node(
@@ -153,6 +272,7 @@ class QueryVerifier:
         groups: dict[int, _GroupMembers],
         verified: list[DataObject],
         stats: VerifyStats,
+        defer: tuple[int, list[_DeferredCheck]] | None = None,
     ) -> bytes:
         stats.nodes_replayed += 1
         if isinstance(node, VOMatchLeaf):
@@ -175,7 +295,14 @@ class QueryVerifier:
             )
         if isinstance(node, VOMismatchNode):
             self._check_mismatch(
-                node.clause, node.att_digest, node.proof, node.group, cnf, groups, stats
+                node.clause,
+                node.att_digest,
+                node.proof,
+                node.group,
+                cnf,
+                groups,
+                stats,
+                defer,
             )
             return internal_hash(
                 node.child_component,
@@ -186,7 +313,9 @@ class QueryVerifier:
                 raise VerificationError("expanded VO node has no children")
             component = digest(
                 *(
-                    self._replay_node(child, query, cnf, groups, verified, stats)
+                    self._replay_node(
+                        child, query, cnf, groups, verified, stats, defer
+                    )
                     for child in node.children
                 )
             )
@@ -205,6 +334,7 @@ class QueryVerifier:
         cnf: CNFCondition,
         groups: dict[int, _GroupMembers],
         stats: VerifyStats,
+        defer: tuple[int, list[_DeferredCheck]] | None = None,
     ) -> None:
         if skip.height != expected_height:
             raise VerificationError(
@@ -240,7 +370,14 @@ class QueryVerifier:
                 f"reconstructed SkipListRoot mismatch at height {skip.height}"
             )
         self._check_mismatch(
-            skip.clause, skip.att_digest, skip.proof, skip.group, cnf, groups, stats
+            skip.clause,
+            skip.att_digest,
+            skip.proof,
+            skip.group,
+            cnf,
+            groups,
+            stats,
+            defer,
         )
 
     # -- mismatch evidence -------------------------------------------------------
@@ -263,6 +400,7 @@ class QueryVerifier:
         cnf: CNFCondition,
         groups: dict[int, _GroupMembers],
         stats: VerifyStats,
+        defer: tuple[int, list[_DeferredCheck]] | None = None,
     ) -> None:
         if clause not in cnf.clauses:
             raise VerificationError(
@@ -280,6 +418,10 @@ class QueryVerifier:
             return
         if proof is None:
             raise VerificationError("mismatch node carries neither proof nor group")
+        if defer is not None:
+            item, checks = defer
+            checks.append(_DeferredCheck(item, att_digest, clause, proof))
+            return
         stats.disjoint_checks += 1
         if not self.accumulator.verify_disjoint(
             att_digest, self._clause_digest(clause, stats), proof
@@ -291,6 +433,7 @@ class QueryVerifier:
         vo: TimeWindowVO,
         groups: dict[int, _GroupMembers],
         stats: VerifyStats,
+        defer: tuple[int, list[_DeferredCheck]] | None = None,
     ) -> None:
         for group_id, members in groups.items():
             batch = vo.batch_groups.get(group_id)
@@ -301,6 +444,12 @@ class QueryVerifier:
                     f"batch group {group_id} clause does not match its members"
                 )
             summed = self.accumulator.sum_values(members.digests)
+            if defer is not None:
+                item, checks = defer
+                checks.append(
+                    _DeferredCheck(item, summed, batch.clause, batch.proof)
+                )
+                continue
             stats.disjoint_checks += 1
             if not self.accumulator.verify_disjoint(
                 summed, self._clause_digest(batch.clause, stats), batch.proof

@@ -25,10 +25,11 @@ from __future__ import annotations
 
 import time
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.accumulators.base import DisjointProof, MultisetAccumulator
 from repro.accumulators.encoding import ElementEncoder
+from repro.cache.fragments import ProofCache, compute_disjoint_proof
 from repro.chain.block import Block
 from repro.chain.miner import ProtocolParams
 from repro.chain.object import DataObject
@@ -93,6 +94,7 @@ class SubscriptionEngine:
         lazy: bool = False,
         iptree_dims: int | None = None,
         iptree_max_depth: int = 6,
+        proof_cache: ProofCache | None = None,
     ) -> None:
         if lazy and not accumulator.supports_aggregation:
             raise QueryError("lazy authentication requires an aggregating accumulator")
@@ -101,6 +103,10 @@ class SubscriptionEngine:
         self.params = params
         self.use_iptree = use_iptree
         self.lazy = lazy
+        #: persistent content-keyed proof memo (shared with the query
+        #: path by ServiceEndpoint); the per-block dict in
+        #: ``process_block`` only shares within one block
+        self.proof_cache = proof_cache
         self.stats = EngineStats()
         self._iptree: IPTree | None = None
         self._iptree_dims = iptree_dims
@@ -313,13 +319,28 @@ class SubscriptionEngine:
             if proof is not None:
                 self.stats.proofs_shared += 1
                 return proof
-        proof = self.accumulator.prove_disjoint(
-            self.encoder.encode_multiset(attrs),
-            self.encoder.encode_multiset(Counter(clause)),
-        )
-        self.stats.proofs_computed += 1
+        proof = self._prove_cached(attrs, clause)
         if self.use_iptree:
             proof_cache[key] = proof
+        return proof
+
+    def _prove_cached(self, attrs: Counter, clause: frozenset[str]) -> DisjointProof:
+        """ProveDisjoint through the persistent content-keyed memo, if any.
+
+        The persistent cache is shared with the time-window query path
+        by :class:`~repro.api.service.ServiceEndpoint`, so proofs flow
+        both ways: a subscriber's block proof serves later historical
+        queries and vice versa.
+        """
+        if self.proof_cache is not None and self.proof_cache.enabled:
+            proof, hit = self.proof_cache.prove_disjoint(attrs, clause)
+            if hit:
+                self.stats.proofs_shared += 1
+            else:
+                self.stats.proofs_computed += 1
+            return proof
+        proof = compute_disjoint_proof(self.accumulator, self.encoder, attrs, clause)
+        self.stats.proofs_computed += 1
         return proof
 
     # -- realtime deliveries ------------------------------------------------------
@@ -429,11 +450,7 @@ class SubscriptionEngine:
                 )
                 proof = pending.sum_proof
                 if proof is None:
-                    proof = self.accumulator.prove_disjoint(
-                        self.encoder.encode_multiset(entry.attrs),
-                        self.encoder.encode_multiset(Counter(pending.clause)),
-                    )
-                    self.stats.proofs_computed += 1
+                    proof = self._prove_cached(entry.attrs, pending.clause)
                 siblings = tuple(
                     (other.distance, other.entry_hash(self.accumulator.backend))
                     for other in block.skip_entries
@@ -454,11 +471,7 @@ class SubscriptionEngine:
                 component = (
                     root.obj.serialize() if root.is_leaf else children_hash(root.children)
                 )
-                proof = self.accumulator.prove_disjoint(
-                    self.encoder.encode_multiset(root.attrs),
-                    self.encoder.encode_multiset(Counter(pending.clause)),
-                )
-                self.stats.proofs_computed += 1
+                proof = self._prove_cached(root.attrs, pending.clause)
                 entries.append(
                     VOBlock(
                         height=pending.height,

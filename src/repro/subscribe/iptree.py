@@ -28,7 +28,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from itertools import product
 
-from repro.core.query import CNFCondition, SubscriptionQuery
+from repro.core.query import SubscriptionQuery
 from repro.errors import SubscriptionError
 
 Cell = tuple[tuple[int, int], ...]  # per-dimension inclusive (lo, hi)

@@ -309,6 +309,9 @@ def _write_stats(writer: Writer, stats: QueryStats) -> None:
     writer.uvarint(stats.proofs_computed)
     writer.uvarint(stats.nodes_visited)
     writer.uvarint(stats.results)
+    writer.uvarint(stats.cache_hits)
+    writer.uvarint(stats.cache_misses)
+    writer.uvarint(stats.proofs_reused)
 
 
 def _read_stats(reader: Reader) -> QueryStats:
@@ -320,6 +323,9 @@ def _read_stats(reader: Reader) -> QueryStats:
         proofs_computed=reader.uvarint(),
         nodes_visited=reader.uvarint(),
         results=reader.uvarint(),
+        cache_hits=reader.uvarint(),
+        cache_misses=reader.uvarint(),
+        proofs_reused=reader.uvarint(),
     )
 
 

@@ -9,7 +9,7 @@ from repro import VChainClient, VChainNetwork
 from repro.api import LocalTransport, ServiceEndpoint
 from repro.api.response import VerifiedResponse
 from repro.chain import ProtocolParams
-from repro.errors import QueryError, SubscriptionError, VerificationError
+from repro.errors import SubscriptionError, VerificationError
 from tests.conftest import make_objects
 
 

@@ -4,14 +4,12 @@ import random
 
 import pytest
 
-from repro.accumulators import ElementEncoder, make_accumulator
 from repro.chain import ProtocolParams
 from repro.chain.light import LightNode
 from repro.contract import HostChain, VChainContract
 from repro.core.prover import QueryProcessor
 from repro.core.query import CNFCondition, TimeWindowQuery
 from repro.core.verifier import QueryVerifier
-from repro.crypto import get_backend
 from repro.errors import ChainError
 from tests.conftest import make_objects
 

@@ -1,6 +1,5 @@
 """Tests for the inverted prefix tree (Algorithm 6 / Fig 8)."""
 
-from collections import Counter
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Deterministic tests for batch-group verification edge cases."""
 
-import random
 from dataclasses import replace
 
 import pytest
