@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Durable storage benchmark: cold open vs warm serving.
+
+Measures the three costs the :mod:`repro.storage` subsystem introduces
+or removes:
+
+* **write overhead** — mining into a file-backed chain (fsync-on-append)
+  vs the same dataset into a memory chain;
+* **reopen cost** — bringing a killed SP back from its ``data_dir``
+  (log replay + decode + header re-validation), which replaces
+  re-mining the whole chain from raw objects;
+* **warm-query parity** — once reopened, time-window queries must match
+  the in-memory chain byte-for-byte (answers *and* VO bytes) at
+  comparable latency.
+
+Writes ``BENCH_storage.json``; with ``--check`` exits 1 if parity is
+violated or the reopened store serves queries more than ``--max-slowdown``
+slower than memory.
+
+Run:  PYTHONPATH=src python benchmarks/bench_storage.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import statistics
+import tempfile
+import time
+from pathlib import Path
+
+from repro import VChainNetwork
+from repro.datasets import ethereum_like, make_time_window_queries
+from repro.wire import encode_time_window_vo
+
+
+def mine_into(net: VChainNetwork, dataset) -> float:
+    start = time.perf_counter()
+    net.mine_dataset(dataset)
+    return time.perf_counter() - start
+
+
+def run_queries(
+    net: VChainNetwork, queries
+) -> tuple[list[tuple], list[bytes], list[float]]:
+    """Execute + verify each query; returns answers, VO bytes, latencies.
+
+    Each query runs twice and the *faster* run is kept — best-of-2
+    damps GC pauses and noisy-neighbour spikes, which matters because
+    CI gates on the reopened/memory latency ratio.
+    """
+    backend = net.accumulator.backend
+    answers, vo_bytes, latencies = [], [], []
+    for query in queries:
+        start = time.perf_counter()
+        resp = net.client.execute(query)
+        first = time.perf_counter() - start
+        start = time.perf_counter()
+        net.client.execute(query)
+        latencies.append(min(first, time.perf_counter() - start))
+        resp.raise_for_forgery()
+        answers.append(tuple(obj.object_id for obj in resp.results))
+        vo_bytes.append(encode_time_window_vo(backend, resp.vo))
+    return answers, vo_bytes, latencies
+
+
+def dir_nbytes(path: Path) -> int:
+    return sum(f.stat().st_size for f in path.glob("*") if f.is_file())
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--blocks", type=int, default=24)
+    parser.add_argument("--objects-per-block", type=int, default=6)
+    parser.add_argument("--queries", type=int, default=16)
+    parser.add_argument("--window-blocks", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=1234)
+    parser.add_argument("--no-fsync", action="store_true",
+                        help="measure the log without per-append fsync")
+    parser.add_argument("--data-dir", default=None,
+                        help="working directory; its chain/ subdir is "
+                             "cleared and rewritten (default: a fresh temp dir)")
+    parser.add_argument("--out", default="BENCH_storage.json")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 on parity violation or excessive slowdown")
+    parser.add_argument("--max-slowdown", type=float, default=1.5,
+                        help="allowed reopened/memory p50-latency ratio "
+                             "(with --check)")
+    args = parser.parse_args()
+
+    dataset = ethereum_like(
+        args.blocks, objects_per_block=args.objects_per_block, seed=13
+    )
+    queries = make_time_window_queries(
+        dataset, n_queries=args.queries, window_blocks=args.window_blocks, seed=29
+    )
+
+    if args.data_dir:
+        workdir = Path(args.data_dir)
+    else:
+        workdir = Path(tempfile.mkdtemp(prefix="bench_storage_"))
+    chain_dir = workdir / "chain"
+    # the chain/ subdir is exclusively this benchmark's output; clear it
+    # so re-running with the same --data-dir measures a fresh cold write
+    shutil.rmtree(chain_dir, ignore_errors=True)
+    fsync = not args.no_fsync
+
+    # -- cold write: memory vs file-backed ---------------------------------
+    memory_net = VChainNetwork.create(seed=args.seed)
+    memory_mine_s = mine_into(memory_net, dataset)
+
+    durable_net = VChainNetwork.create(seed=args.seed, data_dir=chain_dir, fsync=fsync)
+    durable_mine_s = mine_into(durable_net, dataset)
+    durable_net.close()
+
+    # -- reopen: the restart path ------------------------------------------
+    reopen_start = time.perf_counter()
+    reopened_net = VChainNetwork.open(chain_dir, fsync=fsync)
+    reopen_s = time.perf_counter() - reopen_start
+    assert len(reopened_net.chain) == args.blocks
+
+    # -- warm-query parity --------------------------------------------------
+    mem_answers, mem_vos, mem_lat = run_queries(memory_net, queries)
+    reo_answers, reo_vos, reo_lat = run_queries(reopened_net, queries)
+    answers_match = mem_answers == reo_answers
+    vos_match = mem_vos == reo_vos
+
+    mem_p50 = statistics.median(mem_lat)
+    reo_p50 = statistics.median(reo_lat)
+    slowdown = reo_p50 / mem_p50 if mem_p50 else 1.0
+
+    report = {
+        "config": {
+            "blocks": args.blocks,
+            "objects_per_block": args.objects_per_block,
+            "queries": args.queries,
+            "window_blocks": args.window_blocks,
+            "fsync": fsync,
+            "dataset": dataset.name,
+        },
+        "mine_memory_s": round(memory_mine_s, 4),
+        "mine_durable_s": round(durable_mine_s, 4),
+        "write_overhead": round(durable_mine_s / memory_mine_s, 3),
+        "reopen_s": round(reopen_s, 4),
+        "reopen_blocks_per_s": round(args.blocks / reopen_s, 1),
+        "on_disk_nbytes": dir_nbytes(chain_dir),
+        "query_p50_memory_s": round(mem_p50, 5),
+        "query_p50_reopened_s": round(reo_p50, 5),
+        "warm_slowdown": round(slowdown, 3),
+        "answers_match": answers_match,
+        "vo_bytes_match": vos_match,
+    }
+    reopened_net.close()
+    if args.data_dir is None:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    for key in ("mine_memory_s", "mine_durable_s", "write_overhead", "reopen_s",
+                "reopen_blocks_per_s", "on_disk_nbytes", "query_p50_memory_s",
+                "query_p50_reopened_s", "warm_slowdown", "answers_match",
+                "vo_bytes_match"):
+        print(f"{key:>22}: {report[key]}")
+
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if args.check:
+        if not (answers_match and vos_match):
+            print("FAIL: reopened answers are not byte-identical to memory serving")
+            return 1
+        if slowdown > args.max_slowdown:
+            print(f"FAIL: reopened-store median latency {slowdown:.2f}x memory "
+                  f"(allowed {args.max_slowdown:.2f}x)")
+            return 1
+        print(f"OK: byte-identical answers, warm slowdown {slowdown:.2f}x "
+              f"<= {args.max_slowdown:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

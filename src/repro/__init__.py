@@ -29,25 +29,28 @@ length-prefixed socket protocol (:class:`repro.api.SocketServer` +
 through canonical :mod:`repro.wire` bytes.  ``backend_name="ss512"``
 swaps in the real supersingular pairing; ``"simulated"`` keeps the
 identical algebra on exponent arithmetic for large runs (see
-DESIGN.md).  The legacy tuple-returning entrypoints
-(``QueryUser.query``, ``ServiceProvider.time_window_query``) still work
-but emit :class:`DeprecationWarning` — see ``docs/API.md``.
+DESIGN.md).  ``create(data_dir=...)`` makes the chain durable
+(:mod:`repro.storage`) and ``VChainNetwork.open`` brings it back in a
+later process with verifiable answers intact.  The legacy
+tuple-returning entrypoints (``QueryUser.query``,
+``ServiceProvider.time_window_query``) still work but emit
+:class:`DeprecationWarning` — see ``docs/API.md``.
 """
 
 from __future__ import annotations
 
-import random
+import os
 from dataclasses import dataclass, field
 
-from repro.accumulators import ElementEncoder, make_accumulator
+from repro.accumulators import ElementEncoder
 from repro.accumulators.base import MultisetAccumulator
 from repro.api import ServiceEndpoint, VChainClient
 from repro.chain import Block, Blockchain, DataObject, Miner, ProtocolParams
 from repro.core.sp import ServiceProvider
 from repro.core.user import QueryUser
-from repro.crypto import get_backend
+from repro.storage.bootstrap import ChainSetup, create_chain_setup, open_chain_setup
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "VChainClient",
@@ -73,6 +76,7 @@ class VChainNetwork:
     miner: Miner
     sp: ServiceProvider
     user: QueryUser
+    data_dir: str | None = None
     _endpoint: ServiceEndpoint | None = field(default=None, repr=False)
     _client: VChainClient | None = field(default=None, repr=False)
 
@@ -84,30 +88,57 @@ class VChainNetwork:
         params: ProtocolParams | None = None,
         seed: int | None = None,
         acc1_capacity: int = 4096,
+        data_dir: str | os.PathLike | None = None,
+        fsync: bool = True,
     ) -> "VChainNetwork":
-        """Trusted setup + empty chain + one of each party."""
-        params = params or ProtocolParams()
-        backend = get_backend(backend_name)
-        rng = random.Random(seed)
-        _secret, accumulator = make_accumulator(
-            acc_name, backend, capacity=acc1_capacity, rng=rng
-        )
-        if acc_name == "acc1":
-            encoder = ElementEncoder(backend.order - 1)
-        else:
-            encoder = ElementEncoder(2**32 - 1)
-        chain = Blockchain(difficulty_bits=params.difficulty_bits)
-        miner = Miner(chain, accumulator, encoder, params)
-        sp = ServiceProvider(chain, accumulator, encoder, params)
-        user = QueryUser(accumulator, encoder, params)
-        return cls(
+        """Trusted setup + empty chain + one of each party.
+
+        With ``data_dir`` the chain is file-backed: every mined block is
+        fsync'd to an append-only log and the trusted setup is recorded
+        in the directory's manifest, so :meth:`open` can bring the whole
+        network back in a later process.  ``create`` refuses a directory
+        that already holds a chain — reopen those instead.
+        """
+        setup = create_chain_setup(
+            data_dir=data_dir,
+            acc_name=acc_name,
+            backend_name=backend_name,
             params=params,
-            accumulator=accumulator,
-            encoder=encoder,
-            chain=chain,
+            seed=seed,
+            acc1_capacity=acc1_capacity,
+            fsync=fsync,
+        )
+        return cls._from_setup(setup)
+
+    @classmethod
+    def open(cls, data_dir: str | os.PathLike, fsync: bool = True) -> "VChainNetwork":
+        """Reopen a persisted network: chain, miner, SP and a fresh
+        light node, all wired to the recorded trusted setup.
+
+        The store recovers its log (truncating a damaged tail with a
+        warning), every header is re-validated, and the light node
+        syncs the recovered headers — so queries verify immediately and
+        mining can continue where the previous process stopped.
+        """
+        setup = open_chain_setup(data_dir, fsync=fsync)
+        net = cls._from_setup(setup)
+        net.user.sync_headers(net.chain)
+        return net
+
+    @classmethod
+    def _from_setup(cls, setup: ChainSetup) -> "VChainNetwork":
+        miner = Miner(setup.chain, setup.accumulator, setup.encoder, setup.params)
+        sp = ServiceProvider(setup.chain, setup.accumulator, setup.encoder, setup.params)
+        user = QueryUser(setup.accumulator, setup.encoder, setup.params)
+        return cls(
+            params=setup.params,
+            accumulator=setup.accumulator,
+            encoder=setup.encoder,
+            chain=setup.chain,
             miner=miner,
             sp=sp,
             user=user,
+            data_dir=setup.data_dir,
         )
 
     @property
@@ -146,3 +177,22 @@ class VChainNetwork:
         ]
         self.user.sync_headers(self.chain)
         return blocks
+
+    def close(self) -> None:
+        """Shut down the default endpoint and the chain's backing store.
+
+        Required for a durable network before another process reopens
+        its ``data_dir``; harmless (and a no-op storage-wise) for
+        in-memory networks.
+        """
+        if self._endpoint is not None:
+            self._endpoint.close()
+            self._endpoint = None
+            self._client = None
+        self.chain.close()
+
+    def __enter__(self) -> "VChainNetwork":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

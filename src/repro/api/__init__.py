@@ -36,4 +36,16 @@ __all__ = [
     "VerifiedDelivery",
     "VerifiedResponse",
     "dispatch_request",
+    "serve",
 ]
+
+
+def __getattr__(name: str):
+    # ``serve`` is imported lazily so ``python -m repro.api.server`` does
+    # not re-import the module it is executing (runpy's double-import
+    # warning); everything else stays an eager import.
+    if name == "serve":
+        from repro.api.server import serve
+
+        return serve
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,123 @@
+"""Long-lived SP daemon: serve a persisted chain over the socket protocol.
+
+The missing piece between "a chain directory on disk" and "a service a
+client can dial": reopen the durable chain (recovering and re-validating
+it), wrap it in a :class:`~repro.api.service.ServiceEndpoint`, and serve
+the full SP↔user wire protocol over TCP until interrupted.  Because the
+chain is file-backed, the daemon can be killed and relaunched at will —
+clients reconnect and get byte-identical, verifiable answers.
+
+Run it as a module::
+
+    python -m repro.api.server --data-dir ./chain-data --port 9090
+
+Clients in other processes reconstruct the deployment from the same
+directory::
+
+    from repro.api import VChainClient
+    from repro.storage import open_deployment
+
+    accumulator, encoder, params = open_deployment("./chain-data")
+    client = VChainClient.connect(("127.0.0.1", 9090), accumulator,
+                                  encoder, params)
+
+(The manifest's setup seed regenerates the *whole* KeyGen, trapdoor
+included — a stand-in for a trusted-setup ceremony, not public key
+material; see :func:`repro.storage.bootstrap.open_deployment`.)
+
+``serve()`` is the embeddable form: it returns the running
+:class:`~repro.api.transport.SocketServer` (whose endpoint owns the
+store) and leaves the waiting/shutdown choreography to the caller.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+
+from repro.api.service import ServiceEndpoint
+from repro.api.transport import SocketServer
+
+
+def serve(
+    data_dir: str | os.PathLike,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    idle_timeout: float | None = None,
+    **endpoint_options,
+) -> SocketServer:
+    """Reopen ``data_dir`` and serve it; returns the started server.
+
+    ``server.stop()`` followed by ``server.endpoint.close()`` shuts the
+    whole stack down, syncing the store.  ``endpoint_options`` are
+    forwarded to :meth:`ServiceEndpoint.open` (``max_workers=``,
+    ``cache_fragments=``, ``lazy=``, ...).
+    """
+    endpoint = ServiceEndpoint.open(data_dir, **endpoint_options)
+    try:
+        server = SocketServer(endpoint, host, port, idle_timeout=idle_timeout)
+    except Exception:
+        endpoint.close()
+        raise
+    return server.start()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.api.server",
+        description="Serve a persisted vChain chain directory over TCP.",
+    )
+    parser.add_argument(
+        "--data-dir",
+        required=True,
+        help="chain directory (VChainNetwork.create(data_dir=...))",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument("--port", type=int, default=0, help="bind port (0 = ephemeral)")
+    parser.add_argument(
+        "--max-workers", type=int, default=8, help="concurrent query workers"
+    )
+    parser.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=300.0,
+        help="seconds before an idle connection is reaped (0 disables)",
+    )
+    parser.add_argument(
+        "--no-fsync",
+        action="store_true",
+        help="skip fsync on append (only matters if embedded miners write)",
+    )
+    args = parser.parse_args(argv)
+
+    server = serve(
+        args.data_dir,
+        args.host,
+        args.port,
+        idle_timeout=args.idle_timeout or None,
+        max_workers=args.max_workers,
+        fsync=not args.no_fsync,
+    )
+    endpoint = server.endpoint
+    host, port = server.address
+    print(
+        f"serving {args.data_dir} ({len(endpoint.sp.chain)} blocks) "
+        f"on {host}:{port} — Ctrl-C to stop",
+        flush=True,
+    )
+    try:
+        # the accept loop runs on a daemon thread; park the main thread
+        import threading
+
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        print("stopping...", flush=True)
+    finally:
+        server.stop(drain=True)
+        endpoint.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

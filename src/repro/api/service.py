@@ -161,6 +161,29 @@ class ServiceEndpoint:
             max_workers=max_workers, thread_name_prefix="vchain-sp-worker"
         )
         self._closed = False
+        self._owns_store = False
+
+    @classmethod
+    def open(
+        cls, data_dir, *, fsync: bool = True, **endpoint_options
+    ) -> "ServiceEndpoint":
+        """Serve a chain directory written by a previous process.
+
+        Reopens the durable chain (re-validating every recovered
+        header), reconstructs the SP from the persisted trusted setup,
+        and wraps it in an endpoint that **owns** the store —
+        ``close()`` also closes the underlying files.
+        ``endpoint_options`` are the regular constructor options
+        (``max_workers=``, ``cache_fragments=``, ...).
+        """
+        sp = ServiceProvider.open(data_dir, fsync=fsync)
+        try:
+            endpoint = cls(sp, **endpoint_options)
+        except Exception:
+            sp.close()  # bad endpoint options must not leak open store files
+            raise
+        endpoint._owns_store = True
+        return endpoint
 
     # -- sessions ----------------------------------------------------------
     def session(self) -> ClientSession:
@@ -174,9 +197,15 @@ class ServiceEndpoint:
         return self._closed
 
     def close(self, wait: bool = True) -> None:
-        """Stop accepting work; with ``wait``, drain in-flight queries."""
+        """Stop accepting work; with ``wait``, drain in-flight queries.
+
+        An endpoint constructed through :meth:`open` also closes the
+        chain's backing store, so the data directory is cleanly synced
+        when the endpoint shuts down."""
         self._closed = True
         self._pool.shutdown(wait=wait)
+        if self._owns_store:
+            self.sp.close()
 
     def __enter__(self) -> "ServiceEndpoint":
         return self

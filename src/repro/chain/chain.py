@@ -1,9 +1,18 @@
 """The blockchain container shared by full nodes.
 
-Append-only list of blocks with structural validation: header linkage,
-monotone timestamps, and consensus-proof checking.  Window selection by
-timestamp serves the time-window query path; the headers view feeds
-light nodes.
+An append-only, validated sequence of blocks.  The chain layer owns
+*validation* — header linkage, monotone timestamps, consensus-proof
+checking, and the ``merkle_root`` binding over the intra-index tree —
+and delegates *storage* to a pluggable
+:class:`~repro.storage.store.BlockStore`: in-memory by default, or the
+durable file backend from :mod:`repro.storage` so a service provider
+survives restarts.  A store handed in with existing blocks (a reopened
+chain directory) is **re-validated block by block** before the chain
+accepts it, so recovery gives the same guarantees as having appended
+every block live.
+
+Window selection by timestamp serves the time-window query path; the
+headers view feeds light nodes.
 """
 
 from __future__ import annotations
@@ -18,52 +27,78 @@ from repro.errors import ChainError
 class Blockchain:
     """An append-only, validated sequence of blocks."""
 
-    def __init__(self, difficulty_bits: int = 0) -> None:
-        self.difficulty_bits = difficulty_bits
-        self._blocks: list[Block] = []
+    def __init__(self, difficulty_bits: int = 0, store=None) -> None:
+        # imported here, not at module level: repro.storage's bootstrap
+        # helpers import this module back
+        from repro.storage.store import MemoryBlockStore
 
-    # -- mutation -----------------------------------------------------------
-    def append(self, block: Block) -> None:
+        self.difficulty_bits = difficulty_bits
+        self.store = store if store is not None else MemoryBlockStore()
+        self._revalidate()
+
+    # -- validation ---------------------------------------------------------
+    def _check_block(self, block: Block, prev: Block | None, height: int) -> None:
+        """Every structural invariant one block must satisfy."""
         header = block.header
-        if header.height != len(self._blocks):
+        if header.height != height:
             raise ChainError(
-                f"height {header.height} does not extend chain of length {len(self._blocks)}"
+                f"height {header.height} does not extend chain of length {height}"
             )
-        expected_prev = self._blocks[-1].header.block_hash() if self._blocks else ZERO_HASH
+        expected_prev = prev.header.block_hash() if prev else ZERO_HASH
         if header.prev_hash != expected_prev:
             raise ChainError("prev_hash does not match the chain tip")
-        if self._blocks and header.timestamp < self._blocks[-1].header.timestamp:
+        if prev is not None and header.timestamp < prev.header.timestamp:
             raise ChainError("block timestamp regressed")
         if not check_nonce(header.core_bytes(), header.nonce, self.difficulty_bits):
             raise ChainError("consensus proof invalid")
         if header.merkle_root != block.index_root.node_hash:
             raise ChainError("header merkle_root does not bind the index tree")
-        self._blocks.append(block)
+
+    def _revalidate(self) -> None:
+        """Re-run every append-time check over a store's existing blocks."""
+        prev: Block | None = None
+        for height, block in enumerate(self.store):
+            try:
+                self._check_block(block, prev, height)
+            except ChainError as exc:
+                raise ChainError(f"recovered block {height} is invalid: {exc}") from exc
+            prev = block
+
+    # -- mutation -----------------------------------------------------------
+    def append(self, block: Block) -> None:
+        self._check_block(block, self.tip, len(self.store))
+        self.store.append(block)
 
     # -- access ---------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._blocks)
+        return len(self.store)
 
     def __iter__(self) -> Iterator[Block]:
-        return iter(self._blocks)
+        return iter(self.store)
 
     def block(self, height: int) -> Block:
-        if not 0 <= height < len(self._blocks):
+        if not 0 <= height < len(self.store):
             raise ChainError(f"no block at height {height}")
-        return self._blocks[height]
+        return self.store.block(height)
 
     @property
     def tip(self) -> Block | None:
-        return self._blocks[-1] if self._blocks else None
+        length = len(self.store)
+        return self.store.block(length - 1) if length else None
 
     def headers(self) -> list[BlockHeader]:
         """Everything a light node syncs."""
-        return [block.header for block in self._blocks]
+        return [block.header for block in self.store]
 
     def heights_in_window(self, start: int, end: int) -> list[int]:
         """Heights of blocks whose timestamp falls in ``[start, end]``."""
         return [
             block.header.height
-            for block in self._blocks
+            for block in self.store
             if start <= block.header.timestamp <= end
         ]
+
+    # -- lifecycle ------------------------------------------------------------
+    def close(self) -> None:
+        """Flush and close the backing store (no-op for memory)."""
+        self.store.close()

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import warnings
 
 from repro.accumulators.base import MultisetAccumulator
@@ -21,6 +22,10 @@ class ServiceProvider:
     through :class:`repro.api.ServiceEndpoint`, which also multiplexes
     subscription queries via
     :class:`repro.subscribe.engine.SubscriptionEngine`.
+
+    An SP over a durable chain directory reopens across process
+    restarts via :meth:`open` — headers are re-validated on the way up
+    and answers are byte-identical to the pre-restart chain's.
     """
 
     def __init__(
@@ -35,6 +40,20 @@ class ServiceProvider:
         self.encoder = encoder
         self.params = params
         self.processor = QueryProcessor(chain, accumulator, encoder, params)
+
+    @classmethod
+    def open(cls, data_dir: str | os.PathLike, fsync: bool = True) -> "ServiceProvider":
+        """Reopen an SP from a chain directory written by a previous
+        process (see :mod:`repro.storage.bootstrap` for what is
+        reconstructed and re-validated)."""
+        from repro.storage.bootstrap import open_chain_setup
+
+        setup = open_chain_setup(data_dir, fsync=fsync)
+        return cls(setup.chain, setup.accumulator, setup.encoder, setup.params)
+
+    def close(self) -> None:
+        """Close the chain's backing store (no-op for memory chains)."""
+        self.chain.close()
 
     def time_window_query(
         self, query: TimeWindowQuery, batch: bool | None = None

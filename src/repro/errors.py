@@ -47,5 +47,9 @@ class QueryError(ReproError):
     """Malformed query (empty CNF, inverted range bounds, etc.)."""
 
 
+class StorageError(ReproError):
+    """Durable block storage failed (bad manifest, unrecoverable log)."""
+
+
 class SubscriptionError(ReproError):
     """Subscription lifecycle misuse (double registration, unknown id)."""

@@ -1,0 +1,43 @@
+"""Durable chain storage (pluggable BlockStore backends).
+
+The chain layer validates; a :class:`BlockStore` persists.
+:class:`MemoryBlockStore` keeps the pre-storage behaviour (and is the
+default), :class:`FileBlockStore` is an fsync'd append-only segment log
+with crash recovery, and :mod:`repro.storage.bootstrap` ties a store to
+the trusted setup that produced it so whole deployments reopen across
+processes.  See ``docs/ARCHITECTURE.md`` ("Persistence") for the design.
+"""
+
+from repro.storage.bootstrap import (
+    ChainSetup,
+    build_parties,
+    create_chain_setup,
+    open_chain_setup,
+    open_deployment,
+)
+from repro.storage.store import (
+    CODEC_NAME,
+    DEFAULT_SEGMENT_BYTES,
+    FORMAT_VERSION,
+    BlockStore,
+    FileBlockStore,
+    MemoryBlockStore,
+    StorageWarning,
+    load_manifest,
+)
+
+__all__ = [
+    "BlockStore",
+    "CODEC_NAME",
+    "ChainSetup",
+    "DEFAULT_SEGMENT_BYTES",
+    "FORMAT_VERSION",
+    "FileBlockStore",
+    "MemoryBlockStore",
+    "StorageWarning",
+    "build_parties",
+    "create_chain_setup",
+    "load_manifest",
+    "open_chain_setup",
+    "open_deployment",
+]

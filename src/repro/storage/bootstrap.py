@@ -1,0 +1,225 @@
+"""Create/reopen a durable chain together with its trusted setup.
+
+A persisted chain is useless without the deployment parameters that
+produced it: the accumulator digests on disk were computed against a
+specific public key (derived from the setup seed), attribute encoding
+depends on the accumulator's domain, and header re-validation needs the
+consensus difficulty.  ``create_chain_setup`` therefore records the
+whole deployment — accumulator name, backend name, setup seed,
+``ProtocolParams`` — in the store manifest, and ``open_chain_setup``
+reconstructs byte-compatible parties from it in a fresh process.
+
+The setup seed drives ``KeyGen``'s RNG, so the reopened oracle serves
+the *same* key powers; with no explicit seed a random one is drawn and
+persisted.  (In the paper's deployment the public parameters simply
+exist; the seed is this reproduction's stand-in for "the same trusted
+setup, available after a restart".)
+
+Higher layers wrap these helpers: ``VChainNetwork.create(data_dir=...)``
+/ ``VChainNetwork.open``, ``ServiceProvider.open``,
+``ServiceEndpoint.open`` and the ``python -m repro.api.server`` CLI.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import secrets
+from dataclasses import asdict, dataclass
+
+from repro.accumulators import ElementEncoder, make_accumulator
+from repro.accumulators.base import MultisetAccumulator
+from repro.chain.chain import Blockchain
+from repro.chain.miner import ProtocolParams
+from repro.crypto import get_backend
+from repro.crypto.backend import PairingBackend
+from repro.errors import StorageError
+from repro.storage.store import (
+    DEFAULT_SEGMENT_BYTES,
+    BlockStore,
+    FileBlockStore,
+    MemoryBlockStore,
+    load_manifest,
+)
+
+
+def build_parties(
+    acc_name: str,
+    backend_name: str,
+    seed: int | None,
+    acc1_capacity: int,
+) -> tuple[PairingBackend, MultisetAccumulator, ElementEncoder]:
+    """Trusted setup: backend, accumulator and matching encoder.
+
+    Deterministic in ``seed`` — the one fact that must hold for a chain
+    written by one process to verify in another.
+    """
+    backend = get_backend(backend_name)
+    rng = random.Random(seed)
+    _secret, accumulator = make_accumulator(
+        acc_name, backend, capacity=acc1_capacity, rng=rng
+    )
+    if acc_name == "acc1":
+        encoder = ElementEncoder(backend.order - 1)
+    else:
+        encoder = ElementEncoder(2**32 - 1)
+    return backend, accumulator, encoder
+
+
+@dataclass
+class ChainSetup:
+    """A wired chain + parties, either in-memory or file-backed."""
+
+    chain: Blockchain
+    store: BlockStore
+    accumulator: MultisetAccumulator
+    encoder: ElementEncoder
+    params: ProtocolParams
+    acc_name: str
+    backend_name: str
+    seed: int | None
+    acc1_capacity: int
+    data_dir: str | None = None
+
+    def close(self) -> None:
+        self.store.close()
+
+
+def create_chain_setup(
+    data_dir: str | os.PathLike | None = None,
+    acc_name: str = "acc2",
+    backend_name: str = "simulated",
+    params: ProtocolParams | None = None,
+    seed: int | None = None,
+    acc1_capacity: int = 4096,
+    fsync: bool = True,
+    segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+) -> ChainSetup:
+    """Fresh trusted setup and empty chain.
+
+    With ``data_dir`` the chain is file-backed and the full deployment
+    is persisted in the manifest (an already-initialised directory is
+    refused — reopen those with :func:`open_chain_setup`).  Without it,
+    the store is in-memory and nothing survives the process.
+    """
+    params = params or ProtocolParams()
+    if data_dir is not None and seed is None:
+        # the seed *is* the reopenable trusted setup; a persisted chain
+        # without one could never verify again
+        seed = secrets.randbits(63)
+    backend, accumulator, encoder = build_parties(
+        acc_name, backend_name, seed, acc1_capacity
+    )
+    if data_dir is None:
+        store: BlockStore = MemoryBlockStore()
+    else:
+        store = FileBlockStore.create(
+            data_dir,
+            backend,
+            params.bits,
+            meta={
+                "acc_name": acc_name,
+                "backend_name": backend_name,
+                "seed": seed,
+                "acc1_capacity": acc1_capacity,
+                "params": asdict(params),
+            },
+            fsync=fsync,
+            segment_bytes=segment_bytes,
+        )
+    chain = Blockchain(difficulty_bits=params.difficulty_bits, store=store)
+    return ChainSetup(
+        chain=chain,
+        store=store,
+        accumulator=accumulator,
+        encoder=encoder,
+        params=params,
+        acc_name=acc_name,
+        backend_name=backend_name,
+        seed=seed,
+        acc1_capacity=acc1_capacity,
+        data_dir=str(data_dir) if data_dir is not None else None,
+    )
+
+
+def _read_deployment(
+    data_dir: str | os.PathLike,
+) -> tuple[str, str, int, int, ProtocolParams]:
+    """The recorded trusted-setup facts, straight from the manifest."""
+    manifest = load_manifest(data_dir)
+    meta = manifest.get("meta", {})
+    try:
+        return (
+            meta["acc_name"],
+            meta["backend_name"],
+            meta["seed"],
+            meta["acc1_capacity"],
+            ProtocolParams(**meta["params"]),
+        )
+    except (KeyError, TypeError) as exc:
+        raise StorageError(
+            f"{data_dir} has no usable deployment metadata ({exc}); "
+            "was it created through create_chain_setup / VChainNetwork.create?"
+        ) from exc
+
+
+def open_deployment(
+    data_dir: str | os.PathLike,
+) -> tuple[MultisetAccumulator, ElementEncoder, ProtocolParams]:
+    """The deployment of a chain directory, parties only — no block log.
+
+    What a client process needs to talk to an SP serving this directory
+    over a socket (``VChainClient.connect`` wants the accumulator,
+    encoder and params).  **Trust caveat:** the manifest's setup seed
+    regenerates the whole KeyGen, trapdoor included — it stands in for a
+    trusted-setup ceremony, it is not public material.  A real
+    deployment would publish the oracle/public key and keep ``s`` in the
+    ceremony or an enclave; here, whoever can read the manifest (the SP
+    included) could forge proofs, so treat cross-party runs as protocol
+    exercises, not security demonstrations (see ``repro.crypto``'s
+    simulated-backend caveat, which is the same honesty rule).
+    """
+    acc_name, backend_name, seed, acc1_capacity, params = _read_deployment(data_dir)
+    _backend, accumulator, encoder = build_parties(
+        acc_name, backend_name, seed, acc1_capacity
+    )
+    return accumulator, encoder, params
+
+
+def open_chain_setup(
+    data_dir: str | os.PathLike,
+    fsync: bool = True,
+    segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+) -> ChainSetup:
+    """Reopen a persisted chain with its recorded trusted setup.
+
+    The store recovers the log (truncating a damaged tail with a
+    warning) and the :class:`Blockchain` constructor re-validates every
+    recovered header — linkage, timestamps, consensus nonce and the
+    ``merkle_root`` binding over the decoded index tree — before the
+    chain is handed to anyone.
+    """
+    acc_name, backend_name, seed, acc1_capacity, params = _read_deployment(data_dir)
+    backend, accumulator, encoder = build_parties(
+        acc_name, backend_name, seed, acc1_capacity
+    )
+    store = FileBlockStore.open(
+        data_dir, backend, fsync=fsync, segment_bytes=segment_bytes
+    )
+    try:
+        chain = Blockchain(difficulty_bits=params.difficulty_bits, store=store)
+    except Exception:
+        store.close()  # re-validation failed: release the flock and handles
+        raise
+    return ChainSetup(
+        chain=chain,
+        store=store,
+        accumulator=accumulator,
+        encoder=encoder,
+        params=params,
+        acc_name=acc_name,
+        backend_name=backend_name,
+        seed=seed,
+        acc1_capacity=acc1_capacity,
+        data_dir=str(data_dir),
+    )

@@ -1,0 +1,542 @@
+"""Pluggable chain storage: the BlockStore protocol and its backends.
+
+The chain layer (:class:`repro.chain.chain.Blockchain`) owns *validation*
+— header linkage, consensus proofs, Merkle binding — and delegates
+*storage* to a :class:`BlockStore`.  Two backends ship:
+
+* :class:`MemoryBlockStore` — a plain list; the default, and exactly the
+  pre-storage behaviour.  An SP restart loses the chain.
+* :class:`FileBlockStore` — an append-only **segment log** plus a
+  fixed-width **offset index**, fsync'd on every append, with blocks
+  serialized through the canonical
+  :func:`repro.wire.block_codec.encode_block` codec.  An SP process can
+  be killed and reopened with its chain — objects, intra/inter-block
+  ADS, accumulator digests — intact and byte-identical.
+
+File layout under ``data_dir``::
+
+    MANIFEST.json     format/codec versions, backend name, prefix width,
+                      plus caller metadata (setup seed, params, ...)
+    seg-00000.log     segment files: [magic | height | len | crc32 | payload]*
+    chain.idx         32-byte entries: height, segment, offset, length, crc32
+    LOCK              advisory single-writer flock (empty; dies with holder)
+
+Durability contract: a record is written and fsync'd to its segment
+*before* its index entry is written and fsync'd.  A crash therefore
+leaves at most one orphan record (data without index) or a torn tail;
+both are detected on open and **truncated with a
+:class:`StorageWarning`** — the chain simply resumes one block shorter.
+A corrupt record that is *not* at the tail also truncates there (a chain
+cannot have holes), dropping every later block; the warning says how
+many.  Bit-rot inside a payload that the CRC happens to miss is caught
+by the hash bindings instead: the codec checks the header's
+``skiplist_root`` against the decoded skip entries, and the chain layer
+re-validates each header's ``merkle_root`` against the decoded index
+tree.
+
+Both backends keep decoded blocks in memory — queries walk index trees
+constantly, and the chain fits (the paper's SP is RAM-resident too); the
+file backend is a durability layer, not a paging layer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import warnings
+import zlib
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX: single-writer discipline is on the caller
+    fcntl = None
+from collections.abc import Iterator
+from pathlib import Path
+from typing import Protocol, runtime_checkable
+
+from repro.chain.block import Block
+from repro.crypto.backend import PairingBackend
+from repro.errors import ReproError, StorageError
+from repro.wire.block_codec import decode_block, encode_block
+
+MANIFEST_NAME = "MANIFEST.json"
+INDEX_NAME = "chain.idx"
+LOCK_NAME = "LOCK"
+SEGMENT_PATTERN = "seg-{:05d}.log"
+
+#: storage format / codec identifiers checked on open
+FORMAT_VERSION = 1
+CODEC_NAME = "block-v1"
+
+#: segment record header: magic(2) + height(8) + payload length(4) + crc32(4)
+_RECORD_MAGIC = b"\xb1\x0c"
+_REC_HEAD = struct.Struct(">2sQII")
+#: index entry: height(8) + segment(4) + offset(8) + payload length(8) + crc32(4)
+_IDX_ENTRY = struct.Struct(">QIQQI")
+
+DEFAULT_SEGMENT_BYTES = 16 * 1024 * 1024
+
+
+class StorageWarning(UserWarning):
+    """Recoverable damage found while opening a chain directory."""
+
+
+def _fsync_dir(path: Path) -> None:
+    """Persist directory-entry changes (file creation / rename)."""
+    if not hasattr(os, "O_DIRECTORY"):  # non-POSIX
+        return
+    fd = os.open(path, os.O_RDONLY | os.O_DIRECTORY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+@runtime_checkable
+class BlockStore(Protocol):
+    """What the chain layer needs from a storage backend.
+
+    ``append`` must make the block durable before returning (to
+    whatever standard the backend claims); reads may be served from
+    memory.  The chain layer guarantees blocks arrive validated and in
+    height order.
+    """
+
+    def __len__(self) -> int: ...
+
+    def __iter__(self) -> Iterator[Block]: ...
+
+    def block(self, height: int) -> Block: ...
+
+    def append(self, block: Block) -> None: ...
+
+    def sync(self) -> None: ...
+
+    def close(self) -> None: ...
+
+
+class MemoryBlockStore:
+    """The default backend: blocks live in a Python list."""
+
+    def __init__(self) -> None:
+        self._blocks: list[Block] = []
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self._blocks)
+
+    def block(self, height: int) -> Block:
+        return self._blocks[height]
+
+    def append(self, block: Block) -> None:
+        self._blocks.append(block)
+
+    def sync(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+def load_manifest(data_dir: str | os.PathLike) -> dict:
+    """Read and sanity-check a chain directory's manifest."""
+    path = Path(data_dir) / MANIFEST_NAME
+    if not path.exists():
+        raise StorageError(f"{data_dir} is not a chain directory (no {MANIFEST_NAME})")
+    try:
+        manifest = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise StorageError(f"unreadable manifest in {data_dir}: {exc}") from exc
+    if manifest.get("format_version") != FORMAT_VERSION:
+        raise StorageError(
+            f"unsupported storage format {manifest.get('format_version')!r} "
+            f"(this build reads {FORMAT_VERSION})"
+        )
+    if manifest.get("codec") != CODEC_NAME:
+        raise StorageError(
+            f"unsupported block codec {manifest.get('codec')!r} "
+            f"(this build reads {CODEC_NAME!r})"
+        )
+    return manifest
+
+
+class FileBlockStore:
+    """Durable backend: append-only segment log + offset index.
+
+    Use the :meth:`create` / :meth:`open` classmethods; ``create``
+    refuses an already-initialised directory and ``open`` refuses a
+    missing one, so the two cannot be confused silently.
+
+    ``fsync=False`` trades crash-durability for append speed (the OS
+    still sees every write immediately) — useful for bulk loads and
+    benchmarks; flip it back for serving.
+    """
+
+    def __init__(
+        self,
+        data_dir: str | os.PathLike,
+        backend: PairingBackend,
+        bits: int,
+        *,
+        manifest: dict,
+        fsync: bool = True,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+    ) -> None:
+        self.data_dir = Path(data_dir)
+        self.backend = backend
+        self.bits = bits
+        self.fsync = fsync
+        self.segment_bytes = segment_bytes
+        self.manifest = manifest
+        self._blocks: list[Block] = []
+        self._segment_id = 0
+        self._segment_file = None
+        self._index_file = None
+        self._lock_file = None
+        self._closed = False
+        self._acquire_lock()
+        try:
+            self._recover()
+            self._open_for_append()
+        except Exception:
+            if self._lock_file is not None:  # failed open must not hold the lock
+                self._lock_file.close()
+                self._lock_file = None
+            raise
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        data_dir: str | os.PathLike,
+        backend: PairingBackend,
+        bits: int,
+        *,
+        meta: dict | None = None,
+        fsync: bool = True,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+    ) -> "FileBlockStore":
+        """Initialise a fresh chain directory (must not already be one).
+
+        ``meta`` is opaque caller metadata persisted in the manifest —
+        the bootstrap layer stores the trusted-setup parameters there so
+        a later :func:`repro.storage.bootstrap.open_chain_setup` can
+        reconstruct the accumulator and encoder.
+        """
+        path = Path(data_dir)
+        if (path / MANIFEST_NAME).exists():
+            raise StorageError(
+                f"{data_dir} already holds a chain; use FileBlockStore.open()"
+            )
+        path.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "format_version": FORMAT_VERSION,
+            "codec": CODEC_NAME,
+            "backend": backend.name,
+            "bits": bits,
+            "meta": dict(meta or {}),
+        }
+        tmp = path / (MANIFEST_NAME + ".tmp")
+        tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, path / MANIFEST_NAME)
+        _fsync_dir(path)
+        return cls(
+            path,
+            backend,
+            bits,
+            manifest=manifest,
+            fsync=fsync,
+            segment_bytes=segment_bytes,
+        )
+
+    @classmethod
+    def open(
+        cls,
+        data_dir: str | os.PathLike,
+        backend: PairingBackend,
+        *,
+        fsync: bool = True,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+    ) -> "FileBlockStore":
+        """Reopen an existing chain directory, recovering the log."""
+        manifest = load_manifest(data_dir)
+        if manifest["backend"] != backend.name:
+            raise StorageError(
+                f"chain was written with backend {manifest['backend']!r}, "
+                f"opened with {backend.name!r}"
+            )
+        return cls(
+            Path(data_dir),
+            backend,
+            manifest["bits"],
+            manifest=manifest,
+            fsync=fsync,
+            segment_bytes=segment_bytes,
+        )
+
+    @property
+    def meta(self) -> dict:
+        """Caller metadata recorded at :meth:`create` time."""
+        return self.manifest.get("meta", {})
+
+    # -- reads -------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self._blocks)
+
+    def block(self, height: int) -> Block:
+        return self._blocks[height]
+
+    # -- append ------------------------------------------------------------
+    def append(self, block: Block) -> None:
+        if self._closed:
+            raise StorageError("block store is closed")
+        payload = encode_block(self.backend, block)
+        crc = zlib.crc32(payload)
+        height = len(self._blocks)
+        if self._segment_file.tell() >= self.segment_bytes:
+            self._rotate_segment()
+        offset = self._segment_file.tell()
+        self._segment_file.write(
+            _REC_HEAD.pack(_RECORD_MAGIC, height, len(payload), crc)
+        )
+        self._segment_file.write(payload)
+        self._flush(self._segment_file)
+        self._index_file.write(
+            _IDX_ENTRY.pack(height, self._segment_id, offset, len(payload), crc)
+        )
+        self._flush(self._index_file)
+        self._blocks.append(block)
+
+    def sync(self) -> None:
+        if self._closed:
+            return
+        self._segment_file.flush()
+        os.fsync(self._segment_file.fileno())
+        self._index_file.flush()
+        os.fsync(self._index_file.fileno())
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.sync()
+        self._segment_file.close()
+        self._index_file.close()
+        if self._lock_file is not None:
+            self._lock_file.close()  # releases the flock
+            self._lock_file = None
+        self._closed = True
+
+    def __enter__(self) -> "FileBlockStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- internals ---------------------------------------------------------
+    def _acquire_lock(self) -> None:
+        """Single-writer guard: two stores on one directory would
+        interleave appends and make the next recovery truncate committed
+        blocks.  ``flock`` is advisory and dies with the process, so a
+        crashed writer never wedges the directory."""
+        if fcntl is None:
+            return
+        self._lock_file = open(self.data_dir / LOCK_NAME, "ab")
+        try:
+            fcntl.flock(self._lock_file, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            self._lock_file.close()
+            self._lock_file = None
+            raise StorageError(
+                f"{self.data_dir} is already open in another store/process"
+            ) from None
+
+    def _flush(self, handle) -> None:
+        handle.flush()
+        if self.fsync:
+            os.fsync(handle.fileno())
+
+    def _segment_path(self, segment_id: int) -> Path:
+        return self.data_dir / SEGMENT_PATTERN.format(segment_id)
+
+    def _rotate_segment(self) -> None:
+        self._segment_file.close()
+        self._segment_id += 1
+        self._segment_file = open(self._segment_path(self._segment_id), "ab")
+        if self.fsync:
+            # a record fsync'd into a file whose directory entry was
+            # never fsync'd is not durable: persist the creation too
+            _fsync_dir(self.data_dir)
+
+    def _open_for_append(self) -> None:
+        created = not self._segment_path(self._segment_id).exists()
+        self._segment_file = open(self._segment_path(self._segment_id), "ab")
+        self._index_file = open(self.data_dir / INDEX_NAME, "ab")
+        if created and self.fsync:
+            _fsync_dir(self.data_dir)
+
+    def _recover(self) -> None:
+        """Replay the offset index, truncating any damaged tail.
+
+        Every deviation — torn index entry, missing/short segment, bad
+        magic, CRC mismatch, undecodable payload, orphan segment bytes —
+        resolves the same way: the log is truncated at the last block
+        that checks out, with a :class:`StorageWarning` naming what was
+        dropped.  Damage earlier in the log *also* truncates from the
+        damage onward (a chain cannot have holes); the warning then
+        reports how many trailing blocks went with it.
+        """
+        index_path = self.data_dir / INDEX_NAME
+        raw_index = index_path.read_bytes() if index_path.exists() else b""
+        if len(raw_index) % _IDX_ENTRY.size:
+            self._warn(
+                f"offset index has {len(raw_index) % _IDX_ENTRY.size} torn "
+                "trailing byte(s); dropping them"
+            )
+            raw_index = raw_index[: len(raw_index) - len(raw_index) % _IDX_ENTRY.size]
+
+        entries = [
+            _IDX_ENTRY.unpack_from(raw_index, pos)
+            for pos in range(0, len(raw_index), _IDX_ENTRY.size)
+        ]
+        segments: dict[int, bytes] = {}
+        good = 0
+        damaged = False
+        for expected_height, entry in enumerate(entries):
+            height, segment_id, offset, length, crc = entry
+            reason = None
+            if height != expected_height:
+                reason = f"index entry {expected_height} claims height {height}"
+            else:
+                if segment_id not in segments:
+                    seg_path = self._segment_path(segment_id)
+                    segments[segment_id] = (
+                        seg_path.read_bytes() if seg_path.exists() else b""
+                    )
+                data = segments[segment_id]
+                end = offset + _REC_HEAD.size + length
+                if end > len(data):
+                    reason = f"record for block {height} is truncated"
+                else:
+                    magic, rec_height, rec_length, rec_crc = _REC_HEAD.unpack_from(
+                        data, offset
+                    )
+                    payload = data[offset + _REC_HEAD.size : end]
+                    if magic != _RECORD_MAGIC:
+                        reason = f"record for block {height} has a bad magic"
+                    elif (rec_height, rec_length, rec_crc) != (height, length, crc):
+                        reason = f"record for block {height} disagrees with the index"
+                    elif zlib.crc32(payload) != crc:
+                        reason = f"record for block {height} fails its CRC"
+                    else:
+                        try:
+                            block = decode_block(self.backend, payload, self.bits)
+                        except ReproError as exc:
+                            reason = f"block {height} does not decode: {exc}"
+                        else:
+                            self._blocks.append(block)
+                            good += 1
+                            continue
+            self._warn(
+                f"{reason}; truncating {len(entries) - good} block(s), chain "
+                f"resumes at height {good}"
+            )
+            damaged = True
+            break
+
+        self._truncate_tail(entries[:good], damaged)
+
+        # position the appender after the last good record
+        self._segment_id = entries[good - 1][1] if good else 0
+
+    def _truncate_tail(self, good_entries: list, damaged: bool) -> None:
+        """Cut index and segments back to the good prefix.
+
+        Geometry comes from the last *good* record — the fields of a
+        corrupt index entry are untrustworthy.  When nothing was
+        damaged this still drops crash orphans (segment bytes past the
+        last indexed record, or whole unindexed segments), each with
+        its own warning.
+
+        Fail-safe: the crash model leaves **at most one** complete
+        unindexed record (segment fsync happens before the index
+        append).  Finding more than one intact record beyond the index
+        means the index itself was lost or rolled back — truncating
+        would destroy a recoverable chain, so that shape raises
+        :class:`StorageError` and leaves every file untouched.
+        """
+        if good_entries:
+            _height, last_segment, last_offset, last_length, _crc = good_entries[-1]
+            tail_end = last_offset + _REC_HEAD.size + last_length
+        else:
+            last_segment, tail_end = 0, 0
+
+        if not damaged:
+            orphans = self._count_orphan_records(last_segment, tail_end, limit=2)
+            if orphans > 1:
+                raise StorageError(
+                    f"{self.data_dir}: offset index is behind the segment log "
+                    f"by {orphans}+ intact record(s) — the index was lost, not "
+                    "torn; refusing to truncate (restore chain.idx or recover "
+                    "manually)"
+                )
+
+        index_path = self.data_dir / INDEX_NAME
+        if index_path.exists():
+            with open(index_path, "ab") as handle:
+                handle.truncate(len(good_entries) * _IDX_ENTRY.size)
+                os.fsync(handle.fileno())
+
+        seg_path = self._segment_path(last_segment)
+        if seg_path.exists():
+            size = seg_path.stat().st_size
+            if size > tail_end:
+                if not damaged:
+                    self._warn(
+                        f"{size - tail_end} orphan byte(s) after the last indexed "
+                        "record (crash during append); dropping them"
+                    )
+                with open(seg_path, "ab") as handle:
+                    handle.truncate(tail_end)
+                    os.fsync(handle.fileno())
+
+        segment_id = last_segment + 1
+        while (path := self._segment_path(segment_id)).exists():
+            if not damaged:
+                self._warn(f"orphan segment {path.name}; dropping it")
+            path.unlink()
+            segment_id += 1
+
+    def _count_orphan_records(
+        self, tail_segment: int, tail_end: int, limit: int
+    ) -> int:
+        """Complete, CRC-valid records beyond the indexed log (≤ limit)."""
+        count = 0
+        segment_id = tail_segment
+        start = tail_end
+        while count < limit:
+            seg_path = self._segment_path(segment_id)
+            if not seg_path.exists():
+                break
+            data = seg_path.read_bytes()
+            pos = start
+            while count < limit and pos + _REC_HEAD.size <= len(data):
+                magic, _height, length, crc = _REC_HEAD.unpack_from(data, pos)
+                end = pos + _REC_HEAD.size + length
+                if magic != _RECORD_MAGIC or end > len(data):
+                    return count  # torn/garbage tail: not an intact record
+                if zlib.crc32(data[pos + _REC_HEAD.size : end]) != crc:
+                    return count
+                count += 1
+                pos = end
+            segment_id += 1
+            start = 0
+        return count
+
+    def _warn(self, message: str) -> None:
+        warnings.warn(f"{self.data_dir}: {message}", StorageWarning, stacklevel=3)

@@ -83,7 +83,18 @@ class _PendingBlock:
 
 
 class SubscriptionEngine:
-    """SP-side engine multiplexing many subscriptions over new blocks."""
+    """SP-side engine multiplexing many subscriptions over new blocks.
+
+    The engine is deliberately **ephemeral**: registrations are live
+    client state, not chain state, so nothing here is persisted by
+    :mod:`repro.storage`.  After an SP restart
+    (``ServiceEndpoint.open``) a fresh engine starts empty, clients
+    re-register, and new subscriptions default to seeing only blocks
+    mined from now on — while the reopened *chain* still serves the
+    whole history through time-window queries.  An explicit
+    ``since_height`` may reach back into recovered blocks as long as
+    the endpoint has not ingested past it yet.
+    """
 
     def __init__(
         self,

@@ -1,0 +1,282 @@
+"""Canonical byte encoding of full blocks (the durable-storage codec).
+
+Blocks never cross the SP↔user link whole — users get headers, objects
+and VOs — but the SP's own :mod:`repro.storage` backends need to lay a
+block down on disk and get the *same* block back after a restart.  The
+codec therefore covers the full-node view: header, object payload,
+skip-list entries and the intra-block index tree with its accumulator
+digests.
+
+Two properties drive the layout:
+
+* **Byte-identical round trip** — ``encode(decode(encode(b))) ==
+  encode(b)``; multisets are written in sorted key order and object
+  keywords are already canonically sorted by :func:`write_object`, so
+  the encoding is a pure function of the block's logical content.
+* **Recompute what hashing can check.**  Node hashes, per-node
+  attribute multisets and the block's ``attrs_sum`` are *derived* on
+  decode (from the stored objects, digests and tree shape) rather than
+  stored.  That keeps segments compact and means a decoded tree is
+  hash-consistent by construction: a flipped payload byte surfaces as a
+  ``merkle_root`` mismatch when the chain layer re-validates the
+  header, not as silently wrong proofs at query time.
+
+Accumulator digests are the one thing that cannot be recomputed cheaply
+(they cost group exponentiations per multiset element), so they are
+stored verbatim via ``backend.encode`` — the same validated element
+encoding the VO codec uses.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.accumulators.base import AccumulatorValue
+from repro.chain.block import Block, SkipEntry, skiplist_root_hash
+from repro.chain.object import DataObject
+from repro.crypto.backend import PairingBackend
+from repro.crypto.hashing import DIGEST_NBYTES
+from repro.index.intra import IndexNode, children_hash, encode_digest, internal_hash
+from repro.wire.codec import Reader, WireError, Writer
+from repro.wire.vo_codec import (
+    read_header,
+    read_object,
+    read_value,
+    write_header,
+    write_object,
+    write_value,
+)
+
+#: node tags in the serialized intra-index tree
+_NODE_LEAF = 1
+_NODE_INTERNAL = 2  # digest-bearing (intra/both modes)
+_NODE_NIL = 3  # hash-only internal (the ``nil`` flat tree)
+
+_ABSENT = 0
+_PRESENT = 1
+
+#: sanity bounds — a decoded block should never need more than these
+MAX_OBJECTS = 1 << 20
+MAX_SKIP_ENTRIES = 256
+MAX_MULTISET_ENTRIES = 1 << 22
+MAX_TREE_DEPTH = 80
+
+
+# -- multisets -----------------------------------------------------------------
+def _write_multiset(writer: Writer, attrs: Counter) -> None:
+    items = sorted(attrs.items())
+    writer.uvarint(len(items))
+    for key, count in items:
+        if count <= 0:
+            raise WireError("multiset counts must be positive")
+        writer.text(key)
+        writer.uvarint(count)
+
+
+def _read_multiset(reader: Reader) -> Counter:
+    count = reader.uvarint()
+    if count > MAX_MULTISET_ENTRIES:
+        raise WireError("multiset has implausibly many entries")
+    attrs: Counter = Counter()
+    for _ in range(count):
+        key = reader.text()
+        multiplicity = reader.uvarint()
+        if multiplicity == 0:
+            raise WireError("multiset counts must be positive")
+        attrs[key] = multiplicity
+    return attrs
+
+
+def _write_optional_value(
+    writer: Writer, backend: PairingBackend, value: AccumulatorValue | None
+) -> None:
+    if value is None:
+        writer.byte(_ABSENT)
+    else:
+        writer.byte(_PRESENT)
+        write_value(writer, backend, value)
+
+
+def _read_optional_value(
+    reader: Reader, backend: PairingBackend
+) -> AccumulatorValue | None:
+    flag = reader.byte()
+    if flag == _ABSENT:
+        return None
+    if flag == _PRESENT:
+        return read_value(reader, backend)
+    raise WireError(f"bad optional-value flag {flag}")
+
+
+# -- skip entries --------------------------------------------------------------
+def _write_skip_entry(
+    writer: Writer, backend: PairingBackend, entry: SkipEntry
+) -> None:
+    writer.uvarint(entry.distance)
+    writer.uvarint(len(entry.covered_heights))
+    for height in entry.covered_heights:
+        writer.uvarint(height)
+    _write_multiset(writer, entry.attrs)
+    write_value(writer, backend, entry.att_digest)
+    writer.raw(entry.pre_skipped_hash)
+
+
+def _read_skip_entry(reader: Reader, backend: PairingBackend) -> SkipEntry:
+    distance = reader.uvarint()
+    n_covered = reader.uvarint()
+    if n_covered > MAX_OBJECTS:
+        raise WireError("skip entry covers implausibly many heights")
+    covered = tuple(reader.uvarint() for _ in range(n_covered))
+    attrs = _read_multiset(reader)
+    att_digest = read_value(reader, backend)
+    pre_skipped_hash = reader.raw(DIGEST_NBYTES)
+    return SkipEntry(
+        distance=distance,
+        covered_heights=covered,
+        attrs=attrs,
+        att_digest=att_digest,
+        pre_skipped_hash=pre_skipped_hash,
+    )
+
+
+# -- the intra-index tree ------------------------------------------------------
+def _write_node(
+    writer: Writer,
+    backend: PairingBackend,
+    node: IndexNode,
+    leaf_index: dict[int, int],
+) -> None:
+    if node.is_leaf:
+        writer.byte(_NODE_LEAF)
+        writer.uvarint(leaf_index[id(node.obj)])
+        if node.att_digest is None:
+            raise WireError("leaf node is missing its attribute digest")
+        write_value(writer, backend, node.att_digest)
+        return
+    if len(node.children) != 2:
+        raise WireError("internal index nodes must have exactly two children")
+    if node.att_digest is not None:
+        writer.byte(_NODE_INTERNAL)
+        write_value(writer, backend, node.att_digest)
+    else:
+        writer.byte(_NODE_NIL)
+    for child in node.children:
+        _write_node(writer, backend, child, leaf_index)
+
+
+def _read_node(
+    reader: Reader,
+    backend: PairingBackend,
+    objects: list[DataObject],
+    bits: int,
+    used: set[int],
+    depth: int = 0,
+) -> IndexNode:
+    if depth > MAX_TREE_DEPTH:
+        raise WireError("index tree nesting too deep")
+    tag = reader.byte()
+    if tag == _NODE_LEAF:
+        index = reader.uvarint()
+        if index >= len(objects):
+            raise WireError(f"leaf references object {index} of {len(objects)}")
+        if index in used:
+            raise WireError(f"object {index} appears at two leaves")
+        used.add(index)
+        obj = objects[index]
+        att_digest = read_value(reader, backend)
+        attrs = obj.attribute_multiset(bits)
+        digest_bytes = encode_digest(backend, att_digest)
+        return IndexNode(
+            node_hash=internal_hash(obj.serialize(), digest_bytes),
+            attrs=attrs,
+            att_digest=att_digest,
+            obj=obj,
+        )
+    if tag == _NODE_INTERNAL:
+        att_digest = read_value(reader, backend)
+        left = _read_node(reader, backend, objects, bits, used, depth + 1)
+        right = _read_node(reader, backend, objects, bits, used, depth + 1)
+        children = (left, right)
+        if left.attrs is None or right.attrs is None:
+            raise WireError("digest-bearing node over hash-only children")
+        digest_bytes = encode_digest(backend, att_digest)
+        return IndexNode(
+            node_hash=internal_hash(children_hash(children), digest_bytes),
+            attrs=left.attrs | right.attrs,
+            att_digest=att_digest,
+            children=children,
+        )
+    if tag == _NODE_NIL:
+        left = _read_node(reader, backend, objects, bits, used, depth + 1)
+        right = _read_node(reader, backend, objects, bits, used, depth + 1)
+        children = (left, right)
+        return IndexNode(
+            node_hash=children_hash(children),
+            attrs=None,
+            att_digest=None,
+            children=children,
+        )
+    raise WireError(f"unknown index node tag {tag}")
+
+
+# -- full blocks ---------------------------------------------------------------
+def encode_block(backend: PairingBackend, block: Block) -> bytes:
+    """Canonical bytes of a full block (header, payload, ADS)."""
+    writer = Writer()
+    write_header(writer, block.header)
+    if len(block.objects) > MAX_OBJECTS:
+        raise WireError("block has implausibly many objects")
+    writer.uvarint(len(block.objects))
+    for obj in block.objects:
+        write_object(writer, obj)
+    _write_optional_value(writer, backend, block.sum_digest)
+    if len(block.skip_entries) > MAX_SKIP_ENTRIES:
+        raise WireError("block has implausibly many skip entries")
+    writer.uvarint(len(block.skip_entries))
+    for entry in block.skip_entries:
+        _write_skip_entry(writer, backend, entry)
+    leaf_index = {id(obj): pos for pos, obj in enumerate(block.objects)}
+    _write_node(writer, backend, block.index_root, leaf_index)
+    return writer.getvalue()
+
+
+def decode_block(backend: PairingBackend, data: bytes, bits: int) -> Block:
+    """Rebuild a block; ``bits`` is the deployment's prefix width.
+
+    Attribute multisets and node hashes are recomputed from the decoded
+    objects and tree shape, so the result is internally consistent —
+    whether it matches the *chain* is the caller's check
+    (header linkage, consensus nonce, ``merkle_root`` binding).
+    """
+    reader = Reader(data)
+    header = read_header(reader)
+    n_objects = reader.uvarint()
+    if n_objects > MAX_OBJECTS:
+        raise WireError("block has implausibly many objects")
+    objects = [read_object(reader) for _ in range(n_objects)]
+    sum_digest = _read_optional_value(reader, backend)
+    n_entries = reader.uvarint()
+    if n_entries > MAX_SKIP_ENTRIES:
+        raise WireError("block has implausibly many skip entries")
+    skip_entries = [_read_skip_entry(reader, backend) for _ in range(n_entries)]
+    used: set[int] = set()
+    index_root = _read_node(reader, backend, objects, bits, used)
+    reader.expect_end()
+    if len(used) != len(objects):
+        raise WireError("index tree does not cover every object")
+    # skip entries are bound by the header's skiplist_root, not the
+    # merkle_root — verify the binding here, where the backend is at
+    # hand, so bit-rot the CRC missed cannot survive into a served VO
+    if skiplist_root_hash(skip_entries, backend) != header.skiplist_root:
+        raise WireError("skip entries do not match the header's skiplist_root")
+    attrs_sum: Counter = Counter()
+    for leaf in index_root.iter_leaves():
+        attrs_sum.update(leaf.attrs)
+    return Block(
+        header=header,
+        objects=objects,
+        index_root=index_root,
+        skip_entries=skip_entries,
+        attrs_sum=attrs_sum,
+        sum_digest=sum_digest,
+    )

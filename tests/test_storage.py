@@ -1,0 +1,453 @@
+"""Durable chain storage: block codec, file backend, recovery.
+
+The invariants under test, in the order the subsystem stacks up:
+
+1. the block codec round-trips **byte-identically** (property-tested);
+2. the file backend reopens to the same chain an in-memory run produces
+   — query answers and VO bytes included;
+3. damage to the log tail (torn index, flipped payload bytes, crash
+   orphans) is truncated on open with a :class:`StorageWarning`, never
+   silently served;
+4. a store whose *contents* violate chain invariants is rejected by the
+   chain layer's re-validation, even when every CRC checks out.
+"""
+
+import random
+import struct
+import warnings
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import VChainNetwork
+from repro.chain import Block, Blockchain, DataObject, Miner, ProtocolParams
+from repro.errors import ChainError, StorageError
+from repro.storage import (
+    FileBlockStore,
+    MemoryBlockStore,
+    StorageWarning,
+    create_chain_setup,
+    load_manifest,
+    open_chain_setup,
+    open_deployment,
+)
+from repro.storage.store import INDEX_NAME, MANIFEST_NAME
+from repro.wire import WireError, decode_block, encode_block, encode_time_window_vo
+from tests.conftest import make_objects
+
+VOCAB = ["Sedan", "Van", "Benz", "BMW", "Audi", "Tesla", "Ford"]
+
+
+def mine_chain(acc, enc, objects_per_block, mode="both", bits=8, skip_size=2):
+    params = ProtocolParams(mode=mode, bits=bits, skip_size=skip_size)
+    chain = Blockchain()
+    miner = Miner(chain, acc, enc, params)
+    oid = 0
+    for height, objs in enumerate(objects_per_block):
+        rebased = [
+            DataObject(
+                object_id=oid + i,
+                timestamp=height * 10,
+                vector=obj.vector,
+                keywords=obj.keywords,
+            )
+            for i, obj in enumerate(objs)
+        ]
+        oid += len(rebased)
+        miner.mine_block(rebased, timestamp=height * 10)
+    return chain, params
+
+
+# -- codec ---------------------------------------------------------------------
+objects_strategy = st.lists(
+    st.builds(
+        DataObject,
+        object_id=st.integers(min_value=0, max_value=2**32),
+        timestamp=st.just(0),
+        vector=st.tuples(
+            st.integers(min_value=0, max_value=255),
+            st.integers(min_value=0, max_value=255),
+        ),
+        keywords=st.frozensets(st.sampled_from(VOCAB), min_size=0, max_size=3),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+@settings(
+    max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+@given(blocks=st.lists(objects_strategy, min_size=1, max_size=3))
+def test_codec_round_trip_property(sim_acc2, encoder_q, blocks):
+    """decode(encode(b)) == b and re-encoding is byte-identical."""
+    chain, params = mine_chain(sim_acc2, encoder_q, blocks)
+    backend = sim_acc2.backend
+    for block in chain:
+        data = encode_block(backend, block)
+        decoded = decode_block(backend, data, params.bits)
+        assert decoded == block
+        assert encode_block(backend, decoded) == data
+        # recomputed hashes are chain-consistent
+        assert decoded.index_root.node_hash == block.header.merkle_root
+
+
+@pytest.mark.parametrize("mode", ["nil", "intra", "both"])
+def test_codec_round_trip_modes(sim_acc2, encoder_q, mode):
+    rng = random.Random(3)
+    blocks = [make_objects(rng, 3, h * 3, h * 10) for h in range(6)]
+    chain, params = mine_chain(sim_acc2, encoder_q, blocks, mode=mode)
+    backend = sim_acc2.backend
+    for block in chain:
+        data = encode_block(backend, block)
+        assert encode_block(backend, decode_block(backend, data, params.bits)) == data
+
+
+def test_codec_round_trip_acc1(sim_acc1, encoder_r):
+    rng = random.Random(4)
+    blocks = [make_objects(rng, 2, h * 2, h * 10) for h in range(3)]
+    chain, params = mine_chain(sim_acc1, encoder_r, blocks, skip_size=1)
+    backend = sim_acc1.backend
+    for block in chain:
+        data = encode_block(backend, block)
+        decoded = decode_block(backend, data, params.bits)
+        assert decoded == block
+        assert encode_block(backend, decoded) == data
+
+
+@pytest.mark.slow
+def test_codec_round_trip_real_backend():
+    setup = create_chain_setup(backend_name="ss512", seed=9)
+    miner = Miner(setup.chain, setup.accumulator, setup.encoder, setup.params)
+    rng = random.Random(9)
+    miner.mine_block(make_objects(rng, 2, 0, 0), timestamp=0)
+    block = setup.chain.block(0)
+    backend = setup.accumulator.backend
+    data = encode_block(backend, block)
+    decoded = decode_block(backend, data, setup.params.bits)
+    assert decoded == block
+    assert encode_block(backend, decoded) == data
+
+
+def test_codec_rejects_tampered_skip_entries(sim_acc2, encoder_q):
+    """skiplist_root binds the skip entries — CRC-quiet bit-rot is caught."""
+    from dataclasses import replace
+
+    rng = random.Random(6)
+    blocks = [make_objects(rng, 2, h * 2, h * 10) for h in range(6)]
+    chain, params = mine_chain(sim_acc2, encoder_q, blocks)
+    backend = sim_acc2.backend
+    block = chain.block(5)
+    assert block.skip_entries, "test needs a block with skip entries"
+    donor = chain.block(4)
+    tampered = replace(
+        block.skip_entries[0], att_digest=donor.index_root.att_digest
+    )
+    evil = Block(
+        header=block.header,
+        objects=block.objects,
+        index_root=block.index_root,
+        skip_entries=[tampered] + block.skip_entries[1:],
+        attrs_sum=block.attrs_sum,
+        sum_digest=block.sum_digest,
+    )
+    with pytest.raises(WireError, match="skiplist_root"):
+        decode_block(backend, encode_block(backend, evil), params.bits)
+
+
+def test_codec_rejects_garbage(sim_acc2, encoder_q):
+    rng = random.Random(5)
+    chain, params = mine_chain(sim_acc2, encoder_q, [make_objects(rng, 3, 0, 0)])
+    backend = sim_acc2.backend
+    data = encode_block(backend, chain.block(0))
+    with pytest.raises(WireError):
+        decode_block(backend, data[:-3], params.bits)  # truncated
+    with pytest.raises(WireError):
+        decode_block(backend, data + b"\x00", params.bits)  # trailing bytes
+    with pytest.raises(WireError):
+        decode_block(backend, b"", params.bits)
+
+
+# -- stores --------------------------------------------------------------------
+def test_memory_store_is_the_default():
+    assert isinstance(Blockchain().store, MemoryBlockStore)
+
+
+def test_create_refuses_initialised_dir(tmp_path):
+    create_chain_setup(data_dir=tmp_path, seed=1).close()
+    with pytest.raises(StorageError, match="already holds a chain"):
+        create_chain_setup(data_dir=tmp_path, seed=1)
+
+
+def test_open_refuses_uninitialised_dir(tmp_path):
+    with pytest.raises(StorageError, match="not a chain directory"):
+        open_chain_setup(tmp_path)
+
+
+def test_open_refuses_backend_mismatch(tmp_path, sim_backend):
+    setup = create_chain_setup(data_dir=tmp_path, seed=1, backend_name="simulated")
+    setup.close()
+    manifest = load_manifest(tmp_path)
+    assert manifest["backend"] == "simulated"
+    from repro.crypto import get_backend
+
+    with pytest.raises(StorageError, match="backend"):
+        FileBlockStore.open(tmp_path, get_backend("ss512"))
+
+
+def test_open_refuses_future_format(tmp_path):
+    create_chain_setup(data_dir=tmp_path, seed=1).close()
+    manifest_path = tmp_path / MANIFEST_NAME
+    manifest_path.write_text(
+        manifest_path.read_text().replace('"format_version": 1', '"format_version": 99')
+    )
+    with pytest.raises(StorageError, match="unsupported storage format"):
+        open_chain_setup(tmp_path)
+
+
+def test_manifest_records_deployment(tmp_path):
+    setup = create_chain_setup(
+        data_dir=tmp_path, acc_name="acc2", seed=77,
+        params=ProtocolParams(mode="intra", bits=6, skip_size=0),
+    )
+    setup.close()
+    meta = load_manifest(tmp_path)["meta"]
+    assert meta["acc_name"] == "acc2"
+    assert meta["seed"] == 77
+    assert meta["params"]["mode"] == "intra"
+    accumulator, encoder, params = open_deployment(tmp_path)
+    assert params.bits == 6
+    assert accumulator.name == "acc2"
+
+
+def _mine_persisted(tmp_path, n_blocks=8, seed=21, **create_kw):
+    setup = create_chain_setup(data_dir=tmp_path, seed=seed, **create_kw)
+    miner = Miner(setup.chain, setup.accumulator, setup.encoder, setup.params)
+    rng = random.Random(seed)
+    for h in range(n_blocks):
+        miner.mine_block(make_objects(rng, 3, h * 3, h * 10), timestamp=h * 10)
+    return setup
+
+
+def test_reopen_restores_identical_chain(tmp_path):
+    setup = _mine_persisted(tmp_path)
+    original = [encode_block(setup.accumulator.backend, b) for b in setup.chain]
+    tip_hash = setup.chain.tip.header.block_hash()
+    setup.close()
+
+    reopened = open_chain_setup(tmp_path)
+    assert len(reopened.chain) == len(original)
+    assert reopened.chain.tip.header.block_hash() == tip_hash
+    recovered = [
+        encode_block(reopened.accumulator.backend, b) for b in reopened.chain
+    ]
+    assert recovered == original
+    reopened.close()
+
+
+def test_reopen_continues_mining(tmp_path):
+    setup = _mine_persisted(tmp_path, n_blocks=4)
+    setup.close()
+    reopened = open_chain_setup(tmp_path)
+    miner = Miner(
+        reopened.chain, reopened.accumulator, reopened.encoder, reopened.params
+    )
+    rng = random.Random(99)
+    miner.mine_block(make_objects(rng, 2, 100, 40), timestamp=40)
+    reopened.close()
+    again = open_chain_setup(tmp_path)
+    assert len(again.chain) == 5
+    again.close()
+
+
+def test_segment_rotation_and_reopen(tmp_path):
+    setup = create_chain_setup(data_dir=tmp_path, seed=5, segment_bytes=4096)
+    miner = Miner(setup.chain, setup.accumulator, setup.encoder, setup.params)
+    rng = random.Random(5)
+    for h in range(10):
+        miner.mine_block(make_objects(rng, 3, h * 3, h * 10), timestamp=h * 10)
+    setup.close()
+    segments = sorted(tmp_path.glob("seg-*.log"))
+    assert len(segments) > 1, "expected the log to rotate at 4 KiB"
+    reopened = open_chain_setup(tmp_path, segment_bytes=4096)
+    assert len(reopened.chain) == 10
+    reopened.close()
+
+
+def test_fsync_off_still_round_trips(tmp_path):
+    setup = _mine_persisted(tmp_path, n_blocks=3, fsync=False)
+    setup.close()
+    reopened = open_chain_setup(tmp_path)
+    assert len(reopened.chain) == 3
+    reopened.close()
+
+
+# -- reopen vs in-memory parity ------------------------------------------------
+def test_reopened_store_matches_inmemory_answers(tmp_path):
+    """The acceptance property: byte-identical answers after a restart."""
+    from repro.datasets import ethereum_like
+
+    dataset = ethereum_like(n_blocks=10, objects_per_block=4, seed=17)
+    memory_net = VChainNetwork.create(seed=123)
+    memory_net.mine_dataset(dataset)
+    durable_net = VChainNetwork.create(seed=123, data_dir=tmp_path)
+    durable_net.mine_dataset(dataset)
+    durable_net.close()
+
+    reopened = VChainNetwork.open(tmp_path)
+    backend = reopened.accumulator.backend
+    for start, end in [(0, 40), (30, 90), (0, 1000)]:
+        mem_resp = (
+            memory_net.client.query().window(start, end)
+            .range(low=(0,), high=(120,)).execute()
+        )
+        dur_resp = (
+            reopened.client.query().window(start, end)
+            .range(low=(0,), high=(120,)).execute()
+        )
+        mem_resp.raise_for_forgery()
+        dur_resp.raise_for_forgery()
+        assert [o.object_id for o in mem_resp.results] == [
+            o.object_id for o in dur_resp.results
+        ]
+        assert encode_time_window_vo(backend, mem_resp.vo) == encode_time_window_vo(
+            backend, dur_resp.vo
+        )
+    reopened.close()
+
+
+# -- recovery ------------------------------------------------------------------
+def _flip_last_payload_byte(tmp_path):
+    segment = sorted(tmp_path.glob("seg-*.log"))[-1]
+    data = bytearray(segment.read_bytes())
+    data[-5] ^= 0xFF
+    segment.write_bytes(data)
+
+
+def test_corrupt_tail_is_truncated_with_warning(tmp_path):
+    _mine_persisted(tmp_path, n_blocks=6).close()
+    _flip_last_payload_byte(tmp_path)
+    with pytest.warns(StorageWarning, match="truncating 1 block"):
+        reopened = open_chain_setup(tmp_path)
+    assert len(reopened.chain) == 5
+    reopened.close()
+    # second open is clean — the damage was excised, not papered over
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", StorageWarning)
+        again = open_chain_setup(tmp_path)
+    assert len(again.chain) == 5
+    again.close()
+
+
+def test_truncated_chain_accepts_replacement_block(tmp_path):
+    _mine_persisted(tmp_path, n_blocks=6).close()
+    _flip_last_payload_byte(tmp_path)
+    with pytest.warns(StorageWarning):
+        reopened = open_chain_setup(tmp_path)
+    miner = Miner(
+        reopened.chain, reopened.accumulator, reopened.encoder, reopened.params
+    )
+    rng = random.Random(1)
+    miner.mine_block(make_objects(rng, 2, 500, 50), timestamp=50)
+    assert len(reopened.chain) == 6
+    reopened.close()
+
+
+def test_torn_index_entry_is_dropped(tmp_path):
+    _mine_persisted(tmp_path, n_blocks=4).close()
+    index = tmp_path / INDEX_NAME
+    index.write_bytes(index.read_bytes()[:-7])  # tear the last entry
+    with pytest.warns(StorageWarning, match="torn"):
+        reopened = open_chain_setup(tmp_path)
+    # the torn entry's record is now an orphan; the block is dropped
+    assert len(reopened.chain) == 3
+    reopened.close()
+
+
+def test_orphan_segment_bytes_are_dropped(tmp_path):
+    """Crash between segment fsync and index fsync leaves an orphan record."""
+    _mine_persisted(tmp_path, n_blocks=4).close()
+    index = tmp_path / INDEX_NAME
+    index.write_bytes(index.read_bytes()[:-32])  # forget the last append entirely
+    with pytest.warns(StorageWarning, match="orphan"):
+        reopened = open_chain_setup(tmp_path)
+    assert len(reopened.chain) == 3
+    reopened.close()
+
+
+def test_mid_log_corruption_truncates_everything_after(tmp_path):
+    _mine_persisted(tmp_path, n_blocks=6).close()
+    index = tmp_path / INDEX_NAME
+    raw = bytearray(index.read_bytes())
+    # corrupt the CRC of entry 2: every later block must go too
+    entry = struct.Struct(">QIQQI")
+    height, seg, off, length, crc = entry.unpack_from(raw, 2 * entry.size)
+    entry.pack_into(raw, 2 * entry.size, height, seg, off, length, crc ^ 1)
+    index.write_bytes(bytes(raw))
+    with pytest.warns(StorageWarning, match="truncating 4 block"):
+        reopened = open_chain_setup(tmp_path)
+    assert len(reopened.chain) == 2
+    reopened.close()
+
+
+def test_store_contents_still_face_chain_validation(tmp_path, sim_acc2, encoder_q):
+    """CRC-clean but chain-invalid contents are rejected on open."""
+    rng = random.Random(8)
+    chain_a, params = mine_chain(sim_acc2, encoder_q, [make_objects(rng, 2, 0, 0)])
+    chain_b, _ = mine_chain(
+        sim_acc2, encoder_q, [make_objects(rng, 2, 10, 0), make_objects(rng, 2, 12, 10)]
+    )
+    store = FileBlockStore.create(tmp_path, sim_acc2.backend, params.bits)
+    store.append(chain_a.block(0))
+    store.append(chain_b.block(1))  # prev_hash points at chain B's block 0
+    store.close()
+    with pytest.raises(ChainError, match="recovered block 1 is invalid"):
+        Blockchain(store=FileBlockStore.open(tmp_path, sim_acc2.backend))
+
+
+def test_lost_index_fails_safe_instead_of_truncating(tmp_path):
+    """An absent index over intact segments must not erase the chain."""
+    _mine_persisted(tmp_path, n_blocks=5).close()
+    index = tmp_path / INDEX_NAME
+    segment = tmp_path / "seg-00000.log"
+    segment_bytes = segment.read_bytes()
+    index.unlink()
+    with pytest.raises(StorageError, match="index was lost"):
+        open_chain_setup(tmp_path)
+    # every file was left untouched for manual recovery
+    assert segment.read_bytes() == segment_bytes
+
+
+def test_validation_failure_on_open_releases_the_lock(tmp_path):
+    """A ChainError during re-validation must not wedge the directory."""
+    _mine_persisted(tmp_path, n_blocks=2).close()
+    manifest_path = tmp_path / MANIFEST_NAME
+    # claim a difficulty the mined nonces never satisfied: recovery's
+    # consensus re-check fails *after* the store opened and took the lock
+    manifest_path.write_text(
+        manifest_path.read_text().replace('"difficulty_bits": 0', '"difficulty_bits": 30')
+    )
+    for _ in range(2):  # a second attempt must not hit a stale flock
+        with pytest.raises(ChainError, match="consensus proof invalid"):
+            open_chain_setup(tmp_path)
+
+
+def test_second_open_of_live_directory_is_refused(tmp_path):
+    """Single-writer lock: concurrent stores would corrupt the log."""
+    setup = _mine_persisted(tmp_path, n_blocks=2)
+    with pytest.raises(StorageError, match="already open"):
+        open_chain_setup(tmp_path)
+    setup.close()
+    # the flock dies with its holder, so a close (or crash) frees the dir
+    reopened = open_chain_setup(tmp_path)
+    assert len(reopened.chain) == 2
+    reopened.close()
+
+
+def test_closed_store_refuses_appends(tmp_path, sim_acc2, encoder_q):
+    rng = random.Random(2)
+    chain, params = mine_chain(sim_acc2, encoder_q, [make_objects(rng, 2, 0, 0)])
+    store = FileBlockStore.create(tmp_path, sim_acc2.backend, params.bits)
+    store.close()
+    with pytest.raises(StorageError, match="closed"):
+        store.append(chain.block(0))

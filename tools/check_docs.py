@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Execute every ``python`` code fence in the given Markdown files.
+
+Documentation rots the moment nobody runs it; this runner makes the
+docs part of the test surface.  Rules:
+
+* fences whose info string is exactly ``python`` are executed;
+  anything else (```text, ```pycon, ```python no-run, ...) is skipped;
+* blocks in one file run **cumulatively** in a single namespace, top to
+  bottom — later snippets may use names earlier snippets defined, which
+  keeps the prose free of repeated imports;
+* each file runs with a fresh temporary working directory, so snippets
+  may write relative paths (``./chain-data``) without polluting the
+  repo;
+* a failure reports the file and the line the fence opened on, then the
+  traceback.
+
+Usage:  PYTHONPATH=src python tools/check_docs.py README.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+import traceback
+from pathlib import Path
+
+
+def extract_blocks(text: str) -> list[tuple[int, str]]:
+    """``(first_line_of_fence, code)`` for every runnable python fence."""
+    blocks: list[tuple[int, str]] = []
+    lines = text.splitlines()
+    in_block = False
+    runnable = False
+    start = 0
+    body: list[str] = []
+    for lineno, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not in_block and stripped.startswith("```"):
+            in_block = True
+            runnable = stripped[3:].strip() == "python"
+            start = lineno
+            body = []
+        elif in_block and stripped == "```":
+            if runnable:
+                blocks.append((start, "\n".join(body)))
+            in_block = False
+        elif in_block:
+            body.append(line)
+    if in_block:
+        raise SystemExit(f"unterminated code fence opened at line {start}")
+    return blocks
+
+
+def run_file(path: Path) -> list[str]:
+    """Run a file's blocks cumulatively; returns failure descriptions."""
+    blocks = extract_blocks(path.read_text())
+    if not blocks:
+        print(f"{path}: no runnable python blocks")
+        return []
+    namespace: dict = {"__name__": f"docs:{path.name}"}
+    failures: list[str] = []
+    original_cwd = os.getcwd()
+    with tempfile.TemporaryDirectory(prefix="check_docs_") as workdir:
+        os.chdir(workdir)
+        try:
+            for lineno, code in blocks:
+                label = f"{path}:{lineno}"
+                try:
+                    exec(compile(code, label, "exec"), namespace)
+                except Exception:
+                    failures.append(f"{label}\n{traceback.format_exc()}")
+                    break  # later blocks likely depend on this one
+        finally:
+            os.chdir(original_cwd)
+    status = "FAIL" if failures else "ok"
+    print(f"{path}: {len(blocks)} block(s) {status}")
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__)
+        return 2
+    failures: list[str] = []
+    for name in argv:
+        failures.extend(run_file(Path(name)))
+    for failure in failures:
+        print(f"\n--- doc snippet failed: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
