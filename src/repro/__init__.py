@@ -50,7 +50,7 @@ from repro.core.sp import ServiceProvider
 from repro.core.user import QueryUser
 from repro.storage.bootstrap import ChainSetup, create_chain_setup, open_chain_setup
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "VChainClient",

@@ -48,15 +48,19 @@ class Acc1(MultisetAccumulator):
         return self._ring.from_roots_shifted(values)
 
     def _commit_poly(self, poly: Poly):
-        """``g^{poly(s)}`` via multi-exponentiation over key powers."""
+        """``g^{poly(s)}`` via fixed-base MSM over the key-power tables.
+
+        The key powers are the same for every commit, so the public key
+        caches per-power window tables and each commit is a single
+        bucket pass with no doublings (see :mod:`repro.crypto.msm`).
+        """
         degree = self._ring.degree(poly)
         if degree > self.public_key.capacity:
             raise KeyCapacityError(
                 f"multiset size {degree} exceeds acc1 key capacity "
                 f"{self.public_key.capacity}"
             )
-        bases = [self.public_key.power(i) for i in range(degree + 1)]
-        return self.backend.multi_exp(bases, list(poly))
+        return self.public_key.commit(list(poly))
 
     # -- accumulator API ----------------------------------------------------
     def accumulate(self, encoded: Counter) -> AccumulatorValue:
@@ -82,8 +86,11 @@ class Acc1(MultisetAccumulator):
         if len(value_a.parts) != 1 or len(value_b.parts) != 1 or len(proof.parts) != 2:
             return False
         backend = self.backend
-        left = backend.gt_op(
-            backend.pair(value_a.parts[0], proof.parts[0]),
-            backend.pair(value_b.parts[0], proof.parts[1]),
+        # pairing product e(acc1, F1*)·e(acc2, F2*): one shared final exp
+        left = backend.multi_pairing(
+            [
+                (value_a.parts[0], proof.parts[0]),
+                (value_b.parts[0], proof.parts[1]),
+            ]
         )
         return backend.gt_eq(left, self._pair_gg)

@@ -45,14 +45,24 @@ class Acc2(MultisetAccumulator):
                 )
 
     def _commit_exponents(self, exponents: Counter):
-        """``g^{Σ count·s^index}`` over the published powers."""
+        """``g^{Σ count·s^index}`` over the published powers.
+
+        One MSM over the referenced powers; the counts are small (object
+        multiplicities), so Pippenger collapses the whole histogram into
+        a single bucket pass.
+        """
         backend = self.backend
-        acc = backend.identity()
+        bases = []
+        scalars = []
         for index, count in exponents.items():
-            if count % backend.order == 0:
+            count %= backend.order
+            if count == 0:
                 continue
-            acc = backend.op(acc, backend.exp(self.public_key.power(index), count))
-        return acc
+            bases.append(self.public_key.power(index))
+            scalars.append(count)
+        if not bases:
+            return backend.identity()
+        return backend.multi_exp(bases, scalars)
 
     # -- accumulator API --------------------------------------------------------
     def accumulate(self, encoded: Counter) -> AccumulatorValue:
@@ -88,9 +98,16 @@ class Acc2(MultisetAccumulator):
         if len(value_a.parts) != 2 or len(value_b.parts) != 2 or len(proof.parts) != 1:
             return False
         backend = self.backend
-        left = backend.pair(value_a.parts[0], value_b.parts[1])
-        right = backend.pair(proof.parts[0], backend.generator())
-        return backend.gt_eq(left, right)
+        # e(dA(X1), dB(X2)) == e(π, g), folded into one pairing product
+        # e(dA(X1), dB(X2)) · e(π^{-1}, g) == 1 so both pairings share a
+        # single final exponentiation.
+        left = backend.multi_pairing(
+            [
+                (value_a.parts[0], value_b.parts[1]),
+                (backend.inv(proof.parts[0]), backend.generator()),
+            ]
+        )
+        return backend.gt_eq(left, backend.gt_identity())
 
     # -- aggregation (the acc2 differentiator) --------------------------------
     @property

@@ -19,7 +19,9 @@ an oracle view into a plain list for deployments with a small, fixed
 from __future__ import annotations
 
 import random
+from collections.abc import Sequence
 from dataclasses import dataclass
+from typing import Any
 
 from repro.crypto.backend import GroupElement, PairingBackend
 from repro.errors import CryptoError, KeyCapacityError
@@ -56,6 +58,9 @@ class KeyOracle:
         self._secret = secret
         self._forbidden = forbidden
         self._cache: dict[int, GroupElement] = {0: backend.generator()}
+        # fixed-base window tables per power index (backend-opaque); built
+        # lazily, then shared by every commit that touches the same power
+        self._tables: dict[int, Any] = {}
 
     @property
     def backend(self) -> PairingBackend:
@@ -76,6 +81,28 @@ class KeyOracle:
             element = self._backend.exp(self._backend.generator(), exponent)
             self._cache[index] = element
         return element
+
+    def power_table(self, index: int) -> Any:
+        """Fixed-base MSM table for ``g^{s^index}`` (cached).
+
+        Table construction costs about one scalar multiplication, repaid
+        after a handful of commits: mining accumulates every tree node
+        and inter-block multiset of a block over the same key powers.
+        """
+        table = self._tables.get(index)
+        if table is None:
+            table = self._backend.fixed_base_table(self.power(index))
+            self._tables[index] = table
+        return table
+
+    def commit_prefix(self, coefficients: Sequence[int]) -> GroupElement:
+        """``Π power(i)^{coefficients[i]}`` via cached fixed-base tables.
+
+        The acc1 commit primitive: polynomial coefficients over the
+        prefix powers ``g^{s^0} .. g^{s^{deg}}``.
+        """
+        tables = [self.power_table(i) for i in range(len(coefficients))]
+        return self._backend.multi_exp_tables(tables, list(coefficients))
 
     def materialize(self, max_index: int) -> list[GroupElement]:
         """Plain power list ``[g^{s^0}, ..., g^{s^max_index}]``.
@@ -107,6 +134,15 @@ class Acc1PublicKey:
                 f"acc1 power {index} exceeds public-key capacity {self.capacity}"
             )
         return self.oracle.power(index)
+
+    def commit(self, coefficients: Sequence[int]) -> GroupElement:
+        """``g^{P(s)}`` for coefficient list ``P`` (degree ≤ capacity)."""
+        if len(coefficients) - 1 > self.capacity:
+            raise KeyCapacityError(
+                f"acc1 commit degree {len(coefficients) - 1} exceeds "
+                f"public-key capacity {self.capacity}"
+            )
+        return self.oracle.commit_prefix(coefficients)
 
     @property
     def backend(self) -> PairingBackend:

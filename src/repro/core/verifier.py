@@ -14,6 +14,14 @@ itself.  It establishes, per the paper's threat model:
 Any deviation raises :class:`VerificationError` naming the failed
 check.  Verification cost (time, pairing count) is reported via
 :class:`VerifyStats` — this is the paper's "user CPU time" metric.
+
+Every disjointness check here — per-clause, per-group, and the
+random-weighted aggregates of :meth:`QueryVerifier.batch_verify` — is a
+pairing-*product* equation, and the accumulators evaluate it through
+``backend.multi_pairing``: the Miller loops of the product accumulate
+into one value that pays a single final exponentiation.  The weighting
+exponentiations of a batch run on the Jacobian wNAF fast path, so
+batching is cheap even before aggregation kicks in.
 """
 
 from __future__ import annotations

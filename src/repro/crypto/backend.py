@@ -23,7 +23,7 @@ import random
 from abc import ABC, abstractmethod
 from typing import Any
 
-from repro.crypto import curve
+from repro.crypto import curve, msm, pairing
 from repro.crypto.curve import FP2_ONE, fp2_inv, fp2_mul, fp2_pow
 from repro.crypto.field import PrimeField
 from repro.crypto.pairing import tate_pairing
@@ -121,17 +121,57 @@ class PairingBackend(ABC):
         """Transmitted size of one GT element (real-group width)."""
         return _GT_NBYTES
 
+    def inv(self, a: GroupElement) -> GroupElement:
+        """The group inverse ``a^{-1}``.
+
+        Default exponentiates by ``r - 1``; real backends override with
+        the cheap point negation.  Needed to fold both sides of a
+        pairing equation into one :meth:`multi_pairing` product.
+        """
+        return self.exp(a, self.order - 1)
+
     def multi_exp(self, bases: list[GroupElement], scalars: list[int]) -> GroupElement:
         """``Π bases[i]^scalars[i]`` — the workhorse of Setup().
 
-        A straightforward loop; backends may override with something
-        smarter if profiling demands it.
+        The default is a straightforward loop; the real backends
+        override it with Pippenger's bucket method (:mod:`.msm`), which
+        is what makes commit-heavy mining and proving tractable.
         """
         acc = self.identity()
         for base, scalar in zip(bases, scalars, strict=True):
             if scalar % self.order == 0:
                 continue
             acc = self.op(acc, self.exp(base, scalar))
+        return acc
+
+    def fixed_base_table(self, base: GroupElement) -> Any:
+        """Opaque precomputation for a base reused across many MSMs.
+
+        The accumulator key powers ``g^{s^i}`` are multi-exponentiated
+        by every commit in a block; real backends return precomputed
+        window tables (:func:`repro.crypto.msm.fixed_base_windows`) that
+        :meth:`multi_exp_tables` consumes.  The default returns the base
+        unchanged so table-aware callers work on any backend.
+        """
+        return base
+
+    def multi_exp_tables(self, tables: list[Any], scalars: list[int]) -> GroupElement:
+        """:meth:`multi_exp` over :meth:`fixed_base_table` outputs."""
+        return self.multi_exp(list(tables), list(scalars))
+
+    def multi_pairing(
+        self, pairs: list[tuple[GroupElement, GroupElement]]
+    ) -> GTElement:
+        """``Π e(a_i, b_i)`` — a pairing product.
+
+        Every accumulator verification equation has this shape.  The
+        default multiplies individual pairings; real backends override
+        it to accumulate Miller-loop values and share a single final
+        exponentiation across the whole product.
+        """
+        acc = self.gt_identity()
+        for a, b in pairs:
+            acc = self.gt_op(acc, self.pair(a, b))
         return acc
 
     def random_scalar(self, rng: random.Random) -> int:
@@ -160,6 +200,33 @@ class SupersingularBackend(PairingBackend):
 
     def exp(self, base: curve.Point, scalar: int) -> curve.Point:
         return curve.multiply(base, scalar % self.order)
+
+    def inv(self, a: curve.Point) -> curve.Point:
+        return curve.neg(a)
+
+    def multi_exp(self, bases: list[curve.Point], scalars: list[int]) -> curve.Point:
+        if len(bases) != len(scalars):
+            raise ValueError("multi_exp: bases and scalars differ in length")
+        return msm.msm(msm.SS512_OPS, bases, [s % self.order for s in scalars])
+
+    def fixed_base_table(self, base: curve.Point) -> list[curve.Point] | None:
+        return msm.fixed_base_windows(
+            msm.SS512_OPS, base, self.order.bit_length()
+        )
+
+    def multi_exp_tables(
+        self, tables: list[list[curve.Point] | None], scalars: list[int]
+    ) -> curve.Point:
+        if len(tables) != len(scalars):
+            raise ValueError("multi_exp_tables: tables and scalars differ in length")
+        return msm.fixed_base_msm(
+            msm.SS512_OPS, tables, [s % self.order for s in scalars]
+        )
+
+    def multi_pairing(
+        self, pairs: list[tuple[curve.Point, curve.Point]]
+    ) -> curve.Fp2Element:
+        return pairing.multi_pairing(pairs)
 
     def eq(self, a: curve.Point, b: curve.Point) -> bool:
         return a == b

@@ -13,6 +13,14 @@ pairing setting the vChain paper assumes (``G`` and ``H`` of prime order
 
 Points are affine tuples ``(x, y)`` of integers; the point at infinity is
 ``None``.  F_p² elements are tuples ``(a, b)`` meaning ``a + b·i``.
+
+Hot paths (scalar multiplication, MSM in :mod:`repro.crypto.msm`) run in
+Jacobian coordinates ``(X, Y, Z)`` with ``x = X/Z²``, ``y = Y/Z³`` so that
+point addition costs ~12 field multiplications instead of a modular
+inversion (~44 multiplications' worth on CPython).  ``Z = 0`` encodes the
+point at infinity.  Affine chord-and-tangent ``add`` is kept both as the
+reference implementation and for the pairing's Miller loop, which needs
+the line slope anyway.
 """
 
 from __future__ import annotations
@@ -77,18 +85,146 @@ def neg(point: Point) -> Point:
     return (x, (-y) % FIELD_PRIME)
 
 
+# -- Jacobian coordinates -----------------------------------------------------
+JacPoint = tuple[int, int, int]
+
+#: Jacobian point at infinity (any (X, Y, 0) with X, Y ≠ 0 works).
+JAC_INFINITY: JacPoint = (1, 1, 0)
+
+
+def to_jacobian(point: Point) -> JacPoint:
+    if point is None:
+        return JAC_INFINITY
+    return (point[0], point[1], 1)
+
+
+def from_jacobian(point: JacPoint) -> Point:
+    x, y, z = point
+    if z == 0:
+        return None
+    p = FIELD_PRIME
+    z_inv = pow(z, -1, p)
+    z_inv2 = z_inv * z_inv % p
+    return (x * z_inv2 % p, y * z_inv2 % p * z_inv % p)
+
+
+def batch_from_jacobian(points: list[JacPoint]) -> list[Point]:
+    """Normalize many Jacobian points with **one** inversion.
+
+    Montgomery's trick: invert the product of all the Z coordinates,
+    then peel off per-point inverses with two multiplications each.
+    """
+    p = FIELD_PRIME
+    prefix: list[int] = []
+    acc = 1
+    for _, _, z in points:
+        if z != 0:
+            acc = acc * z % p
+        prefix.append(acc)
+    inv = pow(acc, -1, p)
+    out: list[Point] = [None] * len(points)
+    for i in range(len(points) - 1, -1, -1):
+        x, y, z = points[i]
+        if z == 0:
+            continue
+        before = prefix[i - 1] if i > 0 else 1
+        # walk the prefix products backwards to isolate 1/z_i
+        z_inv = inv * before % p
+        inv = inv * z % p
+        z_inv2 = z_inv * z_inv % p
+        out[i] = (x * z_inv2 % p, y * z_inv2 % p * z_inv % p)
+    return out
+
+
+def jac_neg(point: JacPoint) -> JacPoint:
+    x, y, z = point
+    return (x, (-y) % FIELD_PRIME, z)
+
+
+def jac_double(point: JacPoint) -> JacPoint:
+    x1, y1, z1 = point
+    if z1 == 0 or y1 == 0:
+        return JAC_INFINITY
+    p = FIELD_PRIME
+    yy = y1 * y1 % p
+    s = 4 * x1 * yy % p
+    zz = z1 * z1 % p
+    m = (3 * x1 * x1 + zz * zz) % p  # a = 1 for y² = x³ + x
+    x3 = (m * m - 2 * s) % p
+    y3 = (m * (s - x3) - 8 * yy * yy) % p
+    z3 = 2 * y1 * z1 % p
+    return (x3, y3, z3)
+
+
+def jac_add(lhs: JacPoint, rhs: JacPoint) -> JacPoint:
+    if lhs[2] == 0:
+        return rhs
+    if rhs[2] == 0:
+        return lhs
+    p = FIELD_PRIME
+    x1, y1, z1 = lhs
+    x2, y2, z2 = rhs
+    z1z1 = z1 * z1 % p
+    z2z2 = z2 * z2 % p
+    u1 = x1 * z2z2 % p
+    u2 = x2 * z1z1 % p
+    s1 = y1 * z2z2 % p * z2 % p
+    s2 = y2 * z1z1 % p * z1 % p
+    if u1 == u2:
+        if s1 != s2:
+            return JAC_INFINITY
+        return jac_double(lhs)
+    h = (u2 - u1) % p
+    r = (s2 - s1) % p
+    hh = h * h % p
+    hhh = h * hh % p
+    v = u1 * hh % p
+    x3 = (r * r - hhh - 2 * v) % p
+    y3 = (r * (v - x3) - s1 * hhh) % p
+    z3 = z1 * z2 % p * h % p
+    return (x3, y3, z3)
+
+
+def jac_add_affine(lhs: JacPoint, rhs: Point) -> JacPoint:
+    """Mixed addition: Jacobian ``lhs`` plus affine ``rhs`` (Z₂ = 1)."""
+    if rhs is None:
+        return lhs
+    if lhs[2] == 0:
+        return (rhs[0], rhs[1], 1)
+    p = FIELD_PRIME
+    x1, y1, z1 = lhs
+    x2, y2 = rhs
+    z1z1 = z1 * z1 % p
+    u2 = x2 * z1z1 % p
+    s2 = y2 * z1z1 % p * z1 % p
+    if u2 == x1 % p:
+        if (s2 - y1) % p:
+            return JAC_INFINITY
+        return jac_double(lhs)
+    h = (u2 - x1) % p
+    r = (s2 - y1) % p
+    hh = h * h % p
+    hhh = h * hh % p
+    v = x1 * hh % p
+    x3 = (r * r - hhh - 2 * v) % p
+    y3 = (r * (v - x3) - y1 * hhh) % p
+    z3 = z1 * h % p
+    return (x3, y3, z3)
+
+
 def multiply(point: Point, scalar: int) -> Point:
-    """Double-and-add scalar multiplication; scalar taken mod group order."""
+    """Scalar multiplication (width-5 wNAF over Jacobian coordinates).
+
+    One modular inversion total (the final normalization) instead of one
+    per double-and-add step; results are identical affine points.
+    """
+    if point is None or scalar == 0:
+        return None
     if scalar < 0:
         return neg(multiply(point, -scalar))
-    result: Point = None
-    addend = point
-    while scalar:
-        if scalar & 1:
-            result = add(result, addend)
-        addend = add(addend, addend)
-        scalar >>= 1
-    return result
+    from repro.crypto import msm
+
+    return from_jacobian(msm.jac_scalar_mul(msm.SS512_OPS, point, scalar))
 
 
 def random_subgroup_point(rng) -> Point:
@@ -105,12 +241,27 @@ def random_subgroup_point(rng) -> Point:
             return candidate
 
 
+#: Points whose order-r membership has already been proven.  VO decoding
+#: re-validates every deserialized element, and real VOs repeat elements
+#: constantly (clause digests, key powers, the generator), so caching the
+#: expensive subgroup-order multiplication is a large win on that path.
+#: The on-curve check is cheap and always re-run, so a cache hit can never
+#: bless a point that would fail validation.
+_SUBGROUP_CACHE: set[tuple[int, int]] = set()
+_SUBGROUP_CACHE_MAX = 8192
+
+
 def validate_subgroup(point: Point) -> None:
     """Raise unless ``point`` is on-curve and in the order-r subgroup."""
     if not is_on_curve(point):
         raise CryptoError("point is not on the curve")
-    if point is not None and multiply(point, SUBGROUP_ORDER) is not None:
+    if point is None or point in _SUBGROUP_CACHE:
+        return
+    if multiply(point, SUBGROUP_ORDER) is not None:
         raise CryptoError("point is not in the prime-order subgroup")
+    if len(_SUBGROUP_CACHE) >= _SUBGROUP_CACHE_MAX:
+        _SUBGROUP_CACHE.pop()
+    _SUBGROUP_CACHE.add(point)
 
 
 # -- F_p² arithmetic (for the pairing target group) ---------------------------
@@ -159,7 +310,9 @@ def fp2_inv(u: Fp2Element) -> Fp2Element:
 
 def fp2_pow(u: Fp2Element, e: int) -> Fp2Element:
     if e < 0:
-        return fp2_pow(fp2_inv(u), -e)
+        # invert once, then square-and-multiply on |e| — no recursion
+        u = fp2_inv(u)
+        e = -e
     result = FP2_ONE
     base = u
     while e:

@@ -57,6 +57,10 @@ class PolynomialRing:
     def constant(self, c: int) -> Poly:
         return self.normalize([c])
 
+    #: linear factors expanded incrementally per product-tree leaf; above
+    #: this the tree (and eventually Kronecker) takes over.
+    _LEAF_FACTORS = 16
+
     def from_roots_shifted(self, values: Iterable[int]) -> Poly:
         """Expand ``Π (X + v_i)`` — the accumulator polynomial.
 
@@ -64,34 +68,39 @@ class PolynomialRing:
         are ``-x_i``.  Multiset semantics are natural: repeated values
         simply contribute repeated factors.
 
-        Large products use a product tree over Kronecker multiplications,
-        which is what keeps acc1 setup over inter-block multisets (many
-        thousands of factors) tractable in pure Python.
+        Built as a **balanced product tree**: small runs of linear
+        factors are expanded incrementally into leaf polynomials, then
+        leaves are merged pairwise with :meth:`mul`, which switches to
+        Kronecker substitution once products grow — so the characteristic
+        polynomial of an ``n``-element multiset costs ``O(n log n)``
+        big-integer work instead of the quadratic incremental expansion.
+        Coefficient order of operations differs, but the result is the
+        exact same polynomial (the ring is commutative and exact).
         """
         p = self.field.modulus
-        factors = [[v % p, 1] for v in values]
-        if not factors:
+        vals = [v % p for v in values]
+        if not vals:
             return [1]
-        if len(factors) <= 64:
-            result: Poly = [1]
-            for factor in factors:
-                v = factor[0]
-                # multiply result by (X + v) in-place
-                result.append(0)
-                for i in range(len(result) - 1, 0, -1):
-                    result[i] = (result[i - 1] + result[i] * v) % p
-                result[0] = result[0] * v % p
-            return result
-        # product tree: pairwise multiply until one polynomial remains
-        while len(factors) > 1:
-            paired = [
-                self.mul(factors[i], factors[i + 1])
-                for i in range(0, len(factors) - 1, 2)
+        leaves: list[Poly] = []
+        for start in range(0, len(vals), self._LEAF_FACTORS):
+            leaf: Poly = [1]
+            for v in vals[start : start + self._LEAF_FACTORS]:
+                # multiply leaf by (X + v) in-place
+                leaf.append(0)
+                for i in range(len(leaf) - 1, 0, -1):
+                    leaf[i] = (leaf[i - 1] + leaf[i] * v) % p
+                leaf[0] = leaf[0] * v % p
+            leaves.append(leaf)
+        # balanced pairwise merge until one polynomial remains
+        while len(leaves) > 1:
+            merged = [
+                self.mul(leaves[i], leaves[i + 1])
+                for i in range(0, len(leaves) - 1, 2)
             ]
-            if len(factors) % 2:
-                paired.append(factors[-1])
-            factors = paired
-        return factors[0]
+            if len(leaves) % 2:
+                merged.append(leaves[-1])
+            leaves = merged
+        return leaves[0]
 
     # -- queries -------------------------------------------------------------
     def degree(self, a: Poly) -> int:

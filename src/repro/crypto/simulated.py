@@ -63,6 +63,29 @@ class SimulatedBackend(PairingBackend):
         self._check(base, _G_TAG)
         return (_G_TAG, base[1] * scalar % self.order)
 
+    def inv(self, a: SimElement) -> SimElement:
+        self._check(a, _G_TAG)
+        return (_G_TAG, (-a[1]) % self.order)
+
+    def multi_exp(self, bases: list[SimElement], scalars: list[int]) -> SimElement:
+        if len(bases) != len(scalars):
+            raise ValueError("multi_exp: bases and scalars differ in length")
+        total = 0
+        for base, scalar in zip(bases, scalars):
+            self._check(base, _G_TAG)
+            total += base[1] * scalar
+        return (_G_TAG, total % self.order)
+
+    def multi_pairing(
+        self, pairs: list[tuple[SimElement, SimElement]]
+    ) -> SimElement:
+        total = 0
+        for a, b in pairs:
+            self._check(a, _G_TAG)
+            self._check(b, _G_TAG)
+            total += a[1] * b[1]
+        return (_GT_TAG, total % self.order)
+
     def eq(self, a: SimElement, b: SimElement) -> bool:
         return a == b
 
