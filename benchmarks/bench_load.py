@@ -151,6 +151,9 @@ def main() -> int:
     parser.add_argument("--blocks", type=int, default=10)
     parser.add_argument("--workers", type=int, default=8,
                         help="worker-pool size of the concurrent endpoint")
+    parser.add_argument("--crypto-workers", type=int, default=1,
+                        help="CryptoPool processes for the concurrent "
+                        "endpoint (1 = serial crypto)")
     parser.add_argument("--out", default="BENCH_load.json")
     parser.add_argument("--check", default=None,
                         help="baseline JSON; exit 1 on qps regression")
@@ -193,7 +196,9 @@ def main() -> int:
     serial_endpoint.close()
     print_row("serial/identical", report["serial_identical"])
 
-    concurrent_endpoint = ServiceEndpoint(net.sp, max_workers=args.workers)
+    concurrent_endpoint = ServiceEndpoint(
+        net.sp, max_workers=args.workers, workers=args.crypto_workers
+    )
     with serve(concurrent_endpoint) as server:
         report["concurrent_identical"] = run_workload(
             server.address, backend, args.clients,
@@ -201,13 +206,16 @@ def main() -> int:
         )
         # snapshot before the mixed workload so the published hit counts
         # are attributable to the identical-window traffic alone
-        caches = concurrent_endpoint.cache_stats()
-        report["concurrent_identical"]["cache"] = caches["fragments"].as_info()
-        report["concurrent_identical"]["proof_cache"] = caches["proofs"].as_info()
+        snapshot = concurrent_endpoint.stats()
+        report["concurrent_identical"]["cache"] = snapshot["caches"]["fragments"]
+        report["concurrent_identical"]["proof_cache"] = snapshot["caches"]["proofs"]
         report["concurrent_mixed"] = run_workload(
             server.address, backend, args.clients,
             mixed_ops(mixed_queries, subscription, args.queries),
         )
+        # the full observability snapshot: endpoint counters, both
+        # caches, subscription engine, and the CryptoPool (if any)
+        report["endpoint_stats"] = concurrent_endpoint.stats()
     concurrent_endpoint.close()
     print_row("concurrent/identical", report["concurrent_identical"])
     print_row("concurrent/mixed", report["concurrent_mixed"])
@@ -218,8 +226,9 @@ def main() -> int:
     report["speedup_identical"] = round(speedup, 2)
     print_row("summary", {
         "speedup_identical": report["speedup_identical"],
-        "fragment_hits": caches["fragments"].hits,
-        "proof_hits": caches["proofs"].hits,
+        "fragment_hits": snapshot["caches"]["fragments"]["hits"],
+        "proof_hits": snapshot["caches"]["proofs"]["hits"],
+        "queries_served": report["endpoint_stats"]["endpoint"]["queries"],
     })
 
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")

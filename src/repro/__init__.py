@@ -48,14 +48,18 @@ from repro.api import ServiceEndpoint, VChainClient
 from repro.chain import Block, Blockchain, DataObject, Miner, ProtocolParams
 from repro.core.sp import ServiceProvider
 from repro.core.user import QueryUser
+from repro.parallel import CryptoPool, ParallelConfig, make_pool, resolve_config
 from repro.storage.bootstrap import ChainSetup, create_chain_setup, open_chain_setup
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
+    "CryptoPool",
+    "ParallelConfig",
     "VChainClient",
     "VChainNetwork",
     "__version__",
+    "make_pool",
 ]
 
 
@@ -77,6 +81,7 @@ class VChainNetwork:
     sp: ServiceProvider
     user: QueryUser
     data_dir: str | None = None
+    pool: CryptoPool | None = None
     _endpoint: ServiceEndpoint | None = field(default=None, repr=False)
     _client: VChainClient | None = field(default=None, repr=False)
 
@@ -90,6 +95,8 @@ class VChainNetwork:
         acc1_capacity: int = 4096,
         data_dir: str | os.PathLike | None = None,
         fsync: bool = True,
+        workers: int = 1,
+        parallel: ParallelConfig | None = None,
     ) -> "VChainNetwork":
         """Trusted setup + empty chain + one of each party.
 
@@ -98,7 +105,17 @@ class VChainNetwork:
         in the directory's manifest, so :meth:`open` can bring the whole
         network back in a later process.  ``create`` refuses a directory
         that already holds a chain — reopen those instead.
+
+        ``workers`` scales the crypto across that many worker processes
+        (a shared :class:`~repro.parallel.CryptoPool` serving miner, SP
+        and user; ``parallel`` accepts a full
+        :class:`~repro.parallel.ParallelConfig`).  The default of 1 is
+        fully serial; any setting produces byte-identical chains and
+        VOs.
         """
+        # validate the parallel arguments before anything touches disk:
+        # a bad combination must not leave a half-initialised data_dir
+        parallel = resolve_config(workers, parallel)
         setup = create_chain_setup(
             data_dir=data_dir,
             acc_name=acc_name,
@@ -108,10 +125,16 @@ class VChainNetwork:
             acc1_capacity=acc1_capacity,
             fsync=fsync,
         )
-        return cls._from_setup(setup)
+        return cls._from_setup(setup, parallel=parallel)
 
     @classmethod
-    def open(cls, data_dir: str | os.PathLike, fsync: bool = True) -> "VChainNetwork":
+    def open(
+        cls,
+        data_dir: str | os.PathLike,
+        fsync: bool = True,
+        workers: int = 1,
+        parallel: ParallelConfig | None = None,
+    ) -> "VChainNetwork":
         """Reopen a persisted network: chain, miner, SP and a fresh
         light node, all wired to the recorded trusted setup.
 
@@ -120,26 +143,48 @@ class VChainNetwork:
         syncs the recovered headers — so queries verify immediately and
         mining can continue where the previous process stopped.
         """
+        parallel = resolve_config(workers, parallel)
         setup = open_chain_setup(data_dir, fsync=fsync)
-        net = cls._from_setup(setup)
+        net = cls._from_setup(setup, parallel=parallel)
         net.user.sync_headers(net.chain)
         return net
 
     @classmethod
-    def _from_setup(cls, setup: ChainSetup) -> "VChainNetwork":
-        miner = Miner(setup.chain, setup.accumulator, setup.encoder, setup.params)
-        sp = ServiceProvider(setup.chain, setup.accumulator, setup.encoder, setup.params)
-        user = QueryUser(setup.accumulator, setup.encoder, setup.params)
-        return cls(
-            params=setup.params,
-            accumulator=setup.accumulator,
-            encoder=setup.encoder,
-            chain=setup.chain,
-            miner=miner,
-            sp=sp,
-            user=user,
-            data_dir=setup.data_dir,
-        )
+    def _from_setup(
+        cls,
+        setup: ChainSetup,
+        parallel: ParallelConfig | None = None,
+    ) -> "VChainNetwork":
+        """Wire the parties over one setup; ``parallel`` is the already
+        resolved config (callers validate ``workers=`` up front)."""
+        pool = None
+        try:
+            pool = make_pool(setup.accumulator, setup.encoder, config=parallel)
+            miner = Miner(
+                setup.chain, setup.accumulator, setup.encoder, setup.params, pool=pool
+            )
+            sp = ServiceProvider(
+                setup.chain, setup.accumulator, setup.encoder, setup.params, pool=pool
+            )
+            user = QueryUser(setup.accumulator, setup.encoder, setup.params, pool=pool)
+            return cls(
+                params=setup.params,
+                accumulator=setup.accumulator,
+                encoder=setup.encoder,
+                chain=setup.chain,
+                miner=miner,
+                sp=sp,
+                user=user,
+                data_dir=setup.data_dir,
+                pool=pool,
+            )
+        except Exception:
+            # a failed wiring must not leak worker processes or leave
+            # the (possibly durable) store open
+            if pool is not None:
+                pool.close()
+            setup.chain.close()
+            raise
 
     @property
     def endpoint(self) -> ServiceEndpoint:
@@ -189,6 +234,8 @@ class VChainNetwork:
             self._endpoint.close()
             self._endpoint = None
             self._client = None
+        if self.pool is not None:
+            self.pool.close()
         self.chain.close()
 
     def __enter__(self) -> "VChainNetwork":

@@ -76,7 +76,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--host", default="127.0.0.1", help="bind address")
     parser.add_argument("--port", type=int, default=0, help="bind port (0 = ephemeral)")
     parser.add_argument(
-        "--max-workers", type=int, default=8, help="concurrent query workers"
+        "--max-workers", type=int, default=8, help="concurrent query threads"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="crypto worker processes (1 = serial, 0 = one per core); "
+        "proving and subscription work fan out across them",
     )
     parser.add_argument(
         "--idle-timeout",
@@ -97,6 +104,7 @@ def main(argv: list[str] | None = None) -> int:
         args.port,
         idle_timeout=args.idle_timeout or None,
         max_workers=args.max_workers,
+        workers=args.workers,
         fsync=not args.no_fsync,
     )
     endpoint = server.endpoint

@@ -47,6 +47,7 @@ from repro.core.query import SubscriptionQuery, TimeWindowQuery
 from repro.core.sp import ServiceProvider
 from repro.core.vo import TimeWindowVO
 from repro.errors import ReproError, SubscriptionError
+from repro.parallel import make_pool
 from repro.subscribe.engine import Delivery, SubscriptionEngine
 
 
@@ -73,6 +74,20 @@ class EndpointStats:
     def bump(self, counter: str) -> None:
         with self._lock:
             setattr(self, counter, getattr(self, counter) + 1)
+
+    def as_dict(self) -> dict:
+        """Coherent snapshot of every counter."""
+        with self._lock:
+            return {
+                "queries": self.queries,
+                "registrations": self.registrations,
+                "deregistrations": self.deregistrations,
+                "polls": self.polls,
+                "flushes": self.flushes,
+                "header_syncs": self.header_syncs,
+                "sessions_opened": self.sessions_opened,
+                "sessions_closed": self.sessions_closed,
+            }
 
 
 class ClientSession:
@@ -111,7 +126,7 @@ class ClientSession:
                 self.endpoint.deregister(query_id)
             except SubscriptionError:
                 pass  # already deregistered through another path
-        self.endpoint.stats.bump("sessions_closed")
+        self.endpoint.counters.bump("sessions_closed")
 
 
 class ServiceEndpoint:
@@ -128,28 +143,64 @@ class ServiceEndpoint:
         max_workers: int = 8,
         cache_fragments: int = 512,
         cache_proofs: int = 4096,
+        workers: int = 1,
+        parallel=None,
     ) -> None:
         """``max_workers`` bounds concurrent query execution (1 restores
         the serial dispatcher); ``cache_fragments``/``cache_proofs``
         size the per-endpoint VO-fragment and proof caches (0 disables
-        either)."""
+        either).
+
+        ``workers`` scales the *crypto*, not the dispatch: >1 starts a
+        :class:`~repro.parallel.CryptoPool` of worker processes that
+        the query processor and subscription engine fan proving across
+        (``parallel`` accepts a full
+        :class:`~repro.parallel.ParallelConfig` instead).  The endpoint
+        owns a pool it started and closes it on :meth:`close`; with the
+        default ``workers=1`` it simply inherits whatever pool the
+        :class:`~repro.core.sp.ServiceProvider` was built with.  Run at
+        most one ``workers>1`` endpoint per SP at a time: the query
+        processor is shared, so the most recently constructed
+        endpoint's pool serves its queries.
+        """
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
         self.sp = sp
         self.max_workers = max_workers
-        self.stats = EndpointStats()
+        self.counters = EndpointStats()
         self.fragment_cache = VOFragmentCache(cache_fragments)
         self.proof_cache = ProofCache(sp.accumulator, sp.encoder, cache_proofs)
-        self.engine = SubscriptionEngine(
-            sp.accumulator,
-            sp.encoder,
-            sp.params,
-            use_iptree=use_iptree,
-            lazy=lazy,
-            iptree_dims=iptree_dims,
-            iptree_max_depth=iptree_max_depth,
-            proof_cache=self.proof_cache,
-        )
+        self._owned_pool = None
+        # inherit the pool the SP was *built* with — never another
+        # endpoint's transient pool picked off sp.processor
+        self._inherited_pool = getattr(sp, "pool", None)
+        pool = self._inherited_pool
+        if workers != 1 or parallel is not None:
+            self._owned_pool = make_pool(
+                sp.accumulator, sp.encoder, workers=workers, config=parallel
+            )
+        try:
+            if self._owned_pool is not None:
+                pool = self._owned_pool
+                sp.processor.pool = pool
+            self.engine = SubscriptionEngine(
+                sp.accumulator,
+                sp.encoder,
+                sp.params,
+                use_iptree=use_iptree,
+                lazy=lazy,
+                iptree_dims=iptree_dims,
+                iptree_max_depth=iptree_max_depth,
+                proof_cache=self.proof_cache,
+                pool=pool,
+            )
+        except Exception:
+            # a bad engine option must not leak live worker processes
+            if self._owned_pool is not None:
+                sp.processor.pool = self._inherited_pool
+                self._owned_pool.close()
+                self._owned_pool = None
+            raise
         self._queues: dict[int, deque[Delivery]] = {}
         self._ingested = 0  # chain height the engine has processed up to
         # one endpoint may serve many transports (and the socket server
@@ -188,7 +239,7 @@ class ServiceEndpoint:
     # -- sessions ----------------------------------------------------------
     def session(self) -> ClientSession:
         """A new per-connection session (transports close it on drop)."""
-        self.stats.bump("sessions_opened")
+        self.counters.bump("sessions_opened")
         return ClientSession(self)
 
     # -- lifecycle ---------------------------------------------------------
@@ -204,6 +255,14 @@ class ServiceEndpoint:
         when the endpoint shuts down."""
         self._closed = True
         self._pool.shutdown(wait=wait)
+        if self._owned_pool is not None:
+            # hand the processor back its original pool before stopping
+            # ours — but only if we are still the one wired in (another
+            # endpoint on the same SP may have installed its own since)
+            if self.sp.processor.pool is self._owned_pool:
+                self.sp.processor.pool = self._inherited_pool
+            self._owned_pool.close(wait=wait)
+            self._owned_pool = None
         if self._owns_store:
             self.sp.close()
 
@@ -220,6 +279,34 @@ class ServiceEndpoint:
             "proofs": self.proof_cache.stats(),
         }
 
+    @property
+    def pool(self):
+        """The live :class:`~repro.parallel.CryptoPool`, if any."""
+        return self._owned_pool or self._inherited_pool
+
+    def stats(self) -> dict:
+        """One observability snapshot: endpoint, caches, engine, pool.
+
+        Everything a load generator or dashboard needs, as plain JSON-
+        ready dicts (see ``benchmarks/bench_load.py`` for the consumer).
+        """
+        engine = self.engine.stats
+        pool = self.pool
+        return {
+            "endpoint": self.counters.as_dict(),
+            "caches": {
+                "fragments": self.fragment_cache.stats().as_info(),
+                "proofs": self.proof_cache.stats().as_info(),
+            },
+            "engine": {
+                "proofs_computed": engine.proofs_computed,
+                "proofs_shared": engine.proofs_shared,
+                "deliveries": engine.deliveries,
+                "parallel_tasks": engine.parallel_tasks,
+            },
+            "pool": pool.stats().as_info() if pool is not None else None,
+        }
+
     # -- time-window queries ----------------------------------------------
     def time_window_query(
         self, query: TimeWindowQuery, batch: bool | None = None
@@ -232,7 +319,7 @@ class ServiceEndpoint:
         """
         if self._closed:
             raise ReproError("service endpoint is closed")
-        self.stats.bump("queries")
+        self.counters.bump("queries")
         try:
             future = self._pool.submit(
                 self.sp.processor.time_window_query,
@@ -274,14 +361,14 @@ class ServiceEndpoint:
                 self._ingested = since_height
             query_id = self.engine.register(query, since_height=since_height)
             self._queues[query_id] = deque()
-            self.stats.bump("registrations")
+            self.counters.bump("registrations")
             return query_id, since_height
 
     def deregister(self, query_id: int) -> None:
         with self._lock:
             self.engine.deregister(query_id)
             self._queues.pop(query_id, None)
-            self.stats.bump("deregistrations")
+            self.counters.bump("deregistrations")
 
     def poll(self, query_id: int) -> list[Delivery]:
         """Due deliveries for one subscription (after ingesting new blocks)."""
@@ -292,7 +379,7 @@ class ServiceEndpoint:
             queue = self._queues[query_id]
             deliveries = list(queue)
             queue.clear()
-            self.stats.bump("polls")
+            self.counters.bump("polls")
             return deliveries
 
     def flush(self, query_id: int) -> Delivery | None:
@@ -305,7 +392,7 @@ class ServiceEndpoint:
                 raise SubscriptionError(
                     f"query {query_id} has undelivered results; poll before flushing"
                 )
-            self.stats.bump("flushes")
+            self.counters.bump("flushes")
             return self.engine.flush(query_id)
 
     def _ingest(self) -> None:
@@ -321,5 +408,5 @@ class ServiceEndpoint:
     # -- header sync -------------------------------------------------------
     def headers(self, from_height: int = 0) -> list[BlockHeader]:
         with self._lock:
-            self.stats.bump("header_syncs")
+            self.counters.bump("header_syncs")
             return self.sp.chain.headers()[from_height:]

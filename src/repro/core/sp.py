@@ -34,12 +34,17 @@ class ServiceProvider:
         accumulator: MultisetAccumulator,
         encoder: ElementEncoder,
         params: ProtocolParams,
+        pool=None,
     ) -> None:
+        """``pool`` (a :class:`~repro.parallel.CryptoPool`) parallelises
+        the processor's disjointness proving; the SP does not own it —
+        whoever built the pool closes it."""
         self.chain = chain
         self.accumulator = accumulator
         self.encoder = encoder
         self.params = params
-        self.processor = QueryProcessor(chain, accumulator, encoder, params)
+        self.pool = pool
+        self.processor = QueryProcessor(chain, accumulator, encoder, params, pool=pool)
 
     @classmethod
     def open(cls, data_dir: str | os.PathLike, fsync: bool = True) -> "ServiceProvider":

@@ -23,9 +23,12 @@ class QueryUser:
         accumulator: MultisetAccumulator,
         encoder: ElementEncoder,
         params: ProtocolParams,
+        pool=None,
     ) -> None:
+        """``pool`` (a :class:`~repro.parallel.CryptoPool`) parallelises
+        :meth:`batch_verify`'s weighted aggregation; not owned here."""
         self.light = LightNode(difficulty_bits=params.difficulty_bits)
-        self.verifier = QueryVerifier(self.light, accumulator, encoder, params)
+        self.verifier = QueryVerifier(self.light, accumulator, encoder, params, pool=pool)
         self.params = params
 
     def sync_headers(self, source: Blockchain) -> int:

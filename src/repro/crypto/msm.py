@@ -42,7 +42,15 @@ AffinePoint = Any
 
 @dataclass(frozen=True)
 class CurveOps:
-    """Jacobian primitive set for one short-Weierstrass group."""
+    """Jacobian primitive set for one short-Weierstrass group.
+
+    Instances carry lambdas, so they cannot pickle by value; each named
+    adapter registers itself in :data:`OPS_REGISTRY` and pickles as a
+    reference resolved back through :func:`ops_by_name` — required for
+    spawn-mode :class:`~repro.parallel.CryptoPool` workers, which receive
+    the trusted setup (and anything that references an adapter) by
+    pickling rather than by fork inheritance.
+    """
 
     infinity: JacPoint
     is_infinity: Callable[[JacPoint], bool]
@@ -53,6 +61,24 @@ class CurveOps:
     neg: Callable[[JacPoint], JacPoint]
     to_affine: Callable[[JacPoint], AffinePoint]
     batch_to_affine: Callable[[list[JacPoint]], list[AffinePoint]]
+    name: str = ""
+
+    def __reduce__(self):
+        if not self.name:
+            raise TypeError("anonymous CurveOps instances cannot be pickled")
+        return (ops_by_name, (self.name,))
+
+
+#: named adapters, for pickling CurveOps by reference
+OPS_REGISTRY: dict[str, "CurveOps"] = {}
+
+
+def ops_by_name(name: str) -> "CurveOps":
+    """Resolve a pickled :class:`CurveOps` reference."""
+    try:
+        return OPS_REGISTRY[name]
+    except KeyError:
+        raise TypeError(f"unknown CurveOps adapter {name!r}") from None
 
 
 SS512_OPS = CurveOps(
@@ -65,6 +91,7 @@ SS512_OPS = CurveOps(
     neg=curve.jac_neg,
     to_affine=curve.from_jacobian,
     batch_to_affine=curve.batch_from_jacobian,
+    name="ss512",
 )
 
 BN254_OPS = CurveOps(
@@ -77,7 +104,11 @@ BN254_OPS = CurveOps(
     neg=bn254.jac_neg,
     to_affine=bn254.from_jacobian,
     batch_to_affine=bn254.batch_from_jacobian,
+    name="bn254",
 )
+
+OPS_REGISTRY["ss512"] = SS512_OPS
+OPS_REGISTRY["bn254"] = BN254_OPS
 
 
 # -- single-scalar multiplication (wNAF) --------------------------------------

@@ -15,6 +15,13 @@ Hash rules (Definitions 6.1/6.2, with explicit length prefixing):
 The same module also builds the *flat* (``nil``) tree used as the
 no-index baseline: arrival-order leaves, internal nodes carry hashes
 only, so every mismatching object needs its own proof.
+
+The build is two-phase so the accumulator work parallelises: a *plan*
+phase decides the tree shape (clustering looks only at attribute
+multisets, never at digests), then a *commit* phase runs one
+``accumulate`` per digest-bearing node — independent pure functions
+that a :class:`~repro.parallel.CryptoPool` can fan out across worker
+processes with byte-identical results.
 """
 
 from __future__ import annotations
@@ -73,45 +80,6 @@ def internal_hash(child_component: bytes, digest_bytes: bytes) -> bytes:
     return digest(child_component, digest_bytes)
 
 
-def _make_leaf(
-    obj: DataObject,
-    accumulator: MultisetAccumulator,
-    encoder: ElementEncoder,
-    bits: int,
-) -> IndexNode:
-    attrs = obj.attribute_multiset(bits)
-    att_digest = accumulator.accumulate(encoder.encode_multiset(attrs))
-    digest_bytes = encode_digest(accumulator.backend, att_digest)
-    return IndexNode(
-        node_hash=internal_hash(obj.serialize(), digest_bytes),
-        attrs=attrs,
-        att_digest=att_digest,
-        obj=obj,
-    )
-
-
-def _merge(
-    left: IndexNode,
-    right: IndexNode,
-    accumulator: MultisetAccumulator,
-    encoder: ElementEncoder,
-    with_digest: bool,
-) -> IndexNode:
-    children = (left, right)
-    component = children_hash(children)
-    if not with_digest:
-        return IndexNode(node_hash=component, attrs=None, att_digest=None, children=children)
-    attrs = left.attrs | right.attrs  # multiset union (Definition 6.1)
-    att_digest = accumulator.accumulate(encoder.encode_multiset(attrs))
-    digest_bytes = encode_digest(accumulator.backend, att_digest)
-    return IndexNode(
-        node_hash=internal_hash(component, digest_bytes),
-        attrs=attrs,
-        att_digest=att_digest,
-        children=children,
-    )
-
-
 def _jaccard(a: Counter, b: Counter) -> float:
     union_size = (a | b).total()
     if union_size == 0:
@@ -119,23 +87,41 @@ def _jaccard(a: Counter, b: Counter) -> float:
     return (a & b).total() / union_size
 
 
-def build_intra_tree(
-    objects: list[DataObject],
-    accumulator: MultisetAccumulator,
-    encoder: ElementEncoder,
-    bits: int,
-    clustered: bool = True,
-) -> IndexNode:
-    """Algorithm 2: bottom-up greedy Jaccard clustering.
+# -- phase 1: tree planning (structure only, no crypto) -----------------------
+@dataclass
+class NodePlan:
+    """One node of the planned tree: shape decided, digest not committed.
 
-    With ``clustered=False`` leaves are paired in arrival order — the
-    ablation baseline for the clustering design choice.
+    ``with_digest`` marks the nodes that will carry an ``AttDigest`` —
+    every leaf, plus internal nodes outside ``nil`` mode.  Each such
+    node is one independent *node-commit work item*:
+    ``accumulate(enc(attrs))``.
     """
+
+    attrs: Counter
+    children: tuple["NodePlan", ...] = ()
+    obj: DataObject | None = None
+    with_digest: bool = True
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.obj is not None
+
+
+def _plan_leaves(objects: list[DataObject], bits: int) -> list[NodePlan]:
     if not objects:
         raise ChainError("cannot build an index over an empty block")
-    nodes = [_make_leaf(obj, accumulator, encoder, bits) for obj in objects]
+    return [
+        NodePlan(attrs=obj.attribute_multiset(bits), obj=obj) for obj in objects
+    ]
+
+
+def _plan_merge_rounds(
+    nodes: list[NodePlan], clustered: bool, with_digest: bool
+) -> NodePlan:
+    """Bottom-up pairing rounds (Algorithm 2's loop, over plans)."""
     while len(nodes) > 1:
-        merged: list[IndexNode] = []
+        merged: list[NodePlan] = []
         while len(nodes) > 1:
             if clustered:
                 left_pos = max(range(len(nodes)), key=lambda i: nodes[i].attrs.total())
@@ -147,10 +133,113 @@ def build_intra_tree(
             else:
                 left = nodes.pop(0)
                 right = nodes.pop(0)
-            merged.append(_merge(left, right, accumulator, encoder, with_digest=True))
+            merged.append(
+                NodePlan(
+                    attrs=left.attrs | right.attrs,  # multiset union (Def. 6.1)
+                    children=(left, right),
+                    with_digest=with_digest,
+                )
+            )
         # an odd node is carried up to the next level unchanged
         nodes = merged + nodes
     return nodes[0]
+
+
+def plan_intra_tree(
+    objects: list[DataObject], bits: int, clustered: bool = True
+) -> NodePlan:
+    """Algorithm 2's shape: greedy Jaccard clustering over attrs only.
+
+    With ``clustered=False`` leaves are paired in arrival order — the
+    ablation baseline for the clustering design choice.
+    """
+    return _plan_merge_rounds(_plan_leaves(objects, bits), clustered, True)
+
+
+def plan_flat_tree(objects: list[DataObject], bits: int) -> NodePlan:
+    """The ``nil`` baseline shape: digests only at leaves, no clustering."""
+    return _plan_merge_rounds(_plan_leaves(objects, bits), False, False)
+
+
+def digest_plan_nodes(plan: NodePlan) -> list[NodePlan]:
+    """The digest-bearing nodes in deterministic post-order.
+
+    This is the block's node-commit work list: one ``accumulate`` per
+    entry, each independent of all the others.
+    """
+    ordered: list[NodePlan] = []
+
+    def walk(node: NodePlan) -> None:
+        for child in node.children:
+            walk(child)
+        if node.with_digest:
+            ordered.append(node)
+
+    walk(plan)
+    return ordered
+
+
+# -- phase 2: committing digests and hashes -----------------------------------
+def commit_tree(
+    plan: NodePlan,
+    accumulator: MultisetAccumulator,
+    encoder: ElementEncoder,
+    pool=None,
+) -> IndexNode:
+    """Realise a planned tree: commit every ``AttDigest``, hash bottom-up.
+
+    With a live :class:`~repro.parallel.CryptoPool` the node commits run
+    on worker processes; each digest is a pure function of its node's
+    multiset, so the resulting tree is byte-identical to a serial build.
+    """
+    work = digest_plan_nodes(plan)
+    encoded = [encoder.encode_multiset(node.attrs) for node in work]
+    if pool is not None and not pool.serial:
+        digests = pool.map_accumulate(encoded)
+    else:
+        digests = [accumulator.accumulate(multiset) for multiset in encoded]
+    digest_of = {id(node): value for node, value in zip(work, digests)}
+    backend = accumulator.backend
+
+    def assemble(node: NodePlan) -> IndexNode:
+        att_digest = digest_of.get(id(node))
+        if node.is_leaf:
+            return IndexNode(
+                node_hash=internal_hash(
+                    node.obj.serialize(), encode_digest(backend, att_digest)
+                ),
+                attrs=node.attrs,
+                att_digest=att_digest,
+                obj=node.obj,
+            )
+        children = tuple(assemble(child) for child in node.children)
+        component = children_hash(children)
+        if att_digest is None:
+            return IndexNode(
+                node_hash=component, attrs=None, att_digest=None, children=children
+            )
+        return IndexNode(
+            node_hash=internal_hash(component, encode_digest(backend, att_digest)),
+            attrs=node.attrs,
+            att_digest=att_digest,
+            children=children,
+        )
+
+    return assemble(plan)
+
+
+def build_intra_tree(
+    objects: list[DataObject],
+    accumulator: MultisetAccumulator,
+    encoder: ElementEncoder,
+    bits: int,
+    clustered: bool = True,
+    pool=None,
+) -> IndexNode:
+    """Plan + commit in one call (the miner's entry point)."""
+    return commit_tree(
+        plan_intra_tree(objects, bits, clustered=clustered), accumulator, encoder, pool
+    )
 
 
 def build_flat_tree(
@@ -158,16 +247,7 @@ def build_flat_tree(
     accumulator: MultisetAccumulator,
     encoder: ElementEncoder,
     bits: int,
+    pool=None,
 ) -> IndexNode:
-    """The ``nil`` baseline: digests only at leaves, no clustering."""
-    if not objects:
-        raise ChainError("cannot build an index over an empty block")
-    nodes = [_make_leaf(obj, accumulator, encoder, bits) for obj in objects]
-    while len(nodes) > 1:
-        merged = []
-        while len(nodes) > 1:
-            left = nodes.pop(0)
-            right = nodes.pop(0)
-            merged.append(_merge(left, right, accumulator, encoder, with_digest=False))
-        nodes = merged + nodes
-    return nodes[0]
+    """Plan + commit for the ``nil`` baseline."""
+    return commit_tree(plan_flat_tree(objects, bits), accumulator, encoder, pool)

@@ -1,0 +1,29 @@
+"""Multicore scale-out: process-pool parallelism for crypto work.
+
+See :mod:`repro.parallel.pool` for the design.  The subsystem is wired
+into every hot loop behind a ``workers=`` knob (``VChainNetwork.create``,
+``ServiceEndpoint``, ``python -m repro.api.server --workers``); the
+default of 1 keeps the original serial code paths byte-for-byte.
+"""
+
+from repro.parallel.pool import (
+    CryptoPool,
+    ParallelConfig,
+    PoolStats,
+    default_start_method,
+    default_workers,
+    make_pool,
+    resolve_config,
+    weighted_fold,
+)
+
+__all__ = [
+    "CryptoPool",
+    "ParallelConfig",
+    "PoolStats",
+    "default_start_method",
+    "default_workers",
+    "make_pool",
+    "resolve_config",
+    "weighted_fold",
+]

@@ -1,0 +1,448 @@
+"""Process-pool parallelism for the crypto hot loops.
+
+Everything expensive in this codebase is embarrassingly parallel at the
+work-item level: mining commits an accumulator per intra-index node,
+query processing proves disjointness per mismatch site, and batch
+verification exponentiates per deferred check.  All of it is pure CPU
+on plain Python ints, so threads cannot help (the GIL serialises them)
+— real scale-out needs processes.
+
+:class:`CryptoPool` owns a small fleet of worker processes that hold a
+copy of the trusted setup (accumulator + encoder).  On platforms with
+``fork`` the workers inherit the parent's state — key-power caches,
+fixed-base window tables, encoder memos — for free at fork time; where
+only ``spawn`` exists the state is pickled across (see the
+``__getstate__``/``__reduce__`` support on :class:`~repro.accumulators.
+keys.KeyOracle` and :class:`~repro.crypto.msm.CurveOps`).  Work is
+shipped in chunks to amortise IPC, and every result is a pure function
+of its work item, so parallel output is **byte-identical** to the
+serial path by construction.
+
+``ParallelConfig(workers=1)`` (the default everywhere) is the serial
+escape hatch: no processes are started and every caller keeps today's
+inline code path.  ``workers=0`` means "one per available core".
+
+Error contract: exceptions raised *by the work itself* (e.g.
+:class:`~repro.errors.NotDisjointError`) cross the process boundary and
+re-raise unchanged in the caller.  A worker that dies (OOM-killed,
+segfaulted) or a pool used after :meth:`CryptoPool.close` raises
+:class:`~repro.errors.ParallelError` instead of hanging.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from collections import Counter
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.accumulators.base import (
+    AccumulatorValue,
+    DisjointProof,
+    MultisetAccumulator,
+)
+from repro.accumulators.encoding import ElementEncoder
+from repro.errors import ParallelError
+
+#: chunks scheduled per worker per map (smaller chunks balance skew,
+#: larger chunks amortise pickling; 4 is a reasonable middle ground)
+_CHUNKS_PER_WORKER = 4
+
+
+def default_workers() -> int:
+    """The number of CPU cores this process may actually use."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def default_start_method() -> str:
+    """``fork`` where available (free state inheritance), else ``spawn``."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Knobs for one :class:`CryptoPool`.
+
+    ``workers=1`` is serial (no processes at all); ``workers=0`` resolves
+    to one worker per available core.  ``chunk_size=None`` sizes chunks
+    automatically from the map length.  ``start_method=None`` picks
+    ``fork`` when the platform offers it.
+    """
+
+    workers: int = 1
+    chunk_size: int | None = None
+    start_method: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ParallelError("workers must be >= 0 (0 = one per core)")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ParallelError("chunk_size must be >= 1")
+        if (
+            self.start_method is not None
+            and self.start_method not in multiprocessing.get_all_start_methods()
+        ):
+            raise ParallelError(
+                f"start method {self.start_method!r} unavailable on this platform"
+            )
+
+    def resolved_workers(self) -> int:
+        return default_workers() if self.workers == 0 else self.workers
+
+    @property
+    def serial(self) -> bool:
+        return self.resolved_workers() <= 1
+
+
+@dataclass(frozen=True)
+class PoolStats:
+    """Immutable counters snapshot for one pool's lifetime."""
+
+    workers: int = 1
+    start_method: str = "serial"
+    maps: int = 0
+    tasks: int = 0
+    chunks: int = 0
+
+    def as_info(self) -> dict:
+        return {
+            "workers": self.workers,
+            "start_method": self.start_method,
+            "maps": self.maps,
+            "tasks": self.tasks,
+            "chunks": self.chunks,
+        }
+
+
+# -- worker-side state ---------------------------------------------------
+# One (accumulator, encoder) pair per worker process, installed by the
+# pool initializer.  Under fork the objects arrive by inheritance; under
+# spawn they are pickled (KeyOracle drops its fixed-base tables in
+# transit and rebuilds them lazily).
+_WORKER_ACCUMULATOR: MultisetAccumulator | None = None
+_WORKER_ENCODER: ElementEncoder | None = None
+
+
+def _init_worker(
+    accumulator: MultisetAccumulator, encoder: ElementEncoder
+) -> None:  # pragma: no cover - runs in worker processes
+    global _WORKER_ACCUMULATOR, _WORKER_ENCODER
+    _WORKER_ACCUMULATOR = accumulator
+    _WORKER_ENCODER = encoder
+
+
+def _worker_sleep(seconds: float) -> int:  # pragma: no cover - worker-side
+    """Warm-up no-op: forces the executor to actually start a worker."""
+    time.sleep(seconds)
+    return os.getpid()
+
+
+def _execute_chunk(
+    accumulator: MultisetAccumulator,
+    encoder: ElementEncoder,
+    payload: tuple[str, list],
+) -> list:
+    """Run one chunk of work items against explicit crypto state.
+
+    Shared verbatim by the worker processes and the serial inline path,
+    so both compute the same pure functions over the same inputs.
+    """
+    kind, items = payload
+    if kind == "accumulate":
+        return [accumulator.accumulate(encoded) for encoded in items]
+    if kind == "prove":
+        from repro.cache.fragments import compute_disjoint_proof
+
+        return [
+            compute_disjoint_proof(accumulator, encoder, attrs, clause)
+            for attrs, clause in items
+        ]
+    if kind == "weighted":
+        return [weighted_fold(accumulator, items)]
+    raise ParallelError(f"unknown crypto work kind {kind!r}")
+
+
+def weighted_fold(
+    accumulator: MultisetAccumulator,
+    items: Sequence[tuple[AccumulatorValue, DisjointProof, int]],
+) -> tuple[AccumulatorValue, DisjointProof]:
+    """``(Sum(value_i^w_i), ProofSum(proof_i^w_i))`` over weighted checks.
+
+    The one implementation of the random-weighted aggregation fold,
+    shared by the pool workers and
+    :meth:`~repro.core.verifier.QueryVerifier.batch_verify`'s inline
+    small-batch path — both must stay algebraically identical.
+    """
+    backend = accumulator.backend
+    values = [
+        AccumulatorValue(
+            parts=tuple(backend.exp(part, weight) for part in value.parts)
+        )
+        for value, _proof, weight in items
+    ]
+    proofs = [
+        DisjointProof(
+            parts=tuple(backend.exp(part, weight) for part in proof.parts)
+        )
+        for _value, proof, weight in items
+    ]
+    return accumulator.sum_values(values), accumulator.sum_proofs(proofs)
+
+
+def _worker_run(
+    payload: tuple[str, list],
+) -> list:  # pragma: no cover - runs in worker processes
+    return _execute_chunk(_WORKER_ACCUMULATOR, _WORKER_ENCODER, payload)
+
+
+class CryptoPool:
+    """A process pool holding the trusted setup, mapped over crypto work.
+
+    The three entry points mirror the three hot loops:
+
+    * :meth:`map_accumulate` — mining's per-node commitments;
+    * :meth:`map_prove` — the SP's per-site disjointness proofs;
+    * :meth:`weighted_sums` — batch verification's random-weighted
+      aggregation, returned as merged partial products.
+
+    With a serial config no processes exist and every call executes
+    inline; callers may also branch on :attr:`serial` to keep their
+    original single-threaded code path untouched.
+    """
+
+    def __init__(
+        self,
+        accumulator: MultisetAccumulator,
+        encoder: ElementEncoder,
+        config: ParallelConfig | None = None,
+    ) -> None:
+        self.config = config or ParallelConfig()
+        self._accumulator = accumulator
+        self._encoder = encoder
+        self._workers = self.config.resolved_workers()
+        self._start_method = "serial"
+        self._executor: ProcessPoolExecutor | None = None
+        self._closed = False
+        self._lock = threading.Lock()
+        self._maps = 0
+        self._tasks = 0
+        self._chunks = 0
+        if self._workers > 1:
+            self._start_method = self.config.start_method or default_start_method()
+            context = multiprocessing.get_context(self._start_method)
+            self._executor = ProcessPoolExecutor(
+                max_workers=self._workers,
+                mp_context=context,
+                initializer=_init_worker,
+                initargs=(accumulator, encoder),
+            )
+            self._warmup()
+
+    # -- lifecycle -----------------------------------------------------
+    def _warmup(self) -> None:
+        """Start every worker now, while the parent is single-threaded.
+
+        ``ProcessPoolExecutor`` forks lazily, one worker per submission;
+        submitting ``workers`` overlapping sleeps forces the whole fleet
+        up front.  That keeps all forking at construction time (before
+        serving threads exist — forking a threaded process is where
+        multiprocessing deadlocks come from) and charges table/cache
+        warm-up to setup instead of the first measured map.
+        """
+        assert self._executor is not None
+        futures = [
+            self._executor.submit(_worker_sleep, 0.05) for _ in range(self._workers)
+        ]
+        try:
+            for future in futures:
+                future.result(timeout=60)
+        except (BrokenProcessPool, TimeoutError) as exc:  # pragma: no cover
+            # don't orphan whatever workers did come up
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            raise ParallelError("crypto pool worker failed to start") from exc
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    @property
+    def serial(self) -> bool:
+        return self._executor is None
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self, wait: bool = True) -> None:
+        """Shut the workers down; idempotent.  With ``wait`` the call
+        blocks until in-flight chunks finish (graceful drain)."""
+        self._closed = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "CryptoPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def stats(self) -> PoolStats:
+        with self._lock:
+            return PoolStats(
+                workers=self._workers,
+                start_method=self._start_method,
+                maps=self._maps,
+                tasks=self._tasks,
+                chunks=self._chunks,
+            )
+
+    # -- scheduling ----------------------------------------------------
+    def _chunked(self, items: Sequence, kind: str) -> list[tuple[str, list]]:
+        size = self.config.chunk_size
+        if size is None:
+            size = max(1, -(-len(items) // (self._workers * _CHUNKS_PER_WORKER)))
+        return [
+            (kind, list(items[start : start + size]))
+            for start in range(0, len(items), size)
+        ]
+
+    def _run(self, payloads: list[tuple[str, list]], n_items: int) -> list[list]:
+        if self._closed:
+            raise ParallelError("crypto pool is closed")
+        with self._lock:
+            self._maps += 1
+            self._tasks += n_items
+            self._chunks += len(payloads)
+        if self._executor is None:
+            return [
+                _execute_chunk(self._accumulator, self._encoder, payload)
+                for payload in payloads
+            ]
+        try:
+            return list(self._executor.map(_worker_run, payloads))
+        except BrokenProcessPool as exc:
+            raise ParallelError(
+                "a crypto pool worker died mid-task; results are lost "
+                "(the pool must be recreated)"
+            ) from exc
+        except RuntimeError as exc:
+            # only the executor's own shutdown race converts; a
+            # RuntimeError raised by the work itself (e.g. a
+            # RecursionError) re-raises unchanged per the error contract
+            if self._closed or "shutdown" in str(exc):
+                raise ParallelError("crypto pool is closed") from exc
+            raise
+
+    # -- the three hot-loop entry points -------------------------------
+    def map_accumulate(
+        self, encoded_multisets: Sequence[Counter]
+    ) -> list[AccumulatorValue]:
+        """``accumulate(X)`` for every encoded multiset, in order."""
+        if not encoded_multisets:
+            return []
+        chunks = self._chunked(encoded_multisets, "accumulate")
+        results = self._run(chunks, len(encoded_multisets))
+        return [value for chunk in results for value in chunk]
+
+    def map_prove(
+        self, items: Sequence[tuple[Counter, frozenset[str]]]
+    ) -> list[DisjointProof]:
+        """``ProveDisjoint(attrs, clause)`` for every site, in order.
+
+        Items carry *raw* attribute multisets; workers encode with their
+        own encoder copy (the encoding is deterministic public
+        parameterisation, so results match the serial path exactly).
+        """
+        if not items:
+            return []
+        chunks = self._chunked(items, "prove")
+        return [proof for chunk in self._run(chunks, len(items)) for proof in chunk]
+
+    def weighted_sums(
+        self,
+        checks: Sequence[tuple[AccumulatorValue, DisjointProof]],
+        weights: Sequence[int],
+    ) -> tuple[AccumulatorValue, DisjointProof]:
+        """Random-weighted ``(Sum, ProofSum)`` over many deferred checks.
+
+        Each worker exponentiates and folds its chunk into one partial
+        product; the partials merge here with one more ``Sum``/
+        ``ProofSum``.  Group operations are associative, so the result
+        equals the serial left-to-right fold exactly.  Aggregating
+        accumulators (acc2) only.
+        """
+        if len(checks) != len(weights):
+            raise ParallelError("weighted_sums: checks and weights differ in length")
+        if not checks:
+            raise ParallelError("weighted_sums of an empty check list")
+        triples = [
+            (value, proof, weight)
+            for (value, proof), weight in zip(checks, weights)
+        ]
+        chunks = self._chunked(triples, "weighted")
+        partials = [pair for chunk in self._run(chunks, len(triples)) for pair in chunk]
+        if len(partials) == 1:
+            return partials[0]
+        return (
+            self._accumulator.sum_values([value for value, _proof in partials]),
+            self._accumulator.sum_proofs([proof for _value, proof in partials]),
+        )
+
+    # -- debugging aids -------------------------------------------------
+    def worker_pids(self) -> list[int]:
+        """PIDs of the live worker processes (empty when serial)."""
+        if self._executor is None:
+            return []
+        return [process.pid for process in self._executor._processes.values()]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CryptoPool(workers={self._workers}, "
+            f"start_method={self._start_method!r}, closed={self._closed})"
+        )
+
+
+def make_pool(
+    accumulator: MultisetAccumulator,
+    encoder: ElementEncoder,
+    workers: int = 1,
+    config: ParallelConfig | None = None,
+) -> CryptoPool | None:
+    """``CryptoPool`` for the requested scale, or ``None`` when serial.
+
+    The convenience constructor every ``workers=`` knob funnels through:
+    returning ``None`` for the serial case lets call sites keep their
+    original code path with a plain ``if pool is None`` test.  Pass
+    *either* ``workers`` or a full ``config`` — both at once is
+    rejected rather than silently preferring one.
+    """
+    config = resolve_config(workers, config)
+    if config.serial:
+        return None
+    return CryptoPool(accumulator, encoder, config)
+
+
+def resolve_config(
+    workers: int = 1, config: ParallelConfig | None = None
+) -> ParallelConfig:
+    """Validate and normalise a ``workers=``/``config=`` argument pair.
+
+    Callers with other side effects (e.g. ``VChainNetwork.create``
+    initialising a data directory) run this *first*, so argument
+    mistakes fail before anything touches disk or forks.
+    """
+    if config is not None and workers != 1:
+        raise ParallelError(
+            "pass either workers= or a ParallelConfig, not both "
+            "(the config carries its own worker count)"
+        )
+    return config or ParallelConfig(workers=workers)

@@ -312,6 +312,8 @@ def _write_stats(writer: Writer, stats: QueryStats) -> None:
     writer.uvarint(stats.cache_hits)
     writer.uvarint(stats.cache_misses)
     writer.uvarint(stats.proofs_reused)
+    writer.uvarint(stats.parallel_tasks)
+    writer.uvarint(stats.workers_used)
 
 
 def _read_stats(reader: Reader) -> QueryStats:
@@ -326,6 +328,8 @@ def _read_stats(reader: Reader) -> QueryStats:
         cache_hits=reader.uvarint(),
         cache_misses=reader.uvarint(),
         proofs_reused=reader.uvarint(),
+        parallel_tasks=reader.uvarint(),
+        workers_used=reader.uvarint(),
     )
 
 

@@ -243,7 +243,7 @@ def test_idle_timeout_reaps_connection_and_session(net):
                 break
         else:
             pytest.fail("orphaned subscription was never cleaned up")
-        assert endpoint.stats.sessions_closed >= 1
+        assert endpoint.counters.sessions_closed >= 1
         client.transport.close()
     finally:
         server.stop()

@@ -1,0 +1,453 @@
+"""The multicore subsystem: serial-vs-parallel determinism and failure.
+
+The contract mirrors tests/test_crypto_parity.py: parallelism must be a
+pure performance change.  A chain mined through a
+:class:`~repro.parallel.CryptoPool` must be **byte-identical** — block
+encodings, VO bytes, acc1 and acc2 — to the serial build, deliveries
+included.  Failure semantics are pinned too: work exceptions cross the
+process boundary unchanged, dead workers surface as
+:class:`~repro.errors.ParallelError`, and a closed pool refuses work
+instead of hanging.
+"""
+
+import os
+import signal
+import time
+from collections import Counter
+
+import pytest
+
+from repro import VChainNetwork
+from repro.chain import ProtocolParams
+from repro.datasets import foursquare_like, make_time_window_queries
+from repro.errors import NotDisjointError, ParallelError
+from repro.parallel import CryptoPool, ParallelConfig, make_pool
+from repro.wire.block_codec import encode_block
+from repro.wire.vo_codec import encode_time_window_vo
+
+DATASET = foursquare_like(6, objects_per_block=5)
+QUERIES = make_time_window_queries(DATASET, n_queries=3, window_blocks=4, seed=29)
+PARAMS = ProtocolParams(
+    mode="both", bits=DATASET.bits, skip_size=3, skip_base=4, difficulty_bits=0
+)
+
+
+def build_network(workers: int, acc_name: str = "acc2", backend: str = "simulated"):
+    net = VChainNetwork.create(
+        acc_name=acc_name,
+        backend_name=backend,
+        params=PARAMS,
+        seed=17,
+        acc1_capacity=1 << 12,
+        workers=workers,
+    )
+    net.mine_dataset(DATASET)
+    return net
+
+
+def chain_bytes(net) -> list[bytes]:
+    backend = net.accumulator.backend
+    return [
+        encode_block(backend, net.chain.block(height))
+        for height in range(len(net.chain))
+    ]
+
+
+def vo_bytes(net, query, batch) -> tuple[bytes, list]:
+    results, vo, stats = net.sp.processor.time_window_query(query, batch=batch)
+    return encode_time_window_vo(net.accumulator.backend, vo), results, stats
+
+
+# -- serial vs parallel byte parity ------------------------------------------
+@pytest.mark.parametrize("acc_name", ["acc1", "acc2"])
+def test_mining_and_proving_parity(acc_name):
+    serial = build_network(1, acc_name)
+    parallel = build_network(2, acc_name)
+    try:
+        assert parallel.pool is not None and parallel.pool.workers == 2
+        assert serial.pool is None
+        assert chain_bytes(serial) == chain_bytes(parallel)
+        batch = serial.accumulator.supports_aggregation
+        for query in QUERIES:
+            s_vo, s_results, s_stats = vo_bytes(serial, query, batch)
+            p_vo, p_results, p_stats = vo_bytes(parallel, query, batch)
+            assert s_vo == p_vo
+            assert [o.object_id for o in s_results] == [
+                o.object_id for o in p_results
+            ]
+            assert s_stats.proofs_computed == p_stats.proofs_computed
+            assert p_stats.workers_used == 2 and s_stats.workers_used == 0
+            # the parallel answer verifies on a serial light node
+            verified, _ = serial.user.verify(query, p_results, parallel.sp
+                                             .processor.time_window_query(
+                                                 query, batch=batch)[1])
+            assert sorted(o.object_id for o in verified) == sorted(
+                o.object_id for o in p_results
+            )
+    finally:
+        serial.close()
+        parallel.close()
+
+
+@pytest.mark.parametrize("acc_name", ["acc1", "acc2"])
+def test_non_batch_parity_with_and_without_caches(acc_name):
+    serial = build_network(1, acc_name)
+    parallel = build_network(2, acc_name)
+    try:
+        for query in QUERIES:
+            s_vo, _, _ = vo_bytes(serial, query, False)
+            p_vo, _, _ = vo_bytes(parallel, query, False)
+            assert s_vo == p_vo
+        # through the endpoint, which adds fragment + proof caches on
+        # top of the pool; repeats must replay identical bytes
+        endpoint = parallel.endpoint
+        client = parallel.client
+        for _round in range(2):
+            for query in QUERIES:
+                response = client.execute(query, batch=False)
+                assert response.ok
+        s_vo, _, _ = vo_bytes(serial, QUERIES[0], False)
+        results, vo, stats = endpoint.time_window_query(QUERIES[0], batch=False)
+        assert encode_time_window_vo(parallel.accumulator.backend, vo) == s_vo
+        assert stats.cache_hits > 0  # replayed, not re-proved
+    finally:
+        serial.close()
+        parallel.close()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("acc_name", ["acc1", "acc2"])
+def test_ss512_parity(acc_name):
+    """The real-pairing mirror of tests/test_crypto_parity.py."""
+    dataset = foursquare_like(2, objects_per_block=4)
+    params = ProtocolParams(mode="both", bits=dataset.bits, skip_size=2)
+
+    def build(workers):
+        net = VChainNetwork.create(
+            acc_name=acc_name, backend_name="ss512", params=params,
+            seed=7, acc1_capacity=256, workers=workers,
+        )
+        net.mine_dataset(dataset)
+        return net
+
+    serial, parallel = build(1), build(2)
+    try:
+        assert chain_bytes(serial) == chain_bytes(parallel)
+        query = make_time_window_queries(
+            dataset, n_queries=1, window_blocks=2, seed=29
+        )[0]
+        batch = serial.accumulator.supports_aggregation
+        s_vo, s_results, _ = vo_bytes(serial, query, batch)
+        p_vo, p_results, _ = vo_bytes(parallel, query, batch)
+        assert s_vo == p_vo
+        verified, _ = parallel.user.verify(query, p_results, parallel.sp
+                                           .processor.time_window_query(
+                                               query, batch=batch)[1])
+        assert sorted(o.object_id for o in verified) == sorted(
+            o.object_id for o in p_results
+        )
+    finally:
+        serial.close()
+        parallel.close()
+
+
+def test_subscription_delivery_parity():
+    extra = foursquare_like(4, objects_per_block=5)
+    for lazy in (False, True):
+        serial = build_network(1)
+        parallel = build_network(2)
+        try:
+            from repro.api import ServiceEndpoint
+
+            endpoints = [
+                ServiceEndpoint(net.sp, lazy=lazy) for net in (serial, parallel)
+            ]
+            assert endpoints[1].pool is parallel.pool  # inherited, not owned
+            subscriptions = [
+                net.client.subscribe()
+                .any_of(DATASET.vocabulary[0], DATASET.vocabulary[1])
+                .build()
+                for net in (serial, parallel)
+            ]
+            query_ids = [
+                endpoint.register(sub)[0]
+                for endpoint, sub in zip(endpoints, subscriptions)
+            ]
+            for timestamp, objects in extra.blocks:
+                serial.mine(objects, timestamp + 1000)
+                parallel.mine(objects, timestamp + 1000)
+            got_s = endpoints[0].poll(query_ids[0])
+            got_p = endpoints[1].poll(query_ids[1])
+            # desync tripwire: every proof the precompute pass prepaid
+            # must have been consumed by the delivery descent
+            assert endpoints[1].engine._prepaid == set()
+            assert len(got_s) == len(got_p)
+            if not lazy:
+                assert len(got_s) == len(extra.blocks)
+            for d_s, d_p in zip(got_s, got_p):
+                assert encode_time_window_vo(
+                    serial.accumulator.backend, d_s.vo
+                ) == encode_time_window_vo(
+                    parallel.accumulator.backend, d_p.vo
+                )
+                assert [o.object_id for o in d_s.results] == [
+                    o.object_id for o in d_p.results
+                ]
+            for endpoint in endpoints:
+                endpoint.close()
+        finally:
+            serial.close()
+            parallel.close()
+
+
+def test_batch_verify_parallel_accepts_and_pinpoints_forgery():
+    net = build_network(2)
+    try:
+        batch = True
+        items = []
+        for query in QUERIES:
+            results, vo, _ = net.sp.processor.time_window_query(query, batch=batch)
+            items.append((query, results, vo))
+        verified, stats = net.user.batch_verify(items)
+        assert [len(v) for v in verified] == [len(item[1]) for item in items]
+
+        # forge one aggregated proof: the parallel aggregate must reject
+        # and the culprit loop must name the item
+        from dataclasses import replace
+        from repro.accumulators.base import DisjointProof
+
+        query, results, vo = items[1]
+        backend = net.accumulator.backend
+        bad_groups = dict(vo.batch_groups)
+        if bad_groups:
+            gid, group = next(iter(bad_groups.items()))
+            forged = DisjointProof(
+                parts=tuple(backend.op(p, backend.generator()) for p in group.proof.parts)
+            )
+            bad_groups[gid] = replace(group, proof=forged)
+            vo.batch_groups = bad_groups
+            from repro.errors import VerificationError
+
+            with pytest.raises(VerificationError, match="batch item 1"):
+                net.user.batch_verify(items)
+    finally:
+        net.close()
+
+
+# -- pool mechanics ----------------------------------------------------------
+def _setup_pool(workers=2, **config_kw):
+    net = VChainNetwork.create(acc_name="acc2", backend_name="simulated", seed=3)
+    pool = CryptoPool(
+        net.accumulator, net.encoder, ParallelConfig(workers=workers, **config_kw)
+    )
+    return net, pool
+
+
+def test_work_exceptions_propagate_unchanged():
+    net, pool = _setup_pool()
+    try:
+        overlapping = (Counter({"x": 1}), frozenset({"x"}))
+        with pytest.raises(NotDisjointError):
+            pool.map_prove([overlapping] * 4)
+    finally:
+        pool.close()
+        net.close()
+
+
+def test_dead_worker_raises_parallel_error():
+    net, pool = _setup_pool()
+    try:
+        pids = pool.worker_pids()
+        assert len(pids) == 2
+        for pid in pids:
+            os.kill(pid, signal.SIGKILL)
+        deadline = time.time() + 30
+        with pytest.raises(ParallelError, match="died"):
+            while time.time() < deadline:
+                pool.map_accumulate([net.encoder.encode_multiset(Counter({"a": 1}))])
+                time.sleep(0.05)
+            raise AssertionError("dead workers never surfaced")
+    finally:
+        pool.close()
+        net.close()
+
+
+def test_closed_pool_refuses_work():
+    net, pool = _setup_pool()
+    pool.close()
+    assert pool.closed
+    with pytest.raises(ParallelError, match="closed"):
+        pool.map_accumulate([net.encoder.encode_multiset(Counter({"a": 1}))])
+    pool.close()  # idempotent
+    net.close()
+
+
+def test_serial_pool_runs_inline_and_counts():
+    net = VChainNetwork.create(acc_name="acc2", backend_name="simulated", seed=3)
+    pool = CryptoPool(net.accumulator, net.encoder, ParallelConfig(workers=1))
+    try:
+        assert pool.serial and pool.worker_pids() == []
+        encoded = net.encoder.encode_multiset(Counter({"a": 2, "b": 1}))
+        [value] = pool.map_accumulate([encoded])
+        assert value == net.accumulator.accumulate(encoded)
+        stats = pool.stats()
+        assert stats.maps == 1 and stats.tasks == 1 and stats.workers == 1
+        assert make_pool(net.accumulator, net.encoder, workers=1) is None
+    finally:
+        pool.close()
+        net.close()
+
+
+def test_weighted_sums_matches_inline_fold():
+    net = VChainNetwork.create(acc_name="acc2", backend_name="simulated", seed=3)
+    accumulator, encoder = net.accumulator, net.encoder
+    backend = accumulator.backend
+    checks = []
+    weights = list(range(3, 12))
+    for i in range(9):
+        attrs = Counter({f"a{i}": 1})
+        clause = frozenset({"zzz"})
+        value = accumulator.accumulate(encoder.encode_multiset(attrs))
+        proof = accumulator.prove_disjoint(
+            encoder.encode_multiset(attrs),
+            encoder.encode_multiset(Counter(clause)),
+        )
+        checks.append((value, proof))
+    expected_value = accumulator.sum_values(
+        [
+            type(v)(parts=tuple(backend.exp(p, w) for p in v.parts))
+            for (v, _pr), w in zip(checks, weights)
+        ]
+    )
+    expected_proof = accumulator.sum_proofs(
+        [
+            type(pr)(parts=tuple(backend.exp(p, w) for p in pr.parts))
+            for (_v, pr), w in zip(checks, weights)
+        ]
+    )
+    for workers in (1, 2):
+        pool = CryptoPool(accumulator, encoder, ParallelConfig(workers=workers))
+        try:
+            value, proof = pool.weighted_sums(checks, weights)
+            assert value == expected_value and proof == expected_proof
+            with pytest.raises(ParallelError):
+                pool.weighted_sums(checks, weights[:-1])
+            with pytest.raises(ParallelError):
+                pool.weighted_sums([], [])
+        finally:
+            pool.close()
+    net.close()
+
+
+def test_parallel_config_validation():
+    with pytest.raises(ParallelError):
+        ParallelConfig(workers=-1)
+    with pytest.raises(ParallelError):
+        ParallelConfig(chunk_size=0)
+    with pytest.raises(ParallelError):
+        ParallelConfig(start_method="no-such-method")
+    assert ParallelConfig(workers=0).resolved_workers() >= 1
+
+
+def test_endpoint_workers_knob_and_stats_snapshot():
+    net = build_network(1)
+    from repro.api import ServiceEndpoint
+
+    endpoint = ServiceEndpoint(net.sp, workers=2)
+    try:
+        assert net.sp.processor.pool is endpoint.pool
+        batch = net.accumulator.supports_aggregation
+        results, vo, stats = endpoint.time_window_query(QUERIES[0], batch=batch)
+        assert stats.workers_used == 2
+        snapshot = endpoint.stats()
+        assert snapshot["endpoint"]["queries"] == 1
+        assert snapshot["pool"]["workers"] == 2
+        assert snapshot["pool"]["maps"] >= 1
+        assert set(snapshot["caches"]) == {"fragments", "proofs"}
+        assert "proofs_shared" in snapshot["engine"]
+    finally:
+        endpoint.close()
+    # closing hands the processor back its original (absent) pool
+    assert net.sp.processor.pool is None
+    net.close()
+
+
+def test_make_pool_rejects_workers_and_config_together():
+    net = VChainNetwork.create(acc_name="acc2", backend_name="simulated", seed=3)
+    try:
+        with pytest.raises(ParallelError, match="not both"):
+            make_pool(
+                net.accumulator, net.encoder, workers=4,
+                config=ParallelConfig(chunk_size=64),
+            )
+    finally:
+        net.close()
+
+
+def test_bad_parallel_args_fail_before_touching_the_data_dir(tmp_path):
+    data_dir = tmp_path / "chain"
+    with pytest.raises(ParallelError, match="not both"):
+        VChainNetwork.create(
+            data_dir=data_dir, workers=2, parallel=ParallelConfig(workers=2)
+        )
+    # the directory was not initialised, so a corrected retry succeeds
+    net = VChainNetwork.create(data_dir=data_dir, workers=1, seed=3)
+    net.mine_dataset(foursquare_like(1, objects_per_block=2))
+    net.close()
+
+
+def test_bad_endpoint_options_do_not_leak_worker_processes():
+    from repro.api import ServiceEndpoint
+    from repro.errors import QueryError
+
+    net = VChainNetwork.create(
+        acc_name="acc1", backend_name="simulated", seed=3
+    )  # acc1: lazy mode is invalid, so engine construction fails
+    try:
+        with pytest.raises(QueryError):
+            ServiceEndpoint(net.sp, lazy=True, workers=2)
+        # the half-built endpoint's pool was closed and unwired
+        assert net.sp.processor.pool is None
+    finally:
+        net.close()
+
+
+def test_second_endpoint_does_not_capture_anothers_owned_pool():
+    from repro.api import ServiceEndpoint
+
+    net = VChainNetwork.create(acc_name="acc2", backend_name="simulated", seed=3)
+    first = ServiceEndpoint(net.sp, workers=2)
+    try:
+        second = ServiceEndpoint(net.sp)
+        # the second endpoint must not adopt the first's transient pool:
+        # closing `first` would strand it mid-subscription otherwise
+        assert second.pool is None and second.engine.pool is None
+        second.close()
+    finally:
+        first.close()
+        assert net.sp.processor.pool is None  # restored on close
+        net.close()
+
+
+def test_query_stats_parallel_fields_roundtrip_the_wire():
+    from repro.core.prover import QueryStats
+    from repro.wire.request_codec import (
+        decode_query_response,
+        encode_query_response,
+    )
+    from repro.core.vo import TimeWindowVO
+
+    net = build_network(1)
+    try:
+        stats = QueryStats(
+            sp_seconds=0.5, proofs_computed=3, parallel_tasks=7, workers_used=4
+        )
+        payload = encode_query_response(
+            net.accumulator.backend, [], TimeWindowVO(), stats
+        )
+        _results, _vo, decoded = decode_query_response(
+            net.accumulator.backend, payload
+        )
+        assert decoded == stats
+    finally:
+        net.close()

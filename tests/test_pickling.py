@@ -1,0 +1,124 @@
+"""Picklability audit: the trusted setup must survive spawn-mode workers.
+
+Platforms without ``fork`` hand :class:`~repro.parallel.CryptoPool`
+workers their state by pickling.  That pins three regressions:
+
+* :class:`~repro.crypto.msm.CurveOps` carries lambdas — it pickles as a
+  registry reference and resolves back to the same singleton;
+* :class:`~repro.accumulators.keys.KeyOracle` drops its bulky fixed-base
+  tables in transit and rebuilds them lazily, still serving identical
+  powers and commits;
+* every backend and accumulator round-trips and keeps producing
+  byte-identical group elements.
+
+The final test runs a real spawn-mode pool end to end.
+"""
+
+import pickle
+import random
+from collections import Counter
+
+import pytest
+
+from repro.accumulators.acc1 import Acc1
+from repro.accumulators.acc2 import Acc2
+from repro.accumulators.encoding import ElementEncoder
+from repro.accumulators.keys import keygen_acc1, keygen_acc2
+from repro.crypto import msm
+from repro.crypto.backend import get_backend
+
+BACKENDS = ["simulated", "ss512", "bn254"]
+
+
+def test_curveops_pickle_as_registry_references():
+    for ops in (msm.SS512_OPS, msm.BN254_OPS):
+        assert pickle.loads(pickle.dumps(ops)) is ops
+    anonymous = msm.CurveOps(
+        infinity=None,
+        is_infinity=lambda p: p is None,
+        to_jac=lambda p: p,
+        double=lambda p: p,
+        add=lambda a, b: a,
+        add_affine=lambda a, b: a,
+        neg=lambda p: p,
+        to_affine=lambda p: p,
+        batch_to_affine=lambda ps: ps,
+    )
+    with pytest.raises(TypeError):
+        pickle.dumps(anonymous)
+    with pytest.raises(TypeError):
+        msm.ops_by_name("no-such-curve")
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+def test_key_oracle_drops_tables_and_rehydrates(backend_name):
+    backend = get_backend(backend_name)
+    _secret, public_key = keygen_acc1(backend, 32, random.Random(11))
+    oracle = public_key.oracle
+    # warm power + table caches
+    before = oracle.commit_prefix([3, 1, 4, 1, 5])
+    assert oracle._tables
+
+    clone = pickle.loads(pickle.dumps(oracle))
+    assert clone._tables == {}  # tables dropped in transit
+    assert clone._cache.keys() == oracle._cache.keys()  # powers travelled
+    after = clone.commit_prefix([3, 1, 4, 1, 5])
+    assert backend.encode(before) == clone.backend.encode(after)
+    assert clone._tables  # rebuilt lazily on demand
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+def test_accumulators_roundtrip_byte_identical(backend_name):
+    backend = get_backend(backend_name)
+    encoder = ElementEncoder(2**20)
+    encoded = encoder.encode_multiset(Counter(["Benz", "Sedan", "Sedan"]))
+    other = encoder.encode_multiset(Counter(["BMW"]))
+
+    _sk, pk1 = keygen_acc1(backend, 64, random.Random(5))
+    acc1 = Acc1(pk1)
+    clone1 = pickle.loads(pickle.dumps(acc1))
+    assert [backend.encode(p) for p in acc1.accumulate(encoded).parts] == [
+        clone1.backend.encode(p) for p in clone1.accumulate(encoded).parts
+    ]
+    proof = clone1.prove_disjoint(encoded, other)
+    assert clone1.verify_disjoint(
+        clone1.accumulate(encoded), clone1.accumulate(other), proof
+    )
+
+    _sk, pk2 = keygen_acc2(backend, 2**20, random.Random(5))
+    acc2 = Acc2(pk2)
+    clone2 = pickle.loads(pickle.dumps(acc2))
+    assert [backend.encode(p) for p in acc2.accumulate(encoded).parts] == [
+        clone2.backend.encode(p) for p in clone2.accumulate(encoded).parts
+    ]
+
+
+def test_spawn_mode_pool_end_to_end():
+    """A real spawn pool: state arrives by pickle, results match serial."""
+    from repro.parallel import CryptoPool, ParallelConfig
+
+    backend = get_backend("ss512")
+    encoder = ElementEncoder(2**20)
+    _sk, pk = keygen_acc2(backend, 2**20, random.Random(7))
+    accumulator = Acc2(pk)
+    multisets = [
+        encoder.encode_multiset(Counter({f"attr{i}": 1, "shared": 2}))
+        for i in range(6)
+    ]
+    serial = [accumulator.accumulate(m) for m in multisets]
+    with CryptoPool(
+        accumulator, encoder, ParallelConfig(workers=2, start_method="spawn")
+    ) as pool:
+        parallel = pool.map_accumulate(multisets)
+        sites = [
+            (Counter({f"attr{i}": 1}), frozenset({"other"})) for i in range(4)
+        ]
+        proofs = pool.map_prove(sites)
+    for s, p in zip(serial, parallel):
+        assert [backend.encode(x) for x in s.parts] == [
+            backend.encode(x) for x in p.parts
+        ]
+    clause_digest = accumulator.accumulate(encoder.encode_multiset(Counter({"other": 1})))
+    for (attrs, _clause), proof in zip(sites, proofs):
+        value = accumulator.accumulate(encoder.encode_multiset(attrs))
+        assert accumulator.verify_disjoint(value, clause_digest, proof)
