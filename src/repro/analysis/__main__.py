@@ -1,0 +1,61 @@
+"""``python -m repro.analysis`` — run the vlint suite from the shell.
+
+Exit status: ``--check`` exits 1 when any unsuppressed finding remains
+(this is the CI gate); without it the run is report-only and always
+exits 0, so exploratory runs never fail a pipeline by accident.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.driver import AnalysisError, rule_names, run
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Repo-specific static analysis (vlint).",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path.cwd(),
+        help="project root (default: cwd; sources read from ROOT/src if present)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="NAME",
+        help="run only this rule (repeatable; default: all rules)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 when any unsuppressed finding remains (the CI gate)",
+    )
+    parser.add_argument("--json", action="store_true", help="machine-readable output")
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rule names and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print("\n".join(rule_names()))
+        return 0
+    try:
+        report = run(args.root, rules=args.rules)
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.as_json() if args.json else report.render())
+    if args.check and not report.ok:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

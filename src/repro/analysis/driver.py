@@ -1,0 +1,95 @@
+"""Rule registry and the analysis run loop.
+
+A rule is a module with three attributes — ``NAME`` (the kebab-case
+identifier used in findings and suppression comments), ``DESCRIPTION``
+(one line for ``--list-rules``) and ``check(project) -> list[Finding]``.
+The driver builds one :class:`~repro.analysis.project.ProjectIndex`,
+hands it to every selected rule, filters the raw findings through the
+per-line suppression comments, and packages the result for the CLI and
+the tests.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from types import ModuleType
+
+from repro.analysis.findings import Finding, is_suppressed
+from repro.analysis.project import ProjectIndex
+from repro.analysis.rules import ALL_RULES
+from repro.errors import ReproError
+
+
+class AnalysisError(ReproError):
+    """Bad analyzer invocation (unknown rule, unreadable root)."""
+
+
+@dataclass
+class Report:
+    """One analysis run: surviving findings plus suppression accounting."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    rules: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def render(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        summary = (
+            f"{len(self.findings)} finding(s), {self.suppressed} suppressed, "
+            f"{len(self.rules)} rule(s) run"
+        )
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def as_json(self) -> str:
+        return json.dumps(
+            {
+                "findings": [finding.as_dict() for finding in self.findings],
+                "suppressed": self.suppressed,
+                "rules": self.rules,
+            },
+            indent=2,
+        )
+
+
+def rule_names() -> list[str]:
+    return [rule.NAME for rule in ALL_RULES]
+
+
+def select_rules(names: list[str] | None) -> list[ModuleType]:
+    if not names:
+        return list(ALL_RULES)
+    by_name = {rule.NAME: rule for rule in ALL_RULES}
+    selected = []
+    for name in names:
+        if name not in by_name:
+            known = ", ".join(sorted(by_name))
+            raise AnalysisError(f"unknown rule {name!r} (known: {known})")
+        selected.append(by_name[name])
+    return selected
+
+
+def run(
+    root: Path | str,
+    rules: list[str] | None = None,
+    project: ProjectIndex | None = None,
+) -> Report:
+    """Run the selected rules (all by default) over ``root``."""
+    if project is None:
+        project = ProjectIndex(Path(root))
+    selected = select_rules(rules)
+    report = Report(rules=[rule.NAME for rule in selected])
+    for rule in selected:
+        for finding in rule.check(project):
+            if is_suppressed(finding, project.file_lines(finding.path)):
+                report.suppressed += 1
+            else:
+                report.findings.append(finding)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return report

@@ -1,0 +1,91 @@
+"""Finding and severity model for the vlint static-analysis suite.
+
+A :class:`Finding` is one rule violation pinned to a file and line.
+Findings are plain data — rules produce them, the driver filters them
+through suppression comments and renders them as human-readable lines
+or JSON.  Keeping the model dumb means a rule never needs to know how
+its output is consumed (terminal, CI annotation, test assertion).
+
+Suppression is per-line and per-rule::
+
+    self._closed = True  # vlint: disable=lock-discipline -- drained above
+
+A ``# vlint: disable=<rule>[,<rule>...]`` comment on the finding's line
+(or on a comment line directly above it) silences exactly the named
+rules; ``disable=all`` silences every rule.  The optional ``-- reason``
+tail is for the reader — the analyzer ignores it but reviewers should
+not: a suppression without a reason is a code smell.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Severity(Enum):
+    """How bad a finding is; ``--check`` fails on any ERROR."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    severity: Severity = Severity.ERROR
+
+    def render(self) -> str:
+        """The canonical one-line human form, grep- and editor-friendly."""
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "severity": self.severity.value,
+        }
+
+
+#: ``# vlint: disable=rule-a,rule-b`` with an optional ``-- reason`` tail
+_SUPPRESS_RE = re.compile(r"#\s*vlint:\s*disable=([A-Za-z0-9_,\-]+)")
+
+
+def suppressed_rules(source_line: str) -> frozenset[str]:
+    """Rule names a single source line suppresses (empty when none)."""
+    match = _SUPPRESS_RE.search(source_line)
+    if match is None:
+        return frozenset()
+    return frozenset(name.strip() for name in match.group(1).split(",") if name.strip())
+
+
+def is_suppressed(finding: Finding, lines: list[str]) -> bool:
+    """Whether ``finding`` is silenced by a comment in its file.
+
+    ``lines`` is the file's full line list (0-indexed; findings are
+    1-indexed).  The comment may sit on the finding's own line or in
+    the contiguous block of pure-comment lines directly above it — the
+    style used when the flagged statement is too long to carry a
+    trailing comment, or the reason too long for one line.
+    """
+    index = finding.line - 1
+    if not 0 <= index < len(lines):
+        return False
+    candidates = [lines[index]]
+    above = index - 1
+    while above >= 0 and lines[above].lstrip().startswith("#"):
+        candidates.append(lines[above])
+        above -= 1
+    for candidate in candidates:
+        names = suppressed_rules(candidate)
+        if "all" in names or finding.rule in names:
+            return True
+    return False

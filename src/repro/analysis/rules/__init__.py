@@ -1,0 +1,15 @@
+"""The five repo-specific checkers.
+
+Each rule is a module exposing ``NAME``, ``DESCRIPTION`` and
+``check(project) -> list[Finding]``; :data:`ALL_RULES` is the registry
+the driver runs.  To add a rule: write the module, append it here, add
+a fixture to ``tests/test_analysis.py``, and document the guarantee in
+docs/ARCHITECTURE.md.
+"""
+
+from repro.analysis.rules import backends, codec, exports, locks, pickles
+
+#: registry order is report order for equal file/line
+ALL_RULES = (codec, locks, pickles, backends, exports)
+
+__all__ = sorted(["ALL_RULES", "backends", "codec", "exports", "locks", "pickles"])

@@ -1,0 +1,144 @@
+"""backend-conformance: ABC subclasses implement the full contract.
+
+The crypto stack is written against abstract bases —
+:class:`~repro.crypto.backend.PairingBackend` (17 methods + optional
+hooks) and :class:`~repro.accumulators.base.MultisetAccumulator` — and
+new substrates arrive as subclasses (``bn254`` in PR 4).  Python only
+enforces ``@abstractmethod`` coverage at *instantiation*, and nothing
+at all checks that an override keeps the base's parameter names — yet
+callers like the MSM fast path call hooks with keyword arguments, so a
+renamed parameter is a latent ``TypeError`` on a code path tests may
+not reach.
+
+The rule is generic over every project class that declares
+``@abstractmethod`` methods:
+
+* each **concrete** subclass (one declaring no abstract methods of its
+  own) must define every inherited abstract method somewhere along its
+  project base chain;
+* every override — of abstract *or* optional-hook methods — must keep
+  the base's positional parameter names and order (``*args``-style
+  signatures on either side skip the comparison, as do
+  property/method mismatches).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import Module, ProjectIndex
+
+NAME = "backend-conformance"
+DESCRIPTION = "ABC subclasses implement every abstract method, signatures intact"
+
+_Method = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+def _methods(classdef: ast.ClassDef) -> list[_Method]:
+    return [
+        node
+        for node in classdef.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+
+
+def _decorator_names(method: _Method) -> set[str]:
+    names = set()
+    for decorator in method.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, ast.Attribute):
+            names.add(target.attr)
+    return names
+
+
+def _is_abstract(method: _Method) -> bool:
+    return any(
+        name in ("abstractmethod", "abstractproperty")
+        for name in _decorator_names(method)
+    )
+
+
+def _abstract_methods(classdef: ast.ClassDef) -> dict[str, _Method]:
+    return {m.name: m for m in _methods(classdef) if _is_abstract(m)}
+
+
+def _positional_names(method: _Method) -> list[str] | None:
+    """Positional parameter names, or ``None`` when ``*args``/``**kwargs``
+    make the signature open-ended (comparison is skipped then)."""
+    args = method.args
+    if args.vararg is not None or args.kwarg is not None:
+        return None
+    return [a.arg for a in (*args.posonlyargs, *args.args)]
+
+
+def check(project: ProjectIndex) -> list[Finding]:
+    findings: list[Finding] = []
+    reported: set[tuple[str, str]] = set()
+    for module, classdef in project.iter_classes():
+        base_abstract = _abstract_methods(classdef)
+        if not base_abstract:
+            continue
+        for sub_module, sub_class in project.subclasses(module, classdef):
+            sub_key = (sub_module.name, sub_class.name)
+            chain = [(sub_module, sub_class)] + project.ancestors(sub_module, sub_class)
+            # nearest definition of each method name along the chain
+            nearest: dict[str, _Method] = {}
+            for _chain_module, chain_class in chain:
+                for method in _methods(chain_class):
+                    nearest.setdefault(method.name, method)
+            if not _abstract_methods(sub_class) and sub_key not in reported:
+                missing = sorted(
+                    name
+                    for name in base_abstract
+                    if name not in nearest or _is_abstract(nearest[name])
+                )
+                if missing:
+                    reported.add(sub_key)
+                    findings.append(
+                        Finding(
+                            rule=NAME,
+                            path=sub_module.rel,
+                            line=sub_class.lineno,
+                            message=(
+                                f"{sub_class.name} leaves {classdef.name} "
+                                f"abstract method(s) unimplemented: "
+                                f"{', '.join(missing)}"
+                            ),
+                        )
+                    )
+            for method in _methods(sub_class):
+                base_method = None
+                for _chain_module, chain_class in chain[1:]:
+                    for candidate in _methods(chain_class):
+                        if candidate.name == method.name:
+                            base_method = candidate
+                            break
+                    if base_method is not None:
+                        break
+                if base_method is None:
+                    continue
+                if ("property" in _decorator_names(method)) != (
+                    "property" in _decorator_names(base_method)
+                ):
+                    continue
+                ours = _positional_names(method)
+                theirs = _positional_names(base_method)
+                if ours is None or theirs is None or ours == theirs:
+                    continue
+                findings.append(
+                    Finding(
+                        rule=NAME,
+                        path=sub_module.rel,
+                        line=method.lineno,
+                        message=(
+                            f"{sub_class.name}.{method.name}({', '.join(ours)}) "
+                            f"does not match the base signature "
+                            f"({', '.join(theirs)}) — keyword callers will break"
+                        ),
+                    )
+                )
+    # a class under two ABCs would repeat its signature findings
+    return list(dict.fromkeys(findings))

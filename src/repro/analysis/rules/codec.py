@@ -1,0 +1,220 @@
+"""codec-completeness: wire codecs cover every dataclass field.
+
+The failure mode this rule exists for has already happened twice in
+this repo's history: a stats/metadata dataclass grows a field, the
+codec in :mod:`repro.wire` is not updated, and the field silently
+round-trips to its default — no test fails unless one happens to
+assert on that exact field.  The rule checks, per wire module:
+
+* **encode coverage** — every field of every dataclass the module
+  encodes is *read* by some encoder function (``write_*`` /
+  ``encode_*``);
+* **decode coverage** — every field is *passed to the constructor* by
+  some decoder function (``read_*`` / ``decode_*``), whether by
+  keyword or positionally (positions map through dataclass field
+  order, inherited fields first).
+
+A dataclass counts as "encoded by module M" when an encoder in M
+annotates a parameter with it (unions and ``Optional`` expand, through
+cross-module aliases like ``VONode`` and ``Request``) or
+``isinstance``-checks a value against it.  Field reads are counted on
+the variables so bound — a ``.height`` read on a ``VONode``-typed
+parameter credits each member class.  Container annotations
+(``list[DataObject]``) are deliberately ignored, and a class with zero
+field reads *and* zero constructions in M is treated as delegated to
+another codec module (e.g. ``TimeWindowVO`` inside
+``request_codec``) and skipped — both keep delegation from producing
+false positives.
+
+Fields that are *derived* on decode rather than stored (recomputed
+hashes, rebuilt multisets) are the legitimate exceptions; suppress
+them at the encoder with ``# vlint: disable=codec-completeness`` and a
+reason.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import Module, ProjectIndex
+
+NAME = "codec-completeness"
+DESCRIPTION = "wire codecs read and reconstruct every dataclass field"
+
+#: the modules whose functions are codecs
+SCOPE = "repro.wire"
+
+_ENCODER_PREFIXES = ("write_", "encode_", "_write_")
+_DECODER_PREFIXES = ("read_", "decode_", "_read_")
+
+_ClassKey = tuple[str, str]
+
+
+def _functions(module: Module, prefixes: tuple[str, ...]) -> list[ast.FunctionDef]:
+    return [
+        node
+        for node in module.tree.body
+        if isinstance(node, ast.FunctionDef) and node.name.startswith(prefixes)
+    ]
+
+
+def _parameters(func: ast.FunctionDef) -> list[ast.arg]:
+    args = func.args
+    return list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+
+
+class _ClassInfo:
+    """Everything the rule tracks about one encoded dataclass."""
+
+    def __init__(
+        self, module: Module, classdef: ast.ClassDef, fields: list[str]
+    ) -> None:
+        self.module = module
+        self.classdef = classdef
+        self.fields = fields
+        self.first_line = 0  # where module M first references the class
+        self.read_fields: set[str] = set()
+        self.constructed_fields: set[str] = set()
+        self.constructed = False
+
+
+def _bindings_for(
+    project: ProjectIndex,
+    module: Module,
+    func: ast.FunctionDef,
+    classes: dict[_ClassKey, _ClassInfo],
+) -> dict[str, set[_ClassKey]]:
+    """Variable name → encoded classes it may hold, within ``func``.
+
+    Sources: parameter annotations and ``isinstance(var, Cls)`` checks
+    (treated as binding for the whole function — branch-sensitive
+    narrowing is not worth the complexity for codec bodies).
+    """
+    bindings: dict[str, set[_ClassKey]] = {}
+
+    def bind(name: str, resolved: list[tuple[Module, ast.ClassDef]], line: int) -> None:
+        for found_module, found_class in resolved:
+            key = (found_module.name, found_class.name)
+            if key not in classes:
+                fields = project.dataclass_fields(found_module, found_class)
+                if fields is None:
+                    continue
+                classes[key] = _ClassInfo(found_module, found_class, fields)
+                classes[key].first_line = line
+            bindings.setdefault(name, set()).add(key)
+
+    for param in _parameters(func):
+        if param.annotation is not None:
+            bind(
+                param.arg,
+                project.resolve_classes(module, param.annotation),
+                func.lineno,
+            )
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "isinstance"
+            and len(node.args) == 2
+            and isinstance(node.args[0], ast.Name)
+        ):
+            bind(
+                node.args[0].id,
+                project.resolve_classes(module, node.args[1]),
+                node.lineno,
+            )
+    return bindings
+
+
+def _record_reads(
+    func: ast.FunctionDef,
+    bindings: dict[str, set[_ClassKey]],
+    classes: dict[_ClassKey, _ClassInfo],
+) -> None:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            for key in bindings.get(node.value.id, ()):
+                classes[key].read_fields.add(node.attr)
+
+
+def _record_constructions(
+    func: ast.FunctionDef, classes: dict[_ClassKey, _ClassInfo]
+) -> None:
+    by_name: dict[str, list[_ClassInfo]] = {}
+    for info in classes.values():
+        by_name.setdefault(info.classdef.name, []).append(info)
+    for node in ast.walk(func):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)):
+            continue
+        for info in by_name.get(node.func.id, ()):
+            info.constructed = True
+            for position, _arg in enumerate(node.args):
+                if position < len(info.fields):
+                    info.constructed_fields.add(info.fields[position])
+            for keyword in node.keywords:
+                if keyword.arg is None:  # **kwargs: assume full coverage
+                    info.constructed_fields.update(info.fields)
+                elif keyword.arg in info.fields:
+                    info.constructed_fields.add(keyword.arg)
+
+
+def check(project: ProjectIndex) -> list[Finding]:
+    findings: list[Finding] = []
+    for module in project.iter_modules(SCOPE):
+        encoders = _functions(module, _ENCODER_PREFIXES)
+        decoders = _functions(module, _DECODER_PREFIXES)
+        if not encoders:
+            continue
+        classes: dict[_ClassKey, _ClassInfo] = {}
+        for encoder in encoders:
+            bindings = _bindings_for(project, module, encoder, classes)
+            _record_reads(encoder, bindings, classes)
+        for decoder in decoders:
+            _record_constructions(decoder, classes)
+        for key in sorted(classes):
+            info = classes[key]
+            if not info.read_fields and not info.constructed:
+                continue  # delegated wholesale to another codec module
+            missing_reads = [f for f in info.fields if f not in info.read_fields]
+            if missing_reads:
+                findings.append(
+                    Finding(
+                        rule=NAME,
+                        path=module.rel,
+                        line=info.first_line,
+                        message=(
+                            f"{info.classdef.name} field(s) "
+                            f"{', '.join(missing_reads)} never read by an "
+                            f"encoder in {module.name}"
+                        ),
+                    )
+                )
+            if not info.constructed:
+                findings.append(
+                    Finding(
+                        rule=NAME,
+                        path=module.rel,
+                        line=info.first_line,
+                        message=(
+                            f"{info.classdef.name} is encoded but never "
+                            f"reconstructed by a decoder in {module.name}"
+                        ),
+                    )
+                )
+                continue
+            missing_ctor = [f for f in info.fields if f not in info.constructed_fields]
+            if missing_ctor:
+                findings.append(
+                    Finding(
+                        rule=NAME,
+                        path=module.rel,
+                        line=info.first_line,
+                        message=(
+                            f"{info.classdef.name} field(s) "
+                            f"{', '.join(missing_ctor)} never passed to its "
+                            f"constructor by a decoder in {module.name}"
+                        ),
+                    )
+                )
+    return findings

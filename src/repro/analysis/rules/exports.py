@@ -1,0 +1,145 @@
+"""exports-parity: ``__all__`` and docs/API.md describe the same API.
+
+``tests/test_exports.py`` already proves every ``__all__`` entry
+*imports*; nothing proved the documentation matches.  This rule closes
+the loop against the "Public API reference" appendix of
+``docs/API.md``: one ``### `repro.<package>` `` subsection per public
+package, whose backticked identifiers are compared *as a set* against
+the package's statically-resolved ``__all__`` (literal lists and the
+``sorted(_EXPORTS)`` lazy-table form both resolve).
+
+Findings fire for a package with no appendix section, an export the
+appendix omits, a documented name the package does not export, and an
+appendix section for a package that does not exist.  The comparison is
+deliberately set-based — prose, ordering and descriptions are free;
+only the name inventory is contractual.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import ProjectIndex
+
+NAME = "exports-parity"
+DESCRIPTION = "package __all__ matches the docs/API.md reference appendix"
+
+DOC_PATH = "docs/API.md"
+
+#: an appendix subsection: ### `repro` or ### `repro.wire`
+_SECTION_RE = re.compile(r"^#{2,4}\s+`(repro(?:\.[A-Za-z0-9_.]+)?)`\s*$")
+_HEADING_RE = re.compile(r"^#{1,4}\s")
+_IDENT_RE = re.compile(r"`([A-Za-z_][A-Za-z0-9_]*)`")
+
+
+def _doc_sections(lines: list[str]) -> dict[str, tuple[int, set[str]]]:
+    """Package → ``(heading line, documented names)`` from the appendix."""
+    sections: dict[str, tuple[int, set[str]]] = {}
+    current: str | None = None
+    for number, line in enumerate(lines, start=1):
+        match = _SECTION_RE.match(line)
+        if match:
+            current = match.group(1)
+            sections.setdefault(current, (number, set()))
+            continue
+        if _HEADING_RE.match(line):
+            current = None
+            continue
+        if current is not None:
+            heading, names = sections[current]
+            names.update(_IDENT_RE.findall(line))
+            sections[current] = (heading, names)
+    return sections
+
+
+def check(project: ProjectIndex) -> list[Finding]:
+    findings: list[Finding] = []
+    doc_lines = project.file_lines(DOC_PATH)
+    if not doc_lines:
+        findings.append(
+            Finding(
+                rule=NAME,
+                path=DOC_PATH,
+                line=1,
+                message=f"{DOC_PATH} is missing — the API reference is the "
+                f"other half of the exports contract",
+            )
+        )
+        return findings
+    sections = _doc_sections(doc_lines)
+    packages = {
+        module.name: module
+        for module in project.packages()
+        if module.name == "repro" or module.name.startswith("repro.")
+    }
+    for name in sorted(packages):
+        module = packages[name]
+        resolved = project.module_all(module)
+        if resolved is None:
+            findings.append(
+                Finding(
+                    rule=NAME,
+                    path=module.rel,
+                    line=1,
+                    message=f"package {name} declares no __all__",
+                )
+            )
+            continue
+        exported, line = resolved
+        if exported is None:
+            findings.append(
+                Finding(
+                    rule=NAME,
+                    path=module.rel,
+                    line=line,
+                    message=f"package {name} has an __all__ the analyzer "
+                    f"cannot resolve statically",
+                )
+            )
+            continue
+        if name not in sections:
+            findings.append(
+                Finding(
+                    rule=NAME,
+                    path=module.rel,
+                    line=line,
+                    message=f"package {name} has no `### \\`{name}\\`` section "
+                    f"in {DOC_PATH}'s API reference",
+                )
+            )
+            continue
+        heading, documented = sections[name]
+        undocumented = sorted(set(exported) - documented)
+        if undocumented:
+            findings.append(
+                Finding(
+                    rule=NAME,
+                    path=module.rel,
+                    line=line,
+                    message=f"{name} exports {', '.join(undocumented)} but "
+                    f"{DOC_PATH} does not document them",
+                )
+            )
+        phantom = sorted(documented - set(exported))
+        if phantom:
+            findings.append(
+                Finding(
+                    rule=NAME,
+                    path=DOC_PATH,
+                    line=heading,
+                    message=f"{DOC_PATH} documents {', '.join(phantom)} under "
+                    f"{name}, which does not export them",
+                )
+            )
+    for name in sorted(set(sections) - set(packages)):
+        findings.append(
+            Finding(
+                rule=NAME,
+                path=DOC_PATH,
+                line=sections[name][0],
+                message=f"{DOC_PATH} documents package {name}, which does "
+                f"not exist",
+            )
+        )
+    return findings

@@ -1,0 +1,178 @@
+"""pickle-safety: nothing unpicklable is reachable from pool state.
+
+Under the ``spawn`` start method, everything :class:`~repro.parallel.
+pool.CryptoPool` ships to its workers crosses the process boundary via
+pickle.  PR 5 established that boundary with a one-off manual audit;
+this rule keeps the audit alive.  The roots are declared explicitly in
+:data:`repro.parallel.pool.POOL_STATE_TYPES` — adding a type to the
+pool's worker state means adding it to that registry, and the rule
+closes over everything reachable from it:
+
+* project subclasses of every reachable class (the registry names
+  abstract bases like ``MultisetAccumulator``; the concrete
+  accumulators are what actually cross);
+* ``self.x = SomeClass(...)`` constructions inside ``__init__``;
+* ``self.x = <parameter>`` where the parameter is annotated with a
+  project class;
+* dataclass field annotations.
+
+Within each reachable class, a finding fires for attributes that
+cannot pickle under spawn: thread primitives (``threading.Lock`` and
+friends), lambdas, functions defined locally in a method, open sockets
+and open files.  A class that defines ``__getstate__`` / ``__reduce__``
+controls its own pickled form and is exempt — and traversal stops
+there, since its stored attributes no longer correspond to what
+crosses the boundary (``KeyOracle`` drops its window tables in
+transit; ``CurveOps`` re-resolves through a named registry).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import Module, ProjectIndex
+
+NAME = "pickle-safety"
+DESCRIPTION = "types crossing the CryptoPool boundary stay spawn-picklable"
+
+#: the module-level tuple naming the pool's worker-state root types
+REGISTRY_NAME = "POOL_STATE_TYPES"
+
+_PICKLE_HOOKS = {"__getstate__", "__reduce__", "__reduce_ex__"}
+
+_THREAD_PRIMITIVES = {
+    "Lock",
+    "RLock",
+    "Condition",
+    "Event",
+    "Semaphore",
+    "BoundedSemaphore",
+    "Barrier",
+}
+_SOCKET_FACTORIES = {"socket", "create_connection", "create_server"}
+
+
+def _registry_roots(
+    project: ProjectIndex,
+) -> list[tuple[Module, ast.ClassDef]]:
+    roots: list[tuple[Module, ast.ClassDef]] = []
+    for module in project.iter_modules():
+        for node in module.tree.body:
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == REGISTRY_NAME:
+                    roots += project.resolve_classes(module, node.value)
+    return roots
+
+
+def _has_pickle_hook(classdef: ast.ClassDef) -> bool:
+    return any(
+        isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and node.name in _PICKLE_HOOKS
+        for node in classdef.body
+    )
+
+
+def _unpicklable_value(expr: ast.expr, local_defs: set[str]) -> str | None:
+    """Why this assigned value cannot pickle, or ``None`` if it's fine."""
+    if isinstance(expr, ast.Lambda):
+        return "a lambda"
+    if isinstance(expr, ast.Name) and expr.id in local_defs:
+        return f"the locally-defined function {expr.id!r}"
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        name = None
+        base = None
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+            if isinstance(func.value, ast.Name):
+                base = func.value.id
+        elif isinstance(func, ast.Name):
+            name = func.id
+        if name in _THREAD_PRIMITIVES:
+            return f"a threading.{name}"
+        if name in _SOCKET_FACTORIES and (base == "socket" or base is None):
+            return "an open socket"
+        if name == "open" and base is None:
+            return "an open file"
+    return None
+
+
+def _param_annotations(func: ast.FunctionDef) -> dict[str, ast.expr]:
+    args = func.args
+    return {
+        param.arg: param.annotation
+        for param in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+        if param.annotation is not None
+    }
+
+
+def _scan_class(
+    project: ProjectIndex,
+    module: Module,
+    classdef: ast.ClassDef,
+    findings: list[Finding],
+) -> list[tuple[Module, ast.ClassDef]]:
+    """Report unpicklable state in one class; return classes it stores."""
+    stored: list[tuple[Module, ast.ClassDef]] = []
+    for node in classdef.body:
+        if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            stored += project.resolve_classes(module, node.annotation)
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        annotations = _param_annotations(node)
+        local_defs = {
+            stmt.name
+            for stmt in ast.walk(node)
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and stmt is not node
+        }
+        for stmt in ast.walk(node):
+            if not isinstance(stmt, ast.Assign):
+                continue
+            for target in stmt.targets:
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                reason = _unpicklable_value(stmt.value, local_defs)
+                if reason is not None:
+                    findings.append(
+                        Finding(
+                            rule=NAME,
+                            path=module.rel,
+                            line=stmt.lineno,
+                            message=(
+                                f"{classdef.name}.{target.attr} holds {reason}, "
+                                f"which cannot pickle across the pool boundary"
+                            ),
+                        )
+                    )
+                if node.name == "__init__":
+                    value = stmt.value
+                    if isinstance(value, ast.Call):
+                        stored += project.resolve_classes(module, value.func)
+                    elif isinstance(value, ast.Name) and value.id in annotations:
+                        stored += project.resolve_classes(module, annotations[value.id])
+    return stored
+
+
+def check(project: ProjectIndex) -> list[Finding]:
+    findings: list[Finding] = []
+    queue = _registry_roots(project)
+    seen: set[tuple[str, str]] = set()
+    while queue:
+        module, classdef = queue.pop()
+        key = (module.name, classdef.name)
+        if key in seen:
+            continue
+        seen.add(key)
+        queue += project.subclasses(module, classdef)
+        if _has_pickle_hook(classdef):
+            continue  # controls its own pickled form
+        queue += _scan_class(project, module, classdef, findings)
+    return findings

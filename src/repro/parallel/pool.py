@@ -49,6 +49,11 @@ from repro.accumulators.base import (
 from repro.accumulators.encoding import ElementEncoder
 from repro.errors import ParallelError
 
+#: the types shipped to worker processes at pool start (and therefore
+#: pickled under the spawn start method) — the roots of the
+#: pickle-safety static check; extend this when _init_worker grows state
+POOL_STATE_TYPES = (MultisetAccumulator, ElementEncoder)
+
 #: chunks scheduled per worker per map (smaller chunks balance skew,
 #: larger chunks amortise pickling; 4 is a reasonable middle ground)
 _CHUNKS_PER_WORKER = 4
