@@ -290,7 +290,8 @@ class CryptoPool:
     def close(self, wait: bool = True) -> None:
         """Shut the workers down; idempotent.  With ``wait`` the call
         blocks until in-flight chunks finish (graceful drain)."""
-        self._closed = True
+        with self._lock:
+            self._closed = True
         if self._executor is not None:
             self._executor.shutdown(wait=wait)
 
