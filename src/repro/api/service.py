@@ -253,16 +253,17 @@ class ServiceEndpoint:
         An endpoint constructed through :meth:`open` also closes the
         chain's backing store, so the data directory is cleanly synced
         when the endpoint shuts down."""
-        self._closed = True
+        with self._lock:
+            self._closed = True
+            owned, self._owned_pool = self._owned_pool, None
         self._pool.shutdown(wait=wait)
-        if self._owned_pool is not None:
+        if owned is not None:
             # hand the processor back its original pool before stopping
             # ours — but only if we are still the one wired in (another
             # endpoint on the same SP may have installed its own since)
-            if self.sp.processor.pool is self._owned_pool:
+            if self.sp.processor.pool is owned:
                 self.sp.processor.pool = self._inherited_pool
-            self._owned_pool.close(wait=wait)
-            self._owned_pool = None
+            owned.close(wait=wait)
         if self._owns_store:
             self.sp.close()
 
