@@ -397,14 +397,17 @@ class ServiceEndpoint:
             return self.engine.flush(query_id)
 
     def _ingest(self) -> None:
-        chain = self.sp.chain
-        while self._ingested < len(chain):
-            block = chain.block(self._ingested)
-            for delivery in self.engine.process_block(block):
-                queue = self._queues.get(delivery.query_id)
-                if queue is not None:
-                    queue.append(delivery)
-            self._ingested += 1
+        # callers already hold the (reentrant) lock; taking it here too
+        # keeps the method safe standalone and the discipline lexical
+        with self._lock:
+            chain = self.sp.chain
+            while self._ingested < len(chain):
+                block = chain.block(self._ingested)
+                for delivery in self.engine.process_block(block):
+                    queue = self._queues.get(delivery.query_id)
+                    if queue is not None:
+                        queue.append(delivery)
+                self._ingested += 1
 
     # -- header sync -------------------------------------------------------
     def headers(self, from_height: int = 0) -> list[BlockHeader]:
