@@ -333,10 +333,12 @@ class SocketServer:
 
     def start(self) -> "SocketServer":
         """Accept connections on a background daemon thread."""
-        self._accept_thread = threading.Thread(
+        thread = threading.Thread(
             target=self._accept_loop, name="vchain-socket-server", daemon=True
         )
-        self._accept_thread.start()
+        with self._conn_lock:
+            self._accept_thread = thread
+        thread.start()
         return self
 
     def _accept_loop(self) -> None:
