@@ -390,7 +390,8 @@ class SocketServer:
         """Stop serving.  With ``drain``, in-flight requests finish and
         their responses are sent before connections close; without it,
         connections are torn down immediately."""
-        self._closing = True
+        with self._conn_lock:
+            self._closing = True
         try:
             self._listener.close()
         except OSError:
