@@ -40,7 +40,7 @@ __all__ = [
 ]
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     # ``serve`` is imported lazily so ``python -m repro.api.server`` does
     # not re-import the module it is executing (runpy's double-import
     # warning); everything else stays an eager import.

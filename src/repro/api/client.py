@@ -27,6 +27,7 @@ Remote use swaps the transport, nothing else::
 from __future__ import annotations
 
 import time
+from typing import Any, Iterator
 
 from repro.accumulators.base import MultisetAccumulator
 from repro.accumulators.encoding import ElementEncoder
@@ -36,6 +37,7 @@ from repro.core.sp import ServiceProvider
 from repro.core.user import QueryUser
 from repro.errors import SubscriptionError, VerificationError
 from repro.subscribe.client import SubscriptionClient
+from repro.subscribe.engine import Delivery
 from repro.api.builder import QueryBuilder
 from repro.api.response import VerifiedDelivery, VerifiedResponse
 from repro.api.service import ServiceEndpoint
@@ -68,7 +70,7 @@ class VChainClient:
         cls,
         endpoint: ServiceEndpoint | ServiceProvider,
         user: QueryUser | None = None,
-        **engine_options,
+        **engine_options: Any,
     ) -> "VChainClient":
         """In-process client.  Pass a shared :class:`ServiceEndpoint` when
         several clients should multiplex one subscription engine (and
@@ -168,9 +170,7 @@ class VChainClient:
         ]
         try:
             all_verified, user_stats = self.user.batch_verify(items)
-            verdicts = [
-                (verified, user_stats, None) for verified in all_verified
-            ]
+            verdicts = [(verified, user_stats, None) for verified in all_verified]
         except VerificationError:
             verdicts = []
             for query, results, vo in items:
@@ -214,7 +214,7 @@ class VChainClient:
     def __enter__(self) -> "VChainClient":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 
@@ -252,7 +252,7 @@ class SubscriptionStream:
             verified.append(self._verify(delivery))
         return verified
 
-    def _verify(self, delivery) -> VerifiedDelivery:
+    def _verify(self, delivery: Delivery) -> VerifiedDelivery:
         results, stats = self.client.subscriptions.on_delivery(delivery)
         return VerifiedDelivery(
             query_id=delivery.query_id,
@@ -263,7 +263,7 @@ class SubscriptionStream:
             vo_nbytes=delivery.vo.nbytes(self.client.accumulator.backend),
         )
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[VerifiedDelivery]:
         yield from self.poll()
 
     def _ensure_open(self) -> None:
@@ -281,5 +281,5 @@ class SubscriptionStream:
     def __enter__(self) -> "SubscriptionStream":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()

@@ -65,7 +65,7 @@ class VerifiedResponse:
     def user_seconds(self) -> float:
         return self.user_stats.user_seconds if self.user_stats is not None else 0.0
 
-    def __iter__(self) -> Iterator:
+    def __iter__(self) -> Iterator[object]:
         """Legacy 4-tuple unpacking: results, vo, sp_stats, user_stats."""
         yield self.results
         yield self.vo

@@ -34,18 +34,19 @@ from __future__ import annotations
 
 import argparse
 import os
+from typing import Any
 
 from repro.api.service import ServiceEndpoint
 from repro.api.transport import SocketServer
 
 
 def serve(
-    data_dir: str | os.PathLike,
+    data_dir: str | os.PathLike[str],
     host: str = "127.0.0.1",
     port: int = 0,
     *,
     idle_timeout: float | None = None,
-    **endpoint_options,
+    **endpoint_options: Any,
 ) -> SocketServer:
     """Reopen ``data_dir`` and serve it; returns the started server.
 

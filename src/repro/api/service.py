@@ -34,12 +34,14 @@ the endpoint free of callbacks into the miner — it only ever reads
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from typing import Any, cast
 
-from repro.cache import ProofCache, VOFragmentCache
+from repro.cache import CacheStats, ProofCache, VOFragmentCache
 from repro.chain.block import BlockHeader
 from repro.chain.object import DataObject
 from repro.core.prover import QueryStats
@@ -47,7 +49,7 @@ from repro.core.query import SubscriptionQuery, TimeWindowQuery
 from repro.core.sp import ServiceProvider
 from repro.core.vo import TimeWindowVO
 from repro.errors import ReproError, SubscriptionError
-from repro.parallel import make_pool
+from repro.parallel import CryptoPool, ParallelConfig, make_pool
 from repro.subscribe.engine import Delivery, SubscriptionEngine
 
 
@@ -75,7 +77,7 @@ class EndpointStats:
         with self._lock:
             setattr(self, counter, getattr(self, counter) + 1)
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, int]:
         """Coherent snapshot of every counter."""
         with self._lock:
             return {
@@ -144,7 +146,7 @@ class ServiceEndpoint:
         cache_fragments: int = 512,
         cache_proofs: int = 4096,
         workers: int = 1,
-        parallel=None,
+        parallel: ParallelConfig | None = None,
     ) -> None:
         """``max_workers`` bounds concurrent query execution (1 restores
         the serial dispatcher); ``cache_fragments``/``cache_proofs``
@@ -170,10 +172,10 @@ class ServiceEndpoint:
         self.counters = EndpointStats()
         self.fragment_cache = VOFragmentCache(cache_fragments)
         self.proof_cache = ProofCache(sp.accumulator, sp.encoder, cache_proofs)
-        self._owned_pool = None
+        self._owned_pool: CryptoPool | None = None
         # inherit the pool the SP was *built* with — never another
         # endpoint's transient pool picked off sp.processor
-        self._inherited_pool = getattr(sp, "pool", None)
+        self._inherited_pool: CryptoPool | None = getattr(sp, "pool", None)
         pool = self._inherited_pool
         if workers != 1 or parallel is not None:
             self._owned_pool = make_pool(
@@ -216,7 +218,11 @@ class ServiceEndpoint:
 
     @classmethod
     def open(
-        cls, data_dir, *, fsync: bool = True, **endpoint_options
+        cls,
+        data_dir: str | os.PathLike[str],
+        *,
+        fsync: bool = True,
+        **endpoint_options: Any,
     ) -> "ServiceEndpoint":
         """Serve a chain directory written by a previous process.
 
@@ -270,10 +276,10 @@ class ServiceEndpoint:
     def __enter__(self) -> "ServiceEndpoint":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
-    def cache_stats(self) -> dict:
+    def cache_stats(self) -> dict[str, CacheStats]:
         """Snapshot of both serving caches, keyed ``fragments``/``proofs``."""
         return {
             "fragments": self.fragment_cache.stats(),
@@ -281,11 +287,11 @@ class ServiceEndpoint:
         }
 
     @property
-    def pool(self):
+    def pool(self) -> CryptoPool | None:
         """The live :class:`~repro.parallel.CryptoPool`, if any."""
         return self._owned_pool or self._inherited_pool
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, object]:
         """One observability snapshot: endpoint, caches, engine, pool.
 
         Everything a load generator or dashboard needs, as plain JSON-
@@ -331,7 +337,9 @@ class ServiceEndpoint:
             )
         except RuntimeError:  # pool shut down between check and submit
             raise ReproError("service endpoint is closed") from None
-        return future.result()
+        return cast(
+            "tuple[list[DataObject], TimeWindowVO, QueryStats]", future.result()
+        )
 
     # -- subscriptions -----------------------------------------------------
     def register(
@@ -394,7 +402,7 @@ class ServiceEndpoint:
                     f"query {query_id} has undelivered results; poll before flushing"
                 )
             self.counters.bump("flushes")
-            return self.engine.flush(query_id)
+            return cast("Delivery | None", self.engine.flush(query_id))
 
     def _ingest(self) -> None:
         # callers already hold the (reentrant) lock; taking it here too
@@ -413,4 +421,4 @@ class ServiceEndpoint:
     def headers(self, from_height: int = 0) -> list[BlockHeader]:
         with self._lock:
             self.counters.bump("header_syncs")
-            return self.sp.chain.headers()[from_height:]
+            return cast("list[BlockHeader]", self.sp.chain.headers()[from_height:])

@@ -243,7 +243,7 @@ class SocketTransport:
     def __enter__(self) -> "SocketTransport":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 
@@ -422,5 +422,5 @@ class SocketServer:
     def __enter__(self) -> "SocketServer":
         return self.start()
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.stop()

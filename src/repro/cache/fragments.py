@@ -32,10 +32,14 @@ from typing import Mapping
 from repro.accumulators.base import DisjointProof, MultisetAccumulator
 from repro.accumulators.encoding import ElementEncoder
 from repro.cache.lru import CacheStats, LRUCache
+from repro.chain.object import DataObject
 from repro.core.vo import VOBlock, VOExpandNode, VOMismatchNode, VONode, VOSkip
 
+#: the (height, CNF clauses, batch mode) tuple a fragment is stored under
+FragmentKey = tuple[int, tuple[frozenset[str], ...], bool]
 
-def multiset_signature(attrs: Counter) -> tuple:
+
+def multiset_signature(attrs: Counter[str]) -> tuple[tuple[str, int], ...]:
     """Canonical hashable key for an attribute multiset."""
     return tuple(sorted(attrs.items()))
 
@@ -43,7 +47,7 @@ def multiset_signature(attrs: Counter) -> tuple:
 def compute_disjoint_proof(
     accumulator: MultisetAccumulator,
     encoder: ElementEncoder,
-    attrs: Counter,
+    attrs: Counter[str],
     clause: frozenset[str],
 ) -> DisjointProof:
     """``ProveDisjoint(attrs, clause)`` on raw attribute multisets.
@@ -76,7 +80,7 @@ class ProofCache:
         return self._lru.enabled
 
     def prove_disjoint(
-        self, attrs: Counter, clause: frozenset[str]
+        self, attrs: Counter[str], clause: frozenset[str]
     ) -> tuple[DisjointProof, bool]:
         """``(proof, was_cached)`` for ``attrs`` vs the clause multiset.
 
@@ -93,7 +97,9 @@ class ProofCache:
         self._lru.put(key, proof)
         return proof, False
 
-    def lookup(self, attrs: Counter, clause: frozenset[str]) -> DisjointProof | None:
+    def lookup(
+        self, attrs: Counter[str], clause: frozenset[str]
+    ) -> DisjointProof | None:
         """The cached proof, or ``None`` — never computes.
 
         The parallel proving path peeks first so only genuinely missing
@@ -102,7 +108,9 @@ class ProofCache:
         """
         return self._lru.get((multiset_signature(attrs), clause))
 
-    def seed(self, attrs: Counter, clause: frozenset[str], proof: DisjointProof) -> None:
+    def seed(
+        self, attrs: Counter[str], clause: frozenset[str], proof: DisjointProof
+    ) -> None:
         """Install a proof computed elsewhere (e.g. by a pool worker)."""
         self._lru.put((multiset_signature(attrs), clause), proof)
 
@@ -126,9 +134,9 @@ class BlockFragment:
     """
 
     entry: VOBlock | VOSkip
-    results: tuple
+    results: tuple[DataObject, ...]
     covered: int
-    clause_sums: tuple[tuple[frozenset[str], Counter], ...] = ()
+    clause_sums: tuple[tuple[frozenset[str], Counter[str]], ...] = ()
 
 
 class VOFragmentCache:
@@ -142,13 +150,16 @@ class VOFragmentCache:
         return self._lru.enabled
 
     @staticmethod
-    def key(height: int, clauses: tuple[frozenset[str], ...], batch: bool) -> tuple:
+    def key(
+        height: int, clauses: tuple[frozenset[str], ...], batch: bool
+    ) -> FragmentKey:
         return (height, clauses, batch)
 
-    def get(self, key: tuple) -> BlockFragment | None:
-        return self._lru.get(key)
+    def get(self, key: FragmentKey) -> BlockFragment | None:
+        fragment = self._lru.get(key)
+        return fragment if isinstance(fragment, BlockFragment) else None
 
-    def put(self, key: tuple, fragment: BlockFragment) -> None:
+    def put(self, key: FragmentKey, fragment: BlockFragment) -> None:
         self._lru.put(key, fragment)
 
     def clear(self) -> None:

@@ -41,7 +41,7 @@ class CacheStats:
         lookups = self.lookups
         return self.hits / lookups if lookups else 0.0
 
-    def as_info(self) -> dict:
+    def as_info(self) -> dict[str, int | float]:
         return {
             "hits": self.hits,
             "misses": self.misses,

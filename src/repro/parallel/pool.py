@@ -49,14 +49,14 @@ from repro.accumulators.base import (
 from repro.accumulators.encoding import ElementEncoder
 from repro.errors import ParallelError
 
+#: chunks scheduled per worker per map (smaller chunks balance skew,
+#: larger chunks amortise pickling; 4 is a reasonable middle ground)
+_CHUNKS_PER_WORKER = 4
+
 #: the types shipped to worker processes at pool start (and therefore
 #: pickled under the spawn start method) — the roots of the
 #: pickle-safety static check; extend this when _init_worker grows state
 POOL_STATE_TYPES = (MultisetAccumulator, ElementEncoder)
-
-#: chunks scheduled per worker per map (smaller chunks balance skew,
-#: larger chunks amortise pickling; 4 is a reasonable middle ground)
-_CHUNKS_PER_WORKER = 4
 
 
 def default_workers() -> int:
@@ -118,7 +118,7 @@ class PoolStats:
     tasks: int = 0
     chunks: int = 0
 
-    def as_info(self) -> dict:
+    def as_info(self) -> dict[str, int | str]:
         return {
             "workers": self.workers,
             "start_method": self.start_method,
@@ -154,8 +154,8 @@ def _worker_sleep(seconds: float) -> int:  # pragma: no cover - worker-side
 def _execute_chunk(
     accumulator: MultisetAccumulator,
     encoder: ElementEncoder,
-    payload: tuple[str, list],
-) -> list:
+    payload: tuple[str, list[Any]],
+) -> list[Any]:
     """Run one chunk of work items against explicit crypto state.
 
     Shared verbatim by the worker processes and the serial inline path,
@@ -189,24 +189,23 @@ def weighted_fold(
     """
     backend = accumulator.backend
     values = [
-        AccumulatorValue(
-            parts=tuple(backend.exp(part, weight) for part in value.parts)
-        )
+        AccumulatorValue(parts=tuple(backend.exp(part, weight) for part in value.parts))
         for value, _proof, weight in items
     ]
     proofs = [
-        DisjointProof(
-            parts=tuple(backend.exp(part, weight) for part in proof.parts)
-        )
+        DisjointProof(parts=tuple(backend.exp(part, weight) for part in proof.parts))
         for _value, proof, weight in items
     ]
     return accumulator.sum_values(values), accumulator.sum_proofs(proofs)
 
 
 def _worker_run(
-    payload: tuple[str, list],
-) -> list:  # pragma: no cover - runs in worker processes
-    return _execute_chunk(_WORKER_ACCUMULATOR, _WORKER_ENCODER, payload)
+    payload: tuple[str, list[Any]],
+) -> list[Any]:  # pragma: no cover - runs in worker processes
+    accumulator, encoder = _WORKER_ACCUMULATOR, _WORKER_ENCODER
+    if accumulator is None or encoder is None:
+        raise ParallelError("worker process was never initialised")
+    return _execute_chunk(accumulator, encoder, payload)
 
 
 class CryptoPool:
@@ -298,7 +297,7 @@ class CryptoPool:
     def __enter__(self) -> "CryptoPool":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def stats(self) -> PoolStats:
@@ -312,7 +311,7 @@ class CryptoPool:
             )
 
     # -- scheduling ----------------------------------------------------
-    def _chunked(self, items: Sequence, kind: str) -> list[tuple[str, list]]:
+    def _chunked(self, items: Sequence[Any], kind: str) -> list[tuple[str, list[Any]]]:
         size = self.config.chunk_size
         if size is None:
             size = max(1, -(-len(items) // (self._workers * _CHUNKS_PER_WORKER)))
@@ -321,7 +320,9 @@ class CryptoPool:
             for start in range(0, len(items), size)
         ]
 
-    def _run(self, payloads: list[tuple[str, list]], n_items: int) -> list[list]:
+    def _run(
+        self, payloads: list[tuple[str, list[Any]]], n_items: int
+    ) -> list[list[Any]]:
         if self._closed:
             raise ParallelError("crypto pool is closed")
         with self._lock:
@@ -350,7 +351,7 @@ class CryptoPool:
 
     # -- the three hot-loop entry points -------------------------------
     def map_accumulate(
-        self, encoded_multisets: Sequence[Counter]
+        self, encoded_multisets: Sequence[Counter[int]]
     ) -> list[AccumulatorValue]:
         """``accumulate(X)`` for every encoded multiset, in order."""
         if not encoded_multisets:
@@ -360,7 +361,7 @@ class CryptoPool:
         return [value for chunk in results for value in chunk]
 
     def map_prove(
-        self, items: Sequence[tuple[Counter, frozenset[str]]]
+        self, items: Sequence[tuple[Counter[str], frozenset[str]]]
     ) -> list[DisjointProof]:
         """``ProveDisjoint(attrs, clause)`` for every site, in order.
 
@@ -408,7 +409,10 @@ class CryptoPool:
         """PIDs of the live worker processes (empty when serial)."""
         if self._executor is None:
             return []
-        return [process.pid for process in self._executor._processes.values()]
+        processes = getattr(self._executor, "_processes", None) or {}
+        return [
+            process.pid for process in processes.values() if process.pid is not None
+        ]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

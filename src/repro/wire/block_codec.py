@@ -63,7 +63,7 @@ MAX_TREE_DEPTH = 80
 
 
 # -- multisets -----------------------------------------------------------------
-def _write_multiset(writer: Writer, attrs: Counter) -> None:
+def _write_multiset(writer: Writer, attrs: Counter[str]) -> None:
     items = sorted(attrs.items())
     writer.uvarint(len(items))
     for key, count in items:
@@ -73,11 +73,11 @@ def _write_multiset(writer: Writer, attrs: Counter) -> None:
         writer.uvarint(count)
 
 
-def _read_multiset(reader: Reader) -> Counter:
+def _read_multiset(reader: Reader) -> Counter[str]:
     count = reader.uvarint()
     if count > MAX_MULTISET_ENTRIES:
         raise WireError("multiset has implausibly many entries")
-    attrs: Counter = Counter()
+    attrs: Counter[str] = Counter()
     for _ in range(count):
         key = reader.text()
         multiplicity = reader.uvarint()
@@ -273,7 +273,7 @@ def decode_block(backend: PairingBackend, data: bytes, bits: int) -> Block:
     # hand, so bit-rot the CRC missed cannot survive into a served VO
     if skiplist_root_hash(skip_entries, backend) != header.skiplist_root:
         raise WireError("skip entries do not match the header's skiplist_root")
-    attrs_sum: Counter = Counter()
+    attrs_sum: Counter[str] = Counter()
     for leaf in index_root.iter_leaves():
         attrs_sum.update(leaf.attrs)
     return Block(

@@ -193,7 +193,9 @@ def read_query(reader: Reader) -> TimeWindowQuery | SubscriptionQuery:
         numeric = _read_range(reader)
         boolean = _read_cnf(reader)
         try:
-            return TimeWindowQuery(start=start, end=end, numeric=numeric, boolean=boolean)
+            return TimeWindowQuery(
+                start=start, end=end, numeric=numeric, boolean=boolean
+            )
         except QueryError as exc:
             raise WireError(f"malformed time-window query: {exc}") from exc
     if tag == _Q_SUBSCRIPTION:
@@ -284,7 +286,9 @@ def decode_request(data: bytes) -> Request:
     elif tag == REQ_REGISTER:
         since = reader.uvarint() if reader.byte() == _PRESENT else None
         query = read_query(reader)
-        if isinstance(query, TimeWindowQuery) or not isinstance(query, SubscriptionQuery):
+        if isinstance(query, TimeWindowQuery) or not isinstance(
+            query, SubscriptionQuery
+        ):
             raise WireError("register request must carry a subscription query")
         request = RegisterRequest(query=query, since_height=since)
     elif tag == REQ_DEREGISTER:

@@ -88,7 +88,9 @@ def read_header(reader: Reader) -> BlockHeader:
 
 
 # -- accumulator material -----------------------------------------------------------
-def write_value(writer: Writer, backend: PairingBackend, value: AccumulatorValue) -> None:
+def write_value(
+    writer: Writer, backend: PairingBackend, value: AccumulatorValue
+) -> None:
     writer.uvarint(len(value.parts))
     for part in value.parts:
         writer.raw(backend.encode(part))
@@ -132,7 +134,12 @@ def _read_clause(reader: Reader) -> frozenset[str]:
     return frozenset(reader.text() for _ in range(reader.uvarint()))
 
 
-def _write_optional_evidence(writer, backend, proof, group) -> None:
+def _write_optional_evidence(
+    writer: Writer,
+    backend: PairingBackend,
+    proof: DisjointProof | None,
+    group: int | None,
+) -> None:
     if proof is not None:
         writer.byte(_PRESENT)
         write_proof(writer, backend, proof)
@@ -145,7 +152,9 @@ def _write_optional_evidence(writer, backend, proof, group) -> None:
         writer.byte(_ABSENT)
 
 
-def _read_optional_evidence(reader, backend):
+def _read_optional_evidence(
+    reader: Reader, backend: PairingBackend
+) -> tuple[DisjointProof | None, int | None]:
     proof = read_proof(reader, backend) if reader.byte() == _PRESENT else None
     group = reader.uvarint() if reader.byte() == _PRESENT else None
     return proof, group
