@@ -33,9 +33,7 @@ WINDOW = 24
 @pytest.mark.parametrize("dataset_name", ("4SQ", "WX"))
 def test_ablation_clustering(benchmark, dataset_name, clustered):
     dataset = get_dataset(dataset_name, CHAIN_BLOCKS)
-    net = get_network(
-        dataset_name, CHAIN_BLOCKS, "acc2", "intra", clustered=clustered
-    )
+    net = get_network(dataset_name, CHAIN_BLOCKS, "acc2", "intra", clustered=clustered)
     queries = workload(dataset, WINDOW)
     result = benchmark.pedantic(
         run_time_window_workload, args=(net, queries), rounds=1, iterations=1

@@ -210,9 +210,7 @@ def section_accumulate(report: dict, parity: list) -> None:
         naive_s, naive = timed(lambda: naive_multi_exp(backend, powers, list(poly)))
         acc1.accumulate(multiset)  # warm the fixed-base tables
         fast_s, fast = timed(lambda: acc1.accumulate(multiset), repeat=3)
-        parity.append(
-            (f"acc1 accumulate {name}", backend.eq(fast.parts[0], naive))
-        )
+        parity.append((f"acc1 accumulate {name}", backend.eq(fast.parts[0], naive)))
         row = {
             "capacity": capacity,
             "naive_s": round(naive_s, 4),
@@ -223,9 +221,7 @@ def section_accumulate(report: dict, parity: list) -> None:
         print_row(f"accumulate/acc1_{name}", row)
 
     backend = get_backend("ss512")
-    _sk, acc2 = make_accumulator(
-        "acc2", backend, rng=random.Random(2)
-    )
+    _sk, acc2 = make_accumulator("acc2", backend, rng=random.Random(2))
     encoder = ElementEncoder(2**32 - 1)
     multiset = encoder.encode_multiset(
         Counter({f"attr{i}": 1 + i % 3 for i in range(64)})
@@ -316,9 +312,7 @@ def section_prove_verify(report: dict, parity: list) -> None:
     checks = []
     for i in range(n_checks):
         member = encoder.encode_multiset(Counter({f"m{i}_{j}": 1 for j in range(6)}))
-        checks.append(
-            (acc2.accumulate(member), acc2.prove_disjoint(member, clause_q))
-        )
+        checks.append((acc2.accumulate(member), acc2.prove_disjoint(member, clause_q)))
     weights = [rng.randrange(1, backend.order) for _ in range(n_checks)]
 
     def batch_fast():
@@ -368,9 +362,7 @@ def section_end_to_end(report: dict) -> None:
     started = time.perf_counter()
     net = build_network(dataset, "acc2", "both")
     mine_s = time.perf_counter() - started
-    queries = make_time_window_queries(
-        dataset, n_queries=4, window_blocks=8, seed=29
-    )
+    queries = make_time_window_queries(dataset, n_queries=4, window_blocks=8, seed=29)
     sp_s = user_s = 0.0
     for query in queries:
         resp = net.client.execute(query, batch=True).raise_for_forgery()

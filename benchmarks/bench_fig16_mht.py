@@ -26,9 +26,7 @@ OBJECTS_PER_BLOCK = 12
 
 
 def _dataset(dims):
-    ds = weather_like(
-        N_BLOCKS, objects_per_block=OBJECTS_PER_BLOCK, dims=dims, seed=7
-    )
+    ds = weather_like(N_BLOCKS, objects_per_block=OBJECTS_PER_BLOCK, dims=dims, seed=7)
     # strip keywords: the MHT baseline cannot handle set-valued attributes
     from repro.chain.object import DataObject
 

@@ -36,6 +36,4 @@ def test_selectivity(benchmark, dataset_name, acc_name, selectivity):
     )
     info = result.as_info()
     benchmark.extra_info.update(info)
-    print_row(
-        f"Fig17-19 {dataset_name} {acc_name} sel={int(selectivity * 100)}%", info
-    )
+    print_row(f"Fig17-19 {dataset_name} {acc_name} sel={int(selectivity * 100)}%", info)

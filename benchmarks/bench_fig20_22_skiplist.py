@@ -46,9 +46,7 @@ def test_skiplist_size(benchmark, dataset_name, acc_name, skip_size):
     mode = "intra" if skip_size == 0 else "both"
     key = (dataset_name, acc_name, skip_size)
     if key not in _NETWORKS:
-        _NETWORKS[key] = build_network(
-            dataset, acc_name, mode, skip_size=skip_size
-        )
+        _NETWORKS[key] = build_network(dataset, acc_name, mode, skip_size=skip_size)
     net = _NETWORKS[key]
     queries = workload(dataset, WINDOW)
     result = benchmark.pedantic(

@@ -109,10 +109,7 @@ def identical_ops(query, n_queries):
     """Every client repeats the same window query."""
 
     def ops(transport, _index):
-        return [
-            (lambda: transport.time_window_query(query))
-            for _ in range(n_queries)
-        ]
+        return [(lambda: transport.time_window_query(query)) for _ in range(n_queries)]
 
     return ops
 

@@ -113,7 +113,9 @@ def sweep_backend(
     def speedups(seconds: dict[str, float]) -> dict[str, float]:
         base = seconds[str(workers_list[0])]
         return {
-            k: round(base / v, 2) for k, v in seconds.items() if k != str(workers_list[0])
+            k: round(base / v, 2)
+            for k, v in seconds.items()
+            if k != str(workers_list[0])
         }
 
     report = {

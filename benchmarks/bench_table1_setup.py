@@ -44,9 +44,7 @@ def test_table1_setup(benchmark, dataset_name, mode, acc_name):
     per_block_kb = sum(
         block_ads_nbytes(block, backend) for block in net.chain
     ) / len(net.chain) / 1024
-    header_bits = (
-        sum(h.nbytes() for h in net.chain.headers()) / len(net.chain) * 8
-    )
+    header_bits = sum(h.nbytes() for h in net.chain.headers()) / len(net.chain) * 8
     info = {
         "T_s_per_block": round(benchmark.stats.stats.mean / N_BLOCKS, 4),
         "S_kb_per_block": round(per_block_kb, 2),

@@ -37,9 +37,7 @@ DATASET_BUILDERS = {
 }
 
 #: the six schemes of Table 1 / Figs 9–11
-SCHEMES = [
-    (mode, acc) for mode in ("nil", "intra", "both") for acc in ("acc1", "acc2")
-]
+SCHEMES = [(mode, acc) for mode in ("nil", "intra", "both") for acc in ("acc1", "acc2")]
 
 _NETWORKS: dict = {}
 _DATASETS: dict = {}

@@ -36,10 +36,7 @@ def main() -> None:
     topics = ["patent", "trademark", "design", "blockchain", "query", "search"]
     factory = ObjectFactory()
     for height in range(12):
-        rows = [
-            ((rng.randrange(256),), rng.sample(topics, 2))
-            for _ in range(4)
-        ]
+        rows = [((rng.randrange(256),), rng.sample(topics, 2)) for _ in range(4)]
         filings = factory.batch(rows, timestamp=height * 60)
         block_hash = contract.build_vchain(filings, timestamp=height * 60)
         print(f"contract call #{height}: logical block {block_hash.hex()[:16]}…")

@@ -69,7 +69,9 @@ class Acc1(MultisetAccumulator):
     def prove_disjoint(self, encoded_a: Counter, encoded_b: Counter) -> DisjointProof:
         common = set(encoded_a) & set(encoded_b)
         if common:
-            raise NotDisjointError(f"multisets share encoded elements {sorted(common)!r}")
+            raise NotDisjointError(
+                f"multisets share encoded elements {sorted(common)!r}"
+            )
         poly_a = self._char_poly(encoded_a)
         poly_b = self._char_poly(encoded_b)
         bezout_a, bezout_b = self._ring.bezout_disjoint(poly_a, poly_b)

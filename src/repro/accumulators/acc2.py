@@ -79,7 +79,9 @@ class Acc2(MultisetAccumulator):
         self._check_domain(encoded_b)
         common = set(encoded_a) & set(encoded_b)
         if common:
-            raise NotDisjointError(f"multisets share encoded elements {sorted(common)!r}")
+            raise NotDisjointError(
+                f"multisets share encoded elements {sorted(common)!r}"
+            )
         q = self.public_key.domain
         # A(X1)·B(X2) expands to Σ c_i·c_j · s^{x_i + q - x_j}; collect the
         # exponent histogram, then commit.  x_i ≠ x_j guarantees no s^q.

@@ -42,9 +42,7 @@ class SortedMHT:
             (_Leaf(tuple(obj.vector[d] for d in key_dims), obj) for obj in objects),
             key=lambda leaf: leaf.key,
         )
-        self._levels: list[list[bytes]] = [
-            [leaf.leaf_hash() for leaf in self._leaves]
-        ]
+        self._levels: list[list[bytes]] = [[leaf.leaf_hash() for leaf in self._leaves]]
         while len(self._levels[-1]) > 1:
             below = self._levels[-1]
             level = [
@@ -148,7 +146,9 @@ class MHTBaseline:
             subsets.extend(combinations(range(self.dims), size))
         return subsets
 
-    def build_block_ads(self, objects: list[DataObject]) -> dict[tuple[int, ...], SortedMHT]:
+    def build_block_ads(
+        self, objects: list[DataObject]
+    ) -> dict[tuple[int, ...], SortedMHT]:
         """All per-subset trees for one block (the Fig 16 cost driver)."""
         return {
             subset: SortedMHT(objects, subset) for subset in self.attribute_subsets()

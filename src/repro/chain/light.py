@@ -33,9 +33,7 @@ class LightNode:
     def append_header(self, header: BlockHeader) -> None:
         if header.height != len(self._headers):
             raise ChainError("header height does not extend the light chain")
-        expected_prev = (
-            self._headers[-1].block_hash() if self._headers else ZERO_HASH
-        )
+        expected_prev = self._headers[-1].block_hash() if self._headers else ZERO_HASH
         if header.prev_hash != expected_prev:
             raise ChainError("header prev_hash mismatch during light sync")
         if not check_nonce(header.core_bytes(), header.nonce, self.difficulty_bits):

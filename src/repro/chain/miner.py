@@ -40,7 +40,9 @@ class ProtocolParams:
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
-            raise ChainError(f"unknown index mode {self.mode!r}; expected one of {MODES}")
+            raise ChainError(
+                f"unknown index mode {self.mode!r}; expected one of {MODES}"
+            )
         if self.bits < 1:
             raise ChainError("prefix width must be >= 1 bit")
         if self.skip_size < 0:

@@ -277,9 +277,7 @@ class QueryProcessor:
         start = time.perf_counter()
         stats = QueryStats()
         cnf = query.transformed(self.params.bits)
-        collector = (
-            _BatchCollector(self.accumulator, self.encoder) if batch else None
-        )
+        collector = _BatchCollector(self.accumulator, self.encoder) if batch else None
         caching = fragment_cache is not None and fragment_cache.enabled
         use_pool = self.pool is not None and not self.pool.serial
         if use_pool:
@@ -324,9 +322,7 @@ class QueryProcessor:
             vo.entries.append(entry)
             cursor -= fragment.covered
             if isinstance(entry, VOSkip):
-                stats.blocks_skipped += min(
-                    entry.distance, cursor + entry.distance + 1
-                )
+                stats.blocks_skipped += min(entry.distance, cursor + entry.distance + 1)
             else:
                 stats.blocks_scanned += 1
 
@@ -370,9 +366,7 @@ class QueryProcessor:
             )
             vo.entries[item.vo_index] = entry
             if fragment_cache is not None:
-                fragment_cache.put(
-                    item.cache_key, replace(item.fragment, entry=entry)
-                )
+                fragment_cache.put(item.cache_key, replace(item.fragment, entry=entry))
 
     # -- per-block fragments ------------------------------------------------
     def _compute_fragment(

@@ -50,7 +50,9 @@ class CNFCondition:
             any(element in attributes for element in clause) for clause in self.clauses
         )
 
-    def mismatch_clause(self, attributes: Counter | frozenset[str]) -> frozenset[str] | None:
+    def mismatch_clause(
+        self, attributes: Counter | frozenset[str]
+    ) -> frozenset[str] | None:
         """The first clause disjoint from ``attributes``, or ``None``.
 
         This is the "equivalence set" of Algorithm 1: returning it with a

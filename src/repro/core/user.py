@@ -28,7 +28,9 @@ class QueryUser:
         """``pool`` (a :class:`~repro.parallel.CryptoPool`) parallelises
         :meth:`batch_verify`'s weighted aggregation; not owned here."""
         self.light = LightNode(difficulty_bits=params.difficulty_bits)
-        self.verifier = QueryVerifier(self.light, accumulator, encoder, params, pool=pool)
+        self.verifier = QueryVerifier(
+            self.light, accumulator, encoder, params, pool=pool
+        )
         self.params = params
 
     def sync_headers(self, source: Blockchain) -> int:

@@ -328,9 +328,7 @@ class QueryVerifier:
                 raise VerificationError("expanded VO node has no children")
             component = digest(
                 *(
-                    self._replay_node(
-                        child, query, cnf, groups, verified, stats, defer
-                    )
+                    self._replay_node(child, query, cnf, groups, verified, stats, defer)
                     for child in node.children
                 )
             )
@@ -461,9 +459,7 @@ class QueryVerifier:
             summed = self.accumulator.sum_values(members.digests)
             if defer is not None:
                 item, checks = defer
-                checks.append(
-                    _DeferredCheck(item, summed, batch.clause, batch.proof)
-                )
+                checks.append(_DeferredCheck(item, summed, batch.clause, batch.proof))
                 continue
             stats.disjoint_checks += 1
             if not self.accumulator.verify_disjoint(

@@ -210,9 +210,7 @@ class SupersingularBackend(PairingBackend):
         return msm.msm(msm.SS512_OPS, bases, [s % self.order for s in scalars])
 
     def fixed_base_table(self, base: curve.Point) -> list[curve.Point] | None:
-        return msm.fixed_base_windows(
-            msm.SS512_OPS, base, self.order.bit_length()
-        )
+        return msm.fixed_base_windows(msm.SS512_OPS, base, self.order.bit_length())
 
     def multi_exp_tables(
         self, tables: list[list[curve.Point] | None], scalars: list[int]

@@ -99,9 +99,7 @@ class FQP:
 
     def __init__(self, coeffs) -> None:
         if len(coeffs) != self.degree:
-            raise CryptoError(
-                f"{type(self).__name__} needs {self.degree} coefficients"
-            )
+            raise CryptoError(f"{type(self).__name__} needs {self.degree} coefficients")
         self.coeffs = tuple(c % _P for c in coeffs)
 
     # -- ring ops -------------------------------------------------------

@@ -34,7 +34,7 @@ FIELD_PRIME = 669876107683929280479803234508072810260149531256858220102081310174
 #: 160-bit prime order of the pairing subgroup G.
 SUBGROUP_ORDER = 1132706623188116297760294080913586700152711772617
 #: (p + 1) / r — multiplying a random point by this lands in G.
-COFACTOR = 5913941827218206318452853784867549722579928714313055682319682572522111400768920319289074442463165537442636
+COFACTOR = 5913941827218206318452853784867549722579928714313055682319682572522111400768920319289074442463165537442636  # noqa: E501
 #: Generator of the order-r subgroup.
 GENERATOR = (
     644988812605011586882974006249781298230332375867338719806419586490892375218630209426126269839108199141760862373542734226452828421601520073703467960137507,  # noqa: E501

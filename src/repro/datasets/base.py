@@ -68,7 +68,9 @@ class ObjectFactory:
         return [self.make(vector, keywords, timestamp) for vector, keywords in rows]
 
 
-def zipf_choice(rng: random.Random, population: list[str], exponent: float = 1.1) -> str:
+def zipf_choice(
+    rng: random.Random, population: list[str], exponent: float = 1.1
+) -> str:
     """Zipf-distributed pick (rank-frequency) — keyword popularity skew."""
     # inverse-CDF sampling over a truncated zeta distribution
     n = len(population)

@@ -41,9 +41,7 @@ def foursquare_like(
     blocks: list[tuple[int, list[DataObject]]] = []
     object_id = 0
     # check-ins cluster around a handful of "hot spots" in the city
-    hotspots = [
-        (rng.randrange(space), rng.randrange(space)) for _ in range(8)
-    ]
+    hotspots = [(rng.randrange(space), rng.randrange(space)) for _ in range(8)]
     for height in range(n_blocks):
         timestamp = height * interval
         objects = []

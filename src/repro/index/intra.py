@@ -111,9 +111,7 @@ class NodePlan:
 def _plan_leaves(objects: list[DataObject], bits: int) -> list[NodePlan]:
     if not objects:
         raise ChainError("cannot build an index over an empty block")
-    return [
-        NodePlan(attrs=obj.attribute_multiset(bits), obj=obj) for obj in objects
-    ]
+    return [NodePlan(attrs=obj.attribute_multiset(bits), obj=obj) for obj in objects]
 
 
 def _plan_merge_rounds(
@@ -127,7 +125,8 @@ def _plan_merge_rounds(
                 left_pos = max(range(len(nodes)), key=lambda i: nodes[i].attrs.total())
                 left = nodes.pop(left_pos)
                 right_pos = max(
-                    range(len(nodes)), key=lambda i: _jaccard(left.attrs, nodes[i].attrs)
+                    range(len(nodes)),
+                    key=lambda i: _jaccard(left.attrs, nodes[i].attrs),
                 )
                 right = nodes.pop(right_pos)
             else:

@@ -36,7 +36,9 @@ class SubscriptionClient:
         self._queries: dict[int, SubscriptionQuery] = {}
         self._next_height: dict[int, int] = {}
 
-    def track(self, query_id: int, query: SubscriptionQuery, since_height: int = 0) -> None:
+    def track(
+        self, query_id: int, query: SubscriptionQuery, since_height: int = 0
+    ) -> None:
         """Mirror a registration made with the SP's engine."""
         if query_id in self._queries:
             raise SubscriptionError(f"query {query_id} is already tracked")

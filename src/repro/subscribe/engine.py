@@ -293,7 +293,9 @@ class SubscriptionEngine:
                 # the block as a whole had no result but no single root
                 # clause either: deliver the transcript immediately — it
                 # cannot aggregate with neighbours (no shared clause).
-                delivery = self._lazy_delivery(registered.query_id, block, [], transcript)
+                delivery = self._lazy_delivery(
+                    registered.query_id, block, [], transcript
+                )
             else:
                 delivery = self._lazy_delivery(
                     registered.query_id, block, results, transcript
@@ -314,7 +316,9 @@ class SubscriptionEngine:
             clause = registered.mismatch_clause(node.attrs)
             if clause is not None:
                 component = (
-                    node.obj.serialize() if node.is_leaf else children_hash(node.children)
+                    node.obj.serialize()
+                    if node.is_leaf
+                    else children_hash(node.children)
                 )
                 return VOMismatchNode(
                     child_component=component,
@@ -417,9 +421,7 @@ class SubscriptionEngine:
                     root = block.index_root
                     sites[("root", block.height, clause)] = (root.attrs, clause)
             else:
-                self._collect_sites(
-                    block.index_root, block.height, registered, sites
-                )
+                self._collect_sites(block.index_root, block.height, registered, sites)
         if not sites:
             return
 
@@ -606,7 +608,9 @@ class SubscriptionEngine:
             else:
                 root = block.index_root
                 component = (
-                    root.obj.serialize() if root.is_leaf else children_hash(root.children)
+                    root.obj.serialize()
+                    if root.is_leaf
+                    else children_hash(root.children)
                 )
                 proof = self._prove_cached(root.attrs, pending.clause)
                 entries.append(

@@ -59,9 +59,7 @@ def register_query(
     query_id: int, query: SubscriptionQuery, bits: int
 ) -> RegisteredQuery:
     """Pre-transform a subscription for engine/IP-tree consumption."""
-    numeric = (
-        query.numeric.to_cnf(bits).clauses if query.numeric is not None else ()
-    )
+    numeric = query.numeric.to_cnf(bits).clauses if query.numeric is not None else ()
     return RegisteredQuery(
         query_id=query_id,
         query=query,

@@ -28,7 +28,9 @@ def real_backend():
 
 @pytest.fixture(scope="session")
 def sim_acc1(sim_backend):
-    _sk, acc = make_accumulator("acc1", sim_backend, capacity=512, rng=random.Random(11))
+    _sk, acc = make_accumulator(
+        "acc1", sim_backend, capacity=512, rng=random.Random(11)
+    )
     return acc
 
 

@@ -101,7 +101,10 @@ def test_no_aggregation_support():
 
 
 @settings(max_examples=25, deadline=None)
-@given(xs=st.sets(words, min_size=1, max_size=6), ys=st.sets(words, min_size=1, max_size=6))
+@given(
+    xs=st.sets(words, min_size=1, max_size=6),
+    ys=st.sets(words, min_size=1, max_size=6),
+)
 def test_roundtrip_random_sets(xs, ys):
     ys = ys - xs
     if not ys:

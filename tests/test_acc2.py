@@ -141,7 +141,9 @@ def test_small_domain_cross_terms():
 
 
 @settings(max_examples=25, deadline=None)
-@given(xs=st.sets(words, min_size=1, max_size=5), ys=st.sets(words, min_size=1, max_size=5))
+@given(
+    xs=st.sets(words, min_size=1, max_size=5), ys=st.sets(words, min_size=1, max_size=5)
+)
 def test_roundtrip_random_sets(xs, ys):
     ys = ys - xs
     if not ys:
@@ -161,4 +163,7 @@ def test_sum_values_associative(groups):
     total = Counter()
     for group in groups:
         total.update(Counter(group))
-    assert ACC.sum_values(values).parts == ACC.accumulate(ENC.encode_multiset(total)).parts
+    assert (
+        ACC.sum_values(values).parts
+        == ACC.accumulate(ENC.encode_multiset(total)).parts
+    )

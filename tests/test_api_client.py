@@ -87,14 +87,13 @@ def test_forged_answer_is_captured_not_raised(net):
 
 def test_subscription_stream_lifecycle(net):
     client = net.client
-    with client.subscribe().range(low=(0,), high=(255,)).any_of("Benz").open() as stream:
+    builder = client.subscribe().range(low=(0,), high=(255,)).any_of("Benz")
+    with builder.open() as stream:
         rng = random.Random(5)
         block = net.mine(make_objects(rng, 4, 100, timestamp=500), timestamp=500)
         deliveries = stream.poll()
         assert [d.heights() for d in deliveries] == [[block.height]]
-        expected = sorted(
-            o.object_id for o in block.objects if "Benz" in o.keywords
-        )
+        expected = sorted(o.object_id for o in block.objects if "Benz" in o.keywords)
         assert sorted(o.object_id for o in deliveries[0].results) == expected
         assert deliveries[0].vo_nbytes > 0
         assert stream.poll() == []  # drained

@@ -121,9 +121,7 @@ def test_backend_pairing_symmetric_on_diagonals():
     a = backend.exp(g, 5)
     b = backend.exp(g, 7)
     assert backend.gt_eq(backend.pair(a, b), backend.pair(b, a))
-    assert backend.gt_eq(
-        backend.pair(a, b), backend.gt_exp(backend.pair(g, g), 35)
-    )
+    assert backend.gt_eq(backend.pair(a, b), backend.gt_exp(backend.pair(g, g), 35))
 
 
 @pytest.mark.slow

@@ -12,7 +12,9 @@ from tests.conftest import make_objects
 
 
 def build_miner(acc, enc, mode="both", skip_size=2, difficulty=0):
-    params = ProtocolParams(mode=mode, bits=8, skip_size=skip_size, difficulty_bits=difficulty)
+    params = ProtocolParams(
+        mode=mode, bits=8, skip_size=skip_size, difficulty_bits=difficulty
+    )
     chain = Blockchain(difficulty_bits=difficulty)
     return chain, Miner(chain, acc, enc, params), params
 
@@ -165,7 +167,9 @@ def test_skip_entry_attrs_are_block_sums(sim_acc2, encoder_q):
     entry = chain.block(7).skip_entries[0]
     assert entry.distance == 4
     assert entry.covered_heights == (4, 5, 6, 7)
-    expected = sum((chain.block(h).attrs_sum for h in range(4, 8)), start=type(entry.attrs)())
+    expected = sum(
+        (chain.block(h).attrs_sum for h in range(4, 8)), start=type(entry.attrs)()
+    )
     assert entry.attrs == expected
     direct = sim_acc2.accumulate(encoder_q.encode_multiset(expected))
     assert entry.att_digest.parts == direct.parts

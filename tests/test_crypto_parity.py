@@ -44,9 +44,7 @@ def _naive_exp(self, base, scalar):
 def _patch_naive(monkeypatch) -> None:
     """Send the ss512 backend back in time to the naive algorithms."""
     monkeypatch.setattr(SupersingularBackend, "exp", _naive_exp)
-    monkeypatch.setattr(
-        SupersingularBackend, "multi_exp", PairingBackend.multi_exp
-    )
+    monkeypatch.setattr(SupersingularBackend, "multi_exp", PairingBackend.multi_exp)
     monkeypatch.setattr(
         SupersingularBackend, "fixed_base_table", PairingBackend.fixed_base_table
     )
@@ -99,9 +97,7 @@ def test_chain_mined_on_naive_path_is_byte_identical(acc_name, monkeypatch):
 
     assert fast_blocks == naive_blocks
     assert encode_time_window_vo(fast_backend, fast_vo) == naive_vo_bytes
-    assert [o.object_id for o in fast_results] == [
-        o.object_id for o in naive_results
-    ]
+    assert [o.object_id for o in fast_results] == [o.object_id for o in naive_results]
     # the chain mined before the change verifies identically after it:
     # fast-path verification replays the naive-mined VO against the
     # naive-mined headers.  Drop the oracle's in-memory table cache first

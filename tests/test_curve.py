@@ -42,7 +42,10 @@ def test_multiply_zero_and_negative():
 
 
 @settings(max_examples=10, deadline=None)
-@given(a=st.integers(min_value=1, max_value=2**32), b=st.integers(min_value=1, max_value=2**32))
+@given(
+    a=st.integers(min_value=1, max_value=2**32),
+    b=st.integers(min_value=1, max_value=2**32),
+)
 def test_scalar_multiplication_is_homomorphic(a, b):
     left = curve.multiply(G, a + b)
     right = curve.add(curve.multiply(G, a), curve.multiply(G, b))
@@ -96,7 +99,9 @@ def test_fp2_inv_zero_raises():
 def test_fp2_pow_laws():
     u = (7, 9)
     assert curve.fp2_pow(u, 0) == curve.FP2_ONE
-    assert curve.fp2_pow(u, 5) == curve.fp2_mul(curve.fp2_pow(u, 3), curve.fp2_pow(u, 2))
+    assert curve.fp2_pow(u, 5) == curve.fp2_mul(
+        curve.fp2_pow(u, 3), curve.fp2_pow(u, 2)
+    )
     assert curve.fp2_mul(curve.fp2_pow(u, -2), curve.fp2_pow(u, 2)) == curve.FP2_ONE
 
 

@@ -98,11 +98,18 @@ def test_clustering_groups_similar_objects(sim_acc2, encoder_q):
     from repro.chain.object import DataObject
 
     family_a = [
-        DataObject(object_id=i, timestamp=0, vector=(0,), keywords=frozenset({"a1", "a2"}))
+        DataObject(
+            object_id=i, timestamp=0, vector=(0,), keywords=frozenset({"a1", "a2"})
+        )
         for i in range(2)
     ]
     family_b = [
-        DataObject(object_id=10 + i, timestamp=0, vector=(255,), keywords=frozenset({"b1", "b2"}))
+        DataObject(
+            object_id=10 + i,
+            timestamp=0,
+            vector=(255,),
+            keywords=frozenset({"b1", "b2"}),
+        )
         for i in range(2)
     ]
     # interleave arrival order so only clustering can separate them

@@ -52,9 +52,7 @@ def test_root_split_into_four(tree):
 
 def test_upper_left_cell_matches_paper(tree):
     """Fig 8's N1 = cell x∈[0,1], y∈[2,3]: q1,q2 full, q3 partial."""
-    n1 = next(
-        c for c in tree.root.children if c.cell == ((0, 1), (2, 3))
-    )
+    n1 = next(c for c in tree.root.children if c.cell == ((0, 1), (2, 3)))
     assert n1.rcif.get(0) is True  # q1 full
     assert n1.rcif.get(1) is True  # q2 full
     assert n1.rcif.get(2) is False  # q3 partial
@@ -114,7 +112,9 @@ def classification_truth(queries, obj, bits):
 )
 def test_classify_single_objects_consistent(tree, vector, keywords):
     queries = fig8_queries()
-    obj = DataObject(object_id=0, timestamp=0, vector=vector, keywords=frozenset(keywords))
+    obj = DataObject(
+        object_id=0, timestamp=0, vector=vector, keywords=frozenset(keywords)
+    )
     attrs = obj.attribute_multiset(BITS)
     mismatches, candidates = tree.classify(attrs)
     assert set(mismatches) | candidates == {0, 1, 2, 3}
@@ -147,8 +147,12 @@ def test_classify_paper_example_object(tree):
 
 def test_classify_super_object(tree):
     """A multiset spanning two objects stays conservative (no false mismatch)."""
-    a = DataObject(object_id=0, timestamp=0, vector=(0, 2), keywords=frozenset({"Van", "Benz"}))
-    b = DataObject(object_id=1, timestamp=0, vector=(3, 0), keywords=frozenset({"Sedan"}))
+    a = DataObject(
+        object_id=0, timestamp=0, vector=(0, 2), keywords=frozenset({"Van", "Benz"})
+    )
+    b = DataObject(
+        object_id=1, timestamp=0, vector=(3, 0), keywords=frozenset({"Sedan"})
+    )
     attrs = a.attribute_multiset(BITS) + b.attribute_multiset(BITS)
     mismatches, candidates = tree.classify(attrs)
     # q1 (matches a) and q4 (could match b numerically) must stay candidates

@@ -47,7 +47,9 @@ def test_both_adds_skiplist_bytes():
     both_block, _ = mine_one("both")
     assert skiplist_ads_nbytes(intra_block, backend) == 0
     assert skiplist_ads_nbytes(both_block, backend) > 0
-    assert block_ads_nbytes(both_block, backend) > block_ads_nbytes(intra_block, backend)
+    assert block_ads_nbytes(both_block, backend) > block_ads_nbytes(
+        intra_block, backend
+    )
 
 
 def test_raw_block_size_positive():

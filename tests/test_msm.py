@@ -53,7 +53,10 @@ def bn_affine_mul(point, scalar):
 
 # -- ss512 Jacobian vs affine --------------------------------------------------
 @settings(max_examples=25, deadline=None)
-@given(a=st.integers(min_value=0, max_value=2**48), b=st.integers(min_value=0, max_value=2**48))
+@given(
+    a=st.integers(min_value=0, max_value=2**48),
+    b=st.integers(min_value=0, max_value=2**48),
+)
 def test_ss512_jacobian_add_matches_affine(a, b):
     p = affine_mul(G, a)
     q = affine_mul(G, b)
@@ -92,9 +95,7 @@ def test_ss512_multiply_edge_cases():
     assert curve.from_jacobian(
         curve.jac_add(curve.to_jacobian(p), curve.to_jacobian(n))
     ) is None
-    assert curve.from_jacobian(
-        curve.jac_add_affine(curve.to_jacobian(p), n)
-    ) is None
+    assert curve.from_jacobian(curve.jac_add_affine(curve.to_jacobian(p), n)) is None
 
 
 def test_ss512_jacobian_infinity_identities():
@@ -128,7 +129,9 @@ def test_batch_from_jacobian_all_infinity():
 
 # -- wNAF ------------------------------------------------------------------------
 @settings(max_examples=50, deadline=None)
-@given(k=st.integers(min_value=1, max_value=ORDER), w=st.integers(min_value=2, max_value=8))
+@given(
+    k=st.integers(min_value=1, max_value=ORDER), w=st.integers(min_value=2, max_value=8)
+)
 def test_wnaf_digits_reconstruct_scalar(k, w):
     digits = msm._wnaf_digits(k, w)
     assert sum(d << i for i, d in enumerate(digits)) == k
@@ -213,7 +216,10 @@ def test_multi_pairing_matches_pair_product(backend):
     rng = random.Random(9)
     g = backend.generator()
     pairs = [
-        (backend.exp(g, rng.randrange(1, 2**16)), backend.exp(g, rng.randrange(1, 2**16)))
+        (
+            backend.exp(g, rng.randrange(1, 2**16)),
+            backend.exp(g, rng.randrange(1, 2**16)),
+        )
         for _ in range(3)
     ]
     expected = backend.gt_identity()
@@ -256,7 +262,10 @@ def test_bn254_jacobian_matches_affine(point):
         p = bn_affine_mul(point, a)
         q = bn_affine_mul(point, b)
         expected = bn.add(p, q)
-        assert bn.from_jacobian(bn.jac_add(bn.to_jacobian(p), bn.to_jacobian(q))) == expected
+        assert (
+            bn.from_jacobian(bn.jac_add(bn.to_jacobian(p), bn.to_jacobian(q)))
+            == expected
+        )
         assert bn.from_jacobian(bn.jac_add_affine(bn.to_jacobian(p), q)) == expected
         assert bn.from_jacobian(bn.jac_double(bn.to_jacobian(p))) == bn.add(p, p)
 

@@ -8,7 +8,9 @@ from repro.errors import QueryError
 
 
 def test_attribute_multiset_combines_prefixes_and_keywords():
-    obj = DataObject(object_id=1, timestamp=0, vector=(4,), keywords=frozenset({"Benz"}))
+    obj = DataObject(
+        object_id=1, timestamp=0, vector=(4,), keywords=frozenset({"Benz"})
+    )
     attrs = obj.attribute_multiset(3)
     assert attrs["Benz"] == 1
     assert attrs["0:1*"] == 1
@@ -45,7 +47,9 @@ def test_serialize_rejects_negative_vector():
 
 def test_nbytes_reflects_payload():
     small = DataObject(object_id=1, timestamp=0, vector=(1,), keywords=frozenset())
-    big = DataObject(object_id=1, timestamp=0, vector=(1, 2, 3), keywords=frozenset({"abcdef"}))
+    big = DataObject(
+        object_id=1, timestamp=0, vector=(1, 2, 3), keywords=frozenset({"abcdef"})
+    )
     assert big.nbytes() > small.nbytes()
 
 
@@ -56,5 +60,7 @@ def test_nbytes_reflects_payload():
 )
 def test_serialize_sensitive_to_every_field(oid, ts, vec):
     base = DataObject(object_id=oid, timestamp=ts, vector=vec, keywords=frozenset())
-    bumped = DataObject(object_id=oid + 1, timestamp=ts, vector=vec, keywords=frozenset())
+    bumped = DataObject(
+        object_id=oid + 1, timestamp=ts, vector=vec, keywords=frozenset()
+    )
     assert base.serialize() != bumped.serialize()

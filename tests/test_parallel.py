@@ -72,9 +72,7 @@ def test_mining_and_proving_parity(acc_name):
             s_vo, s_results, s_stats = vo_bytes(serial, query, batch)
             p_vo, p_results, p_stats = vo_bytes(parallel, query, batch)
             assert s_vo == p_vo
-            assert [o.object_id for o in s_results] == [
-                o.object_id for o in p_results
-            ]
+            assert [o.object_id for o in s_results] == [o.object_id for o in p_results]
             assert s_stats.proofs_computed == p_stats.proofs_computed
             assert p_stats.workers_used == 2 and s_stats.workers_used == 0
             # the parallel answer verifies on a serial light node
@@ -222,7 +220,9 @@ def test_batch_verify_parallel_accepts_and_pinpoints_forgery():
         if bad_groups:
             gid, group = next(iter(bad_groups.items()))
             forged = DisjointProof(
-                parts=tuple(backend.op(p, backend.generator()) for p in group.proof.parts)
+                parts=tuple(
+                    backend.op(p, backend.generator()) for p in group.proof.parts
+                )
             )
             bad_groups[gid] = replace(group, proof=forged)
             vo.batch_groups = bad_groups
@@ -445,9 +445,7 @@ def test_query_stats_parallel_fields_roundtrip_the_wire():
         payload = encode_query_response(
             net.accumulator.backend, [], TimeWindowVO(), stats
         )
-        _results, _vo, decoded = decode_query_response(
-            net.accumulator.backend, payload
-        )
+        _results, _vo, decoded = decode_query_response(net.accumulator.backend, payload)
         assert decoded == stats
     finally:
         net.close()

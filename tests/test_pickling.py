@@ -110,15 +110,15 @@ def test_spawn_mode_pool_end_to_end():
         accumulator, encoder, ParallelConfig(workers=2, start_method="spawn")
     ) as pool:
         parallel = pool.map_accumulate(multisets)
-        sites = [
-            (Counter({f"attr{i}": 1}), frozenset({"other"})) for i in range(4)
-        ]
+        sites = [(Counter({f"attr{i}": 1}), frozenset({"other"})) for i in range(4)]
         proofs = pool.map_prove(sites)
     for s, p in zip(serial, parallel):
         assert [backend.encode(x) for x in s.parts] == [
             backend.encode(x) for x in p.parts
         ]
-    clause_digest = accumulator.accumulate(encoder.encode_multiset(Counter({"other": 1})))
+    clause_digest = accumulator.accumulate(
+        encoder.encode_multiset(Counter({"other": 1}))
+    )
     for (attrs, _clause), proof in zip(sites, proofs):
         value = accumulator.accumulate(encoder.encode_multiset(attrs))
         assert accumulator.verify_disjoint(value, clause_digest, proof)

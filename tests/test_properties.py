@@ -43,7 +43,9 @@ def build_net(block_specs, mode):
     oid = 0
     for h, spec in enumerate(block_specs):
         objs = [
-            DataObject(object_id=oid + i, timestamp=h, vector=(v,), keywords=frozenset(ks))
+            DataObject(
+                object_id=oid + i, timestamp=h, vector=(v,), keywords=frozenset(ks)
+            )
             for i, (v, ks) in enumerate(spec)
         ]
         oid += len(objs)
@@ -103,9 +105,7 @@ def test_dropping_any_result_is_detected(blocks, rng_bounds, clauses):
 def test_cross_chain_vo_rejected(blocks):
     net_a = build_net(blocks, "intra")
     # a different chain: shift every numeric value by one
-    shifted = [
-        [((v + 1) % 16, ks) for v, ks in spec] for spec in blocks
-    ]
+    shifted = [[((v + 1) % 16, ks) for v, ks in spec] for spec in blocks]
     net_b = build_net(shifted, "intra")
     query = build_query((0, len(blocks)), (0, 15), [])
     results, vo, _stats = net_b.sp.time_window_query(query)

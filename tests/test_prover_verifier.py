@@ -163,8 +163,6 @@ def test_real_backend_end_to_end():
         oid += 2
         net.miner.mine_block(objs, timestamp=h)
     net.user.sync_headers(net.chain)
-    query = TimeWindowQuery(
-        start=0, end=10, boolean=CNFCondition.of([["Benz", "BMW"]])
-    )
+    query = TimeWindowQuery(start=0, end=10, boolean=CNFCondition.of([["Benz", "BMW"]]))
     verified, _vo, _sp_stats, _user_stats = net.user.query(net.sp, query)
     assert sorted(o.object_id for o in verified) == ground_truth(net, query)

@@ -16,7 +16,9 @@ from repro.errors import QueryError
 
 
 def obj(vector=(4, 2), keywords=("Sedan", "Benz"), ts=0, oid=1):
-    return DataObject(object_id=oid, timestamp=ts, vector=vector, keywords=frozenset(keywords))
+    return DataObject(
+        object_id=oid, timestamp=ts, vector=vector, keywords=frozenset(keywords)
+    )
 
 
 def test_cnf_of_builder():

@@ -58,9 +58,7 @@ def _time_window_queries(draw):
     )
 
 
-_subscription_queries = st.builds(
-    SubscriptionQuery, numeric=_numeric, boolean=_cnf
-)
+_subscription_queries = st.builds(SubscriptionQuery, numeric=_numeric, boolean=_cnf)
 
 
 # -- query round-trips --------------------------------------------------------
@@ -110,9 +108,7 @@ def test_forged_query_bytes_rejected_at_parse_boundary():
 
 def test_forged_range_rejected():
     # inverted bounds inside the range predicate
-    query = TimeWindowQuery(
-        start=0, end=1, numeric=RangeCondition(low=(4,), high=(4,))
-    )
+    query = TimeWindowQuery(start=0, end=1, numeric=RangeCondition(low=(4,), high=(4,)))
     data = bytearray(encode_time_window_query(query))
     assert data[-2] == 4  # the high bound's varint
     data[-2] = 1

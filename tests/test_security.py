@@ -19,7 +19,14 @@ import pytest
 from repro import VChainNetwork
 from repro.chain import DataObject, ProtocolParams
 from repro.core.query import CNFCondition, RangeCondition, TimeWindowQuery
-from repro.core.vo import TimeWindowVO, VOBlock, VOExpandNode, VOMatchLeaf, VOMismatchNode, VOSkip
+from repro.core.vo import (
+    TimeWindowVO,
+    VOBlock,
+    VOExpandNode,
+    VOMatchLeaf,
+    VOMismatchNode,
+    VOSkip,
+)
 from repro.errors import VerificationError
 from tests.conftest import make_objects
 
@@ -116,7 +123,10 @@ def test_tampered_object_rejected(net):
 def test_fabricated_object_rejected(net):
     results, vo, _ = honest(net)
     ghost = DataObject(
-        object_id=9999, timestamp=10, vector=(1, 1), keywords=frozenset({"Benz", "Sedan"})
+        object_id=9999,
+        timestamp=10,
+        vector=(1, 1),
+        keywords=frozenset({"Benz", "Sedan"}),
     )
     with pytest.raises(VerificationError):
         net.user.verify(QUERY, results + [ghost], vo)
@@ -189,7 +199,9 @@ def test_dropped_result_with_rebuilt_vo_rejected(net):
     forged_results = [o for o in results if o.object_id != leaf.obj.object_id]
     with pytest.raises(VerificationError):
         net.user.verify(
-            QUERY, forged_results, TimeWindowVO(entries=forged_entries, batch_groups=vo.batch_groups)
+            QUERY,
+            forged_results,
+            TimeWindowVO(entries=forged_entries, batch_groups=vo.batch_groups),
         )
 
 
@@ -217,11 +229,17 @@ def test_foreign_clause_rejected(net):
     forged_entries = []
     mutated = False
     for entry in vo.entries:
-        if not mutated and isinstance(entry, VOBlock) and isinstance(entry.root, VOMismatchNode):
+        if (
+            not mutated
+            and isinstance(entry, VOBlock)
+            and isinstance(entry.root, VOMismatchNode)
+        ):
             node = entry.root
             alien = frozenset({"NotAQueryTerm"})
             proof = net.accumulator.prove_disjoint(
-                net.encoder.encode_multiset(net.chain.block(entry.height).index_root.attrs),
+                net.encoder.encode_multiset(
+                    net.chain.block(entry.height).index_root.attrs
+                ),
                 net.encoder.encode_multiset({"NotAQueryTerm": 1}),
             )
             entry = VOBlock(
@@ -237,7 +255,11 @@ def test_foreign_clause_rejected(net):
         forged_entries.append(entry)
     assert mutated
     with pytest.raises(VerificationError):
-        net.user.verify(QUERY, results, TimeWindowVO(entries=forged_entries, batch_groups=vo.batch_groups))
+        net.user.verify(
+            QUERY,
+            results,
+            TimeWindowVO(entries=forged_entries, batch_groups=vo.batch_groups),
+        )
 
 
 def test_mixed_batch_group_clause_rejected(net):
@@ -265,7 +287,9 @@ def test_mixed_batch_group_clause_rejected(net):
         pytest.skip("no group-tagged root mismatch in this VO")
     with pytest.raises(VerificationError):
         net.user.verify(
-            QUERY, results, TimeWindowVO(entries=forged_entries, batch_groups=vo.batch_groups)
+            QUERY,
+            results,
+            TimeWindowVO(entries=forged_entries, batch_groups=vo.batch_groups),
         )
 
 
@@ -273,7 +297,9 @@ def test_missing_batch_group_rejected(net):
     results, vo, _ = honest(net, batch=True)
     assert vo.batch_groups
     with pytest.raises(VerificationError):
-        net.user.verify(QUERY, results, TimeWindowVO(entries=vo.entries, batch_groups={}))
+        net.user.verify(
+            QUERY, results, TimeWindowVO(entries=vo.entries, batch_groups={})
+        )
 
 
 def test_forged_skip_distance_rejected(net):
@@ -289,7 +315,9 @@ def test_forged_skip_distance_rejected(net):
         proof=None,
         group=None,
     )
-    forged = TimeWindowVO(entries=[fake_skip] + list(vo.entries), batch_groups=vo.batch_groups)
+    forged = TimeWindowVO(
+        entries=[fake_skip] + list(vo.entries), batch_groups=vo.batch_groups
+    )
     with pytest.raises(VerificationError):
         net.user.verify(QUERY, results, forged)
 
@@ -301,7 +329,11 @@ def test_tampered_mismatch_digest_rejected(net):
     forged_entries = []
     mutated = False
     for entry in vo.entries:
-        if not mutated and isinstance(entry, VOBlock) and isinstance(entry.root, VOMismatchNode):
+        if (
+            not mutated
+            and isinstance(entry, VOBlock)
+            and isinstance(entry.root, VOMismatchNode)
+        ):
             entry = VOBlock(
                 height=entry.height,
                 root=replace(entry.root, att_digest=fake_digest),
@@ -310,7 +342,11 @@ def test_tampered_mismatch_digest_rejected(net):
         forged_entries.append(entry)
     assert mutated
     with pytest.raises(VerificationError):
-        net.user.verify(QUERY, results, TimeWindowVO(entries=forged_entries, batch_groups=vo.batch_groups))
+        net.user.verify(
+            QUERY,
+            results,
+            TimeWindowVO(entries=forged_entries, batch_groups=vo.batch_groups),
+        )
 
 
 def test_header_substitution_detected(net):

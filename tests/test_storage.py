@@ -140,9 +140,7 @@ def test_codec_rejects_tampered_skip_entries(sim_acc2, encoder_q):
     block = chain.block(5)
     assert block.skip_entries, "test needs a block with skip entries"
     donor = chain.block(4)
-    tampered = replace(
-        block.skip_entries[0], att_digest=donor.index_root.att_digest
-    )
+    tampered = replace(block.skip_entries[0], att_digest=donor.index_root.att_digest)
     evil = Block(
         header=block.header,
         objects=block.objects,
@@ -238,9 +236,7 @@ def test_reopen_restores_identical_chain(tmp_path):
     reopened = open_chain_setup(tmp_path)
     assert len(reopened.chain) == len(original)
     assert reopened.chain.tip.header.block_hash() == tip_hash
-    recovered = [
-        encode_block(reopened.accumulator.backend, b) for b in reopened.chain
-    ]
+    recovered = [encode_block(reopened.accumulator.backend, b) for b in reopened.chain]
     assert recovered == original
     reopened.close()
 
@@ -425,7 +421,9 @@ def test_validation_failure_on_open_releases_the_lock(tmp_path):
     # claim a difficulty the mined nonces never satisfied: recovery's
     # consensus re-check fails *after* the store opened and took the lock
     manifest_path.write_text(
-        manifest_path.read_text().replace('"difficulty_bits": 0', '"difficulty_bits": 30')
+        manifest_path.read_text().replace(
+            '"difficulty_bits": 0', '"difficulty_bits": 30'
+        )
     )
     for _ in range(2):  # a second attempt must not hit a stale flock
         with pytest.raises(ChainError, match="consensus proof invalid"):

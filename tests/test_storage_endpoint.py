@@ -49,9 +49,7 @@ def test_endpoint_reopens_with_identical_answers(tmp_path):
     client = VChainClient.local(endpoint)
     after = _window_query(client)
     after.raise_for_forgery()
-    assert [o.object_id for o in after.results] == [
-        o.object_id for o in before.results
-    ]
+    assert [o.object_id for o in after.results] == [o.object_id for o in before.results]
     assert encode_time_window_vo(backend, after.vo) == vo_before
     endpoint.close()
 

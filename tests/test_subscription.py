@@ -12,7 +12,9 @@ from repro.crypto import get_backend
 from repro.errors import QueryError, SubscriptionError, VerificationError
 from repro.subscribe import SubscriptionClient, SubscriptionEngine
 
-PARAMS = ProtocolParams(mode="both", bits=8, skip_size=3, skip_base=4, difficulty_bits=0)
+PARAMS = ProtocolParams(
+    mode="both", bits=8, skip_size=3, skip_base=4, difficulty_bits=0
+)
 
 
 def make_queries():
@@ -141,7 +143,9 @@ def test_deregister_stops_processing():
     rng = random.Random(4)
     block = miner.mine_block(
         [
-            DataObject(object_id=0, timestamp=0, vector=(1,), keywords=frozenset({"kw1"}))
+            DataObject(
+                object_id=0, timestamp=0, vector=(1,), keywords=frozenset({"kw1"})
+            )
         ],
         timestamp=0,
     )
@@ -202,7 +206,9 @@ def test_client_rejects_untracked_delivery():
 
     with pytest.raises(SubscriptionError):
         client.on_delivery(
-            Delivery(query_id=9, from_height=0, up_to_height=0, results=[], vo=TimeWindowVO())
+            Delivery(
+                query_id=9, from_height=0, up_to_height=0, results=[], vo=TimeWindowVO()
+            )
         )
 
 

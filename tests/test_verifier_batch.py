@@ -33,9 +33,7 @@ def net():
     return network
 
 
-QUERY = TimeWindowQuery(
-    start=0, end=5, boolean=CNFCondition.of([["alpha"], ["beta"]])
-)
+QUERY = TimeWindowQuery(start=0, end=5, boolean=CNFCondition.of([["alpha"], ["beta"]]))
 
 
 def test_two_batch_groups_form_and_verify(net):

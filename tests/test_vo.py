@@ -38,9 +38,7 @@ def test_mismatch_node_size(sim_acc2, encoder_q):
         clause=frozenset({"abc"}),
         proof=proof,
     )
-    expected = (
-        DIGEST_NBYTES + value.nbytes(backend) + 3 + proof.nbytes(backend)
-    )
+    expected = DIGEST_NBYTES + value.nbytes(backend) + 3 + proof.nbytes(backend)
     assert node.nbytes(backend) == expected
     # grouped node omits the proof bytes
     grouped = VOMismatchNode(

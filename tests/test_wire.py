@@ -126,9 +126,7 @@ def test_vo_roundtrip_and_verify(query_setup, batch):
     assert decoded == vo
     # the decoded VO verifies end to end
     verified, _vstats = net.user.verify(query, results, decoded)
-    assert sorted(o.object_id for o in verified) == sorted(
-        o.object_id for o in results
-    )
+    assert sorted(o.object_id for o in verified) == sorted(o.object_id for o in results)
 
 
 def test_response_roundtrip(query_setup):
