@@ -1,4 +1,4 @@
-"""The five repo-specific checkers.
+"""The six repo-specific checkers.
 
 Each rule is a module exposing ``NAME``, ``DESCRIPTION`` and
 ``check(project) -> list[Finding]``; :data:`ALL_RULES` is the registry
@@ -7,9 +7,11 @@ a fixture to ``tests/test_analysis.py``, and document the guarantee in
 docs/ARCHITECTURE.md.
 """
 
-from repro.analysis.rules import backends, codec, exports, locks, pickles
+from repro.analysis.rules import backends, blocking, codec, exports, locks, pickles
 
 #: registry order is report order for equal file/line
-ALL_RULES = (codec, locks, pickles, backends, exports)
+ALL_RULES = (codec, locks, pickles, backends, exports, blocking)
 
-__all__ = sorted(["ALL_RULES", "backends", "codec", "exports", "locks", "pickles"])
+__all__ = sorted(
+    ["ALL_RULES", "backends", "blocking", "codec", "exports", "locks", "pickles"]
+)

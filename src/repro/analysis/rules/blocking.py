@@ -1,0 +1,129 @@
+"""async-discipline: ``async def`` bodies never call blocking primitives.
+
+The asyncio server (``repro/api/aio.py``) multiplexes every connection
+over one event loop; a single blocking call inside a coroutine stalls
+*all* of them at once.  The repo's convention: blocking work leaves the
+loop through ``run_in_executor``, never runs on it.  This rule makes
+that mechanical for the calls that have actually bitten asyncio
+codebases:
+
+* ``socket.*(...)`` — module-level socket operations (``socket.
+  create_connection``, …) block the loop for a full network round trip;
+* ``time.sleep(...)`` — freezes the loop outright (``asyncio.sleep``
+  is the awaitable form);
+* any ``.result(...)`` call — synchronously waiting on a
+  ``concurrent.futures`` future from a coroutine deadlocks the moment
+  the pool needs the loop to make progress (wrap the future or use
+  ``run_in_executor`` and ``await`` instead).
+
+Scope: :mod:`repro.api` (the only subsystem with coroutines).  Only
+the coroutine's own statements count — a nested ``def``/``lambda``
+runs later, on whatever thread calls it, so its body is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import Module, ProjectIndex
+
+NAME = "async-discipline"
+DESCRIPTION = "async def bodies must not call blocking primitives directly"
+
+#: the subsystem that hosts the event loop
+SCOPES = ("repro.api",)
+
+#: modules whose every function blocks (when called as ``module.fn(...)``)
+_BLOCKING_MODULES = {"socket"}
+
+#: specific ``module.function`` calls that block
+_BLOCKING_FUNCTIONS = {("time", "sleep")}
+
+#: blocking zero-argument methods, by attribute name (futures' ``.result()``)
+_BLOCKING_METHODS = {"result"}
+
+
+def _blocking_reason(call: ast.Call) -> str | None:
+    """Why this call blocks the event loop, or ``None`` if it does not."""
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    if isinstance(func.value, ast.Name):
+        if func.value.id in _BLOCKING_MODULES:
+            return f"{func.value.id}.{func.attr}() blocks the event loop"
+        if (func.value.id, func.attr) in _BLOCKING_FUNCTIONS:
+            return (
+                f"{func.value.id}.{func.attr}() freezes the event loop "
+                f"(use asyncio.sleep)"
+            )
+    if func.attr in _BLOCKING_METHODS:
+        return (
+            ".result() waits synchronously on the event loop "
+            "(await the future, or wrap it via run_in_executor)"
+        )
+    return None
+
+
+class _CoroutineBody(ast.NodeVisitor):
+    """Collects Call nodes lexically inside one coroutine's own body.
+
+    Nested ``def``/``async def``/``lambda``/class bodies are skipped:
+    they execute later, off the loop (or as their own coroutine, which
+    gets its own visit).
+    """
+
+    def __init__(self) -> None:
+        self.calls: list[ast.Call] = []
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        pass
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self.calls.append(node)
+        self.generic_visit(node)
+
+
+def _check_coroutine(
+    coroutine: ast.AsyncFunctionDef, context: str, module: Module
+) -> list[Finding]:
+    visitor = _CoroutineBody()
+    for stmt in coroutine.body:
+        visitor.visit(stmt)
+    findings = []
+    for call in visitor.calls:
+        reason = _blocking_reason(call)
+        if reason is not None:
+            findings.append(
+                Finding(
+                    rule=NAME,
+                    path=module.rel,
+                    line=call.lineno,
+                    message=f"async {context} calls a blocking primitive: {reason}",
+                )
+            )
+    return findings
+
+
+def check(project: ProjectIndex) -> list[Finding]:
+    findings: list[Finding] = []
+    for module in project.iter_modules(*SCOPES):
+        for node in module.tree.body:
+            if isinstance(node, ast.AsyncFunctionDef):
+                findings += _check_coroutine(node, node.name, module)
+            elif isinstance(node, ast.ClassDef):
+                for method in node.body:
+                    if isinstance(method, ast.AsyncFunctionDef):
+                        findings += _check_coroutine(
+                            method, f"{node.name}.{method.name}", module
+                        )
+    return findings

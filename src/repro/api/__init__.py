@@ -5,11 +5,16 @@ The transport-ready surface over the paper's machinery: a fluent
 :class:`VerifiedDelivery` results, a :class:`SubscriptionStream`, and
 pluggable :class:`Transport` implementations (in-process
 :class:`LocalTransport`, length-prefixed :class:`SocketTransport`).
-See ``docs/API.md`` for the guided tour.
+The socket protocol is served either by the asyncio
+:class:`AsyncSocketServer` (the default: one event loop, admission
+control, rate limits, slow-client eviction) or the thread-per-connection
+:class:`SocketServer`.  See ``docs/API.md`` for the guided tour.
 """
 
+from repro.api.aio import AsyncSocketServer, ServerCounters
 from repro.api.builder import QueryBuilder
 from repro.api.client import SubscriptionStream, VChainClient
+from repro.api.options import ClientOptions
 from repro.api.response import VerifiedDelivery, VerifiedResponse
 from repro.api.service import ClientSession, EndpointStats, ServiceEndpoint
 from repro.api.transport import (
@@ -19,13 +24,17 @@ from repro.api.transport import (
     Transport,
     TransportError,
     dispatch_request,
+    perform_request,
 )
 
 __all__ = [
+    "AsyncSocketServer",
+    "ClientOptions",
     "ClientSession",
     "EndpointStats",
     "LocalTransport",
     "QueryBuilder",
+    "ServerCounters",
     "ServiceEndpoint",
     "SocketServer",
     "SocketTransport",
@@ -36,6 +45,7 @@ __all__ = [
     "VerifiedDelivery",
     "VerifiedResponse",
     "dispatch_request",
+    "perform_request",
     "serve",
 ]
 

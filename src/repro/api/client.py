@@ -38,10 +38,18 @@ from repro.core.user import QueryUser
 from repro.errors import SubscriptionError, VerificationError
 from repro.subscribe.client import SubscriptionClient
 from repro.subscribe.engine import Delivery
+from repro.wire import ServerStats
 from repro.api.builder import QueryBuilder
+from repro.api.options import ClientOptions
 from repro.api.response import VerifiedDelivery, VerifiedResponse
 from repro.api.service import ServiceEndpoint
-from repro.api.transport import LocalTransport, SocketTransport, Transport
+from repro.api.transport import (
+    _TIMEOUT_UNSET,
+    LocalTransport,
+    SocketTransport,
+    Transport,
+    _resolve_options,
+)
 
 
 class VChainClient:
@@ -93,14 +101,21 @@ class VChainClient:
         encoder: ElementEncoder,
         params: ProtocolParams,
         user: QueryUser | None = None,
-        timeout: float | None = None,
+        timeout: float | None = _TIMEOUT_UNSET,
+        *,
+        options: ClientOptions | None = None,
     ) -> "VChainClient":
         """Client over the length-prefixed socket transport.
 
-        ``timeout`` bounds every socket operation so a hung server
-        raises instead of blocking the caller forever.
+        ``options`` (a :class:`~repro.api.options.ClientOptions`)
+        carries every transport knob: connect timeout, per-request
+        deadline, retries, backoff.  The bare ``timeout=`` kwarg is the
+        deprecated pre-options spelling and maps to
+        ``ClientOptions(connect_timeout=timeout,
+        request_deadline=timeout)``.
         """
-        transport = SocketTransport(address, accumulator.backend, timeout=timeout)
+        resolved = _resolve_options(options, timeout, "VChainClient.connect")
+        transport = SocketTransport(address, accumulator.backend, options=resolved)
         return cls(transport, accumulator, encoder, params, user=user)
 
     # -- fluent entrypoints ------------------------------------------------
@@ -207,6 +222,18 @@ class VChainClient:
         """Pull any block headers the light node is missing."""
         headers = self.transport.headers(from_height=len(self.user.light))
         return self.user.light.sync(self.user.light.headers() + headers)
+
+    def server_stats(self) -> ServerStats:
+        """The server's observability snapshot, typed end to end.
+
+        Over a socket transport this is a real wire request; against a
+        :class:`~repro.api.transport.LocalTransport` it reads the
+        endpoint directly.  Either way the answer is the server-side
+        :meth:`~repro.api.service.ServiceEndpoint.stats` snapshot —
+        endpoint counters, cache and pool stats, and (when a socket
+        server is attached) its admission/rate-limit/eviction counters.
+        """
+        return self.transport.server_stats()
 
     def close(self) -> None:
         self.transport.close()

@@ -25,9 +25,13 @@ directory::
 included — a stand-in for a trusted-setup ceremony, not public key
 material; see :func:`repro.storage.bootstrap.open_deployment`.)
 
-``serve()`` is the embeddable form: it returns the running
-:class:`~repro.api.transport.SocketServer` (whose endpoint owns the
-store) and leaves the waiting/shutdown choreography to the caller.
+``serve()`` is the embeddable form: it returns the running server
+(whose endpoint owns the store) and leaves the waiting/shutdown
+choreography to the caller.  The default server is the asyncio
+:class:`~repro.api.aio.AsyncSocketServer` — one event loop multiplexing
+every connection, with admission control, per-client rate limits and
+slow-client eviction; ``--threaded`` (or ``threaded=True``) restores
+the thread-per-connection :class:`~repro.api.transport.SocketServer`.
 """
 
 from __future__ import annotations
@@ -36,6 +40,7 @@ import argparse
 import os
 from typing import Any
 
+from repro.api.aio import AsyncSocketServer
 from repro.api.service import ServiceEndpoint
 from repro.api.transport import SocketServer
 
@@ -45,23 +50,43 @@ def serve(
     host: str = "127.0.0.1",
     port: int = 0,
     *,
+    threaded: bool = False,
     idle_timeout: float | None = None,
+    max_inflight: int | None = None,
+    rate_limit: float | None = None,
     **endpoint_options: Any,
-) -> SocketServer:
+) -> SocketServer | AsyncSocketServer:
     """Reopen ``data_dir`` and serve it; returns the started server.
 
     ``server.stop()`` followed by ``server.endpoint.close()`` shuts the
     whole stack down, syncing the store.  ``endpoint_options`` are
     forwarded to :meth:`ServiceEndpoint.open` (``max_workers=``,
     ``cache_fragments=``, ``lazy=``, ...).
+
+    ``max_inflight`` and ``rate_limit`` are the async server's traffic
+    hygiene knobs; ``idle_timeout`` applies to the threaded server.
     """
     endpoint = ServiceEndpoint.open(data_dir, **endpoint_options)
     try:
-        server = SocketServer(endpoint, host, port, idle_timeout=idle_timeout)
+        server: SocketServer | AsyncSocketServer
+        if threaded:
+            server = SocketServer(endpoint, host, port, idle_timeout=idle_timeout)
+        else:
+            server = AsyncSocketServer(
+                endpoint,
+                host,
+                port,
+                max_inflight=max_inflight,
+                rate_limit=rate_limit,
+            )
     except Exception:
         endpoint.close()
         raise
-    return server.start()
+    try:
+        return server.start()
+    except Exception:
+        endpoint.close()
+        raise
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -87,10 +112,30 @@ def main(argv: list[str] | None = None) -> int:
         "proving and subscription work fan out across them",
     )
     parser.add_argument(
+        "--threaded",
+        action="store_true",
+        help="serve with the thread-per-connection SocketServer instead "
+        "of the default asyncio server",
+    )
+    parser.add_argument(
         "--idle-timeout",
         type=float,
         default=300.0,
-        help="seconds before an idle connection is reaped (0 disables)",
+        help="seconds before an idle connection is reaped (0 disables; "
+        "threaded server only)",
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="admission gate: reject (typed busy error) once this many "
+        "requests are in flight (async server only)",
+    )
+    parser.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        help="per-client requests/second token bucket (async server only)",
     )
     parser.add_argument(
         "--no-fsync",
@@ -103,7 +148,10 @@ def main(argv: list[str] | None = None) -> int:
         args.data_dir,
         args.host,
         args.port,
+        threaded=args.threaded,
         idle_timeout=args.idle_timeout or None,
+        max_inflight=args.max_inflight,
+        rate_limit=args.rate_limit,
         max_workers=args.max_workers,
         workers=args.workers,
         fsync=not args.no_fsync,

@@ -39,7 +39,7 @@ import threading
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, cast
+from typing import Any, Callable, cast
 
 from repro.cache import CacheStats, ProofCache, VOFragmentCache
 from repro.chain.block import BlockHeader
@@ -51,6 +51,7 @@ from repro.core.vo import TimeWindowVO
 from repro.errors import ReproError, SubscriptionError
 from repro.parallel import CryptoPool, ParallelConfig, make_pool
 from repro.subscribe.engine import Delivery, SubscriptionEngine
+from repro.wire import Scalar, ServerStats
 
 
 @dataclass
@@ -215,6 +216,7 @@ class ServiceEndpoint:
         )
         self._closed = False
         self._owns_store = False
+        self._server_counters: Callable[[], dict[str, int]] | None = None
 
     @classmethod
     def open(
@@ -291,14 +293,39 @@ class ServiceEndpoint:
         """The live :class:`~repro.parallel.CryptoPool`, if any."""
         return self._owned_pool or self._inherited_pool
 
+    @property
+    def executor(self) -> ThreadPoolExecutor:
+        """The query worker pool, for transports that schedule into it.
+
+        The async socket server dispatches every request body through
+        ``loop.run_in_executor(endpoint.executor, ...)`` so connection
+        multiplexing (the event loop) and crypto concurrency
+        (``max_workers``) stay independent knobs — exactly as they are
+        for the threaded server.
+        """
+        return self._pool
+
+    def attach_server(self, counters: Callable[[], dict[str, int]] | None) -> None:
+        """Register (or clear) a socket server's counter snapshot.
+
+        A running server attaches its transport-level counters —
+        admission rejections, rate limiting, evictions — so one
+        :meth:`stats` call covers the whole serving stack.  Pass
+        ``None`` on server stop.
+        """
+        with self._lock:
+            self._server_counters = counters
+
     def stats(self) -> dict[str, object]:
-        """One observability snapshot: endpoint, caches, engine, pool.
+        """One observability snapshot: endpoint, caches, engine, pool,
+        and — when a socket server is attached — its transport counters.
 
         Everything a load generator or dashboard needs, as plain JSON-
         ready dicts (see ``benchmarks/bench_load.py`` for the consumer).
         """
         engine = self.engine.stats
         pool = self.pool
+        server = self._server_counters
         return {
             "endpoint": self.counters.as_dict(),
             "caches": {
@@ -312,9 +339,51 @@ class ServiceEndpoint:
                 "parallel_tasks": engine.parallel_tasks,
             },
             "pool": pool.stats().as_info() if pool is not None else None,
+            "server": server() if server is not None else None,
         }
 
+    def server_stats(self) -> ServerStats:
+        """The :meth:`stats` snapshot in its typed, wire-ready form.
+
+        This is what :class:`~repro.api.client.VChainClient`'s
+        ``server_stats()`` receives over any transport — the socket
+        server answers a stats request with exactly this object.
+        """
+        snapshot = self.stats()
+        return ServerStats(
+            endpoint=cast("dict[str, Scalar]", snapshot["endpoint"]),
+            caches=cast("dict[str, dict[str, Scalar]]", snapshot["caches"]),
+            engine=cast("dict[str, Scalar]", snapshot["engine"]),
+            pool=cast("dict[str, Scalar] | None", snapshot["pool"]),
+            server=cast("dict[str, Scalar] | None", snapshot["server"]),
+        )
+
     # -- time-window queries ----------------------------------------------
+    def query_inline(
+        self, query: TimeWindowQuery, batch: bool | None = None
+    ) -> tuple[list[DataObject], TimeWindowVO, QueryStats]:
+        """Run one query on the *calling* thread, with the shared caches.
+
+        This is the unit of work :meth:`time_window_query` submits to
+        the worker pool.  Transports that already sit on a pool thread
+        — the async server dispatches whole request bodies through
+        ``run_in_executor`` — call it directly, so a query never
+        occupies two workers (or deadlocks a saturated pool by
+        submitting from inside it).
+        """
+        if self._closed:
+            raise ReproError("service endpoint is closed")
+        self.counters.bump("queries")
+        return cast(
+            "tuple[list[DataObject], TimeWindowVO, QueryStats]",
+            self.sp.processor.time_window_query(
+                query,
+                batch=batch,
+                fragment_cache=self.fragment_cache,
+                proof_cache=self.proof_cache,
+            ),
+        )
+
     def time_window_query(
         self, query: TimeWindowQuery, batch: bool | None = None
     ) -> tuple[list[DataObject], TimeWindowVO, QueryStats]:
@@ -326,20 +395,11 @@ class ServiceEndpoint:
         """
         if self._closed:
             raise ReproError("service endpoint is closed")
-        self.counters.bump("queries")
         try:
-            future = self._pool.submit(
-                self.sp.processor.time_window_query,
-                query,
-                batch=batch,
-                fragment_cache=self.fragment_cache,
-                proof_cache=self.proof_cache,
-            )
+            future = self._pool.submit(self.query_inline, query, batch=batch)
         except RuntimeError:  # pool shut down between check and submit
             raise ReproError("service endpoint is closed") from None
-        return cast(
-            "tuple[list[DataObject], TimeWindowVO, QueryStats]", future.result()
-        )
+        return future.result()
 
     # -- subscriptions -----------------------------------------------------
     def register(

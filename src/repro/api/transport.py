@@ -25,7 +25,9 @@ from __future__ import annotations
 import socket
 import struct
 import threading
-from typing import Protocol
+import time
+import warnings
+from typing import Callable, Protocol
 
 from repro.chain.block import BlockHeader
 from repro.chain.object import DataObject
@@ -35,19 +37,25 @@ from repro.core.vo import TimeWindowVO
 from repro.crypto.backend import PairingBackend
 from repro.errors import (
     CryptoError,
+    DeadlineExpiredError,
     QueryError,
     ReproError,
+    ServerBusyError,
     SubscriptionError,
     VerificationError,
 )
 from repro.subscribe.engine import Delivery
 from repro.wire import (
+    BareRequest,
     DeregisterRequest,
+    EnvelopeRequest,
     FlushRequest,
     HeadersRequest,
     PollRequest,
     QueryRequest,
     RegisterRequest,
+    ServerStats,
+    StatsRequest,
     WireError,
     decode_deliveries,
     decode_error,
@@ -56,6 +64,7 @@ from repro.wire import (
     decode_query_response,
     decode_register_response,
     decode_request,
+    decode_stats_response,
     encode_deliveries,
     encode_error,
     encode_flush_response,
@@ -63,7 +72,10 @@ from repro.wire import (
     encode_query_response,
     encode_register_response,
     encode_request,
+    encode_stats_response,
+    peek_deadline,
 )
+from repro.api.options import ClientOptions
 from repro.api.service import ClientSession, ServiceEndpoint
 
 _STATUS_OK = 0
@@ -79,6 +91,8 @@ _ERROR_CLASSES: dict[str, type[ReproError]] = {
     "verification": VerificationError,
     "wire": WireError,
     "crypto": CryptoError,
+    "busy": ServerBusyError,
+    "deadline": DeadlineExpiredError,
     "error": ReproError,
 }
 
@@ -113,6 +127,8 @@ class Transport(Protocol):
 
     def headers(self, from_height: int = 0) -> list[BlockHeader]: ...
 
+    def server_stats(self) -> ServerStats: ...
+
     def close(self) -> None: ...
 
 
@@ -144,6 +160,9 @@ class LocalTransport:
     def headers(self, from_height: int = 0) -> list[BlockHeader]:
         return self.endpoint.headers(from_height)
 
+    def server_stats(self) -> ServerStats:
+        return self.endpoint.server_stats()
+
     def close(self) -> None:
         pass
 
@@ -172,24 +191,79 @@ def _recv_frame(sock: socket.socket) -> bytes:
     return _recv_exact(sock, length)
 
 
+#: sentinel distinguishing "not passed" from an explicit ``timeout=None``
+_TIMEOUT_UNSET: float = -1.0
+
+
+def _resolve_options(
+    options: ClientOptions | None, timeout: float | None, caller: str
+) -> ClientOptions:
+    """Fold the deprecated ``timeout=`` kwarg into :class:`ClientOptions`."""
+    if timeout == _TIMEOUT_UNSET:
+        return options or ClientOptions()
+    warnings.warn(
+        f"{caller}(timeout=...) is deprecated; pass options="
+        "ClientOptions(connect_timeout=..., request_deadline=...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    if options is not None:
+        raise ValueError("pass either the deprecated timeout= or options=, not both")
+    return ClientOptions(connect_timeout=timeout, request_deadline=timeout)
+
+
 class SocketTransport:
     """Client side of the length-prefixed TCP protocol.
 
-    ``timeout`` (seconds) bounds every socket operation, so a hung or
-    overloaded server surfaces as :class:`TransportError` instead of
-    blocking the client forever.
+    Behaviour is configured through one :class:`ClientOptions` bag:
+    ``connect_timeout`` bounds dialing, ``request_deadline`` bounds
+    every request (client-side socket timeout *and* a server-side
+    deadline carried in the request envelope), and ``retries`` /
+    ``backoff`` govern reconnect-and-retry for idempotent requests and
+    :class:`~repro.errors.ServerBusyError` rejections.
+
+    The ``timeout=`` kwarg is the deprecated pre-:class:`ClientOptions`
+    form and maps to ``connect_timeout=timeout, request_deadline=
+    timeout`` (its historical meaning).
     """
 
     def __init__(
         self,
         address: tuple[str, int],
         backend: PairingBackend,
-        timeout: float | None = None,
+        timeout: float | None = _TIMEOUT_UNSET,
+        *,
+        options: ClientOptions | None = None,
     ) -> None:
         self.backend = backend
-        self._sock = socket.create_connection(address, timeout=timeout)
-        self._sock.settimeout(timeout)
+        self.address = address
+        self.options = _resolve_options(options, timeout, "SocketTransport")
         self._lock = threading.Lock()
+        self._sock = self._connect()
+
+    def _connect(self) -> socket.socket:
+        opts = self.options
+        last: Exception | None = None
+        for attempt in range(opts.retries + 1):
+            if attempt:
+                time.sleep(opts.backoff * (2 ** (attempt - 1)))
+            try:
+                sock = socket.create_connection(
+                    self.address, timeout=opts.connect_timeout
+                )
+                sock.settimeout(opts.request_deadline)
+                return sock
+            except OSError as exc:
+                last = exc
+        raise TransportError(f"could not connect to {self.address}: {last}") from last
+
+    def _reconnect(self) -> None:
+        with self._lock:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = self._connect()
 
     def _request(self, payload: bytes) -> bytes:
         with self._lock:
@@ -205,34 +279,69 @@ class SocketTransport:
             raise _ERROR_CLASSES.get(kind, ReproError)(message)
         raise TransportError(f"unknown response status {status}")
 
+    def _call(self, request: BareRequest, *, idempotent: bool) -> bytes:
+        """One request with the options-driven retry policy.
+
+        Busy rejections are safe to retry for every request kind (the
+        server rejected before doing any work).  Link failures retry
+        only idempotent requests — a resent ``register`` could double-
+        register if the loss hit the response, not the request.
+        """
+        deadline_ms = self.options.deadline_ms()
+        wire_request: BareRequest | EnvelopeRequest = request
+        if deadline_ms is not None:
+            wire_request = EnvelopeRequest(request=request, deadline_ms=deadline_ms)
+        payload = encode_request(wire_request)
+        last: Exception | None = None
+        for attempt in range(self.options.retries + 1):
+            if attempt:
+                time.sleep(self.options.backoff * (2 ** (attempt - 1)))
+            try:
+                return self._request(payload)
+            except ServerBusyError as exc:
+                last = exc  # rejected pre-execution; the link is fine
+            except (TransportError, OSError) as exc:
+                last = exc
+                if not idempotent:
+                    raise
+                try:
+                    self._reconnect()
+                except TransportError as reconnect_exc:
+                    last = reconnect_exc
+        assert last is not None
+        raise last
+
     def time_window_query(
         self, query: TimeWindowQuery, batch: bool | None = None
     ) -> tuple[list[DataObject], TimeWindowVO, QueryStats]:
-        body = self._request(encode_request(QueryRequest(query=query, batch=batch)))
+        body = self._call(QueryRequest(query=query, batch=batch), idempotent=True)
         return decode_query_response(self.backend, body)
 
     def register(
         self, query: SubscriptionQuery, since_height: int | None = None
     ) -> tuple[int, int]:
-        body = self._request(
-            encode_request(RegisterRequest(query=query, since_height=since_height))
+        body = self._call(
+            RegisterRequest(query=query, since_height=since_height), idempotent=False
         )
         return decode_register_response(body)
 
     def deregister(self, query_id: int) -> None:
-        self._request(encode_request(DeregisterRequest(query_id=query_id)))
+        self._call(DeregisterRequest(query_id=query_id), idempotent=False)
 
     def poll(self, query_id: int) -> list[Delivery]:
-        body = self._request(encode_request(PollRequest(query_id=query_id)))
+        body = self._call(PollRequest(query_id=query_id), idempotent=False)
         return decode_deliveries(self.backend, body)
 
     def flush(self, query_id: int) -> Delivery | None:
-        body = self._request(encode_request(FlushRequest(query_id=query_id)))
+        body = self._call(FlushRequest(query_id=query_id), idempotent=False)
         return decode_flush_response(self.backend, body)
 
     def headers(self, from_height: int = 0) -> list[BlockHeader]:
-        body = self._request(encode_request(HeadersRequest(from_height=from_height)))
+        body = self._call(HeadersRequest(from_height=from_height), idempotent=True)
         return decode_headers_response(body)
+
+    def server_stats(self) -> ServerStats:
+        return decode_stats_response(self._call(StatsRequest(), idempotent=True))
 
     def close(self) -> None:
         try:
@@ -247,11 +356,65 @@ class SocketTransport:
         self.close()
 
 
+#: signature of :meth:`ServiceEndpoint.time_window_query` — servers that
+#: already run request handlers *on* the endpoint's worker pool pass
+#: :meth:`ServiceEndpoint.query_inline` instead, to avoid a pool deadlock
+QueryRunner = Callable[
+    [TimeWindowQuery, bool | None],
+    tuple[list[DataObject], TimeWindowVO, QueryStats],
+]
+
+
+def perform_request(
+    endpoint: ServiceEndpoint,
+    backend: PairingBackend,
+    request: BareRequest,
+    session: "ClientSession | None" = None,
+    *,
+    deadline_at: float | None = None,
+    query_runner: QueryRunner | None = None,
+) -> bytes:
+    """Run one decoded request and encode its response body.
+
+    Raises on failure; :func:`dispatch_request` owns the framing and
+    error-to-frame mapping.  ``deadline_at`` is a ``time.monotonic()``
+    instant: requests already past it are abandoned up front rather
+    than charged against the worker pool.
+    """
+    if deadline_at is not None and time.monotonic() >= deadline_at:
+        raise DeadlineExpiredError("deadline expired before execution")
+    if isinstance(request, QueryRequest):
+        run = query_runner if query_runner is not None else endpoint.time_window_query
+        results, vo, stats = run(request.query, request.batch)
+        return encode_query_response(backend, results, vo, stats)
+    if isinstance(request, RegisterRequest):
+        query_id, since = endpoint.register(
+            request.query, since_height=request.since_height
+        )
+        if session is not None:
+            session.track(query_id)
+        return encode_register_response(query_id, since)
+    if isinstance(request, DeregisterRequest):
+        endpoint.deregister(request.query_id)
+        if session is not None:
+            session.untrack(request.query_id)
+        return b""
+    if isinstance(request, PollRequest):
+        return encode_deliveries(backend, endpoint.poll(request.query_id))
+    if isinstance(request, FlushRequest):
+        return encode_flush_response(backend, endpoint.flush(request.query_id))
+    if isinstance(request, StatsRequest):
+        return encode_stats_response(endpoint.server_stats())
+    return encode_headers_response(endpoint.headers(request.from_height))
+
+
 def dispatch_request(
     endpoint: ServiceEndpoint,
     backend: PairingBackend,
     payload: bytes,
     session: "ClientSession | None" = None,
+    *,
+    query_runner: QueryRunner | None = None,
 ) -> bytes:
     """Decode one request frame, run it, encode the response frame body.
 
@@ -260,32 +423,29 @@ def dispatch_request(
     including non-:class:`ReproError` server bugs — become error frames
     rather than escaping, so one bad request never kills a connection
     handler (per-session error isolation).
+
+    If the frame is a deadline envelope, the budget is enforced twice:
+    expired-on-arrival requests are rejected before any work, and a
+    result whose deadline lapsed mid-execution is discarded in favour of
+    a ``deadline`` error frame (the client has already given up on it).
     """
     try:
-        request = decode_request(payload)
-        if isinstance(request, QueryRequest):
-            results, vo, stats = endpoint.time_window_query(
-                request.query, batch=request.batch
-            )
-            body = encode_query_response(backend, results, vo, stats)
-        elif isinstance(request, RegisterRequest):
-            query_id, since = endpoint.register(
-                request.query, since_height=request.since_height
-            )
-            if session is not None:
-                session.track(query_id)
-            body = encode_register_response(query_id, since)
-        elif isinstance(request, DeregisterRequest):
-            endpoint.deregister(request.query_id)
-            if session is not None:
-                session.untrack(request.query_id)
-            body = b""
-        elif isinstance(request, PollRequest):
-            body = encode_deliveries(backend, endpoint.poll(request.query_id))
-        elif isinstance(request, FlushRequest):
-            body = encode_flush_response(backend, endpoint.flush(request.query_id))
-        else:
-            body = encode_headers_response(endpoint.headers(request.from_height))
+        deadline_ms, inner = peek_deadline(payload)
+        deadline_at = (
+            time.monotonic() + deadline_ms / 1000.0 if deadline_ms is not None else None
+        )
+        request = decode_request(inner)
+        assert not isinstance(request, EnvelopeRequest)  # peek_deadline unwrapped it
+        body = perform_request(
+            endpoint,
+            backend,
+            request,
+            session=session,
+            deadline_at=deadline_at,
+            query_runner=query_runner,
+        )
+        if deadline_at is not None and time.monotonic() >= deadline_at:
+            raise DeadlineExpiredError("deadline expired during execution")
     except ReproError as exc:
         return bytes([_STATUS_ERROR]) + encode_error(_error_kind(exc), str(exc))
     except Exception as exc:  # isolate server bugs to the offending request
@@ -389,15 +549,33 @@ class SocketServer:
     def stop(self, drain: bool = True, timeout: float = 5.0) -> None:
         """Stop serving.  With ``drain``, in-flight requests finish and
         their responses are sent before connections close; without it,
-        connections are torn down immediately."""
+        connections are torn down immediately.
+
+        ``timeout`` is a total budget shared by every join in the
+        shutdown (accept thread included), not a per-thread allowance.
+        Threads still alive when it runs out are reported with a
+        ``RuntimeWarning`` naming them — a hung prover is something the
+        operator should hear about, not something ``stop()`` swallows.
+        """
+        budget_end = time.monotonic() + timeout
         with self._conn_lock:
             self._closing = True
+        try:
+            # close() alone does not wake a thread blocked in accept()
+            # on Linux; shutdown() does, so the accept thread exits now
+            # instead of silently eating the join budget
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
         try:
             self._listener.close()
         except OSError:
             pass
+        stragglers: list[threading.Thread] = []
         if self._accept_thread is not None:
-            self._accept_thread.join(timeout=1.0)
+            self._accept_thread.join(timeout=max(0.0, budget_end - time.monotonic()))
+            if self._accept_thread.is_alive():
+                stragglers.append(self._accept_thread)
         with self._conn_lock:
             conns = list(self._conns)
         for conn in conns:
@@ -410,7 +588,9 @@ class SocketServer:
         with self._conn_lock:
             threads = list(self._threads)
         for thread in threads:
-            thread.join(timeout=timeout if drain else 0.5)
+            thread.join(timeout=max(0.0, budget_end - time.monotonic()))
+            if thread.is_alive():
+                stragglers.append(thread)
         with self._conn_lock:
             leftovers = list(self._conns)
         for conn in leftovers:
@@ -418,6 +598,14 @@ class SocketServer:
                 conn.close()
             except OSError:
                 pass
+        if stragglers:
+            names = ", ".join(t.name for t in stragglers)
+            warnings.warn(
+                f"SocketServer.stop() timed out after {timeout}s with "
+                f"{len(stragglers)} thread(s) still running: {names}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     def __enter__(self) -> "SocketServer":
         return self.start()

@@ -57,3 +57,21 @@ class ParallelError(ReproError):
 
 class SubscriptionError(ReproError):
     """Subscription lifecycle misuse (double registration, unknown id)."""
+
+
+class ServerBusyError(ReproError):
+    """The server refused the request under load (admission gate or
+    per-client rate limit).  Deliberately cheap to produce: the request
+    was rejected *before* any proving work, so a client seeing this
+    should back off and retry rather than assume the answer is wrong.
+    """
+
+
+class DeadlineExpiredError(ReproError):
+    """The request's deadline lapsed before its response could be sent.
+
+    The deadline travels with the request (see
+    :class:`~repro.wire.EnvelopeRequest`); the server checks it both
+    before starting the work and after the work completes, so a reply
+    that would arrive uselessly late is replaced by this error.
+    """

@@ -64,6 +64,8 @@ REQ_DEREGISTER = 3
 REQ_POLL = 4
 REQ_FLUSH = 5
 REQ_HEADERS = 6
+REQ_STATS = 7
+REQ_ENVELOPE = 8
 
 #: sanity bounds for attacker-controlled counts
 MAX_DIMS = 64
@@ -71,6 +73,8 @@ MAX_CLAUSES = 4096
 MAX_CLAUSE_SIZE = 4096
 MAX_DELIVERIES = 1 << 16
 MAX_HEADERS = 1 << 22
+MAX_INFO_ENTRIES = 256
+MAX_INFO_SECTIONS = 16
 
 
 # -- request dataclasses ------------------------------------------------------
@@ -110,14 +114,40 @@ class HeadersRequest:
     from_height: int = 0
 
 
-Request = (
+@dataclass(frozen=True)
+class StatsRequest:
+    """Ask the server for its :class:`ServerStats` snapshot."""
+
+
+#: the request forms an envelope may wrap (everything but itself)
+BareRequest = (
     QueryRequest
     | RegisterRequest
     | DeregisterRequest
     | PollRequest
     | FlushRequest
     | HeadersRequest
+    | StatsRequest
 )
+
+
+@dataclass(frozen=True)
+class EnvelopeRequest:
+    """A request plus per-request metadata the *transport* consumes.
+
+    ``deadline_ms`` is the client's remaining latency budget in
+    milliseconds, measured from the moment the server receives the
+    frame.  A server that cannot answer within the budget replies with
+    a ``deadline`` error instead of a uselessly late response.  The
+    envelope wraps the inner request bytes unchanged, so old clients
+    (which never send envelopes) keep working against new servers.
+    """
+
+    request: BareRequest
+    deadline_ms: int | None = None
+
+
+Request = BareRequest | EnvelopeRequest
 
 
 # -- query bodies -------------------------------------------------------------
@@ -265,6 +295,18 @@ def encode_request(request: Request) -> bytes:
     elif isinstance(request, HeadersRequest):
         writer.byte(REQ_HEADERS)
         writer.uvarint(request.from_height)
+    elif isinstance(request, StatsRequest):
+        writer.byte(REQ_STATS)
+    elif isinstance(request, EnvelopeRequest):
+        if isinstance(request.request, EnvelopeRequest):
+            raise WireError("nested request envelopes are not allowed")
+        writer.byte(REQ_ENVELOPE)
+        if request.deadline_ms is None:
+            writer.byte(_ABSENT)
+        else:
+            writer.byte(_PRESENT)
+            writer.uvarint(request.deadline_ms)
+        writer.raw(encode_request(request.request))
     else:
         raise WireError(f"unknown request type {type(request).__name__}")
     return writer.getvalue()
@@ -299,10 +341,34 @@ def decode_request(data: bytes) -> Request:
         request = FlushRequest(query_id=reader.uvarint())
     elif tag == REQ_HEADERS:
         request = HeadersRequest(from_height=reader.uvarint())
+    elif tag == REQ_STATS:
+        request = StatsRequest()
+    elif tag == REQ_ENVELOPE:
+        deadline_ms = reader.uvarint() if reader.byte() == _PRESENT else None
+        inner = decode_request(reader.raw(reader.remaining))
+        if isinstance(inner, EnvelopeRequest):
+            raise WireError("nested request envelopes are not allowed")
+        request = EnvelopeRequest(request=inner, deadline_ms=deadline_ms)
     else:
         raise WireError(f"unknown request tag {tag}")
     reader.expect_end()
     return request
+
+
+def peek_deadline(payload: bytes) -> tuple[int | None, bytes]:
+    """Split a request frame into ``(deadline_ms, inner payload)``.
+
+    Cheap by construction — the envelope header is a tag byte, a
+    presence byte and one varint, so a serving loop can read the
+    deadline *before* committing any parsing or proving work to the
+    request.  Non-envelope frames pass through as ``(None, payload)``.
+    """
+    if not payload or payload[0] != REQ_ENVELOPE:
+        return None, payload
+    reader = Reader(payload)
+    reader.byte()
+    deadline_ms = reader.uvarint() if reader.byte() == _PRESENT else None
+    return deadline_ms, reader.raw(reader.remaining)
 
 
 # -- response bodies ----------------------------------------------------------
@@ -447,6 +513,118 @@ def decode_headers_response(data: bytes) -> list[BlockHeader]:
     headers = [read_header(reader) for _ in range(count)]
     reader.expect_end()
     return headers
+
+
+# -- server stats -------------------------------------------------------------
+#: the value types a stats section may carry
+Scalar = int | float | str
+
+_SCALAR_INT = 0
+_SCALAR_FLOAT = 1
+_SCALAR_TEXT = 2
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """Typed observability snapshot of one serving endpoint.
+
+    The wire form of :meth:`~repro.api.service.ServiceEndpoint.stats`:
+    ``endpoint`` carries the request counters, ``caches`` one section
+    per serving cache, ``engine`` the subscription-engine counters,
+    ``pool`` the crypto-pool snapshot (``None`` without a pool) and
+    ``server`` the transport-level counters — admission rejections,
+    rate limiting, evictions — when a socket server is attached
+    (``None`` for a bare in-process endpoint).
+    """
+
+    endpoint: dict[str, Scalar]
+    caches: dict[str, dict[str, Scalar]]
+    engine: dict[str, Scalar]
+    pool: dict[str, Scalar] | None
+    server: dict[str, Scalar] | None
+
+
+def _write_scalar(writer: Writer, value: Scalar) -> None:
+    if isinstance(value, bool) or not isinstance(value, (int, float, str)):
+        raise WireError(f"stats values must be int/float/str, got {value!r}")
+    if isinstance(value, int):
+        if value < 0:
+            raise WireError("stats counters are non-negative")
+        writer.byte(_SCALAR_INT)
+        writer.uvarint(value)
+    elif isinstance(value, float):
+        writer.byte(_SCALAR_FLOAT)
+        writer.raw(struct.pack(">d", value))
+    else:
+        writer.byte(_SCALAR_TEXT)
+        writer.text(value)
+
+
+def _read_scalar(reader: Reader) -> Scalar:
+    tag = reader.byte()
+    if tag == _SCALAR_INT:
+        return reader.uvarint()
+    if tag == _SCALAR_FLOAT:
+        (value,) = struct.unpack(">d", reader.raw(8))
+        return float(value)
+    if tag == _SCALAR_TEXT:
+        return reader.text()
+    raise WireError(f"unknown stats scalar tag {tag}")
+
+
+def _write_info(writer: Writer, info: dict[str, Scalar]) -> None:
+    writer.uvarint(len(info))
+    for key in sorted(info):  # canonical: one byte string per snapshot
+        writer.text(key)
+        _write_scalar(writer, info[key])
+
+
+def _read_info(reader: Reader) -> dict[str, Scalar]:
+    count = reader.uvarint()
+    if count > MAX_INFO_ENTRIES:
+        raise WireError("implausibly many entries in a stats section")
+    return {reader.text(): _read_scalar(reader) for _ in range(count)}
+
+
+def _write_optional_info(writer: Writer, info: dict[str, Scalar] | None) -> None:
+    if info is None:
+        writer.byte(_ABSENT)
+    else:
+        writer.byte(_PRESENT)
+        _write_info(writer, info)
+
+
+def _read_optional_info(reader: Reader) -> dict[str, Scalar] | None:
+    return _read_info(reader) if reader.byte() == _PRESENT else None
+
+
+def encode_stats_response(stats: ServerStats) -> bytes:
+    writer = Writer()
+    _write_info(writer, stats.endpoint)
+    writer.uvarint(len(stats.caches))
+    for name in sorted(stats.caches):
+        writer.text(name)
+        _write_info(writer, stats.caches[name])
+    _write_info(writer, stats.engine)
+    _write_optional_info(writer, stats.pool)
+    _write_optional_info(writer, stats.server)
+    return writer.getvalue()
+
+
+def decode_stats_response(data: bytes) -> ServerStats:
+    reader = Reader(data)
+    endpoint = _read_info(reader)
+    n_caches = reader.uvarint()
+    if n_caches > MAX_INFO_SECTIONS:
+        raise WireError("implausibly many cache sections in a stats response")
+    caches = {reader.text(): _read_info(reader) for _ in range(n_caches)}
+    engine = _read_info(reader)
+    pool = _read_optional_info(reader)
+    server = _read_optional_info(reader)
+    reader.expect_end()
+    return ServerStats(
+        endpoint=endpoint, caches=caches, engine=engine, pool=pool, server=server
+    )
 
 
 def encode_error(kind: str, message: str) -> bytes:

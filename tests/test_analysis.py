@@ -239,6 +239,72 @@ def test_exports_rule_flags_phantom_documentation(tmp_path):
     assert finding.path == "docs/API.md"
 
 
+BLOCKING_FIXTURE = {
+    "src/repro/api/fixture_aio.py": """\
+        import socket
+        import time
+
+
+        async def handle(conn):
+            time.sleep(0.1)
+            return conn
+        """,
+}
+
+
+def test_blocking_rule_flags_time_sleep_in_coroutine(tmp_path):
+    root = make_project(tmp_path, BLOCKING_FIXTURE)
+    finding = only_finding(run(root, rules=["async-discipline"]), "async-discipline")
+    assert "handle" in finding.message
+    assert "time.sleep" in finding.message
+    assert finding.line == 6
+
+
+def test_blocking_rule_flags_socket_and_result_calls(tmp_path):
+    fixture = {
+        "src/repro/api/fixture_aio.py": """\
+            import socket
+
+
+            class Server:
+                async def dial(self, address, future):
+                    sock = socket.create_connection(address)
+                    return future.result()
+            """,
+    }
+    root = make_project(tmp_path, fixture)
+    report = run(root, rules=["async-discipline"])
+    messages = [f.message for f in report.findings]
+    assert len(messages) == 2, report.render()
+    assert any("socket.create_connection" in m for m in messages)
+    assert any(".result()" in m for m in messages)
+    assert all("Server.dial" in m for m in messages)
+
+
+def test_blocking_rule_exempts_sync_defs_and_nested_functions(tmp_path):
+    fixture = {
+        "src/repro/api/fixture_aio.py": """\
+            import socket
+            import time
+
+
+            def sync_path(address):
+                # blocking is fine off the loop
+                return socket.create_connection(address)
+
+
+            async def dispatch(loop, pool, address):
+                def blocking_body():
+                    time.sleep(0.1)
+                    return socket.create_connection(address)
+
+                return await loop.run_in_executor(pool, blocking_body)
+            """,
+    }
+    root = make_project(tmp_path, fixture)
+    assert run(root, rules=["async-discipline"]).ok
+
+
 def test_exports_rule_flags_undocumented_export(tmp_path):
     fixture = dict(EXPORTS_FIXTURE)
     fixture["docs/API.md"] = """\
@@ -299,7 +365,7 @@ def test_suppression_is_per_rule():
 def test_repo_is_clean():
     report = run(REPO_ROOT)
     assert report.ok, report.render()
-    assert len(report.rules) == 5
+    assert len(report.rules) == 6
 
 
 # -- driver and CLI ------------------------------------------------------------
@@ -356,4 +422,5 @@ def test_cli_list_rules(capsys):
     assert main(["--list-rules"]) == 0
     names = capsys.readouterr().out.split()
     assert "lock-discipline" in names
-    assert len(names) == 5
+    assert "async-discipline" in names
+    assert len(names) == 6

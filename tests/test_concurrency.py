@@ -16,7 +16,7 @@ import time
 import pytest
 
 from repro import VChainClient, VChainNetwork
-from repro.api import ServiceEndpoint, SocketServer
+from repro.api import ClientOptions, ServiceEndpoint, SocketServer
 from repro.chain import ProtocolParams
 from repro.errors import ReproError, SubscriptionError, VerificationError
 from tests.conftest import make_objects
@@ -212,7 +212,8 @@ def test_hung_client_mid_frame_does_not_block_others(net):
         hung = socket.create_connection(server.address)
         hung.sendall(struct.pack(">I", 64)[:2])  # half a length prefix, then silence
         client = VChainClient.connect(
-            server.address, net.accumulator, net.encoder, net.params, timeout=10.0
+            server.address, net.accumulator, net.encoder, net.params,
+            options=ClientOptions(request_deadline=10.0),
         )
         with client:
             for _ in range(3):
@@ -323,7 +324,8 @@ def test_server_drain_answers_inflight_request(net):
     net.sp.processor.time_window_query = slow
     try:
         client = VChainClient.connect(
-            server.address, net.accumulator, net.encoder, net.params, timeout=10.0
+            server.address, net.accumulator, net.encoder, net.params,
+            options=ClientOptions(request_deadline=10.0),
         )
         answers = []
 

@@ -171,3 +171,90 @@ def test_query_response_roundtrip(sim_acc2):
     for cut in range(len(data)):
         with pytest.raises(WireError):
             decode_query_response(backend, data[:cut])
+
+
+# -- stats requests & envelopes ----------------------------------------------
+def test_stats_request_roundtrip():
+    from repro.wire import StatsRequest
+
+    assert decode_request(encode_request(StatsRequest())) == StatsRequest()
+
+
+@given(_time_window_queries(), st.none() | st.integers(min_value=1, max_value=10**7))
+def test_envelope_request_roundtrip(query, deadline_ms):
+    from repro.wire import EnvelopeRequest
+
+    envelope = EnvelopeRequest(
+        request=QueryRequest(query=query), deadline_ms=deadline_ms
+    )
+    assert decode_request(encode_request(envelope)) == envelope
+
+
+@given(_time_window_queries(), st.integers(min_value=1, max_value=10**7))
+def test_peek_deadline_unwraps_envelopes(query, deadline_ms):
+    from repro.wire import EnvelopeRequest, peek_deadline
+
+    inner = QueryRequest(query=query)
+    payload = encode_request(EnvelopeRequest(request=inner, deadline_ms=deadline_ms))
+    peeked, bare = peek_deadline(payload)
+    assert peeked == deadline_ms
+    assert bare == encode_request(inner)
+    assert decode_request(bare) == inner
+
+
+def test_peek_deadline_passes_bare_frames_through():
+    from repro.wire import peek_deadline
+
+    payload = encode_request(PollRequest(query_id=4))
+    assert peek_deadline(payload) == (None, payload)
+    assert peek_deadline(b"") == (None, b"")
+
+
+def test_nested_envelope_rejected():
+    from repro.wire import EnvelopeRequest, StatsRequest
+
+    envelope = EnvelopeRequest(request=StatsRequest(), deadline_ms=5)
+    with pytest.raises(WireError):
+        encode_request(EnvelopeRequest(request=envelope, deadline_ms=5))
+    # a hand-crafted nested envelope is rejected on decode too
+    data = encode_request(envelope)
+    forged = bytes([data[0], 0]) + data  # envelope tag + "no deadline" + envelope
+    with pytest.raises(WireError):
+        decode_request(forged)
+
+
+def test_server_stats_roundtrip():
+    from repro.wire import ServerStats, decode_stats_response, encode_stats_response
+
+    stats = ServerStats(
+        endpoint={"queries": 4, "polls": 0},
+        caches={"fragments": {"hits": 9, "hit_rate": 0.75}, "proofs": {"hits": 1}},
+        engine={"deliveries": 2},
+        pool={"workers": 2, "mode": "fork"},
+        server={"requests": 11, "evictions": 1},
+    )
+    assert decode_stats_response(encode_stats_response(stats)) == stats
+
+
+def test_server_stats_optional_sections_roundtrip():
+    from repro.wire import ServerStats, decode_stats_response, encode_stats_response
+
+    stats = ServerStats(endpoint={}, caches={}, engine={}, pool=None, server=None)
+    assert decode_stats_response(encode_stats_response(stats)) == stats
+
+
+def test_server_stats_truncation_rejected():
+    from repro.wire import ServerStats, decode_stats_response, encode_stats_response
+
+    data = encode_stats_response(
+        ServerStats(
+            endpoint={"queries": 1},
+            caches={"fragments": {"hits": 2}},
+            engine={"deliveries": 0},
+            pool=None,
+            server={"requests": 3},
+        )
+    )
+    for cut in range(len(data)):
+        with pytest.raises(WireError):
+            decode_stats_response(data[:cut])
