@@ -57,6 +57,13 @@ from repro.api import (
 )
 from repro.api.transport import decode_query_response
 from repro.datasets import make_time_window_queries
+from repro.testing import (
+    SessionRecorder,
+    load_recording,
+    normalize_recording,
+    replay_recording,
+    save_recording,
+)
 from repro.wire import HeadersRequest, QueryRequest, encode_request, encode_response
 
 
@@ -357,6 +364,65 @@ def check_parity(endpoint_factory, backend, queries) -> dict:
     }
 
 
+def record_phase(args, net, dataset, backend, identical_query) -> None:
+    """--record: capture one deterministic client session as a .vrec.
+
+    A single client syncs headers and runs the identical-window query a
+    few times against a fresh concurrent endpoint; the recording is
+    normalized (timings zeroed) at save time so the same dataset and
+    flags always produce the same bytes, replayable with --replay.
+    """
+    recorder = SessionRecorder(
+        label="bench-load",
+        meta={
+            "format": "bench-load-v1",
+            "dataset": dataset.name,
+            "blocks": str(args.blocks),
+            "workers": str(args.workers),
+        },
+    )
+    endpoint = ServiceEndpoint(net.sp, max_workers=args.workers)
+    server = AsyncSocketServer(endpoint).start()
+    try:
+        transport = SocketTransport(server.address, backend, tap=recorder.tap())
+        try:
+            transport.headers()
+            for _ in range(3):
+                transport.time_window_query(identical_query)
+        finally:
+            transport.close()
+    finally:
+        server.stop()
+        endpoint.close()
+    save_recording(normalize_recording(backend, recorder.recording()), args.record)
+    frames = len(recorder.recording().frames)
+    print(f"recorded {frames} frame(s) to {args.record}")
+
+
+def replay_phase(args, net, backend) -> int:
+    """--replay: re-drive a recorded session, gate on byte parity."""
+    recording = load_recording(args.replay)
+    blocks = recording.meta.get("blocks")
+    if blocks is not None and int(blocks) != args.blocks:
+        print(f"FAIL: recording was captured with --blocks {blocks}, "
+              f"this run mined {args.blocks}")
+        return 1
+    endpoint = ServiceEndpoint(net.sp, max_workers=args.workers)
+    server = AsyncSocketServer(endpoint).start()
+    try:
+        report = replay_recording(recording, server.address, backend)
+    finally:
+        server.stop()
+        endpoint.close()
+    print(f"replayed {report.requests} request(s): "
+          f"{len(report.mismatches)} mismatch(es), digest {report.digest[:16]}")
+    if not report.ok:
+        print(f"FAIL: {len(report.mismatches)} response(s) diverged from "
+              f"the recording {args.replay}")
+        return 1
+    return 0
+
+
 def run_async_profile(args, net, dataset, report) -> dict:
     backend = net.accumulator.backend
     headers_frame = frame(encode_request(HeadersRequest(from_height=0)))
@@ -471,6 +537,12 @@ def main() -> int:
                         help="allowed fractional qps drop vs the baseline")
     parser.add_argument("--min-speedup", type=float, default=2.0,
                         help="required concurrent/serial qps ratio (with --check)")
+    parser.add_argument("--record", default=None, metavar="PATH",
+                        help="also capture a deterministic single-client "
+                        "session to this .vrec before the benchmark phases")
+    parser.add_argument("--replay", default=None, metavar="PATH",
+                        help="skip benchmarking: re-drive this .vrec against "
+                        "a fresh endpoint and exit 1 on any byte mismatch")
     args = parser.parse_args()
 
     dataset = get_dataset("4SQ", args.blocks)
@@ -484,6 +556,11 @@ def main() -> int:
         seed=43,
     )
     subscription = net.client.subscribe().any_of(dataset.vocabulary[0]).build()
+
+    if args.replay:
+        return replay_phase(args, net, backend)
+    if args.record:
+        record_phase(args, net, dataset, backend, identical_query)
 
     if args.profile == "async-1k":
         # amend an existing default-profile report in place when present,

@@ -51,7 +51,7 @@ from repro.core.user import QueryUser
 from repro.parallel import CryptoPool, ParallelConfig, make_pool, resolve_config
 from repro.storage.bootstrap import ChainSetup, create_chain_setup, open_chain_setup
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "CryptoPool",

@@ -18,6 +18,7 @@ from repro.api.options import ClientOptions
 from repro.api.response import VerifiedDelivery, VerifiedResponse
 from repro.api.service import ClientSession, EndpointStats, ServiceEndpoint
 from repro.api.transport import (
+    FrameTap,
     LocalTransport,
     SocketServer,
     SocketTransport,
@@ -32,6 +33,7 @@ __all__ = [
     "ClientOptions",
     "ClientSession",
     "EndpointStats",
+    "FrameTap",
     "LocalTransport",
     "QueryBuilder",
     "ServerCounters",

@@ -58,10 +58,13 @@ import warnings
 from dataclasses import dataclass, field
 from functools import partial
 
+from typing import Callable
+
 from repro.api.service import ServiceEndpoint
 from repro.api.transport import (
     _STATUS_ERROR,
     MAX_FRAME_NBYTES,
+    FrameTap,
     dispatch_request,
 )
 from repro.wire import WireError, decode_error, encode_error
@@ -73,7 +76,9 @@ class ServerCounters:
 
     Increment through :meth:`bump` — bumps happen on the event loop,
     but :meth:`as_dict` snapshots are taken from pool threads answering
-    stats requests, so reads and writes must synchronise.
+    stats requests, so reads and writes must synchronise.  Every bump
+    also wakes :meth:`wait_for`, which is how tests observe a counter
+    crossing a threshold without sleep-and-poll loops.
     """
 
     connections_opened: int = 0
@@ -82,18 +87,28 @@ class ServerCounters:
     admission_rejections: int = 0
     rate_limited: int = 0
     deadlines_expired: int = 0
+    protocol_errors: int = 0
     evictions: int = 0
-    _lock: threading.Lock = field(
-        default_factory=threading.Lock, repr=False, compare=False
+    _cond: threading.Condition = field(
+        default_factory=threading.Condition, repr=False, compare=False
     )
 
     def bump(self, counter: str) -> None:
-        with self._lock:
+        with self._cond:
             setattr(self, counter, getattr(self, counter) + 1)
+            self._cond.notify_all()
+
+    def wait_for(self, counter: str, minimum: int = 1, timeout: float = 10.0) -> bool:
+        """Block until ``counter`` reaches ``minimum``; False on timeout."""
+        with self._cond:
+            reached = self._cond.wait_for(
+                lambda: getattr(self, counter) >= minimum, timeout=timeout
+            )
+        return bool(reached)
 
     def as_dict(self) -> dict[str, int]:
         """Coherent snapshot of every counter."""
-        with self._lock:
+        with self._cond:
             return {
                 "connections_opened": self.connections_opened,
                 "connections_closed": self.connections_closed,
@@ -101,6 +116,7 @@ class ServerCounters:
                 "admission_rejections": self.admission_rejections,
                 "rate_limited": self.rate_limited,
                 "deadlines_expired": self.deadlines_expired,
+                "protocol_errors": self.protocol_errors,
                 "evictions": self.evictions,
             }
 
@@ -113,14 +129,20 @@ class _TokenBucket:
     bucket, so short bursts inside the budget are never penalised.
     """
 
-    def __init__(self, rate: float, burst: float) -> None:
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         self.rate = rate
         self.capacity = burst
         self.tokens = burst
-        self.stamp = time.monotonic()
+        self.clock = clock
+        self.stamp = clock()
 
     def take(self) -> bool:
-        now = time.monotonic()
+        now = self.clock()
         self.tokens = min(self.capacity, self.tokens + (now - self.stamp) * self.rate)
         self.stamp = now
         if self.tokens >= 1.0:
@@ -134,15 +156,15 @@ def _busy_frame(message: str) -> bytes:
     return bytes([_STATUS_ERROR]) + encode_error("busy", message)
 
 
-def _deadline_expired(response: bytes) -> bool:
-    """Did this response frame report a lapsed deadline?"""
+def _response_error_kind(response: bytes) -> str | None:
+    """The error kind a response frame carries, or ``None`` if it's ok."""
     if not response or response[0] != _STATUS_ERROR:
-        return False
+        return None
     try:
         kind, _message = decode_error(response[1:])
     except WireError:
-        return False
-    return kind == "deadline"
+        return None
+    return kind
 
 
 class AsyncSocketServer:
@@ -166,6 +188,8 @@ class AsyncSocketServer:
         drain_timeout: float = 10.0,
         send_queue_limit: int = 1 << 20,
         sock_sndbuf: int | None = None,
+        tap: FrameTap | None = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         """``max_inflight`` caps requests concurrently dispatched to the
         worker pool (``None`` = unbounded); ``rate_limit`` is per-client
@@ -176,6 +200,12 @@ class AsyncSocketServer:
         watermark in bytes; ``sock_sndbuf`` (mostly for tests) pins
         SO_SNDBUF on accepted connections so kernel buffering cannot
         mask slow clients.
+
+        ``tap`` observes every frame crossing the server — requests,
+        responses, and the busy/error frames synthesised loop-side —
+        for the :mod:`repro.testing` session recorder.  ``clock`` is
+        the monotonic time source for rate limiting and deadlines;
+        tests substitute a manual clock to drive both without sleeping.
         """
         if max_inflight is not None and max_inflight < 1:
             raise ValueError("max_inflight must be at least 1 (or None)")
@@ -193,6 +223,9 @@ class AsyncSocketServer:
         self.drain_timeout = drain_timeout
         self.send_queue_limit = send_queue_limit
         self.sock_sndbuf = sock_sndbuf
+        self.tap = tap
+        self.clock = clock
+        self._next_channel = 0  # loop-thread only, like the sets below
         self.counters = ServerCounters()
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -344,8 +377,10 @@ class AsyncSocketServer:
             sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, self.sock_sndbuf)
         writer.transport.set_write_buffer_limits(high=self.send_queue_limit)
         session = self.endpoint.session()
+        channel = self._next_channel
+        self._next_channel += 1
         bucket = (
-            _TokenBucket(self.rate_limit, float(self.rate_burst))
+            _TokenBucket(self.rate_limit, float(self.rate_burst), self.clock)
             if self.rate_limit is not None
             else None
         )
@@ -357,6 +392,8 @@ class AsyncSocketServer:
                 if length > MAX_FRAME_NBYTES:
                     return  # garbage or abuse; drop the connection
                 payload = await reader.readexactly(length)
+                if self.tap is not None:
+                    self.tap(channel, "request", payload)
                 self.counters.bump("requests")
                 if bucket is not None and not bucket.take():
                     self.counters.bump("rate_limited")
@@ -384,12 +421,20 @@ class AsyncSocketServer:
                                 payload,
                                 session=session,
                                 query_runner=self.endpoint.query_inline,
+                                clock=self.clock,
                             ),
                         )
                     finally:
                         self._inflight -= 1
-                    if _deadline_expired(response):
+                    kind = _response_error_kind(response)
+                    if kind == "deadline":
                         self.counters.bump("deadlines_expired")
+                    elif kind == "wire":
+                        # the client sent bytes that don't decode — a
+                        # protocol bug or tampering worth surfacing
+                        self.counters.bump("protocol_errors")
+                if self.tap is not None:
+                    self.tap(channel, "response", response)
                 writer.write(struct.pack(">I", len(response)) + response)
                 try:
                     await asyncio.wait_for(writer.drain(), timeout=self.drain_timeout)

@@ -42,7 +42,7 @@ from typing import Any
 
 from repro.api.aio import AsyncSocketServer
 from repro.api.service import ServiceEndpoint
-from repro.api.transport import SocketServer
+from repro.api.transport import FrameTap, SocketServer
 
 
 def serve(
@@ -54,6 +54,7 @@ def serve(
     idle_timeout: float | None = None,
     max_inflight: int | None = None,
     rate_limit: float | None = None,
+    tap: FrameTap | None = None,
     **endpoint_options: Any,
 ) -> SocketServer | AsyncSocketServer:
     """Reopen ``data_dir`` and serve it; returns the started server.
@@ -65,7 +66,11 @@ def serve(
 
     ``max_inflight`` and ``rate_limit`` are the async server's traffic
     hygiene knobs; ``idle_timeout`` applies to the threaded server.
+    ``tap`` (async server only) observes every frame the server moves —
+    the hook the :mod:`repro.testing` session recorder plugs into.
     """
+    if threaded and tap is not None:
+        raise ValueError("frame taps require the async server (threaded=False)")
     endpoint = ServiceEndpoint.open(data_dir, **endpoint_options)
     try:
         server: SocketServer | AsyncSocketServer
@@ -78,6 +83,7 @@ def serve(
                 port,
                 max_inflight=max_inflight,
                 rate_limit=rate_limit,
+                tap=tap,
             )
     except Exception:
         endpoint.close()
@@ -142,7 +148,24 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip fsync on append (only matters if embedded miners write)",
     )
+    parser.add_argument(
+        "--record",
+        default=None,
+        metavar="PATH",
+        help="write every frame served to this .vrec recording on "
+        "shutdown (async server only; see repro.testing)",
+    )
     args = parser.parse_args(argv)
+    if args.record and args.threaded:
+        parser.error("--record requires the async server (drop --threaded)")
+
+    recorder = None
+    tap: FrameTap | None = None
+    if args.record:
+        from repro.testing import SessionRecorder
+
+        recorder = SessionRecorder(label="server-session")
+        tap = recorder.tap()
 
     server = serve(
         args.data_dir,
@@ -152,6 +175,7 @@ def main(argv: list[str] | None = None) -> int:
         idle_timeout=args.idle_timeout or None,
         max_inflight=args.max_inflight,
         rate_limit=args.rate_limit,
+        tap=tap,
         max_workers=args.max_workers,
         workers=args.workers,
         fsync=not args.no_fsync,
@@ -173,6 +197,10 @@ def main(argv: list[str] | None = None) -> int:
     finally:
         server.stop(drain=True)
         endpoint.close()
+        if recorder is not None:
+            recorder.save(args.record)
+            frames = len(recorder.recording().frames)
+            print(f"recorded {frames} frame(s) to {args.record}", flush=True)
     return 0
 
 

@@ -60,6 +60,8 @@ class EndpointStats:
 
     Increment through :meth:`bump` — counters are hit from every reader
     and worker thread, and an unsynchronised ``+=`` loses updates.
+    Every bump also wakes :meth:`wait_for`, which is how tests observe
+    a counter crossing a threshold without sleep-and-poll loops.
     """
 
     queries: int = 0
@@ -70,17 +72,26 @@ class EndpointStats:
     header_syncs: int = 0
     sessions_opened: int = 0
     sessions_closed: int = 0
-    _lock: threading.Lock = field(
-        default_factory=threading.Lock, repr=False, compare=False
+    _cond: threading.Condition = field(
+        default_factory=threading.Condition, repr=False, compare=False
     )
 
     def bump(self, counter: str) -> None:
-        with self._lock:
+        with self._cond:
             setattr(self, counter, getattr(self, counter) + 1)
+            self._cond.notify_all()
+
+    def wait_for(self, counter: str, minimum: int = 1, timeout: float = 10.0) -> bool:
+        """Block until ``counter`` reaches ``minimum``; False on timeout."""
+        with self._cond:
+            reached = self._cond.wait_for(
+                lambda: getattr(self, counter) >= minimum, timeout=timeout
+            )
+        return bool(reached)
 
     def as_dict(self) -> dict[str, int]:
         """Coherent snapshot of every counter."""
-        with self._lock:
+        with self._cond:
             return {
                 "queries": self.queries,
                 "registrations": self.registrations,

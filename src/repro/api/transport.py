@@ -108,6 +108,17 @@ class TransportError(ReproError):
     """The transport link itself failed (closed socket, bad frame)."""
 
 
+#: Observer of raw frames crossing a transport: ``(channel, event,
+#: payload)`` where ``event`` is ``"request"`` or ``"response"`` and
+#: ``payload`` is the frame body exactly as it crossed the wire (inside
+#: the 4-byte length prefix).  ``channel`` numbers the connection the
+#: frame used — a client transport bumps it on every reconnect, a server
+#: assigns one per accepted connection.  Taps observe *everything*,
+#: including error frames, and must be cheap and non-raising; the
+#: recorders in :mod:`repro.testing` are the intended consumers.
+FrameTap = Callable[[int, str, bytes], None]
+
+
 class Transport(Protocol):
     """What a client needs from a service provider, typed end to end."""
 
@@ -234,10 +245,13 @@ class SocketTransport:
         timeout: float | None = _TIMEOUT_UNSET,
         *,
         options: ClientOptions | None = None,
+        tap: FrameTap | None = None,
     ) -> None:
         self.backend = backend
         self.address = address
         self.options = _resolve_options(options, timeout, "SocketTransport")
+        self._tap = tap
+        self._channel = 0
         self._lock = threading.Lock()
         self._sock = self._connect()
 
@@ -264,11 +278,16 @@ class SocketTransport:
             except OSError:
                 pass
             self._sock = self._connect()
+            self._channel += 1
 
     def _request(self, payload: bytes) -> bytes:
         with self._lock:
+            if self._tap is not None:
+                self._tap(self._channel, "request", payload)
             _send_frame(self._sock, payload)
             response = _recv_frame(self._sock)
+            if self._tap is not None:
+                self._tap(self._channel, "response", response)
         if not response:
             raise TransportError("empty response frame")
         status, body = response[0], response[1:]
@@ -373,15 +392,16 @@ def perform_request(
     *,
     deadline_at: float | None = None,
     query_runner: QueryRunner | None = None,
+    clock: Callable[[], float] = time.monotonic,
 ) -> bytes:
     """Run one decoded request and encode its response body.
 
     Raises on failure; :func:`dispatch_request` owns the framing and
-    error-to-frame mapping.  ``deadline_at`` is a ``time.monotonic()``
-    instant: requests already past it are abandoned up front rather
-    than charged against the worker pool.
+    error-to-frame mapping.  ``deadline_at`` is a ``clock()`` instant
+    (``time.monotonic()`` by default): requests already past it are
+    abandoned up front rather than charged against the worker pool.
     """
-    if deadline_at is not None and time.monotonic() >= deadline_at:
+    if deadline_at is not None and clock() >= deadline_at:
         raise DeadlineExpiredError("deadline expired before execution")
     if isinstance(request, QueryRequest):
         run = query_runner if query_runner is not None else endpoint.time_window_query
@@ -415,6 +435,7 @@ def dispatch_request(
     session: "ClientSession | None" = None,
     *,
     query_runner: QueryRunner | None = None,
+    clock: Callable[[], float] = time.monotonic,
 ) -> bytes:
     """Decode one request frame, run it, encode the response frame body.
 
@@ -432,7 +453,7 @@ def dispatch_request(
     try:
         deadline_ms, inner = peek_deadline(payload)
         deadline_at = (
-            time.monotonic() + deadline_ms / 1000.0 if deadline_ms is not None else None
+            clock() + deadline_ms / 1000.0 if deadline_ms is not None else None
         )
         request = decode_request(inner)
         assert not isinstance(request, EnvelopeRequest)  # peek_deadline unwrapped it
@@ -443,8 +464,9 @@ def dispatch_request(
             session=session,
             deadline_at=deadline_at,
             query_runner=query_runner,
+            clock=clock,
         )
-        if deadline_at is not None and time.monotonic() >= deadline_at:
+        if deadline_at is not None and clock() >= deadline_at:
             raise DeadlineExpiredError("deadline expired during execution")
     except ReproError as exc:
         return bytes([_STATUS_ERROR]) + encode_error(_error_kind(exc), str(exc))

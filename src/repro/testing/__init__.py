@@ -1,0 +1,65 @@
+"""Deterministic record/replay and fault injection for the serving tier.
+
+Three pieces, composable but independent:
+
+* **Recording** — :class:`SessionRecorder` plugs into the ``tap=`` hook
+  of :class:`~repro.api.SocketTransport` or
+  :class:`~repro.api.AsyncSocketServer` and captures every frame that
+  crosses the wire into a versioned, CRC-checked ``.vrec`` file
+  (:mod:`repro.wire.record_codec`).
+* **Replay** — :func:`replay_recording` re-drives a recording against a
+  live server and asserts byte parity response by response, after
+  :func:`normalize_response` zeroes the few legitimately varying fields
+  (timings, stats snapshots).  :func:`record_corpus` /
+  :class:`CorpusReplayer` build and replay the committed regression
+  corpus under ``tests/corpus/``; ``python -m repro.testing replay``
+  is the command-line form.
+* **Fault injection** — :class:`FaultProxy` forwards frames between a
+  client and a server while a :class:`Fault`/:class:`FaultPlan`
+  schedule drops, delays, truncates, corrupts or disconnects specific
+  frames, driving every retry/deadline/hygiene branch deterministically.
+  :class:`ManualClock` substitutes for ``time.monotonic`` wherever a
+  component takes a ``clock=`` callable.
+"""
+
+from repro.testing.clock import ManualClock
+from repro.testing.corpus import (
+    CORPUS_SCENARIOS,
+    CorpusReplayer,
+    corpus_network,
+    make_demo_objects,
+    record_corpus,
+    record_scenario,
+)
+from repro.testing.faults import TO_CLIENT, TO_SERVER, Fault, FaultPlan, FaultProxy
+from repro.testing.recorder import SessionRecorder, load_recording, save_recording
+from repro.testing.replay import (
+    ReplayMismatch,
+    ReplayReport,
+    normalize_recording,
+    normalize_response,
+    replay_recording,
+)
+
+__all__ = [
+    "CORPUS_SCENARIOS",
+    "CorpusReplayer",
+    "Fault",
+    "FaultPlan",
+    "FaultProxy",
+    "ManualClock",
+    "ReplayMismatch",
+    "ReplayReport",
+    "SessionRecorder",
+    "TO_CLIENT",
+    "TO_SERVER",
+    "corpus_network",
+    "load_recording",
+    "make_demo_objects",
+    "normalize_recording",
+    "normalize_response",
+    "record_corpus",
+    "record_scenario",
+    "replay_recording",
+    "save_recording",
+]

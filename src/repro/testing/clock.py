@@ -1,0 +1,33 @@
+"""Deterministic time sources for the serving-tier test harness."""
+
+from __future__ import annotations
+
+import threading
+
+
+class ManualClock:
+    """A monotonic clock that advances only when told to.
+
+    Drop-in for ``time.monotonic`` anywhere a component accepts a
+    ``clock`` callable (the async server's rate limiter,
+    :func:`~repro.api.transport.dispatch_request` deadlines, ...), so
+    tests drive time-dependent branches by calling :meth:`advance`
+    instead of sleeping.  Thread-safe: the component under test reads
+    the clock from its own threads.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+        self._lock = threading.Lock()
+
+    def __call__(self) -> float:
+        with self._lock:
+            return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new reading."""
+        if seconds < 0:
+            raise ValueError("a monotonic clock cannot go backwards")
+        with self._lock:
+            self._now += seconds
+            return self._now

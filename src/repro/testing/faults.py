@@ -1,0 +1,282 @@
+"""Deterministic fault injection between a client and a server.
+
+:class:`FaultProxy` is a frame-aware TCP proxy: it reassembles each
+length-prefixed frame before forwarding, so a scripted fault always
+hits one whole protocol unit — the Nth request or the Nth response —
+rather than an arbitrary byte of some packet.  Which frame gets which
+fault comes from a :class:`FaultPlan`, either written explicitly
+(``{0: Fault("corrupt")}``) or generated from a seed, so every retry,
+backoff, deadline and hygiene-counter branch in the serving stack can
+be driven reproducibly, without wall-clock races.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import struct
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.api.transport import TransportError, _recv_frame, _send_frame
+
+_KINDS = frozenset({"pass", "drop", "delay", "truncate", "corrupt", "disconnect"})
+
+#: frames travelling client -> server
+TO_SERVER = "to_server"
+
+#: frames travelling server -> client
+TO_CLIENT = "to_client"
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scripted action applied to one forwarded frame.
+
+    ``kind`` is one of:
+
+    * ``"pass"`` — forward unchanged (the default for unlisted frames)
+    * ``"drop"`` — swallow the frame; the link stays up
+    * ``"delay"`` — forward after ``delay`` seconds
+    * ``"truncate"`` — announce the full length but send only
+      ``keep_bytes`` payload bytes, then cut the link (the receiver
+      sees a connection closed mid-frame)
+    * ``"corrupt"`` — XOR the payload byte at ``offset`` with
+      ``xor_mask``, then forward.  The default flips the first byte —
+      the request tag or response status — which every decoder rejects
+      deterministically; corrupting arbitrary middle bytes can yield a
+      different-but-valid frame.
+    * ``"disconnect"`` — drop the frame and cut the link
+    """
+
+    kind: str
+    delay: float = 0.0
+    keep_bytes: int = 1
+    xor_mask: int = 0xFF
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+
+
+_PASS = Fault("pass")
+
+
+def _shutdown(sock: socket.socket) -> None:
+    """Tear a socket down so that *blocked* peers notice immediately.
+
+    A plain ``close()`` while a sibling thread sits in ``recv`` on the
+    same fd keeps the kernel-side connection alive until that syscall
+    returns — no FIN reaches the other end and everyone deadlocks.
+    ``shutdown`` sends the FIN and wakes blocked readers first.
+    """
+    try:
+        sock.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+    try:
+        sock.close()
+    except OSError:
+        pass
+
+
+class FaultPlan:
+    """Maps per-direction frame indices to faults, and logs injections.
+
+    ``to_server[i]`` applies to the i-th client→server frame the proxy
+    carries, ``to_client[i]`` to the i-th server→client frame; anything
+    unlisted passes through.  Indices are global across every
+    connection through the proxy, so a client that reconnects after a
+    fault keeps consuming the same schedule — exactly what a retry test
+    wants.  ``injected`` records every non-pass fault actually applied,
+    so a test can assert how many attempts the client really made.
+    """
+
+    def __init__(
+        self,
+        to_server: dict[int, Fault] | None = None,
+        to_client: dict[int, Fault] | None = None,
+    ) -> None:
+        self._plans: dict[str, dict[int, Fault]] = {
+            TO_SERVER: dict(to_server or {}),
+            TO_CLIENT: dict(to_client or {}),
+        }
+        self._counts = {TO_SERVER: 0, TO_CLIENT: 0}
+        self._lock = threading.Lock()
+        self.injected: list[tuple[str, int, str]] = []
+
+    def next_fault(self, direction: str) -> Fault:
+        """The fault for the next frame in ``direction`` (advances it)."""
+        with self._lock:
+            index = self._counts[direction]
+            self._counts[direction] = index + 1
+            fault = self._plans[direction].get(index, _PASS)
+            if fault.kind != "pass":
+                self.injected.append((direction, index, fault.kind))
+            return fault
+
+    def frames_seen(self, direction: str) -> int:
+        """How many frames have crossed in ``direction`` so far."""
+        with self._lock:
+            return self._counts[direction]
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        *,
+        drop: float = 0.0,
+        corrupt: float = 0.0,
+        disconnect: float = 0.0,
+        delay: float = 0.0,
+        delay_seconds: float = 0.01,
+        frames: int = 256,
+    ) -> "FaultPlan":
+        """A reproducible random schedule over the first ``frames``
+        frames of each direction: the same seed and rates always build
+        the same plan, so a chaos run that finds a bug is rerunnable.
+        The rates are per-frame probabilities and must sum to ≤ 1.
+        """
+        if min(drop, corrupt, disconnect, delay) < 0:
+            raise ValueError("fault rates must be non-negative")
+        if drop + corrupt + disconnect + delay > 1:
+            raise ValueError("fault rates must sum to at most 1")
+        rng = random.Random(seed)
+        plans: dict[str, dict[int, Fault]] = {TO_SERVER: {}, TO_CLIENT: {}}
+        for direction in (TO_SERVER, TO_CLIENT):
+            for index in range(frames):
+                roll = rng.random()
+                if roll < drop:
+                    plans[direction][index] = Fault("drop")
+                elif roll < drop + corrupt:
+                    plans[direction][index] = Fault("corrupt")
+                elif roll < drop + corrupt + disconnect:
+                    plans[direction][index] = Fault("disconnect")
+                elif roll < drop + corrupt + disconnect + delay:
+                    plans[direction][index] = Fault("delay", delay=delay_seconds)
+        return cls(to_server=plans[TO_SERVER], to_client=plans[TO_CLIENT])
+
+
+class FaultProxy:
+    """A frame-aware TCP proxy applying a :class:`FaultPlan`.
+
+    Point a client at :attr:`address` and the proxy forwards its frames
+    to ``upstream``, consulting the plan once per frame per direction.
+    Accepts any number of (re)connections; each gets its own upstream
+    connection and a pump thread per direction.
+    """
+
+    def __init__(
+        self,
+        upstream: tuple[str, int],
+        plan: FaultPlan | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.upstream = upstream
+        self.plan = plan if plan is not None else FaultPlan()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen()
+        self.address: tuple[str, int] = self._listener.getsockname()[:2]
+        self._lock = threading.Lock()
+        self._conns: set[socket.socket] = set()
+        self._threads: set[threading.Thread] = set()
+        self._accept_thread: threading.Thread | None = None
+        self._closing = False
+
+    def start(self) -> "FaultProxy":
+        """Accept connections on a background daemon thread."""
+        thread = threading.Thread(
+            target=self._accept_loop, name="vchain-fault-proxy", daemon=True
+        )
+        with self._lock:
+            self._accept_thread = thread
+        thread.start()
+        return self
+
+    def _accept_loop(self) -> None:
+        while not self._closing:
+            try:
+                client, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            try:
+                server = socket.create_connection(self.upstream, timeout=10.0)
+            except OSError:
+                client.close()
+                continue
+            with self._lock:
+                self._conns.update((client, server))
+            for src, dst, direction in (
+                (client, server, TO_SERVER),
+                (server, client, TO_CLIENT),
+            ):
+                thread = threading.Thread(
+                    target=self._pump, args=(src, dst, direction), daemon=True
+                )
+                with self._lock:
+                    self._threads.add(thread)
+                thread.start()
+
+    def _pump(self, src: socket.socket, dst: socket.socket, direction: str) -> None:
+        try:
+            while True:
+                payload = _recv_frame(src)
+                fault = self.plan.next_fault(direction)
+                if fault.kind == "drop":
+                    continue
+                if fault.kind == "disconnect":
+                    return
+                if fault.kind == "delay":
+                    time.sleep(fault.delay)
+                if fault.kind == "corrupt" and payload:
+                    tampered = bytearray(payload)
+                    index = fault.offset % len(tampered)
+                    tampered[index] ^= fault.xor_mask
+                    payload = bytes(tampered)
+                if fault.kind == "truncate":
+                    dst.sendall(
+                        struct.pack(">I", len(payload)) + payload[: fault.keep_bytes]
+                    )
+                    return
+                _send_frame(dst, payload)
+        except (TransportError, OSError):
+            return  # either side hung up; tear the pair down below
+        finally:
+            for sock in (src, dst):
+                _shutdown(sock)
+            with self._lock:
+                self._conns.discard(src)
+                self._conns.discard(dst)
+                self._threads.discard(threading.current_thread())
+
+    def stop(self) -> None:
+        """Close the listener and every connection pair."""
+        self._closing = True
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._lock:
+            conns = list(self._conns)
+            threads = list(self._threads)
+        for conn in conns:
+            _shutdown(conn)
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        for thread in threads:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "FaultProxy":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

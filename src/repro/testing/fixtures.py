@@ -1,0 +1,19 @@
+"""Pytest fixtures for the record/replay harness.
+
+Kept out of ``repro.testing.__init__`` so importing the library never
+requires pytest; test suites opt in with::
+
+    from repro.testing.fixtures import corpus_replayer  # noqa: F401
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testing.corpus import CorpusReplayer
+
+
+@pytest.fixture()
+def corpus_replayer() -> CorpusReplayer:
+    """Replays committed ``.vrec`` corpora against live servers."""
+    return CorpusReplayer()

@@ -1,0 +1,113 @@
+"""Session recorder: frame taps that accumulate a ``.vrec`` recording.
+
+A :class:`SessionRecorder` hands out :data:`~repro.api.transport.FrameTap`
+callables (one per tapped transport or server) and collects everything
+they observe — requests, responses, busy/deadline error frames,
+subscription deliveries — into one ordered
+:class:`~repro.wire.SessionRecording`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+from typing import Callable
+
+from repro.api.transport import FrameTap
+from repro.wire import (
+    DIR_REQUEST,
+    DIR_RESPONSE,
+    RecordedFrame,
+    SessionRecording,
+    decode_recording,
+    encode_recording,
+)
+
+_DIRECTIONS = {"request": DIR_REQUEST, "response": DIR_RESPONSE}
+
+
+class SessionRecorder:
+    """Collects every frame its taps observe into one recording.
+
+    One recorder can tap several transports at once (say a client
+    transport and the server behind it): each :meth:`tap` call returns
+    an independent tap whose local channel numbers are mapped into a
+    recorder-global channel space, so frames from different tapped
+    components never collide.
+
+    Timestamps default to a deterministic logical counter (0, 1, 2, …
+    in observation order) so recording the same traffic twice yields
+    byte-identical files; pass ``clock`` (e.g. ``time.monotonic``) for
+    real timestamps, recorded in microseconds.
+    """
+
+    def __init__(
+        self,
+        label: str = "",
+        meta: dict[str, str] | None = None,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        self.label = label
+        self.meta = dict(meta or {})
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._frames: list[RecordedFrame] = []
+        self._channels: dict[tuple[int, int], int] = {}
+        self._next_source = 0
+        self._seq = 0
+
+    def tap(self) -> FrameTap:
+        """A fresh tap to pass as a ``tap=`` argument; cheap, reusable."""
+        with self._lock:
+            source = self._next_source
+            self._next_source += 1
+
+        def _observe(channel: int, event: str, payload: bytes) -> None:
+            self._record(source, channel, event, payload)
+
+        return _observe
+
+    def _record(self, source: int, channel: int, event: str, payload: bytes) -> None:
+        try:
+            direction = _DIRECTIONS[event]
+        except KeyError:
+            raise ValueError(f"unknown tap event {event!r}") from None
+        with self._lock:
+            key = (source, channel)
+            if key not in self._channels:
+                self._channels[key] = len(self._channels)
+            timestamp_us = (
+                self._seq if self._clock is None else int(self._clock() * 1_000_000)
+            )
+            self._frames.append(
+                RecordedFrame(
+                    seq=self._seq,
+                    channel=self._channels[key],
+                    direction=direction,
+                    timestamp_us=timestamp_us,
+                    payload=payload,
+                )
+            )
+            self._seq += 1
+
+    def recording(self) -> SessionRecording:
+        """A coherent snapshot of everything recorded so far."""
+        with self._lock:
+            return SessionRecording(
+                label=self.label, meta=dict(self.meta), frames=tuple(self._frames)
+            )
+
+    def save(self, path: str | os.PathLike[str]) -> None:
+        """Write the current snapshot as a ``.vrec`` file."""
+        save_recording(self.recording(), path)
+
+
+def save_recording(recording: SessionRecording, path: str | os.PathLike[str]) -> None:
+    """Serialize a recording to ``path`` in the ``.vrec`` format."""
+    Path(path).write_bytes(encode_recording(recording))
+
+
+def load_recording(path: str | os.PathLike[str]) -> SessionRecording:
+    """Read and validate a ``.vrec`` file."""
+    return decode_recording(Path(path).read_bytes())

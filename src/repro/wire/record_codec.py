@@ -1,0 +1,166 @@
+"""Versioned, CRC-checked codec for recorded serving-tier sessions.
+
+A ``.vrec`` file captures every framed request and response that crossed
+a transport during one recording window, in the order the tap observed
+them.  The format is deliberately self-contained: a magic/version
+preamble, a small string-to-string metadata map (scenario name, seed,
+dataset shape — whatever the recorder wants replays to check), then a
+sequence of frames.  Each frame body carries a monotonically increasing
+sequence number, a logical channel id (one per client connection), a
+direction tag, a timestamp in microseconds, and the raw wire payload
+exactly as it appeared inside the 4-byte length framing.  The body is
+length-prefixed and followed by its CRC32 so a truncated or bit-rotted
+log fails loudly at the damaged frame instead of replaying garbage.
+
+Like every decoder in :mod:`repro.wire`, these functions must survive
+arbitrary bytes: anything malformed raises :class:`WireError`, never an
+unhandled exception.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.wire.codec import Reader, WireError, Writer
+
+#: First bytes of every ``.vrec`` file.
+RECORD_MAGIC = b"VREC"
+
+#: Bumped whenever the frame or preamble layout changes.
+RECORD_VERSION = 1
+
+#: A frame travelling client -> server (a request payload).
+DIR_REQUEST = 0
+
+#: A frame travelling server -> client (a response payload).
+DIR_RESPONSE = 1
+
+#: Sanity bound on the frame count of a single recording.
+MAX_RECORD_FRAMES = 1 << 22
+
+#: Sanity bound on the metadata map of a single recording.
+MAX_META_ENTRIES = 256
+
+
+@dataclass(frozen=True)
+class RecordedFrame:
+    """One framed payload as the tap saw it cross the wire."""
+
+    seq: int
+    channel: int
+    direction: int
+    timestamp_us: int
+    payload: bytes
+
+
+@dataclass(frozen=True)
+class SessionRecording:
+    """A complete recorded session: metadata plus ordered frames."""
+
+    label: str
+    meta: dict[str, str]
+    frames: tuple[RecordedFrame, ...]
+
+
+def write_frame(writer: Writer, frame: RecordedFrame) -> None:
+    """Append one frame: a length-prefixed body followed by its CRC32."""
+    body = (
+        Writer()
+        .uvarint(frame.seq)
+        .uvarint(frame.channel)
+        .byte(frame.direction)
+        .uvarint(frame.timestamp_us)
+        .blob(frame.payload)
+        .getvalue()
+    )
+    writer.blob(body)
+    writer.raw(struct.pack(">I", zlib.crc32(body)))
+
+
+def read_frame(reader: Reader) -> RecordedFrame:
+    """Read one frame, verifying its CRC before trusting the body."""
+    body = reader.blob()
+    (expected_crc,) = struct.unpack(">I", reader.raw(4))
+    if zlib.crc32(body) != expected_crc:
+        raise WireError("recorded frame failed its CRC check")
+    inner = Reader(body)
+    seq = inner.uvarint()
+    channel = inner.uvarint()
+    direction = inner.byte()
+    if direction not in (DIR_REQUEST, DIR_RESPONSE):
+        raise WireError(f"unknown frame direction {direction}")
+    timestamp_us = inner.uvarint()
+    payload = inner.blob()
+    inner.expect_end()
+    return RecordedFrame(
+        seq=seq,
+        channel=channel,
+        direction=direction,
+        timestamp_us=timestamp_us,
+        payload=payload,
+    )
+
+
+def encode_recording(recording: SessionRecording) -> bytes:
+    """Serialize a recording to canonical ``.vrec`` bytes.
+
+    Metadata entries are written in sorted key order so the encoding of
+    a given recording is unique — replay corpora are compared byte for
+    byte in CI.
+    """
+    if len(recording.meta) > MAX_META_ENTRIES:
+        raise WireError("recording metadata map too large")
+    if len(recording.frames) > MAX_RECORD_FRAMES:
+        raise WireError("recording frame count exceeds sanity bound")
+    writer = Writer()
+    writer.raw(RECORD_MAGIC)
+    writer.byte(RECORD_VERSION)
+    writer.text(recording.label)
+    writer.uvarint(len(recording.meta))
+    for key in sorted(recording.meta):
+        writer.text(key)
+        writer.text(recording.meta[key])
+    writer.uvarint(len(recording.frames))
+    last_seq = -1
+    for frame in recording.frames:
+        if frame.seq <= last_seq:
+            raise WireError("recorded frames must have increasing seq")
+        last_seq = frame.seq
+        write_frame(writer, frame)
+    return writer.getvalue()
+
+
+def decode_recording(data: bytes) -> SessionRecording:
+    """Parse ``.vrec`` bytes; raises :class:`WireError` on any damage."""
+    reader = Reader(data)
+    magic = reader.raw(len(RECORD_MAGIC))
+    if magic != RECORD_MAGIC:
+        raise WireError("not a .vrec recording (bad magic)")
+    version = reader.byte()
+    if version != RECORD_VERSION:
+        raise WireError(f"unsupported recording version {version}")
+    label = reader.text()
+    meta_count = reader.uvarint()
+    if meta_count > MAX_META_ENTRIES:
+        raise WireError("recording metadata map too large")
+    meta: dict[str, str] = {}
+    for _ in range(meta_count):
+        key = reader.text()
+        if key in meta:
+            raise WireError(f"duplicate metadata key {key!r}")
+        meta[key] = reader.text()
+    frame_count = reader.uvarint()
+    if frame_count > MAX_RECORD_FRAMES:
+        raise WireError("recording frame count exceeds sanity bound")
+    frames: list[RecordedFrame] = []
+    last_seq = -1
+    for _ in range(frame_count):
+        frame = read_frame(reader)
+        if frame.seq <= last_seq:
+            raise WireError("recorded frames must have increasing seq")
+        last_seq = frame.seq
+        frames.append(frame)
+    reader.expect_end()
+    return SessionRecording(label=label, meta=meta, frames=tuple(frames))

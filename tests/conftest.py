@@ -14,6 +14,8 @@ import pytest
 from repro.accumulators import ElementEncoder, make_accumulator
 from repro.chain import Blockchain, DataObject, Miner, ProtocolParams
 from repro.crypto import get_backend
+from repro.testing import make_demo_objects
+from repro.testing.fixtures import corpus_replayer  # noqa: F401
 
 
 @pytest.fixture(scope="session")
@@ -54,18 +56,10 @@ def encoder_q():
 
 def make_objects(rng: random.Random, n: int, start_id: int, timestamp: int,
                  dims: int = 2, bits: int = 8, vocab=None) -> list[DataObject]:
-    """Random objects for ad-hoc chains."""
-    vocab = vocab or ["Sedan", "Van", "Benz", "BMW", "Audi", "Tesla", "Ford"]
-    space = 1 << bits
-    return [
-        DataObject(
-            object_id=start_id + i,
-            timestamp=timestamp,
-            vector=tuple(rng.randrange(space) for _ in range(dims)),
-            keywords=frozenset(rng.sample(vocab, 2)),
-        )
-        for i in range(n)
-    ]
+    """Random objects for ad-hoc chains (see repro.testing)."""
+    return make_demo_objects(
+        rng, n, start_id, timestamp, dims=dims, bits=bits, vocab=vocab
+    )
 
 
 @pytest.fixture()

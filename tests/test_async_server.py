@@ -28,7 +28,8 @@ from repro.api import (
 )
 from repro.api.transport import SocketTransport, TransportError, _resolve_options
 from repro.chain import ProtocolParams
-from repro.errors import DeadlineExpiredError, ServerBusyError
+from repro.errors import DeadlineExpiredError, ServerBusyError, SubscriptionError
+from repro.testing import ManualClock
 from repro.wire import (
     EnvelopeRequest,
     QueryRequest,
@@ -87,16 +88,24 @@ def _connect(net, server, **options):
     )
 
 
-def _slow_processor(net, seconds):
-    """Patch the SP's prover to sleep; returns the undo callable."""
-    real = net.sp.processor.time_window_query
+def _gated_processor(net):
+    """Patch the SP's prover to block on a gate until the test says go.
 
-    def slow(query, *args, **kwargs):
-        time.sleep(seconds)
+    Returns ``(started, gate, undo)``: ``started`` is set the moment a
+    query reaches the prover (so the test *knows* it is in flight, no
+    sleeping and hoping), ``gate`` releases it, ``undo`` unpatches.
+    """
+    real = net.sp.processor.time_window_query
+    started = threading.Event()
+    gate = threading.Event()
+
+    def gated(query, *args, **kwargs):
+        started.set()
+        gate.wait(timeout=30.0)  # failsafe only; tests always set it
         return real(query, *args, **kwargs)
 
-    net.sp.processor.time_window_query = slow
-    return lambda: net.sp.processor.__dict__.pop("time_window_query")
+    net.sp.processor.time_window_query = gated
+    return started, gate, lambda: net.sp.processor.__dict__.pop("time_window_query")
 
 
 # -- parity with the threaded server ------------------------------------------
@@ -195,7 +204,7 @@ def test_many_concurrent_async_clients(net):
 def test_admission_gate_rejects_excess_inflight(net):
     endpoint = ServiceEndpoint(net.sp, max_workers=1)
     server = AsyncSocketServer(endpoint, max_inflight=1).start()
-    undo = _slow_processor(net, 1.0)
+    started, gate, undo = _gated_processor(net)
     try:
         occupier = _connect(net, server)
         rejected = _connect(net, server)
@@ -206,15 +215,17 @@ def test_admission_gate_rejects_excess_inflight(net):
 
         thread = threading.Thread(target=occupy)
         thread.start()
-        time.sleep(0.3)  # the slow query is now in flight
+        assert started.wait(timeout=10)  # the gated query holds the slot
         with pytest.raises(ServerBusyError, match="max inflight"):
             rejected.transport.headers(0)
+        gate.set()
         thread.join(timeout=10)
         assert done, "the occupying query must still complete"
         assert server.counters.admission_rejections == 1
         occupier.close()
         rejected.close()
     finally:
+        gate.set()
         undo()
         server.stop()
         endpoint.close()
@@ -225,7 +236,7 @@ def test_busy_rejections_are_retryable(net):
     the server rejected before doing any work."""
     endpoint = ServiceEndpoint(net.sp, max_workers=1)
     server = AsyncSocketServer(endpoint, max_inflight=1).start()
-    undo = _slow_processor(net, 0.6)
+    started, gate, undo = _gated_processor(net)
     try:
         occupier = _connect(net, server)
         retrier = _connect(net, server, retries=6, backoff=0.2)
@@ -235,16 +246,26 @@ def test_busy_rejections_are_retryable(net):
 
         thread = threading.Thread(target=occupy)
         thread.start()
-        time.sleep(0.2)
+        assert started.wait(timeout=10)
+
+        # open the gate only once a busy rejection has provably landed
+        def release():
+            assert server.counters.wait_for("admission_rejections", 1)
+            gate.set()
+
+        releaser = threading.Thread(target=release)
+        releaser.start()
         # register is non-idempotent, yet busy rejections retry: once the
-        # slow query drains, a retry lands and the registration succeeds
+        # gated query drains, a retry lands and the registration succeeds
         stream = retrier.stream(retrier.subscribe().any_of("Benz").build())
         stream.close()
+        releaser.join(timeout=10)
         thread.join(timeout=10)
         assert server.counters.admission_rejections >= 1
         occupier.close()
         retrier.close()
     finally:
+        gate.set()
         undo()
         server.stop()
         endpoint.close()
@@ -252,8 +273,11 @@ def test_busy_rejections_are_retryable(net):
 
 # -- per-client rate limit -----------------------------------------------------
 def test_rate_limit_rejects_burst(net):
+    clock = ManualClock()
     endpoint = ServiceEndpoint(net.sp)
-    server = AsyncSocketServer(endpoint, rate_limit=1.0, rate_burst=2).start()
+    server = AsyncSocketServer(
+        endpoint, rate_limit=1.0, rate_burst=2, clock=clock
+    ).start()
     try:
         transport = SocketTransport(server.address, net.accumulator.backend)
         transport.headers(0)
@@ -261,8 +285,8 @@ def test_rate_limit_rejects_burst(net):
         with pytest.raises(ServerBusyError, match="rate limit"):
             transport.headers(0)
         assert server.counters.rate_limited == 1
-        # the bucket refills: after ~a second the client is served again
-        time.sleep(1.1)
+        # the bucket refills on the manual clock: no sleeping for it
+        clock.advance(1.1)
         assert transport.headers(0)
         transport.close()
     finally:
@@ -290,12 +314,15 @@ def test_rate_limit_is_per_client(net):
 
 # -- request deadlines ---------------------------------------------------------
 def test_deadline_expires_mid_prove(net):
+    clock = ManualClock()
     endpoint = ServiceEndpoint(net.sp)
-    server = AsyncSocketServer(endpoint).start()
-    undo = _slow_processor(net, 0.6)
+    server = AsyncSocketServer(endpoint, clock=clock).start()
+    started, gate, undo = _gated_processor(net)
     try:
         # generous socket timeout, tight server-side deadline: the server
-        # must discard the late answer and report the expiry
+        # must discard the late answer and report the expiry.  The prover
+        # blocks on the gate while the manual clock burns the budget, so
+        # the expiry is exact, not a race against a sleep.
         transport = SocketTransport(
             server.address,
             net.accumulator.backend,
@@ -306,13 +333,23 @@ def test_deadline_expires_mid_prove(net):
                 request=QueryRequest(query=_wide_query(net.client)), deadline_ms=150
             )
         )
+
+        def expire():
+            assert started.wait(timeout=10)
+            clock.advance(1.0)  # blow well past the 150ms budget
+            gate.set()
+
+        helper = threading.Thread(target=expire)
+        helper.start()
         with pytest.raises(DeadlineExpiredError, match="during execution"):
             transport._request(payload)
+        helper.join(timeout=10)
         assert server.counters.deadlines_expired == 1
         # the connection survives; a fresh request with budget succeeds
         assert transport.headers(0)
         transport.close()
     finally:
+        gate.set()
         undo()
         server.stop()
         endpoint.close()
@@ -351,9 +388,7 @@ def test_slow_client_evicted(net):
                 sock.sendall(framed)
         except OSError:
             pass  # already evicted mid-send, which is the point
-        deadline = time.monotonic() + 10
-        while time.monotonic() < deadline and server.counters.evictions == 0:
-            time.sleep(0.05)
+        assert server.counters.wait_for("evictions", 1, timeout=10.0)
         assert server.counters.evictions == 1
         sock.close()
         # the server is fine: a well-behaved client still gets answers
@@ -368,7 +403,7 @@ def test_slow_client_evicted(net):
 def test_async_drain_answers_inflight_request(net):
     endpoint = ServiceEndpoint(net.sp)
     server = AsyncSocketServer(endpoint).start()
-    undo = _slow_processor(net, 0.4)
+    started, gate, undo = _gated_processor(net)
     try:
         client = _connect(net, server, request_deadline=10.0)
         answers = []
@@ -380,12 +415,23 @@ def test_async_drain_answers_inflight_request(net):
 
         thread = threading.Thread(target=run_query)
         thread.start()
-        time.sleep(0.1)
-        server.stop(drain=True)  # in-flight request still gets its answer
+        assert started.wait(timeout=10)  # provably in flight, no sleep
+        stopping = threading.Event()
+
+        def stop_drain():
+            stopping.set()
+            server.stop(drain=True)  # in-flight request still gets its answer
+
+        stopper = threading.Thread(target=stop_drain)
+        stopper.start()
+        stopping.wait(timeout=10)
+        gate.set()
+        stopper.join(timeout=10)
         thread.join(timeout=10)
         assert answers and answers[0][2].results == len(answers[0][0])
         client.close()
     finally:
+        gate.set()
         undo()
         server.stop()
         endpoint.close()
@@ -411,15 +457,11 @@ def test_async_session_cleanup_on_disconnect(net):
         stream = client.subscribe().any_of("Benz").open()
         query_id = stream.query_id
         client.close()  # socket drops without deregistering
-        deadline = time.monotonic() + 5
-        while time.monotonic() < deadline:
-            try:
-                endpoint.poll(query_id)
-                time.sleep(0.02)
-            except Exception:
-                break
-        else:
-            pytest.fail("session cleanup did not deregister the subscription")
+        # the server-side session closes (deregistering its orphans)
+        # before the counter ticks, so this wait is the whole handshake
+        assert endpoint.counters.wait_for("sessions_closed", 1, timeout=10.0)
+        with pytest.raises(SubscriptionError):
+            endpoint.poll(query_id)
     finally:
         server.stop()
         endpoint.close()
@@ -516,7 +558,7 @@ def test_explicit_timeout_none_still_warns():
 def test_threaded_stop_reports_stuck_threads(net):
     endpoint = ServiceEndpoint(net.sp)
     server = SocketServer(endpoint).start()
-    undo = _slow_processor(net, 1.5)
+    started, gate, undo = _gated_processor(net)
     try:
         client = _connect(net, server, request_deadline=10.0)
 
@@ -528,15 +570,17 @@ def test_threaded_stop_reports_stuck_threads(net):
 
         thread = threading.Thread(target=run_query)
         thread.start()
-        time.sleep(0.2)
-        started = time.monotonic()
+        assert started.wait(timeout=10)  # the worker is provably stuck
+        begun = time.monotonic()
         with pytest.warns(RuntimeWarning, match="still running"):
             server.stop(timeout=0.3)
         # the budget is total, not per-thread
-        assert time.monotonic() - started < 1.2
+        assert time.monotonic() - begun < 1.2
+        gate.set()
         thread.join(timeout=10)
         client.close()
     finally:
+        gate.set()
         undo()
         server.stop()
         endpoint.close()

@@ -11,7 +11,6 @@ import random
 import socket
 import struct
 import threading
-import time
 
 import pytest
 
@@ -167,10 +166,13 @@ def test_slow_query_does_not_stall_other_clients(net):
     endpoint = ServiceEndpoint(net.sp, max_workers=4)
     real = net.sp.processor.time_window_query
     marker_start = 111
+    started = threading.Event()
+    gate = threading.Event()
 
     def sometimes_slow(query, *args, **kwargs):
         if query.start == marker_start:
-            time.sleep(1.0)
+            started.set()
+            gate.wait(timeout=30.0)  # pinned until the test releases it
         return real(query, *args, **kwargs)
 
     net.sp.processor.time_window_query = sometimes_slow
@@ -183,24 +185,23 @@ def test_slow_query_does_not_stall_other_clients(net):
             client.execute(query).raise_for_forgery()
             slow_done.set()
 
-        fast_elapsed = []
-
         def fast_caller():
             client = VChainClient.local(endpoint)
-            started = time.perf_counter()
             for _ in range(3):
                 client.execute(_wide_query(client)).raise_for_forgery()
-            fast_elapsed.append(time.perf_counter() - started)
 
         slow_thread = threading.Thread(target=slow_caller)
         slow_thread.start()
-        time.sleep(0.05)  # let the slow query occupy its worker
+        assert started.wait(timeout=10)  # the slow query holds its worker
         _run_threads([fast_caller])
+        # every fast query completed while the marker query is *still*
+        # pinned on its gate: the pool does not serialize behind it
         assert not slow_done.is_set(), "fast queries should finish first"
-        assert fast_elapsed[0] < 0.9
+        gate.set()
         slow_thread.join(timeout=10)
         assert slow_done.is_set()
     finally:
+        gate.set()
         del net.sp.processor.__dict__["time_window_query"]
         endpoint.close()
 
@@ -235,16 +236,9 @@ def test_idle_timeout_reaps_connection_and_session(net):
         query_id = stream.query_id
         # go silent: the server reaps the connection at the idle timeout
         # and the session deregisters the orphaned subscription
-        deadline = time.monotonic() + 5
-        while time.monotonic() < deadline:
-            try:
-                endpoint.poll(query_id)
-                time.sleep(0.05)
-            except SubscriptionError:
-                break
-        else:
-            pytest.fail("orphaned subscription was never cleaned up")
-        assert endpoint.counters.sessions_closed >= 1
+        assert endpoint.counters.wait_for("sessions_closed", 1, timeout=10.0)
+        with pytest.raises(SubscriptionError):
+            endpoint.poll(query_id)
         client.transport.close()
     finally:
         server.stop()
@@ -261,15 +255,9 @@ def test_clean_disconnect_deregisters_session_subscriptions(net):
         stream = client.subscribe().any_of("Benz").open()
         query_id = stream.query_id
         client.close()  # socket drops without deregistering
-        deadline = time.monotonic() + 5
-        while time.monotonic() < deadline:
-            try:
-                endpoint.poll(query_id)
-                time.sleep(0.02)
-            except SubscriptionError:
-                break
-        else:
-            pytest.fail("session cleanup did not deregister the subscription")
+        assert endpoint.counters.wait_for("sessions_closed", 1, timeout=10.0)
+        with pytest.raises(SubscriptionError):
+            endpoint.poll(query_id)
     finally:
         server.stop()
         endpoint.close()
@@ -278,12 +266,15 @@ def test_clean_disconnect_deregisters_session_subscriptions(net):
 def test_endpoint_close_drains_inflight_then_rejects(net):
     endpoint = ServiceEndpoint(net.sp, max_workers=2)
     real = net.sp.processor.time_window_query
+    started = threading.Event()
+    gate = threading.Event()
 
-    def slow(query, *args, **kwargs):
-        time.sleep(0.5)
+    def gated(query, *args, **kwargs):
+        started.set()
+        gate.wait(timeout=30.0)
         return real(query, *args, **kwargs)
 
-    net.sp.processor.time_window_query = slow
+    net.sp.processor.time_window_query = gated
     try:
         results = []
 
@@ -293,15 +284,24 @@ def test_endpoint_close_drains_inflight_then_rejects(net):
 
         thread = threading.Thread(target=run_query)
         thread.start()
-        time.sleep(0.1)
-        started = time.perf_counter()
-        endpoint.close(wait=True)  # drains the in-flight query
-        assert time.perf_counter() - started > 0.2
+        assert started.wait(timeout=10)  # provably in flight
+        closing = threading.Event()
+
+        def close_endpoint():
+            closing.set()
+            endpoint.close(wait=True)  # drains the in-flight query
+
+        closer = threading.Thread(target=close_endpoint)
+        closer.start()
+        closing.wait(timeout=10)
+        gate.set()
+        closer.join(timeout=10)
         thread.join(timeout=10)
         assert results and results[0].ok
         with pytest.raises(ReproError):
             endpoint.time_window_query(_wide_query(net.client))
     finally:
+        gate.set()
         del net.sp.processor.__dict__["time_window_query"]
 
 
@@ -316,12 +316,15 @@ def test_server_drain_answers_inflight_request(net):
     endpoint = ServiceEndpoint(net.sp)
     server = SocketServer(endpoint).start()
     real = net.sp.processor.time_window_query
+    started = threading.Event()
+    gate = threading.Event()
 
-    def slow(query, *args, **kwargs):
-        time.sleep(0.4)
+    def gated(query, *args, **kwargs):
+        started.set()
+        gate.wait(timeout=30.0)
         return real(query, *args, **kwargs)
 
-    net.sp.processor.time_window_query = slow
+    net.sp.processor.time_window_query = gated
     try:
         client = VChainClient.connect(
             server.address, net.accumulator, net.encoder, net.params,
@@ -336,12 +339,23 @@ def test_server_drain_answers_inflight_request(net):
 
         thread = threading.Thread(target=run_query)
         thread.start()
-        time.sleep(0.1)
-        server.stop(drain=True)  # in-flight request still gets its answer
+        assert started.wait(timeout=10)  # provably in flight
+        stopping = threading.Event()
+
+        def stop_drain():
+            stopping.set()
+            server.stop(drain=True)  # in-flight request still gets its answer
+
+        stopper = threading.Thread(target=stop_drain)
+        stopper.start()
+        stopping.wait(timeout=10)
+        gate.set()
+        stopper.join(timeout=10)
         thread.join(timeout=10)
         assert answers and answers[0][2].results == len(answers[0][0])
         client.close()
     finally:
+        gate.set()
         del net.sp.processor.__dict__["time_window_query"]
         server.stop()
         endpoint.close()

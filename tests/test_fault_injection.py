@@ -1,0 +1,379 @@
+"""Fault-injection tests for the serving tier.
+
+Every scenario routes a real client through a :class:`FaultProxy` whose
+:class:`FaultPlan` scripts exactly which frame gets dropped, corrupted,
+truncated, delayed or disconnected.  Combined with manual clocks on the
+server (rate limiting, deadlines), every retry/backoff/deadline branch
+of :class:`ClientOptions` and every server hygiene counter is driven
+deterministically — no test below synchronizes with ``time.sleep``.
+"""
+
+import contextlib
+import threading
+
+import pytest
+
+from repro.api import AsyncSocketServer, ClientOptions, SocketTransport, TransportError
+from repro.errors import ReproError, ServerBusyError
+from repro.testing import (
+    TO_CLIENT,
+    TO_SERVER,
+    Fault,
+    FaultPlan,
+    FaultProxy,
+    ManualClock,
+    corpus_network,
+)
+from repro.wire import WireError
+
+
+@pytest.fixture(scope="module")
+def fault_net():
+    net = corpus_network({"blocks": "4"})
+    yield net
+    net.close()
+
+
+@pytest.fixture(scope="module")
+def window_query(fault_net):
+    query = fault_net.client.query().window(0, 30).any_of("Benz", "BMW").build()
+    return query
+
+
+@pytest.fixture(scope="module")
+def sub_query(fault_net):
+    return fault_net.client.subscribe().any_of("Benz", "BMW").build()
+
+
+@contextlib.contextmanager
+def served(net, **kwargs):
+    server = AsyncSocketServer(net.endpoint, **kwargs).start()
+    try:
+        yield server
+    finally:
+        server.stop()
+
+
+@contextlib.contextmanager
+def proxied(net, plan, **server_kwargs):
+    with served(net, **server_kwargs) as server:
+        with FaultProxy(server.address, plan) as proxy:
+            yield proxy, server
+
+
+def _transport(net, address, **options):
+    return SocketTransport(
+        address, net.accumulator.backend, options=ClientOptions(**options)
+    )
+
+
+# -- single-fault scenarios ---------------------------------------------------
+def test_corrupt_request_is_rejected_not_retried(fault_net):
+    """A corrupted request draws a wire error, bumps protocol_errors,
+    and is *not* retried — the server rejected it authoritatively."""
+    plan = FaultPlan(to_server={0: Fault("corrupt")})
+    with proxied(fault_net, plan) as (proxy, server):
+        transport = _transport(fault_net, proxy.address, retries=2, backoff=0.0)
+        try:
+            with pytest.raises(WireError, match="unknown request tag"):
+                transport.headers()
+        finally:
+            transport.close()
+        assert server.counters.wait_for("protocol_errors", 1)
+        assert plan.frames_seen(TO_SERVER) == 1  # one attempt despite retries=2
+
+
+def test_corrupt_response_status_raises_transport_error(fault_net):
+    plan = FaultPlan(to_client={0: Fault("corrupt")})
+    with proxied(fault_net, plan) as (proxy, _server):
+        transport = _transport(fault_net, proxy.address)
+        try:
+            with pytest.raises(TransportError, match="unknown response status"):
+                transport.headers()
+        finally:
+            transport.close()
+
+
+def test_link_retry_recovers_from_corrupt_response(fault_net):
+    plan = FaultPlan(to_client={0: Fault("corrupt")})
+    with proxied(fault_net, plan) as (proxy, _server):
+        transport = _transport(fault_net, proxy.address, retries=1, backoff=0.0)
+        try:
+            headers = transport.headers()
+        finally:
+            transport.close()
+        assert headers
+        assert plan.injected == [(TO_CLIENT, 0, "corrupt")]
+
+
+def test_truncated_response_reconnects_and_succeeds(fault_net):
+    """A frame cut mid-body reads as 'connection closed mid-frame'; an
+    idempotent request reconnects and resends."""
+    plan = FaultPlan(to_client={0: Fault("truncate", keep_bytes=2)})
+    with proxied(fault_net, plan) as (proxy, server):
+        transport = _transport(fault_net, proxy.address, retries=1, backoff=0.0)
+        try:
+            headers = transport.headers()
+        finally:
+            transport.close()
+        assert headers
+        assert server.counters.wait_for("connections_opened", 2)
+
+
+def test_truncated_response_without_retries_raises(fault_net):
+    plan = FaultPlan(to_client={0: Fault("truncate", keep_bytes=2)})
+    with proxied(fault_net, plan) as (proxy, _server):
+        transport = _transport(fault_net, proxy.address)
+        try:
+            with pytest.raises(TransportError, match="closed mid-frame"):
+                transport.headers()
+        finally:
+            transport.close()
+
+
+def test_dropped_request_times_out_then_retry_recovers(fault_net):
+    plan = FaultPlan(to_server={0: Fault("drop")})
+    with proxied(fault_net, plan) as (proxy, _server):
+        transport = _transport(
+            fault_net,
+            proxy.address,
+            request_deadline=0.3,
+            retries=1,
+            backoff=0.0,
+        )
+        try:
+            headers = transport.headers()
+        finally:
+            transport.close()
+        assert headers
+        assert plan.injected == [(TO_SERVER, 0, "drop")]
+
+
+def test_delay_fault_is_survivable(fault_net):
+    plan = FaultPlan(to_client={0: Fault("delay", delay=0.05)})
+    with proxied(fault_net, plan) as (proxy, _server):
+        transport = _transport(fault_net, proxy.address)
+        try:
+            assert transport.headers()
+        finally:
+            transport.close()
+        assert plan.injected == [(TO_CLIENT, 0, "delay")]
+
+
+def test_disconnect_on_register_is_not_retried(fault_net, sub_query):
+    """register is not idempotent: a dead link mid-request surfaces
+    immediately, no resend, and the server never saw the request."""
+    before = fault_net.endpoint.counters.registrations
+    plan = FaultPlan(to_server={0: Fault("disconnect")})
+    with proxied(fault_net, plan) as (proxy, _server):
+        transport = _transport(fault_net, proxy.address, retries=2, backoff=0.0)
+        try:
+            with pytest.raises(TransportError):
+                transport.register(sub_query, since_height=0)
+        finally:
+            transport.close()
+        assert plan.frames_seen(TO_SERVER) == 1
+    assert fault_net.endpoint.counters.registrations == before
+
+
+def test_disconnect_mid_stream_closes_the_server_session(fault_net, sub_query):
+    """Cutting the link after a successful register must close the
+    server-side session (hygiene: no leaked subscriptions)."""
+    counters = fault_net.endpoint.counters
+    closed_before = counters.sessions_closed
+    plan = FaultPlan(to_server={1: Fault("disconnect")})
+    with proxied(fault_net, plan) as (proxy, _server):
+        transport = _transport(fault_net, proxy.address)
+        try:
+            query_id, _height = transport.register(sub_query, since_height=0)
+            with pytest.raises(TransportError):
+                transport.poll(query_id)
+        finally:
+            transport.close()
+        assert counters.wait_for("sessions_closed", closed_before + 1)
+
+
+# -- scripted clocks: busy + deadline branches --------------------------------
+def test_rate_limit_busy_then_manual_refill(fault_net):
+    """With the bucket on a manual clock the busy branch and its
+    recovery are exact: one token, frozen time, no refill race."""
+    clock = ManualClock()
+    with served(fault_net, rate_limit=5.0, rate_burst=1, clock=clock) as server:
+        transport = _transport(fault_net, server.address)
+        try:
+            assert transport.headers()  # burst token spent
+            with pytest.raises(ServerBusyError, match="rate limit"):
+                transport.headers()
+            assert server.counters.rate_limited == 1
+            clock.advance(1.0)  # refill the bucket deterministically
+            assert transport.headers()
+        finally:
+            transport.close()
+
+
+def test_busy_retries_burn_the_schedule_then_surface(fault_net):
+    """ServerBusyError is retried for every request kind; with time
+    frozen each retry meets the same empty bucket."""
+    clock = ManualClock()
+    with served(fault_net, rate_limit=5.0, rate_burst=1, clock=clock) as server:
+        transport = _transport(fault_net, server.address, retries=2, backoff=0.0)
+        try:
+            assert transport.headers()
+            with pytest.raises(ServerBusyError):
+                transport.headers()
+        finally:
+            transport.close()
+        # the failed call burned its initial attempt plus both retries
+        assert server.counters.rate_limited == 3
+
+
+def test_admission_control_rejects_when_the_slot_is_held(fault_net):
+    """Jam every endpoint worker on a gate so the one admitted request
+    provably stays in flight, then watch the second get bounced."""
+    gate = threading.Event()
+    executor = fault_net.endpoint.executor
+    blockers = [
+        executor.submit(gate.wait) for _ in range(fault_net.endpoint.max_workers)
+    ]
+    try:
+        with served(fault_net, max_inflight=1) as server:
+            first = _transport(fault_net, server.address)
+            second = _transport(fault_net, server.address)
+            results = []
+            pilot = threading.Thread(target=lambda: results.append(first.headers()))
+            try:
+                pilot.start()
+                # once the request counter ticks, the loop thread holds
+                # the single inflight slot before it can read frame two
+                assert server.counters.wait_for("requests", 1)
+                with pytest.raises(ServerBusyError, match="inflight"):
+                    second.headers()
+                assert server.counters.admission_rejections >= 1
+            finally:
+                gate.set()
+                pilot.join(timeout=10.0)
+                first.close()
+                second.close()
+            assert results and results[0]
+    finally:
+        gate.set()
+        for blocker in blockers:
+            blocker.result(timeout=10.0)
+
+
+def test_server_side_deadline_expiry_on_a_stepping_clock(fault_net):
+    """A server clock that jumps a full second per reading guarantees
+    every budgeted request expires before execution — no sleeping, no
+    slow-machine flake."""
+    from repro.errors import DeadlineExpiredError
+
+    manual = ManualClock()
+
+    def stepping() -> float:
+        now = manual()
+        manual.advance(1.0)
+        return now
+
+    with served(fault_net, clock=stepping) as server:
+        transport = _transport(fault_net, server.address, request_deadline=0.25)
+        try:
+            with pytest.raises(DeadlineExpiredError):
+                transport.headers()
+        finally:
+            transport.close()
+        assert server.counters.wait_for("deadlines_expired", 1)
+
+
+# -- fault matrix -------------------------------------------------------------
+_MATRIX_FAULTS = {
+    "drop": (Fault("drop"), (OSError,), dict(request_deadline=0.3)),
+    "corrupt": (Fault("corrupt"), (WireError,), {}),
+    "disconnect": (Fault("disconnect"), (TransportError,), {}),
+}
+
+
+def _do_query(transport, fault_net, window_query, sub_query):
+    transport.time_window_query(window_query)
+
+
+def _do_subscribe(transport, fault_net, window_query, sub_query):
+    transport.register(sub_query, since_height=0)
+
+
+_MATRIX_OPS = {"query": _do_query, "subscribe": _do_subscribe}
+
+
+@pytest.mark.parametrize("op", sorted(_MATRIX_OPS))
+@pytest.mark.parametrize("kind", sorted(_MATRIX_FAULTS))
+def test_fault_matrix(fault_net, window_query, sub_query, kind, op):
+    """Every fault kind x operation lands on its exact client exception
+    and matching server counter."""
+    fault, expected, options = _MATRIX_FAULTS[kind]
+    plan = FaultPlan(to_server={0: fault})
+    with proxied(fault_net, plan) as (proxy, server):
+        transport = _transport(fault_net, proxy.address, **options)
+        try:
+            with pytest.raises(expected):
+                _MATRIX_OPS[op](transport, fault_net, window_query, sub_query)
+        finally:
+            transport.close()
+        assert plan.frames_seen(TO_SERVER) == 1
+        if kind == "corrupt":
+            assert server.counters.wait_for("protocol_errors", 1)
+        else:
+            assert server.counters.protocol_errors == 0
+        assert server.counters.wait_for("connections_closed", 1)
+
+
+# -- seeded chaos -------------------------------------------------------------
+def test_seeded_plans_are_reproducible():
+    def schedule(plan):
+        return [
+            (direction, plan.next_fault(direction))
+            for direction in (TO_SERVER, TO_CLIENT)
+            for _ in range(64)
+        ]
+
+    make = lambda seed: FaultPlan.seeded(  # noqa: E731
+        seed, drop=0.2, corrupt=0.2, disconnect=0.1, delay=0.1, frames=64
+    )
+    assert schedule(make(7)) == schedule(make(7))
+    assert schedule(make(7)) != schedule(make(8))
+
+
+def test_seeded_chaos_run_survives(fault_net):
+    """A retrying client pointed through a seeded chaos schedule must
+    always terminate with either an answer or a typed error — never a
+    hang, never an unexpected exception type."""
+    plan = FaultPlan.seeded(42, drop=0.15, corrupt=0.15, disconnect=0.1)
+    answered = 0
+    with proxied(fault_net, plan) as (proxy, _server):
+        for _ in range(8):
+            transport = _transport(
+                fault_net,
+                proxy.address,
+                request_deadline=0.3,
+                retries=2,
+                backoff=0.0,
+            )
+            try:
+                headers = transport.headers()
+            except (ReproError, OSError):
+                continue
+            finally:
+                transport.close()
+            assert headers
+            answered += 1
+    assert answered >= 1
+    assert plan.injected  # the schedule actually fired
+
+
+def test_fault_validation():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        Fault("maul")
+    with pytest.raises(ValueError, match="sum to at most 1"):
+        FaultPlan.seeded(1, drop=0.9, corrupt=0.9)
+    with pytest.raises(ValueError, match="non-negative"):
+        FaultPlan.seeded(1, drop=-0.1)
+    with pytest.raises(ValueError):
+        ManualClock().advance(-1.0)

@@ -1,0 +1,139 @@
+"""Unit tests for the .vrec session-recording codec and recorder."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.testing import ManualClock, SessionRecorder, load_recording, save_recording
+from repro.wire import (
+    DIR_REQUEST,
+    DIR_RESPONSE,
+    RECORD_MAGIC,
+    RECORD_VERSION,
+    RecordedFrame,
+    SessionRecording,
+    WireError,
+    decode_recording,
+    encode_recording,
+)
+
+
+def _frames(payloads):
+    return tuple(
+        RecordedFrame(
+            seq=i,
+            channel=0,
+            direction=DIR_REQUEST if i % 2 == 0 else DIR_RESPONSE,
+            timestamp_us=i,
+            payload=payload,
+        )
+        for i, payload in enumerate(payloads)
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    label=st.text(max_size=16),
+    meta=st.dictionaries(st.text(max_size=8), st.text(max_size=8), max_size=4),
+    payloads=st.lists(st.binary(max_size=64), max_size=8),
+)
+def test_recording_roundtrip(label, meta, payloads):
+    recording = SessionRecording(label=label, meta=meta, frames=_frames(payloads))
+    decoded = decode_recording(encode_recording(recording))
+    assert decoded == recording
+
+
+def test_encoding_starts_with_magic_and_version():
+    blob = encode_recording(SessionRecording(label="x", meta={}, frames=()))
+    assert blob.startswith(RECORD_MAGIC)
+    assert blob[len(RECORD_MAGIC)] == RECORD_VERSION
+
+
+def test_bad_magic_rejected():
+    blob = bytearray(encode_recording(SessionRecording("x", {}, ())))
+    blob[0] ^= 0xFF
+    with pytest.raises(WireError, match="magic"):
+        decode_recording(bytes(blob))
+
+
+def test_future_version_rejected():
+    blob = bytearray(encode_recording(SessionRecording("x", {}, ())))
+    blob[len(RECORD_MAGIC)] = RECORD_VERSION + 1
+    with pytest.raises(WireError, match="version"):
+        decode_recording(bytes(blob))
+
+
+def test_non_increasing_seq_rejected():
+    frames = (
+        RecordedFrame(5, 0, DIR_REQUEST, 0, b"a"),
+        RecordedFrame(5, 0, DIR_RESPONSE, 1, b"b"),
+    )
+    with pytest.raises(WireError, match="seq"):
+        encode_recording(SessionRecording("x", {}, frames))
+
+
+def test_meta_is_canonically_sorted():
+    ab = SessionRecording("x", {"a": "1", "b": "2"}, ())
+    ba = SessionRecording("x", {"b": "2", "a": "1"}, ())
+    assert encode_recording(ab) == encode_recording(ba)
+
+
+def test_recorder_assigns_global_channels_and_seq():
+    recorder = SessionRecorder(label="unit")
+    client_tap = recorder.tap()
+    server_tap = recorder.tap()
+    client_tap(0, "request", b"q1")
+    server_tap(0, "request", b"q1")
+    server_tap(0, "response", b"r1")
+    client_tap(0, "response", b"r1")
+    client_tap(1, "request", b"q2")  # client reconnected: new local channel
+    recording = recorder.recording()
+    assert [f.seq for f in recording.frames] == [0, 1, 2, 3, 4]
+    # (tap, local channel) pairs map to distinct global channels
+    assert [f.channel for f in recording.frames] == [0, 1, 1, 0, 2]
+    assert [f.direction for f in recording.frames] == [
+        DIR_REQUEST,
+        DIR_REQUEST,
+        DIR_RESPONSE,
+        DIR_RESPONSE,
+        DIR_REQUEST,
+    ]
+
+
+def test_recorder_timestamps_follow_the_clock():
+    clock = ManualClock(start=2.0)
+    recorder = SessionRecorder(label="unit", clock=clock)
+    tap = recorder.tap()
+    tap(0, "request", b"a")
+    clock.advance(0.5)
+    tap(0, "response", b"b")
+    stamps = [f.timestamp_us for f in recorder.recording().frames]
+    assert stamps == [2_000_000, 2_500_000]
+
+
+def test_recorder_is_thread_safe():
+    recorder = SessionRecorder(label="unit")
+    taps = [recorder.tap() for _ in range(4)]
+
+    def pump(tap):
+        for i in range(50):
+            tap(0, "request", bytes([i]))
+
+    threads = [threading.Thread(target=pump, args=(tap,)) for tap in taps]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    recording = recorder.recording()
+    assert len(recording.frames) == 200
+    assert [f.seq for f in recording.frames] == list(range(200))
+
+
+def test_save_and_load_roundtrip(tmp_path):
+    recording = SessionRecording(
+        label="unit", meta={"k": "v"}, frames=_frames([b"x", b"y"])
+    )
+    path = tmp_path / "session.vrec"
+    save_recording(recording, path)
+    assert load_recording(path) == recording

@@ -1,0 +1,87 @@
+"""Replay the committed .vrec corpus against live servers.
+
+The corpus under ``tests/corpus/`` is the regression contract for the
+wire protocol: every honest recording must replay byte-for-byte on both
+server implementations, the forged recording must be caught, and
+re-recording from scratch must reproduce the committed bytes exactly.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.testing import CORPUS_SCENARIOS, record_scenario
+from repro.testing.__main__ import main as _testing_cli
+from repro.wire import encode_recording
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+HONEST = tuple(s for s in CORPUS_SCENARIOS if s != "forged")
+
+
+def test_corpus_is_complete():
+    for scenario in CORPUS_SCENARIOS:
+        assert (CORPUS_DIR / f"{scenario}.vrec").exists()
+
+
+@pytest.mark.parametrize("scenario", HONEST)
+@pytest.mark.parametrize("server", ["async", "threaded"])
+def test_honest_corpus_replays_byte_identical(corpus_replayer, scenario, server):
+    report = corpus_replayer.replay(CORPUS_DIR / f"{scenario}.vrec", server=server)
+    assert report.ok, report.mismatches[:1]
+    assert report.requests == report.responses > 0
+
+
+@pytest.mark.parametrize("server", ["async", "threaded"])
+def test_forged_corpus_is_caught(corpus_replayer, server):
+    report = corpus_replayer.replay(CORPUS_DIR / "forged.vrec", server=server)
+    assert len(report.mismatches) == 1
+    [mismatch] = report.mismatches
+    assert mismatch.expected != mismatch.actual
+
+
+def test_replay_digest_is_deterministic(corpus_replayer):
+    """Two replays, and the two server kinds, produce the same digest."""
+    path = CORPUS_DIR / "query.vrec"
+    first = corpus_replayer.replay(path, server="async")
+    second = corpus_replayer.replay(path, server="async")
+    threaded = corpus_replayer.replay(path, server="threaded")
+    assert first.digest == second.digest == threaded.digest
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("scenario", CORPUS_SCENARIOS)
+def test_recording_regenerates_byte_identical(scenario):
+    """Re-recording a scenario from scratch matches the committed file."""
+    committed = (CORPUS_DIR / f"{scenario}.vrec").read_bytes()
+    assert encode_recording(record_scenario(scenario)) == committed
+
+
+def test_cli_replay_passes_on_the_corpus(capsys):
+    paths = [str(CORPUS_DIR / f"{s}.vrec") for s in CORPUS_SCENARIOS]
+    assert _testing_cli(["replay", *paths, "--serve", "async"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("ok ") == len(CORPUS_SCENARIOS)
+
+
+def test_cli_flags_unexpected_mismatches(tmp_path, capsys):
+    """A forged recording whose metadata does not admit to the forgery
+    must fail the CLI."""
+    recording = record_scenario("forged")
+    meta = dict(recording.meta)
+    meta["expect_mismatches"] = "0"
+    dishonest = type(recording)(
+        label=recording.label, meta=meta, frames=recording.frames
+    )
+    path = tmp_path / "dishonest.vrec"
+    path.write_bytes(encode_recording(dishonest))
+    assert _testing_cli(["replay", str(path)]) == 1
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_cli_inspect_reports_frames(capsys):
+    path = str(CORPUS_DIR / "query.vrec")
+    assert _testing_cli(["inspect", path]) == 0
+    out = capsys.readouterr().out
+    assert "corpus-query" in out
+    assert "meta scenario = query" in out

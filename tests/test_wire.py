@@ -11,13 +11,25 @@ from repro.core.query import CNFCondition, RangeCondition, TimeWindowQuery
 from repro.crypto import get_backend
 from repro.errors import CryptoError
 from repro.wire import (
+    EnvelopeRequest,
     Reader,
+    RecordedFrame,
+    ServerStats,
+    SessionRecording,
+    StatsRequest,
     WireError,
     Writer,
+    decode_recording,
+    decode_request,
     decode_response,
+    decode_stats_response,
     decode_time_window_vo,
+    encode_recording,
+    encode_request,
     encode_response,
+    encode_stats_response,
     encode_time_window_vo,
+    peek_deadline,
     read_header,
     read_object,
     write_header,
@@ -200,3 +212,95 @@ def test_decoder_never_crashes_on_garbage(data):
         decode_time_window_vo(backend, data)
     except (WireError, CryptoError):
         pass  # rejection is the expected outcome
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.binary(max_size=200))
+def test_request_decoders_never_crash_on_garbage(data):
+    """peek_deadline + decode_request must reject, never raise oddly."""
+    try:
+        _deadline, inner = peek_deadline(data)
+        decode_request(inner)
+    except WireError:
+        pass
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.binary(max_size=200))
+def test_stats_decoder_never_crashes_on_garbage(data):
+    try:
+        decode_stats_response(data)
+    except WireError:
+        pass
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.binary(max_size=300))
+def test_record_decoder_never_crashes_on_garbage(data):
+    try:
+        decode_recording(data)
+    except WireError:
+        pass
+
+
+def _sample_recording() -> SessionRecording:
+    frames = tuple(
+        RecordedFrame(
+            seq=i,
+            channel=i % 2,
+            direction=i % 2,
+            timestamp_us=i * 7,
+            payload=bytes([i]) * (i + 1),
+        )
+        for i in range(6)
+    )
+    return SessionRecording(
+        label="sample", meta={"scenario": "unit", "seed": "1"}, frames=frames
+    )
+
+
+def test_envelope_and_stats_bit_flips_never_crash():
+    """Bit-flip every PR 7 codec's happy-path bytes; decoders must only
+    ever raise WireError, whatever byte gets hit."""
+    envelope = encode_request(
+        EnvelopeRequest(request=StatsRequest(), deadline_ms=1500)
+    )
+    stats = encode_stats_response(
+        ServerStats(
+            endpoint={"queries": 3},
+            caches={"vo": {"hits": 1, "misses": 2.5}},
+            engine={"deliveries": 4},
+            pool={"workers": 2},
+            server={"requests": 9},
+        )
+    )
+    recording = encode_recording(_sample_recording())
+    corpus = [
+        (envelope, lambda b: decode_request(peek_deadline(b)[1])),
+        (stats, decode_stats_response),
+        (recording, decode_recording),
+    ]
+    rng = random.Random(7)
+    for blob, decoder in corpus:
+        for _ in range(40):
+            mutated = bytearray(blob)
+            pos = rng.randrange(len(mutated))
+            mutated[pos] ^= 1 << rng.randrange(8)
+            try:
+                decoder(bytes(mutated))
+            except WireError:
+                pass
+
+
+def test_recording_crc_catches_payload_flips():
+    """Unlike generic bit flips, payload flips must *always* be caught:
+    every recorded frame carries its own CRC."""
+    recording = _sample_recording()
+    blob = encode_recording(recording)
+    target = recording.frames[3].payload
+    start = blob.find(target)
+    assert start >= 0
+    mutated = bytearray(blob)
+    mutated[start] ^= 0x10
+    with pytest.raises(WireError, match="CRC"):
+        decode_recording(bytes(mutated))

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Generate (or verify) the recorded-session corpus under tests/corpus/.
+
+The corpus is a set of ``.vrec`` recordings of real client sessions
+against the seeded demo network (see ``repro.testing.corpus``).  The
+files are committed, and CI regenerates them with ``--check`` on every
+push: any byte of drift — a codec change, a nondeterministic field
+leaking into a response, a protocol reordering — fails the build until
+the corpus is deliberately re-recorded.
+
+Usage:
+
+    PYTHONPATH=src python tools/record_corpus.py tests/corpus
+    PYTHONPATH=src python tools/record_corpus.py tests/corpus --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.testing import CORPUS_SCENARIOS, record_corpus
+
+
+def check(corpus_dir: Path) -> int:
+    """Re-record every scenario and byte-compare against the corpus."""
+    with tempfile.TemporaryDirectory() as scratch:
+        fresh = record_corpus(scratch)
+    failures = 0
+    for scenario in CORPUS_SCENARIOS:
+        path = corpus_dir / f"{scenario}.vrec"
+        if not path.exists():
+            print(f"MISSING {path}")
+            failures += 1
+            continue
+        committed = path.read_bytes()
+        if committed != fresh[scenario]:
+            print(
+                f"DRIFT {path}: committed {len(committed)} byte(s), "
+                f"regenerated {len(fresh[scenario])} byte(s)"
+            )
+            failures += 1
+        else:
+            print(f"ok {path}: {len(committed)} byte(s)")
+    if failures:
+        print(
+            f"{failures} corpus file(s) drifted; if the protocol change is "
+            f"intentional, re-record with: python tools/record_corpus.py "
+            f"{corpus_dir}"
+        )
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("out_dir", help="corpus directory (e.g. tests/corpus)")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="regenerate in a scratch dir and byte-compare, write nothing",
+    )
+    args = parser.parse_args(argv)
+    corpus_dir = Path(args.out_dir)
+    if args.check:
+        return check(corpus_dir)
+    written = record_corpus(corpus_dir)
+    for scenario in CORPUS_SCENARIOS:
+        print(f"wrote {corpus_dir / f'{scenario}.vrec'}: "
+              f"{len(written[scenario])} byte(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
