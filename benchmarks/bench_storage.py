@@ -11,11 +11,18 @@ or removes:
   re-mining the whole chain from raw objects;
 * **warm-query parity** — once reopened, time-window queries must match
   the in-memory chain byte-for-byte (answers *and* VO bytes) at
-  comparable latency.
+  comparable latency;
+* **striping overhead** — the same dataset into a ``k+m`` erasure-coded
+  :class:`~repro.storage.StripedBlockStore`: write and reopen cost vs
+  the plain log, on-disk expansion, degraded reopen with ``m``
+  directories deleted, and the scrub that rebuilds them — parity of
+  answers and VO bytes is required in every state.
 
 Writes ``BENCH_storage.json``; with ``--check`` exits 1 if parity is
-violated or the reopened store serves queries more than ``--max-slowdown``
-slower than memory.
+violated anywhere, the reopened store serves queries more than
+``--max-slowdown`` slower than memory, or the striped sweep breaks the
+bounds in the ``striped`` section of ``--baseline``
+(benchmarks/baseline_storage.json).
 
 Run:  PYTHONPATH=src python benchmarks/bench_storage.py
 """
@@ -28,10 +35,12 @@ import shutil
 import statistics
 import tempfile
 import time
+import warnings
 from pathlib import Path
 
 from repro import VChainNetwork
 from repro.datasets import ethereum_like, make_time_window_queries
+from repro.storage import StorageWarning
 from repro.wire import encode_time_window_vo
 
 
@@ -69,6 +78,118 @@ def dir_nbytes(path: Path) -> int:
     return sum(f.stat().st_size for f in path.glob("*") if f.is_file())
 
 
+def deployment_nbytes(path: Path) -> int:
+    """Total bytes of a plain chain dir or a striped parent of node-* dirs."""
+    node_dirs = sorted(path.glob("node-*"))
+    if node_dirs:
+        return sum(dir_nbytes(d) for d in node_dirs)
+    return dir_nbytes(path)
+
+
+def striped_sweep(args, dataset, queries, workdir, fsync, memory_net,
+                  plain_mine_s, plain_reopen_s):
+    """Striped-vs-plain: write, reopen, degraded reopen, scrub rebuild."""
+    mem_answers, mem_vos, _ = run_queries(memory_net, queries)
+    parent = workdir / "striped"
+    shutil.rmtree(parent, ignore_errors=True)
+
+    net = VChainNetwork.create(
+        seed=args.seed, data_dir=parent, fsync=fsync,
+        stripes=args.stripes, parity=args.parity,
+    )
+    striped_mine_s = mine_into(net, dataset)
+    net.close()
+    on_disk = deployment_nbytes(parent)
+
+    start = time.perf_counter()
+    net = VChainNetwork.open(parent, fsync=fsync)
+    reopen_s = time.perf_counter() - start
+    answers, vos, _ = run_queries(net, queries)
+    healthy_parity = answers == mem_answers and vos == mem_vos
+    net.close()
+
+    # lose m whole stripe directories, reopen from the survivors
+    node_dirs = sorted(parent.glob("node-*"))
+    for victim in node_dirs[: args.parity]:
+        shutil.rmtree(victim)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", StorageWarning)
+        start = time.perf_counter()
+        net = VChainNetwork.open(parent, fsync=fsync)
+        degraded_reopen_s = time.perf_counter() - start
+        answers, vos, _ = run_queries(net, queries)
+        degraded_parity = answers == mem_answers and vos == mem_vos
+
+        start = time.perf_counter()
+        report = net.sp.chain.store.scrub()
+        scrub_s = time.perf_counter() - start
+    health = net.sp.chain.store.health()
+    net.close()
+
+    return {
+        "k": args.stripes,
+        "m": args.parity,
+        "mine_s": round(striped_mine_s, 4),
+        "write_overhead_vs_plain": round(striped_mine_s / plain_mine_s, 3),
+        "on_disk_nbytes": on_disk,
+        "reopen_s": round(reopen_s, 4),
+        "reopen_ratio_vs_plain": round(reopen_s / plain_reopen_s, 3),
+        "degraded_reopen_s": round(degraded_reopen_s, 4),
+        "degraded_reopen_ratio_vs_plain": round(
+            degraded_reopen_s / plain_reopen_s, 3
+        ),
+        "scrub_rebuild_s": round(scrub_s, 4),
+        "rebuilt_nodes": report.rebuilt_nodes,
+        "nodes_online_after_scrub": health["nodes_online"],
+        "healthy_parity": healthy_parity,
+        "degraded_parity": degraded_parity,
+    }
+
+
+def check_striped(section, disk_overhead, baseline) -> int:
+    bounds = baseline.get("striped")
+    if bounds is None:
+        print("FAIL: baseline has no striped section")
+        return 1
+    failures = []
+    if not section["healthy_parity"]:
+        failures.append("striped answers are not byte-identical to memory")
+    if not section["degraded_parity"]:
+        failures.append(
+            f"answers changed after losing {section['m']} stripe directories"
+        )
+    if section["nodes_online_after_scrub"] != section["k"] + section["m"]:
+        failures.append(
+            f"scrub left {section['nodes_online_after_scrub']} of "
+            f"{section['k'] + section['m']} nodes online"
+        )
+    gates = [
+        ("write_overhead_vs_plain", "max_write_overhead_vs_plain"),
+        ("reopen_ratio_vs_plain", "max_reopen_ratio_vs_plain"),
+        ("degraded_reopen_ratio_vs_plain", "max_degraded_reopen_ratio_vs_plain"),
+    ]
+    for metric, bound in gates:
+        if section[metric] > bounds[bound]:
+            failures.append(
+                f"{metric} {section[metric]:.2f} over baseline "
+                f"{bound} {bounds[bound]:.2f}"
+            )
+    if disk_overhead > bounds["max_disk_overhead"]:
+        failures.append(
+            f"on-disk expansion {disk_overhead:.2f}x over baseline "
+            f"max_disk_overhead {bounds['max_disk_overhead']:.2f}x"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if not failures:
+        print(
+            f"OK: striped k={section['k']} m={section['m']} byte-identical "
+            f"healthy and degraded, {disk_overhead:.2f}x disk, scrub rebuilt "
+            f"{section['rebuilt_nodes']} node(s) in {section['scrub_rebuild_s']}s"
+        )
+    return 1 if failures else 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--blocks", type=int, default=24)
@@ -83,9 +204,20 @@ def main() -> int:
                              "cleared and rewritten (default: a fresh temp dir)")
     parser.add_argument("--out", default="BENCH_storage.json")
     parser.add_argument("--check", action="store_true",
-                        help="exit 1 on parity violation or excessive slowdown")
+                        help="exit 1 on parity violation, excessive slowdown, "
+                             "or striped metrics over the baseline bounds")
     parser.add_argument("--max-slowdown", type=float, default=1.5,
                         help="allowed reopened/memory p50-latency ratio "
+                             "(with --check)")
+    parser.add_argument("--stripes", type=int, default=4,
+                        help="data stripes (k) for the striped sweep")
+    parser.add_argument("--parity", type=int, default=2,
+                        help="parity stripes (m) for the striped sweep")
+    parser.add_argument("--skip-striped", action="store_true",
+                        help="measure only the plain file store")
+    parser.add_argument("--baseline",
+                        default=str(Path(__file__).parent / "baseline_storage.json"),
+                        help="baseline JSON bounding the striped sweep "
                              "(with --check)")
     args = parser.parse_args()
 
@@ -152,6 +284,15 @@ def main() -> int:
         "vo_bytes_match": vos_match,
     }
     reopened_net.close()
+
+    disk_overhead = 0.0
+    if not args.skip_striped:
+        report["striped"] = striped_sweep(
+            args, dataset, queries, workdir, fsync, memory_net,
+            plain_mine_s=durable_mine_s, plain_reopen_s=reopen_s,
+        )
+        disk_overhead = report["striped"]["on_disk_nbytes"] / report["on_disk_nbytes"]
+        report["striped"]["disk_overhead_vs_plain"] = round(disk_overhead, 3)
     if args.data_dir is None:
         shutil.rmtree(workdir, ignore_errors=True)
 
@@ -160,6 +301,9 @@ def main() -> int:
                 "query_p50_reopened_s", "warm_slowdown", "answers_match",
                 "vo_bytes_match"):
         print(f"{key:>22}: {report[key]}")
+    if "striped" in report:
+        for key, value in report["striped"].items():
+            print(f"{'striped.' + key:>38}: {value}")
 
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
@@ -174,6 +318,9 @@ def main() -> int:
             return 1
         print(f"OK: byte-identical answers, warm slowdown {slowdown:.2f}x "
               f"<= {args.max_slowdown:.2f}x")
+        if "striped" in report:
+            baseline = json.loads(Path(args.baseline).read_text())
+            return check_striped(report["striped"], disk_overhead, baseline)
     return 0
 
 

@@ -49,9 +49,14 @@ from repro.chain import Block, Blockchain, DataObject, Miner, ProtocolParams
 from repro.core.sp import ServiceProvider
 from repro.core.user import QueryUser
 from repro.parallel import CryptoPool, ParallelConfig, make_pool, resolve_config
-from repro.storage.bootstrap import ChainSetup, create_chain_setup, open_chain_setup
+from repro.storage.bootstrap import (
+    ChainSetup,
+    StorageTarget,
+    create_chain_setup,
+    open_chain_setup,
+)
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "CryptoPool",
@@ -93,10 +98,12 @@ class VChainNetwork:
         params: ProtocolParams | None = None,
         seed: int | None = None,
         acc1_capacity: int = 4096,
-        data_dir: str | os.PathLike | None = None,
+        data_dir: "StorageTarget | None" = None,
         fsync: bool = True,
         workers: int = 1,
         parallel: ParallelConfig | None = None,
+        stripes: int | None = None,
+        parity: int = 2,
     ) -> "VChainNetwork":
         """Trusted setup + empty chain + one of each party.
 
@@ -105,6 +112,11 @@ class VChainNetwork:
         in the directory's manifest, so :meth:`open` can bring the whole
         network back in a later process.  ``create`` refuses a directory
         that already holds a chain — reopen those instead.
+
+        ``stripes`` erasure-codes the log across ``stripes + parity``
+        node directories under (or listed in) ``data_dir``, tolerating
+        up to ``parity`` lost directories — see
+        :class:`repro.storage.StripedBlockStore`.
 
         ``workers`` scales the crypto across that many worker processes
         (a shared :class:`~repro.parallel.CryptoPool` serving miner, SP
@@ -124,13 +136,15 @@ class VChainNetwork:
             seed=seed,
             acc1_capacity=acc1_capacity,
             fsync=fsync,
+            stripes=stripes,
+            parity=parity,
         )
         return cls._from_setup(setup, parallel=parallel)
 
     @classmethod
     def open(
         cls,
-        data_dir: str | os.PathLike,
+        data_dir: "StorageTarget",
         fsync: bool = True,
         workers: int = 1,
         parallel: ParallelConfig | None = None,
@@ -142,6 +156,8 @@ class VChainNetwork:
         warning), every header is re-validated, and the light node
         syncs the recovered headers — so queries verify immediately and
         mining can continue where the previous process stopped.
+        Striped deployments reopen from any surviving quorum: pass the
+        parent directory or a list of surviving node directories.
         """
         parallel = resolve_config(workers, parallel)
         setup = open_chain_setup(data_dir, fsync=fsync)

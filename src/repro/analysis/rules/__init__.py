@@ -1,4 +1,4 @@
-"""The six repo-specific checkers.
+"""The seven repo-specific checkers.
 
 Each rule is a module exposing ``NAME``, ``DESCRIPTION`` and
 ``check(project) -> list[Finding]``; :data:`ALL_RULES` is the registry
@@ -7,11 +7,28 @@ a fixture to ``tests/test_analysis.py``, and document the guarantee in
 docs/ARCHITECTURE.md.
 """
 
-from repro.analysis.rules import backends, blocking, codec, exports, locks, pickles
+from repro.analysis.rules import (
+    backends,
+    blocking,
+    codec,
+    exports,
+    fsync,
+    locks,
+    pickles,
+)
 
 #: registry order is report order for equal file/line
-ALL_RULES = (codec, locks, pickles, backends, exports, blocking)
+ALL_RULES = (codec, locks, pickles, backends, exports, blocking, fsync)
 
 __all__ = sorted(
-    ["ALL_RULES", "backends", "blocking", "codec", "exports", "locks", "pickles"]
+    [
+        "ALL_RULES",
+        "backends",
+        "blocking",
+        "codec",
+        "exports",
+        "fsync",
+        "locks",
+        "pickles",
+    ]
 )

@@ -1,0 +1,188 @@
+"""fsync-discipline: storage installs pointers only after syncing data.
+
+The storage layer's durability contract (PR 3, extended to stripes in
+PR 9) is an ordering rule: anything that *points at* data — an index
+entry naming a record's offset, an ``os.replace`` installing a manifest
+— must reach the disk only after the data it points at is fsync'd.
+Violate the order and a crash can leave a pointer to garbage that
+recovery trusts.  Two mechanical checks over :mod:`repro.storage`:
+
+* every ``os.replace(...)`` call must be lexically preceded, in the
+  same function body, by an ``os.fsync(...)`` of the replacement
+  contents (the write-to-temp / fsync / rename idiom — use
+  ``_write_file_durably``, which encodes it once);
+* every ``.write(...)`` on an index file handle (a receiver whose name
+  contains ``index``) must be lexically preceded, in the same function
+  body, by a flush/fsync of some *other* handle — the segment data the
+  new index entry points at.
+
+Lexical order within one function is a proxy for runtime order — the
+same trade the lock-discipline rule makes.  Helpers that take the
+handle as a parameter (``_flush``, ``_write_file_durably``) satisfy the
+rule at their call sites by naming, which is exactly the discipline the
+convention wants: sync the data, visibly, before publishing a pointer
+to it.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import Module, ProjectIndex
+
+NAME = "fsync-discipline"
+DESCRIPTION = "os.replace/index writes must follow an fsync of the data they point at"
+
+#: the subsystem carrying the durability contract
+SCOPES = ("repro.storage",)
+
+#: call attributes that count as syncing data to disk
+_SYNCING_ATTRS = {"fsync", "flush", "_flush"}
+
+
+def _receiver_name(node: ast.expr) -> str | None:
+    """The identifier a call receiver ends in (``self._index_file`` ->
+    ``_index_file``), or ``None`` for non-name receivers."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_index_handle(name: str | None) -> bool:
+    return name is not None and "index" in name.lower()
+
+
+def _is_os_call(call: ast.Call, attr: str) -> bool:
+    func = call.func
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr == attr
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "os"
+    )
+
+
+def _syncs_data(call: ast.Call) -> bool:
+    """Does this call flush/fsync something that is not an index handle?
+
+    ``os.fsync(fd)``, ``handle.flush()`` and ``self._flush(handle)``
+    all count, as long as the synced handle is not itself named like an
+    index — syncing the index before writing it proves nothing about
+    the data the entry points at.
+    """
+    func = call.func
+    if not isinstance(func, ast.Attribute) or func.attr not in _SYNCING_ATTRS:
+        return False
+    if isinstance(func.value, ast.Name) and func.value.id == "os":
+        # os.fsync(X.fileno()) — look through to what is being synced
+        for arg in call.args:
+            if isinstance(arg, ast.Call):
+                synced = _receiver_name(
+                    arg.func.value if isinstance(arg.func, ast.Attribute) else arg.func
+                )
+            else:
+                synced = _receiver_name(arg)
+            if _is_index_handle(synced):
+                return False
+        return True
+    if func.attr == "flush":
+        return not _is_index_handle(_receiver_name(func.value))
+    # a helper like self._flush(handle): check the handle argument
+    for arg in call.args:
+        if _is_index_handle(_receiver_name(arg)):
+            return False
+    return True
+
+
+class _BodyCalls(ast.NodeVisitor):
+    """Call nodes lexically inside one function's own statements.
+
+    Nested ``def``/``lambda``/class bodies get their own visit — their
+    execution order is unrelated to the enclosing body's.
+    """
+
+    def __init__(self) -> None:
+        self.calls: list[ast.Call] = []
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        pass
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self.calls.append(node)
+        self.generic_visit(node)
+
+
+def _check_function(
+    function: ast.FunctionDef, context: str, module: Module
+) -> list[Finding]:
+    visitor = _BodyCalls()
+    for stmt in function.body:
+        visitor.visit(stmt)
+    findings = []
+    data_synced = False
+    for call in visitor.calls:
+        if _syncs_data(call):
+            data_synced = True
+            continue
+        if _is_os_call(call, "replace") and not data_synced:
+            findings.append(
+                Finding(
+                    rule=NAME,
+                    path=module.rel,
+                    line=call.lineno,
+                    message=(
+                        f"{context} calls os.replace without first fsyncing "
+                        "the replacement contents (use _write_file_durably: "
+                        "write, flush, fsync, then rename)"
+                    ),
+                )
+            )
+            continue
+        func = call.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "write"
+            and _is_index_handle(_receiver_name(func.value))
+            and not data_synced
+        ):
+            findings.append(
+                Finding(
+                    rule=NAME,
+                    path=module.rel,
+                    line=call.lineno,
+                    message=(
+                        f"{context} writes an index entry before syncing the "
+                        "data it points at (flush/fsync the segment first — "
+                        "a crash must never leave an index pointing at "
+                        "unwritten bytes)"
+                    ),
+                )
+            )
+    return findings
+
+
+def check(project: ProjectIndex) -> list[Finding]:
+    findings: list[Finding] = []
+    for module in project.iter_modules(*SCOPES):
+        for node in module.tree.body:
+            if isinstance(node, ast.FunctionDef):
+                findings += _check_function(node, node.name, module)
+            elif isinstance(node, ast.ClassDef):
+                for method in node.body:
+                    if isinstance(method, ast.FunctionDef):
+                        findings += _check_function(
+                            method, f"{node.name}.{method.name}", module
+                        )
+    return findings

@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import argparse
 import os
-from typing import Any
+from typing import Any, Sequence
 
 from repro.api.aio import AsyncSocketServer
 from repro.api.service import ServiceEndpoint
@@ -46,7 +46,7 @@ from repro.api.transport import FrameTap, SocketServer
 
 
 def serve(
-    data_dir: str | os.PathLike[str],
+    data_dir: str | os.PathLike[str] | Sequence[str | os.PathLike[str]],
     host: str = "127.0.0.1",
     port: int = 0,
     *,
@@ -102,8 +102,33 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--data-dir",
-        required=True,
-        help="chain directory (VChainNetwork.create(data_dir=...))",
+        default=None,
+        help="chain directory (VChainNetwork.create(data_dir=...)); for a "
+        "striped deployment, its parent directory of node-* stripe dirs",
+    )
+    parser.add_argument(
+        "--stripe-dirs",
+        default=None,
+        metavar="DIR,DIR,...",
+        help="comma-separated surviving stripe directories of a striped "
+        "deployment (standby failover: any quorum able to reconstruct "
+        "the chain is enough); alternative to --data-dir",
+    )
+    parser.add_argument(
+        "--parity",
+        type=int,
+        default=None,
+        metavar="M",
+        help="assert the deployment was created with this many parity "
+        "stripes (refuses to serve a mismatched manifest)",
+    )
+    parser.add_argument(
+        "--scrub-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="run the endpoint-owned background scrubber every this many "
+        "seconds (striped stores only)",
     )
     parser.add_argument("--host", default="127.0.0.1", help="bind address")
     parser.add_argument("--port", type=int, default=0, help="bind port (0 = ephemeral)")
@@ -158,6 +183,13 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.record and args.threaded:
         parser.error("--record requires the async server (drop --threaded)")
+    if (args.data_dir is None) == (args.stripe_dirs is None):
+        parser.error("exactly one of --data-dir / --stripe-dirs is required")
+    target: str | list[str] = args.data_dir
+    if args.stripe_dirs is not None:
+        target = [d for d in args.stripe_dirs.split(",") if d]
+        if not target:
+            parser.error("--stripe-dirs needs at least one directory")
 
     recorder = None
     tap: FrameTap | None = None
@@ -168,7 +200,7 @@ def main(argv: list[str] | None = None) -> int:
         tap = recorder.tap()
 
     server = serve(
-        args.data_dir,
+        target,
         args.host,
         args.port,
         threaded=args.threaded,
@@ -179,18 +211,34 @@ def main(argv: list[str] | None = None) -> int:
         max_workers=args.max_workers,
         workers=args.workers,
         fsync=not args.no_fsync,
+        scrub_interval=args.scrub_interval,
     )
     endpoint = server.endpoint
+    if args.parity is not None:
+        health = endpoint.storage_health()
+        if health is None or health["m"] != args.parity:
+            found = "an unstriped store" if health is None else f"m={health['m']}"
+            server.stop(drain=False)
+            endpoint.close()
+            parser.error(f"--parity {args.parity} but the deployment has {found}")
     host, port = server.address
+    shown = target if isinstance(target, str) else ",".join(target)
     print(
-        f"serving {args.data_dir} ({len(endpoint.sp.chain)} blocks) "
+        f"serving {shown} ({len(endpoint.sp.chain)} blocks) "
         f"on {host}:{port} — Ctrl-C to stop",
         flush=True,
     )
     try:
-        # the accept loop runs on a daemon thread; park the main thread
+        # the accept loop runs on a daemon thread; park the main thread.
+        # SIGTERM (systemd/docker stop) must take the same graceful path
+        # as Ctrl-C, or the store's per-node LOCK files are left stale.
+        import signal
         import threading
 
+        def _sigterm(signum: int, frame: object) -> None:
+            raise KeyboardInterrupt
+
+        signal.signal(signal.SIGTERM, _sigterm)
         threading.Event().wait()
     except KeyboardInterrupt:
         print("stopping...", flush=True)

@@ -39,7 +39,7 @@ import threading
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, cast
+from typing import Any, Callable, Sequence, cast
 
 from repro.cache import CacheStats, ProofCache, VOFragmentCache
 from repro.chain.block import BlockHeader
@@ -159,11 +159,22 @@ class ServiceEndpoint:
         cache_proofs: int = 4096,
         workers: int = 1,
         parallel: ParallelConfig | None = None,
+        scrub_interval: float | None = None,
+        scrub_batch: int = 64,
     ) -> None:
         """``max_workers`` bounds concurrent query execution (1 restores
         the serial dispatcher); ``cache_fragments``/``cache_proofs``
         size the per-endpoint VO-fragment and proof caches (0 disables
         either).
+
+        ``scrub_interval`` (seconds) starts an endpoint-owned background
+        scrubber for a striped store: every interval it verifies the
+        next ``scrub_batch`` block heights' stripes, repairs deviations
+        and rebuilds lost node directories (see
+        :meth:`repro.storage.StripedBlockStore.scrub_step`).  A
+        non-positive interval raises :class:`ValueError`; the option is
+        ignored when the chain's store has no scrubber (plain file or
+        in-memory stores).
 
         ``workers`` scales the *crypto*, not the dispatch: >1 starts a
         :class:`~repro.parallel.CryptoPool` of worker processes that
@@ -179,6 +190,8 @@ class ServiceEndpoint:
         """
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
+        if scrub_interval is not None and scrub_interval <= 0:
+            raise ValueError("scrub_interval must be positive (seconds)")
         self.sp = sp
         self.max_workers = max_workers
         self.counters = EndpointStats()
@@ -228,11 +241,24 @@ class ServiceEndpoint:
         self._closed = False
         self._owns_store = False
         self._server_counters: Callable[[], dict[str, int]] | None = None
+        # background scrubbing (striped stores only): a daemon thread
+        # calls scrub_step every interval until close() sets the event
+        self._scrub_stop = threading.Event()
+        self._scrub_thread: threading.Thread | None = None
+        self._scrub_batch = scrub_batch
+        if scrub_interval is not None and hasattr(sp.chain.store, "scrub_step"):
+            self._scrub_thread = threading.Thread(
+                target=self._scrub_loop,
+                args=(scrub_interval,),
+                name="vchain-scrubber",
+                daemon=True,
+            )
+            self._scrub_thread.start()
 
     @classmethod
     def open(
         cls,
-        data_dir: str | os.PathLike[str],
+        data_dir: str | os.PathLike[str] | Sequence[str | os.PathLike[str]],
         *,
         fsync: bool = True,
         **endpoint_options: Any,
@@ -245,6 +271,11 @@ class ServiceEndpoint:
         ``close()`` also closes the underlying files.
         ``endpoint_options`` are the regular constructor options
         (``max_workers=``, ``cache_fragments=``, ...).
+
+        ``data_dir`` also takes a striped deployment — a parent
+        directory of ``node-*`` stripe dirs, or an explicit sequence of
+        surviving ones.  This is the standby-SP takeover path: point a
+        fresh process at whatever directories outlived the primary.
         """
         sp = ServiceProvider.open(data_dir, fsync=fsync)
         try:
@@ -275,6 +306,9 @@ class ServiceEndpoint:
         with self._lock:
             self._closed = True
             owned, self._owned_pool = self._owned_pool, None
+        self._scrub_stop.set()
+        if self._scrub_thread is not None:
+            self._scrub_thread.join(timeout=10.0)
         self._pool.shutdown(wait=wait)
         if owned is not None:
             # hand the processor back its original pool before stopping
@@ -291,6 +325,28 @@ class ServiceEndpoint:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+    def _scrub_loop(self, interval: float) -> None:
+        """Body of the endpoint-owned scrubber thread.
+
+        Runs until :meth:`close`; a scrub failure (e.g. the store closed
+        under it during shutdown) ends the loop rather than killing the
+        process — scrubbing is maintenance, not correctness.
+        """
+        store = self.sp.chain.store
+        while not self._scrub_stop.wait(interval):
+            try:
+                store.scrub_step(self._scrub_batch)
+            except ReproError:
+                break
+
+    def storage_health(self) -> dict[str, Scalar] | None:
+        """The chain store's health counters, or ``None`` for stores
+        without degradation tracking (memory, plain file)."""
+        health = getattr(self.sp.chain.store, "health", None)
+        if health is None:
+            return None
+        return cast("dict[str, Scalar]", health())
 
     def cache_stats(self) -> dict[str, CacheStats]:
         """Snapshot of both serving caches, keyed ``fragments``/``proofs``."""
@@ -351,6 +407,7 @@ class ServiceEndpoint:
             },
             "pool": pool.stats().as_info() if pool is not None else None,
             "server": server() if server is not None else None,
+            "storage": self.storage_health(),
         }
 
     def server_stats(self) -> ServerStats:
@@ -367,6 +424,7 @@ class ServiceEndpoint:
             engine=cast("dict[str, Scalar]", snapshot["engine"]),
             pool=cast("dict[str, Scalar] | None", snapshot["pool"]),
             server=cast("dict[str, Scalar] | None", snapshot["server"]),
+            storage=cast("dict[str, Scalar] | None", snapshot["storage"]),
         )
 
     # -- time-window queries ----------------------------------------------

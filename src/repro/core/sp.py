@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import os
 import warnings
+from typing import Sequence
 
 from repro.accumulators.base import MultisetAccumulator
 from repro.accumulators.encoding import ElementEncoder
@@ -47,10 +48,17 @@ class ServiceProvider:
         self.processor = QueryProcessor(chain, accumulator, encoder, params, pool=pool)
 
     @classmethod
-    def open(cls, data_dir: str | os.PathLike, fsync: bool = True) -> "ServiceProvider":
+    def open(
+        cls,
+        data_dir: str | os.PathLike | Sequence[str | os.PathLike],
+        fsync: bool = True,
+    ) -> "ServiceProvider":
         """Reopen an SP from a chain directory written by a previous
         process (see :mod:`repro.storage.bootstrap` for what is
-        reconstructed and re-validated)."""
+        reconstructed and re-validated).  ``data_dir`` takes anything
+        :func:`~repro.storage.bootstrap.open_chain_setup` does —
+        including a striped deployment's surviving quorum of node
+        directories, which is how a standby SP takes over."""
         from repro.storage.bootstrap import open_chain_setup
 
         setup = open_chain_setup(data_dir, fsync=fsync)

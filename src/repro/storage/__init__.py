@@ -3,18 +3,24 @@
 The chain layer validates; a :class:`BlockStore` persists.
 :class:`MemoryBlockStore` keeps the pre-storage behaviour (and is the
 default), :class:`FileBlockStore` is an fsync'd append-only segment log
-with crash recovery, and :mod:`repro.storage.bootstrap` ties a store to
-the trusted setup that produced it so whole deployments reopen across
-processes.  See ``docs/ARCHITECTURE.md`` ("Persistence") for the design.
+with crash recovery, :class:`StripedBlockStore` erasure-codes that log
+across ``k + m`` directories (:class:`ShiftXORCode` parity, read-repair,
+scrubbing, quorum reopen — ``python -m repro.storage scrub`` maintains a
+deployment from the command line), and :mod:`repro.storage.bootstrap`
+ties a store to the trusted setup that produced it so whole deployments
+reopen across processes.  See ``docs/ARCHITECTURE.md`` ("Persistence"
+and "Durability & failover") for the design.
 """
 
 from repro.storage.bootstrap import (
     ChainSetup,
+    StorageTarget,
     build_parties,
     create_chain_setup,
     open_chain_setup,
     open_deployment,
 )
+from repro.storage.ec import ShiftXORCode
 from repro.storage.store import (
     CODEC_NAME,
     DEFAULT_SEGMENT_BYTES,
@@ -25,6 +31,11 @@ from repro.storage.store import (
     StorageWarning,
     load_manifest,
 )
+from repro.storage.striped import (
+    ScrubReport,
+    StripedBlockStore,
+    discover_stripe_dirs,
+)
 
 __all__ = [
     "BlockStore",
@@ -34,9 +45,14 @@ __all__ = [
     "FORMAT_VERSION",
     "FileBlockStore",
     "MemoryBlockStore",
+    "ScrubReport",
+    "ShiftXORCode",
+    "StorageTarget",
     "StorageWarning",
+    "StripedBlockStore",
     "build_parties",
     "create_chain_setup",
+    "discover_stripe_dirs",
     "load_manifest",
     "open_chain_setup",
     "open_deployment",

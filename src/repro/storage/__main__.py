@@ -1,0 +1,110 @@
+"""Storage maintenance CLI: ``python -m repro.storage <command>``.
+
+Commands operate on a striped deployment (a parent directory of
+``node-*`` stripe directories, one node directory, or an explicit list
+of surviving directories):
+
+``scrub``
+    Run full scrub cycles: verify every stripe record against the
+    recomputed encoding, repair deviations in place, rebuild offline
+    node directories.  Exits non-zero if nodes are still offline
+    afterwards (so cron jobs notice).
+
+``status``
+    Print the deployment's health counters as JSON without modifying
+    anything on disk.  Exits 1 if any node is offline, so monitoring
+    can alert without parsing the JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import warnings
+
+from repro.crypto import get_backend
+from repro.errors import StorageError
+from repro.storage.store import StorageWarning, load_manifest
+from repro.storage.striped import StripedBlockStore, discover_stripe_dirs
+
+
+def _open_store(dirs: list[str]) -> StripedBlockStore:
+    target: list[str] | str = dirs if len(dirs) > 1 else dirs[0]
+    resolved = discover_stripe_dirs(target)
+    if not resolved:
+        raise StorageError(
+            f"{target} does not look like a striped deployment "
+            "(no node-* stripe directories found)"
+        )
+    manifest = None
+    for path in resolved:
+        try:
+            manifest = load_manifest(path)
+            break
+        except StorageError:
+            continue
+    if manifest is None:
+        raise StorageError(f"no readable manifest under {target}")
+    backend = get_backend(manifest["backend"])
+    return StripedBlockStore.open(target, backend)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.storage",
+        description="maintenance commands for striped chain storage",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    scrub = sub.add_parser("scrub", help="verify and repair every stripe record")
+    scrub.add_argument("dirs", nargs="+", help="deployment parent dir or node dirs")
+    scrub.add_argument(
+        "--batch", type=int, default=256, help="heights verified per scrub step"
+    )
+    scrub.add_argument(
+        "--cycles", type=int, default=1, help="full verification passes to run"
+    )
+
+    status = sub.add_parser("status", help="print health counters as JSON")
+    status.add_argument("dirs", nargs="+", help="deployment parent dir or node dirs")
+
+    args = parser.parse_args(argv)
+    try:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always", StorageWarning)
+            store = _open_store(args.dirs)
+        for warning in caught:
+            print(f"note: {warning.message}", file=sys.stderr)
+    except StorageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        if args.command == "status":
+            health = store.health()
+            print(json.dumps(health, indent=2, sort_keys=True))
+            return 1 if health["nodes_offline"] else 0
+        total_repaired = 0
+        offline = 0
+        for _ in range(args.cycles):
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always", StorageWarning)
+                report = store.scrub(batch=args.batch)
+            for warning in caught:
+                print(f"note: {warning.message}", file=sys.stderr)
+            total_repaired += report.repaired
+            offline = report.offline_nodes
+            print(
+                f"scrub cycle: checked {report.checked} stripe record(s), "
+                f"repaired {report.repaired}, rebuilt {report.rebuilt_nodes} "
+                f"node(s), {report.offline_nodes} node(s) still offline"
+            )
+        print(json.dumps(store.health(), indent=2, sort_keys=True))
+        return 1 if offline else 0
+    finally:
+        store.close()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,6 +26,7 @@ import os
 import random
 import secrets
 from dataclasses import asdict, dataclass
+from typing import Sequence, Union
 
 from repro.accumulators import ElementEncoder, make_accumulator
 from repro.accumulators.base import MultisetAccumulator
@@ -41,6 +42,11 @@ from repro.storage.store import (
     MemoryBlockStore,
     load_manifest,
 )
+from repro.storage.striped import StripedBlockStore, discover_stripe_dirs
+
+#: a chain location: one directory, or several stripe directories
+#: (a striped deployment's surviving quorum)
+StorageTarget = Union[str, os.PathLike, Sequence[Union[str, os.PathLike]]]
 
 
 def build_parties(
@@ -86,7 +92,7 @@ class ChainSetup:
 
 
 def create_chain_setup(
-    data_dir: str | os.PathLike | None = None,
+    data_dir: StorageTarget | None = None,
     acc_name: str = "acc2",
     backend_name: str = "simulated",
     params: ProtocolParams | None = None,
@@ -94,6 +100,8 @@ def create_chain_setup(
     acc1_capacity: int = 4096,
     fsync: bool = True,
     segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+    stripes: int | None = None,
+    parity: int = 2,
 ) -> ChainSetup:
     """Fresh trusted setup and empty chain.
 
@@ -101,8 +109,18 @@ def create_chain_setup(
     is persisted in the manifest (an already-initialised directory is
     refused — reopen those with :func:`open_chain_setup`).  Without it,
     the store is in-memory and nothing survives the process.
+
+    ``stripes`` switches the store to erasure-coded striping
+    (:class:`~repro.storage.striped.StripedBlockStore`): ``data_dir``
+    is then either a parent directory (``node-00`` .. ``node-NN`` are
+    created inside it) or an explicit list of ``stripes + parity``
+    directories, one per disk, and the chain survives up to ``parity``
+    lost directories.  Passing a list of directories implies striping
+    with ``stripes = len(dirs) - parity``.
     """
     params = params or ProtocolParams()
+    if isinstance(data_dir, (list, tuple)) and stripes is None:
+        stripes = len(data_dir) - parity
     if data_dir is not None and seed is None:
         # the seed *is* the reopenable trusted setup; a persisted chain
         # without one could never verify again
@@ -110,20 +128,34 @@ def create_chain_setup(
     backend, accumulator, encoder = build_parties(
         acc_name, backend_name, seed, acc1_capacity
     )
+    meta = {
+        "acc_name": acc_name,
+        "backend_name": backend_name,
+        "seed": seed,
+        "acc1_capacity": acc1_capacity,
+        "params": asdict(params),
+    }
     if data_dir is None:
+        if stripes is not None:
+            raise StorageError("striping needs storage directories (data_dir)")
         store: BlockStore = MemoryBlockStore()
+    elif stripes is not None:
+        store = StripedBlockStore.create(
+            data_dir,
+            backend,
+            params.bits,
+            stripes=stripes,
+            parity=parity,
+            meta=meta,
+            fsync=fsync,
+            segment_bytes=segment_bytes,
+        )
     else:
         store = FileBlockStore.create(
             data_dir,
             backend,
             params.bits,
-            meta={
-                "acc_name": acc_name,
-                "backend_name": backend_name,
-                "seed": seed,
-                "acc1_capacity": acc1_capacity,
-                "params": asdict(params),
-            },
+            meta=meta,
             fsync=fsync,
             segment_bytes=segment_bytes,
         )
@@ -138,15 +170,47 @@ def create_chain_setup(
         backend_name=backend_name,
         seed=seed,
         acc1_capacity=acc1_capacity,
-        data_dir=str(data_dir) if data_dir is not None else None,
+        data_dir=_describe_target(data_dir),
+    )
+
+
+def _describe_target(target: StorageTarget | None) -> str | None:
+    """A display/path string for the chain location (first dir of many)."""
+    if target is None:
+        return None
+    if isinstance(target, (list, tuple)):
+        return str(target[0]) if target else None
+    return str(target)
+
+
+def _load_any_manifest(data_dir: StorageTarget) -> dict:
+    """The deployment manifest, from a plain dir or any readable stripe
+    node — striped deployments replicate it identically per node."""
+    stripe_dirs = discover_stripe_dirs(data_dir)
+    if stripe_dirs is None:
+        if isinstance(data_dir, (list, tuple)):
+            raise StorageError(
+                f"none of the {len(data_dir)} given directories holds a "
+                "stripe node manifest"
+            )
+        return load_manifest(data_dir)
+    last_error: StorageError | None = None
+    for path in stripe_dirs:
+        try:
+            return load_manifest(path)
+        except StorageError as exc:
+            last_error = exc
+    raise StorageError(
+        f"no readable manifest in any of {len(stripe_dirs)} stripe "
+        f"directories under {_describe_target(data_dir)}: {last_error}"
     )
 
 
 def _read_deployment(
-    data_dir: str | os.PathLike,
+    data_dir: StorageTarget,
 ) -> tuple[str, str, int, int, ProtocolParams]:
     """The recorded trusted-setup facts, straight from the manifest."""
-    manifest = load_manifest(data_dir)
+    manifest = _load_any_manifest(data_dir)
     meta = manifest.get("meta", {})
     try:
         return (
@@ -164,9 +228,14 @@ def _read_deployment(
 
 
 def open_deployment(
-    data_dir: str | os.PathLike,
+    data_dir: StorageTarget,
 ) -> tuple[MultisetAccumulator, ElementEncoder, ProtocolParams]:
     """The deployment of a chain directory, parties only — no block log.
+
+    ``data_dir`` also accepts a striped deployment (parent directory,
+    one node directory, or any surviving quorum of node directories) —
+    every stripe node replicates the manifest, so any one of them
+    answers.
 
     What a client process needs to talk to an SP serving this directory
     over a socket (``VChainClient.connect`` wants the accumulator,
@@ -187,7 +256,7 @@ def open_deployment(
 
 
 def open_chain_setup(
-    data_dir: str | os.PathLike,
+    data_dir: StorageTarget,
     fsync: bool = True,
     segment_bytes: int = DEFAULT_SEGMENT_BYTES,
 ) -> ChainSetup:
@@ -198,14 +267,25 @@ def open_chain_setup(
     recovered header — linkage, timestamps, consensus nonce and the
     ``merkle_root`` binding over the decoded index tree — before the
     chain is handed to anyone.
+
+    Striped deployments reopen from whatever survives: pass the parent
+    directory, one node directory, or an explicit list of surviving
+    node directories — any quorum able to reconstruct every block is
+    enough (this is the standby-SP failover path).
     """
     acc_name, backend_name, seed, acc1_capacity, params = _read_deployment(data_dir)
     backend, accumulator, encoder = build_parties(
         acc_name, backend_name, seed, acc1_capacity
     )
-    store = FileBlockStore.open(
-        data_dir, backend, fsync=fsync, segment_bytes=segment_bytes
-    )
+    store: BlockStore
+    if discover_stripe_dirs(data_dir) is not None:
+        store = StripedBlockStore.open(
+            data_dir, backend, fsync=fsync, segment_bytes=segment_bytes
+        )
+    else:
+        store = FileBlockStore.open(
+            data_dir, backend, fsync=fsync, segment_bytes=segment_bytes
+        )
     try:
         chain = Blockchain(difficulty_bits=params.difficulty_bits, store=store)
     except Exception:
@@ -221,5 +301,5 @@ def open_chain_setup(
         backend_name=backend_name,
         seed=seed,
         acc1_capacity=acc1_capacity,
-        data_dir=str(data_dir),
+        data_dir=_describe_target(data_dir),
     )

@@ -93,6 +93,123 @@ def _fsync_dir(path: Path) -> None:
         os.close(fd)
 
 
+def _write_file_durably(path: Path, data: bytes) -> None:
+    """Atomically replace ``path`` with ``data``, fsync'd end to end.
+
+    The temporary file is flushed and fsync'd *before* the rename and
+    the directory entry is fsync'd after it — a crash either keeps the
+    old file or installs the complete new one, never an empty or
+    partial manifest.
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    _fsync_dir(path.parent)
+
+
+def _pid_is_alive(pid: int) -> bool:
+    """Best-effort liveness probe for an advisory-lock holder."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return False
+    return True
+
+
+def _read_lock_pid(handle) -> int | None:
+    """The PID stamped into a LOCK file, or ``None`` if unreadable."""
+    try:
+        handle.seek(0)
+        raw = handle.read(64)
+        return int(raw.strip() or b"0") or None
+    except (OSError, ValueError):
+        return None
+
+
+def acquire_dir_lock(data_dir: str | os.PathLike):
+    """Take the single-writer advisory lock on a chain/stripe directory.
+
+    Returns the open, PID-stamped LOCK file handle (close it to
+    release), or ``None`` when the platform offers no ``flock`` *and*
+    no stale lock file is present to arbitrate with.
+
+    The lock file carries the holder's PID so failures are diagnosable:
+
+    * ``flock`` held by a live process → :class:`StorageError` naming
+      that PID (instead of an opaque "already open");
+    * lock file left behind by a SIGKILL'd holder (the flock itself
+      dies with the process) → the stale PID is detected, a
+      :class:`StorageWarning` says the lock is being reclaimed, and the
+      open proceeds;
+    * platforms without ``fcntl`` fall back to PID-file locking with
+      the same live/stale distinction.
+    """
+    path = Path(data_dir) / LOCK_NAME
+    # r+b with create: "a" mode would pin every write to the end of the
+    # file, and the PID stamp must overwrite from offset 0
+    handle = os.fdopen(os.open(path, os.O_RDWR | os.O_CREAT, 0o644), "r+b")
+    holder = _read_lock_pid(handle)
+    if fcntl is not None:
+        try:
+            fcntl.flock(handle, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            handle.close()
+            who = f"process {holder}" if holder else "another store/process"
+            raise StorageError(
+                f"{data_dir} is already open for writing by {who} "
+                f"(advisory {LOCK_NAME} is held)"
+            ) from None
+    elif holder is not None and holder != os.getpid() and _pid_is_alive(holder):
+        handle.close()
+        raise StorageError(
+            f"{data_dir} is already open for writing by process {holder} "
+            f"({LOCK_NAME} is live)"
+        )
+    if holder is not None and holder != os.getpid() and not _pid_is_alive(holder):
+        warnings.warn(
+            f"{data_dir}: reclaiming stale {LOCK_NAME} left by dead process "
+            f"{holder} (killed without closing its store)",
+            StorageWarning,
+            stacklevel=3,
+        )
+    handle.seek(0)
+    handle.truncate()
+    handle.write(str(os.getpid()).encode("ascii"))
+    handle.flush()
+    return handle
+
+
+def release_dir_lock(handle) -> None:
+    """Release a lock from :func:`acquire_dir_lock` cleanly.
+
+    Clears the PID stamp before closing, so a stamp found by a later
+    open really means its holder died without closing — that is what
+    keeps the stale-lock reclaim warning meaningful instead of firing
+    on every clean reopen.
+    """
+    if handle is None:
+        return
+    try:
+        handle.seek(0)
+        handle.truncate()
+        handle.flush()
+    except (OSError, ValueError):
+        pass  # releasing best-effort: the flock dies with the close anyway
+    try:
+        handle.close()
+    except OSError:
+        pass
+
+
 @runtime_checkable
 class BlockStore(Protocol):
     """What the chain layer needs from a storage backend.
@@ -141,15 +258,39 @@ class MemoryBlockStore:
         pass
 
 
+#: manifest keys every chain directory must carry (striped deployments
+#: add a "striping" section on top)
+_MANIFEST_REQUIRED = ("format_version", "codec", "backend", "bits")
+
+
 def load_manifest(data_dir: str | os.PathLike) -> dict:
-    """Read and sanity-check a chain directory's manifest."""
+    """Read and sanity-check a chain directory's manifest.
+
+    Every failure mode — missing file, truncated or non-JSON content, a
+    JSON value that is not an object, missing required keys — raises a
+    typed :class:`~repro.errors.StorageError` naming the path, never a
+    bare ``json.JSONDecodeError``/``KeyError``: callers handle "this
+    directory is not a usable chain" as one condition.
+    """
     path = Path(data_dir) / MANIFEST_NAME
     if not path.exists():
         raise StorageError(f"{data_dir} is not a chain directory (no {MANIFEST_NAME})")
     try:
         manifest = json.loads(path.read_text())
-    except (OSError, json.JSONDecodeError) as exc:
-        raise StorageError(f"unreadable manifest in {data_dir}: {exc}") from exc
+    except (OSError, ValueError) as exc:
+        raise StorageError(
+            f"corrupt or truncated manifest {path}: {exc}"
+        ) from exc
+    if not isinstance(manifest, dict):
+        raise StorageError(
+            f"corrupt manifest {path}: expected a JSON object, "
+            f"got {type(manifest).__name__}"
+        )
+    missing = [key for key in _MANIFEST_REQUIRED if key not in manifest]
+    if missing:
+        raise StorageError(
+            f"corrupt manifest {path}: missing required key(s) {missing}"
+        )
     if manifest.get("format_version") != FORMAT_VERSION:
         raise StorageError(
             f"unsupported storage format {manifest.get('format_version')!r} "
@@ -202,9 +343,9 @@ class FileBlockStore:
             self._recover()
             self._open_for_append()
         except Exception:
-            if self._lock_file is not None:  # failed open must not hold the lock
-                self._lock_file.close()
-                self._lock_file = None
+            # a failed open must not hold the lock or leave a stale stamp
+            release_dir_lock(self._lock_file)
+            self._lock_file = None
             raise
 
     # -- construction ------------------------------------------------------
@@ -239,10 +380,10 @@ class FileBlockStore:
             "bits": bits,
             "meta": dict(meta or {}),
         }
-        tmp = path / (MANIFEST_NAME + ".tmp")
-        tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
-        os.replace(tmp, path / MANIFEST_NAME)
-        _fsync_dir(path)
+        _write_file_durably(
+            path / MANIFEST_NAME,
+            (json.dumps(manifest, indent=2, sort_keys=True) + "\n").encode(),
+        )
         return cls(
             path,
             backend,
@@ -263,6 +404,11 @@ class FileBlockStore:
     ) -> "FileBlockStore":
         """Reopen an existing chain directory, recovering the log."""
         manifest = load_manifest(data_dir)
+        if "striping" in manifest:
+            raise StorageError(
+                f"{data_dir} is one stripe node of a striped deployment; "
+                "open it through StripedBlockStore / open_chain_setup"
+            )
         if manifest["backend"] != backend.name:
             raise StorageError(
                 f"chain was written with backend {manifest['backend']!r}, "
@@ -327,9 +473,8 @@ class FileBlockStore:
         self.sync()
         self._segment_file.close()
         self._index_file.close()
-        if self._lock_file is not None:
-            self._lock_file.close()  # releases the flock
-            self._lock_file = None
+        release_dir_lock(self._lock_file)  # clears the PID stamp + flock
+        self._lock_file = None
         self._closed = True
 
     def __enter__(self) -> "FileBlockStore":
@@ -343,18 +488,10 @@ class FileBlockStore:
         """Single-writer guard: two stores on one directory would
         interleave appends and make the next recovery truncate committed
         blocks.  ``flock`` is advisory and dies with the process, so a
-        crashed writer never wedges the directory."""
-        if fcntl is None:
-            return
-        self._lock_file = open(self.data_dir / LOCK_NAME, "ab")
-        try:
-            fcntl.flock(self._lock_file, fcntl.LOCK_EX | fcntl.LOCK_NB)
-        except OSError:
-            self._lock_file.close()
-            self._lock_file = None
-            raise StorageError(
-                f"{self.data_dir} is already open in another store/process"
-            ) from None
+        crashed writer never wedges the directory; a stale PID-stamped
+        LOCK from a SIGKILL'd holder is reclaimed with a warning (see
+        :func:`acquire_dir_lock`)."""
+        self._lock_file = acquire_dir_lock(self.data_dir)
 
     def _flush(self, handle) -> None:
         handle.flush()

@@ -1,0 +1,1112 @@
+"""Replicated, erasure-coded block storage across N stripe directories.
+
+:class:`StripedBlockStore` implements the same :class:`~repro.storage.
+store.BlockStore` protocol as :class:`~repro.storage.store.
+FileBlockStore`, but every appended block is split by the
+:class:`~repro.storage.ec.ShiftXORCode` into ``k`` data stripes plus
+``m`` parity stripes, one per storage directory ("node") — point the
+node directories at separate disks and the chain survives up to ``m``
+lost disks.  Each node directory is self-describing::
+
+    node-00/
+        MANIFEST.json   full deployment manifest (identical on every node)
+        NODE.json       which stripe slot this directory holds
+        seg-00000.log   stripe records: [magic | height | stripe_len |
+                        stripe_crc | payload_len | payload_crc | stripe]*
+        stripe.idx      44-byte entries mirroring the record headers
+        LOCK            PID-stamped advisory single-writer lock
+
+Durability contract per append: every node's stripe record is written
+and fsync'd before any node's index entry — the same fsync-before-index
+ordering as the plain file store, now across directories (and encoded
+as the ``fsync-discipline`` vlint rule).
+
+Robustness machinery:
+
+* **Read-repair on open** — a missing or CRC-bad stripe found while
+  replaying the logs is reconstructed from the surviving stripes,
+  written back in place (or appended, for a node that crashed behind
+  its peers) and counted, each with a :class:`StorageWarning`.  A node
+  whose directory is gone entirely comes back through the scrubber.
+* **Incremental scrubbing** — :meth:`StripedBlockStore.scrub_step`
+  verifies a batch of heights against the recomputed stripes (CRC *and*
+  parity consistency), repairs deviations in place, rebuilds offline
+  node directories from the in-memory chain, and advances a cursor so
+  an endpoint-owned periodic task spreads the work.  ``python -m
+  repro.storage scrub`` runs a full pass from the command line.
+* **SP failover** — opening needs only a surviving quorum (any ``k`` of
+  the ``k + m`` directories); recovered headers are re-validated by the
+  chain layer exactly as for the plain store, so a standby service
+  process can take over from whatever directories outlived the primary.
+
+Like the plain file store, decoded blocks stay in memory: the stripe
+layer is a durability layer, not a paging layer — which is also why a
+store that has gone *below* quorum on disk keeps serving verified
+queries from RAM while the scrubber works on getting redundancy back.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import struct
+import threading
+import warnings
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterator, Sequence
+
+from repro.chain.block import Block
+from repro.crypto.backend import PairingBackend
+from repro.errors import ReproError, StorageError
+from repro.storage.ec import ShiftXORCode
+from repro.storage.store import (
+    CODEC_NAME,
+    DEFAULT_SEGMENT_BYTES,
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    StorageWarning,
+    _fsync_dir,
+    _write_file_durably,
+    acquire_dir_lock,
+    load_manifest,
+    release_dir_lock,
+)
+from repro.wire.block_codec import decode_block, encode_block
+
+NODE_NAME = "NODE.json"
+STRIPE_INDEX_NAME = "stripe.idx"
+NODE_DIR_PATTERN = "node-{:02d}"
+SEGMENT_PATTERN = "seg-{:05d}.log"
+
+#: stripe record header: magic(2) + height(8) + stripe_len(4) +
+#: stripe_crc(4) + payload_len(4) + payload_crc(4)
+_SREC_MAGIC = b"\xb1\x5c"
+_SREC_HEAD = struct.Struct(">2sQIIII")
+#: index entry: height(8) + segment(4) + offset(8) + stripe_len(4) +
+#: stripe_crc(4) + payload_len(4) + payload_crc(4)
+_SIDX_ENTRY = struct.Struct(">QIQIIII")
+
+_NODE_DIR_RE = re.compile(r"node-(\d+)$")
+
+
+@dataclass
+class ScrubReport:
+    """What one scrub pass (or step) found and fixed."""
+
+    checked: int = 0  #: stripe records verified against recomputed bytes
+    repaired: int = 0  #: damaged records rewritten in place or re-appended
+    rebuilt_nodes: int = 0  #: node directories reconstructed from scratch
+    offline_nodes: int = 0  #: nodes still unreachable after the pass
+    wrapped: bool = False  #: the cursor completed a full cycle
+
+    def merge(self, other: "ScrubReport") -> None:
+        self.checked += other.checked
+        self.repaired += other.repaired
+        self.rebuilt_nodes += other.rebuilt_nodes
+        self.offline_nodes = other.offline_nodes
+        self.wrapped = self.wrapped or other.wrapped
+
+
+@dataclass
+class _IndexEntry:
+    height: int
+    segment: int
+    offset: int
+    stripe_len: int
+    stripe_crc: int
+    payload_len: int
+    payload_crc: int
+
+
+@dataclass
+class _ScanRecord:
+    """One height's stripe as a node's log describes it."""
+
+    entry: _IndexEntry
+    stripe: bytes | None  #: validated bytes, or None when damaged
+
+
+class _NodeLog:
+    """One stripe directory: segment log + index + lock, no coding logic."""
+
+    def __init__(
+        self,
+        path: Path,
+        node_index: int,
+        *,
+        fsync: bool,
+        segment_bytes: int,
+        read_hook: Callable[[Path], None] | None = None,
+    ) -> None:
+        self.path = path
+        self.node_index = node_index
+        self.fsync = fsync
+        self.segment_bytes = segment_bytes
+        self.read_hook = read_hook
+        self.entries: list[_IndexEntry] = []
+        self._segment_id = 0
+        self._segment_file = None
+        self._index_file = None
+        self._lock_file = acquire_dir_lock(path)
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        path: Path,
+        node_index: int,
+        nodes: int,
+        manifest_text: str,
+        *,
+        fsync: bool,
+        segment_bytes: int,
+        read_hook: Callable[[Path], None] | None = None,
+    ) -> "_NodeLog":
+        path.mkdir(parents=True, exist_ok=True)
+        if (path / MANIFEST_NAME).exists():
+            raise StorageError(f"{path} already holds a chain or stripe node")
+        _write_file_durably(path / MANIFEST_NAME, manifest_text.encode())
+        node_info = {"node_index": node_index, "nodes": nodes}
+        _write_file_durably(
+            path / NODE_NAME, (json.dumps(node_info, sort_keys=True) + "\n").encode()
+        )
+        return cls(
+            path,
+            node_index,
+            fsync=fsync,
+            segment_bytes=segment_bytes,
+            read_hook=read_hook,
+        )
+
+    def _read_bytes(self, path: Path) -> bytes:
+        if self.read_hook is not None:
+            self.read_hook(path)
+        return path.read_bytes()
+
+    def _segment_path(self, segment_id: int) -> Path:
+        return self.path / SEGMENT_PATTERN.format(segment_id)
+
+    def _flush(self, handle) -> None:
+        handle.flush()
+        if self.fsync:
+            os.fsync(handle.fileno())
+
+    # -- scan --------------------------------------------------------------
+    def scan(self, warn: Callable[[str], None]) -> list[_ScanRecord]:
+        """Replay this node's index; damaged records stay in the list.
+
+        Unlike the plain store's recovery, a mid-log CRC failure does
+        *not* truncate: later stripes are still good parity material,
+        and the damaged one is exactly what read-repair reconstructs.
+        Only structural index damage (torn tail bytes, out-of-order
+        heights) cuts the node's view short.
+        """
+        index_path = self.path / STRIPE_INDEX_NAME
+        raw = self._read_bytes(index_path) if index_path.exists() else b""
+        torn = len(raw) % _SIDX_ENTRY.size
+        if torn:
+            warn(f"{self.path.name}: {torn} torn index byte(s) dropped")
+            raw = raw[: len(raw) - torn]
+        segments: dict[int, bytes] = {}
+        records: list[_ScanRecord] = []
+        for pos in range(0, len(raw), _SIDX_ENTRY.size):
+            entry = _IndexEntry(*_SIDX_ENTRY.unpack_from(raw, pos))
+            if entry.height != len(records):
+                warn(
+                    f"{self.path.name}: index entry {len(records)} claims "
+                    f"height {entry.height}; dropping the rest of this node's log"
+                )
+                break
+            if entry.segment not in segments:
+                seg_path = self._segment_path(entry.segment)
+                try:
+                    segments[entry.segment] = (
+                        self._read_bytes(seg_path) if seg_path.exists() else b""
+                    )
+                except OSError:
+                    segments[entry.segment] = b""
+            data = segments[entry.segment]
+            records.append(_ScanRecord(entry, self._validate(entry, data)))
+        self.entries = [record.entry for record in records]
+        return records
+
+    @staticmethod
+    def _validate(entry: _IndexEntry, data: bytes) -> bytes | None:
+        end = entry.offset + _SREC_HEAD.size + entry.stripe_len
+        if end > len(data):
+            return None
+        head = _SREC_HEAD.unpack_from(data, entry.offset)
+        magic, height, stripe_len, stripe_crc, payload_len, payload_crc = head
+        if magic != _SREC_MAGIC or (
+            height,
+            stripe_len,
+            stripe_crc,
+            payload_len,
+            payload_crc,
+        ) != (
+            entry.height,
+            entry.stripe_len,
+            entry.stripe_crc,
+            entry.payload_len,
+            entry.payload_crc,
+        ):
+            return None
+        stripe = data[entry.offset + _SREC_HEAD.size : end]
+        if zlib.crc32(stripe) != entry.stripe_crc:
+            return None
+        return stripe
+
+    def read_record(self, height: int) -> bytes | None:
+        """Re-read one stripe from disk, validating it (scrub path)."""
+        if height >= len(self.entries):
+            return None
+        entry = self.entries[height]
+        seg_path = self._segment_path(entry.segment)
+        try:
+            data = self._read_bytes(seg_path)
+        except OSError:
+            return None
+        return self._validate(entry, data)
+
+    # -- append / repair ---------------------------------------------------
+    def open_for_append(self) -> None:
+        self._segment_id = self.entries[-1].segment if self.entries else 0
+        created = not self._segment_path(self._segment_id).exists()
+        self._segment_file = open(self._segment_path(self._segment_id), "ab")
+        self._index_file = open(self.path / STRIPE_INDEX_NAME, "ab")
+        if created and self.fsync:
+            _fsync_dir(self.path)
+
+    def append(
+        self, height: int, stripe: bytes, payload_len: int, payload_crc: int
+    ) -> None:
+        if height != len(self.entries):
+            raise StorageError(
+                f"{self.path.name}: append at height {height} but node "
+                f"holds {len(self.entries)} record(s)"
+            )
+        stripe_crc = zlib.crc32(stripe)
+        if self._segment_file.tell() >= self.segment_bytes:
+            self._segment_file.close()
+            self._segment_id += 1
+            self._segment_file = open(self._segment_path(self._segment_id), "ab")
+            if self.fsync:
+                _fsync_dir(self.path)
+        offset = self._segment_file.tell()
+        self._segment_file.write(
+            _SREC_HEAD.pack(
+                _SREC_MAGIC, height, len(stripe), stripe_crc, payload_len, payload_crc
+            )
+        )
+        self._segment_file.write(stripe)
+        self._flush(self._segment_file)
+        entry = _IndexEntry(
+            height,
+            self._segment_id,
+            offset,
+            len(stripe),
+            stripe_crc,
+            payload_len,
+            payload_crc,
+        )
+        self._index_file.write(
+            _SIDX_ENTRY.pack(
+                entry.height,
+                entry.segment,
+                entry.offset,
+                entry.stripe_len,
+                entry.stripe_crc,
+                entry.payload_len,
+                entry.payload_crc,
+            )
+        )
+        self._flush(self._index_file)
+        self.entries.append(entry)
+
+    def rewrite(self, height: int, stripe: bytes) -> None:
+        """Repair one record in place (geometry never changes: stripe
+        lengths are deterministic in the payload length)."""
+        entry = self.entries[height]
+        if len(stripe) != entry.stripe_len:
+            raise StorageError(
+                f"{self.path.name}: repair stripe length {len(stripe)} != "
+                f"recorded {entry.stripe_len} at height {height}"
+            )
+        entry.stripe_crc = zlib.crc32(stripe)
+        with open(self._segment_path(entry.segment), "r+b") as handle:
+            handle.seek(entry.offset)
+            handle.write(
+                _SREC_HEAD.pack(
+                    _SREC_MAGIC,
+                    entry.height,
+                    entry.stripe_len,
+                    entry.stripe_crc,
+                    entry.payload_len,
+                    entry.payload_crc,
+                )
+            )
+            handle.write(stripe)
+            self._flush(handle)
+        # the index entry carries the CRC too: rewrite it in place,
+        # after the segment data it points at is already durable
+        with open(self.path / STRIPE_INDEX_NAME, "r+b") as handle:
+            handle.seek(height * _SIDX_ENTRY.size)
+            handle.write(
+                _SIDX_ENTRY.pack(
+                    entry.height,
+                    entry.segment,
+                    entry.offset,
+                    entry.stripe_len,
+                    entry.stripe_crc,
+                    entry.payload_len,
+                    entry.payload_crc,
+                )
+            )
+            self._flush(handle)
+
+    def truncate_to(self, count: int) -> int:
+        """Drop records at heights >= ``count``; returns how many went."""
+        dropped = len(self.entries) - count
+        if dropped <= 0:
+            return 0
+        keep = self.entries[:count]
+        with open(self.path / STRIPE_INDEX_NAME, "ab") as handle:
+            handle.truncate(count * _SIDX_ENTRY.size)
+            os.fsync(handle.fileno())
+        if keep:
+            last = keep[-1]
+            tail_segment = last.segment
+            tail_end = last.offset + _SREC_HEAD.size + last.stripe_len
+        else:
+            tail_segment, tail_end = 0, 0
+        seg_path = self._segment_path(tail_segment)
+        if seg_path.exists() and seg_path.stat().st_size > tail_end:
+            with open(seg_path, "ab") as handle:
+                handle.truncate(tail_end)
+                os.fsync(handle.fileno())
+        segment_id = tail_segment + 1
+        while (path := self._segment_path(segment_id)).exists():
+            path.unlink()
+            segment_id += 1
+        self.entries = keep
+        return dropped
+
+    def drop_orphan_bytes(self, warn: Callable[[str], None]) -> None:
+        """Remove segment bytes past the last indexed record (crash tail)."""
+        if self.entries:
+            last = self.entries[-1]
+            tail_segment = last.segment
+            tail_end = last.offset + _SREC_HEAD.size + last.stripe_len
+        else:
+            tail_segment, tail_end = 0, 0
+        seg_path = self._segment_path(tail_segment)
+        if seg_path.exists():
+            size = seg_path.stat().st_size
+            if size > tail_end:
+                warn(
+                    f"{self.path.name}: {size - tail_end} orphan byte(s) "
+                    "after the last indexed record; dropping them"
+                )
+                with open(seg_path, "ab") as handle:
+                    handle.truncate(tail_end)
+                    os.fsync(handle.fileno())
+        segment_id = tail_segment + 1
+        while (path := self._segment_path(segment_id)).exists():
+            warn(f"{self.path.name}: orphan segment {path.name}; dropping it")
+            path.unlink()
+            segment_id += 1
+
+    # -- lifecycle ---------------------------------------------------------
+    def sync(self) -> None:
+        for handle in (self._segment_file, self._index_file):
+            if handle is not None:
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    def close(self) -> None:
+        for handle in (self._segment_file, self._index_file):
+            if handle is not None:
+                try:
+                    handle.close()
+                except OSError:
+                    pass
+        release_dir_lock(self._lock_file)  # clears the PID stamp + flock
+        self._segment_file = self._index_file = self._lock_file = None
+
+
+def node_dir_index(path: str | os.PathLike) -> int | None:
+    """The stripe slot a directory name claims (``node-03`` -> 3)."""
+    match = _NODE_DIR_RE.search(Path(path).name)
+    return int(match.group(1)) if match else None
+
+
+def discover_stripe_dirs(
+    target: str | os.PathLike | Sequence[str | os.PathLike],
+) -> list[Path] | None:
+    """Resolve a striped deployment's node directories, or ``None``.
+
+    Accepts the three shapes the failover story needs:
+
+    * an explicit sequence of node directories (a surviving quorum);
+    * a parent directory holding ``node-*`` children;
+    * a single node directory (its siblings are found via the parent).
+
+    A plain (non-striped) chain directory resolves to ``None`` so the
+    caller falls through to :class:`~repro.storage.store.FileBlockStore`.
+    """
+    if isinstance(target, (list, tuple)):
+        return [Path(p) for p in target]
+    path = Path(target)
+    manifest_path = path / MANIFEST_NAME
+    if manifest_path.exists():
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (OSError, ValueError):
+            return None
+        if isinstance(manifest, dict) and "striping" in manifest:
+            # a single node dir: pull in its siblings
+            siblings = sorted(
+                p
+                for p in path.parent.glob("node-*")
+                if p.is_dir() and node_dir_index(p) is not None
+            )
+            return siblings or [path]
+        return None
+    children = sorted(
+        p
+        for p in path.glob("node-*")
+        if p.is_dir() and (p / MANIFEST_NAME).exists() and node_dir_index(p) is not None
+    )
+    return children if children else None
+
+
+class StripedBlockStore:
+    """Erasure-coded :class:`BlockStore` over ``k + m`` directories."""
+
+    def __init__(
+        self,
+        slots: list[Path | None],
+        backend: PairingBackend,
+        bits: int,
+        *,
+        manifest: dict,
+        fsync: bool = True,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+    ) -> None:
+        striping = manifest.get("striping")
+        if not isinstance(striping, dict):
+            raise StorageError("manifest has no striping section")
+        self.code = ShiftXORCode(int(striping["k"]), int(striping["m"]))
+        if len(slots) != self.code.nodes:
+            raise StorageError(
+                f"expected {self.code.nodes} node slots, got {len(slots)}"
+            )
+        self.backend = backend
+        self.bits = bits
+        self.fsync = fsync
+        self.segment_bytes = segment_bytes
+        self.manifest = manifest
+        self.read_hook: Callable[[Path], None] | None = None
+        self._slots: list[Path | None] = list(slots)
+        self._nodes: list[_NodeLog | None] = [None] * self.code.nodes
+        self._blocks: list[Block] = []
+        self._payload_meta: list[tuple[int, int]] = []  # (payload_len, crc)
+        self._lock = threading.Lock()
+        self._closed = False
+        self._below_quorum_warned = False
+        # health counters (cumulative across this store's lifetime)
+        self._repaired_stripes = 0
+        self._rebuilt_nodes = 0
+        self._degraded_found = 0
+        self._scrub_cycles = 0
+        self._scrub_position = 0
+        self._scrub_checked = 0
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        target: str | os.PathLike | Sequence[str | os.PathLike],
+        backend: PairingBackend,
+        bits: int,
+        *,
+        stripes: int = 4,
+        parity: int = 2,
+        meta: dict | None = None,
+        fsync: bool = True,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+    ) -> "StripedBlockStore":
+        """Initialise ``stripes + parity`` fresh node directories.
+
+        ``target`` is either a parent directory (``node-00`` ..
+        ``node-NN`` are created inside it — the single-host layout) or
+        an explicit sequence of ``stripes + parity`` directories, one
+        per disk.
+        """
+        code = ShiftXORCode(stripes, parity)
+        if isinstance(target, (list, tuple)):
+            paths = [Path(p) for p in target]
+            if len(paths) != code.nodes:
+                raise StorageError(
+                    f"k={stripes}, m={parity} needs {code.nodes} stripe "
+                    f"directories, got {len(paths)}"
+                )
+        else:
+            parent = Path(target)
+            if (parent / MANIFEST_NAME).exists():
+                raise StorageError(
+                    f"{target} already holds a plain chain; striped deployments "
+                    "use a parent directory of node-* stripe directories"
+                )
+            paths = [parent / NODE_DIR_PATTERN.format(i) for i in range(code.nodes)]
+        for path in paths:
+            if (path / MANIFEST_NAME).exists():
+                raise StorageError(f"{path} already holds a chain or stripe node")
+        manifest = {
+            "format_version": FORMAT_VERSION,
+            "codec": CODEC_NAME,
+            "backend": backend.name,
+            "bits": bits,
+            "striping": {"k": stripes, "m": parity, "nodes": code.nodes},
+            "meta": dict(meta or {}),
+        }
+        manifest_text = json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+        store = cls(
+            list(paths),
+            backend,
+            bits,
+            manifest=manifest,
+            fsync=fsync,
+            segment_bytes=segment_bytes,
+        )
+        try:
+            for index, path in enumerate(paths):
+                node = _NodeLog.create(
+                    path,
+                    index,
+                    code.nodes,
+                    manifest_text,
+                    fsync=fsync,
+                    segment_bytes=segment_bytes,
+                    read_hook=store._read_hook,
+                )
+                node.open_for_append()
+                store._nodes[index] = node
+        except Exception:
+            store.close()
+            raise
+        return store
+
+    @classmethod
+    def open(
+        cls,
+        target: str | os.PathLike | Sequence[str | os.PathLike],
+        backend: PairingBackend,
+        *,
+        fsync: bool = True,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+    ) -> "StripedBlockStore":
+        """Reopen a striped deployment from whatever directories survive.
+
+        ``target`` accepts a parent directory, one node directory, or an
+        explicit (possibly partial) sequence of node directories.  Any
+        quorum able to reconstruct every block is enough; everything
+        recoverable is read-repaired on the way in, and wholly missing
+        nodes are left to the scrubber.
+        """
+        dirs = discover_stripe_dirs(target)
+        if not dirs:
+            raise StorageError(
+                f"{target} does not look like a striped deployment "
+                "(no node-* stripe directories found)"
+            )
+        manifest = None
+        for path in dirs:
+            try:
+                manifest = load_manifest(path)
+                break
+            except StorageError:
+                continue
+        if manifest is None:
+            raise StorageError(
+                f"no readable {MANIFEST_NAME} in any of {len(dirs)} stripe "
+                f"directories under {target}"
+            )
+        if "striping" not in manifest:
+            raise StorageError(
+                f"{target} is a plain chain directory, not a striped deployment"
+            )
+        if manifest["backend"] != backend.name:
+            raise StorageError(
+                f"chain was written with backend {manifest['backend']!r}, "
+                f"opened with {backend.name!r}"
+            )
+        nodes_total = int(manifest["striping"]["nodes"])
+        slots: list[Path | None] = [None] * nodes_total
+        for path in dirs:
+            index = cls._slot_index(path)
+            if index is None or not 0 <= index < nodes_total:
+                warnings.warn(
+                    f"{path}: cannot determine its stripe slot; ignoring it",
+                    StorageWarning,
+                    stacklevel=2,
+                )
+                continue
+            if slots[index] is not None and slots[index] != path:
+                raise StorageError(
+                    f"stripe slot {index} claimed by both {slots[index]} and {path}"
+                )
+            slots[index] = path
+        # single-host layout: a wholly lost node-NN directory still has a
+        # knowable home next to its surviving siblings, so the scrubber
+        # can rebuild it there
+        parents = {
+            path.parent
+            for index, path in enumerate(slots)
+            if path is not None and path.name == NODE_DIR_PATTERN.format(index)
+        }
+        if len(parents) == 1:
+            (parent,) = parents
+            for index, path in enumerate(slots):
+                if path is None:
+                    slots[index] = parent / NODE_DIR_PATTERN.format(index)
+        store = cls(
+            slots,
+            backend,
+            int(manifest["bits"]),
+            manifest=manifest,
+            fsync=fsync,
+            segment_bytes=segment_bytes,
+        )
+        try:
+            store._recover()
+        except Exception:
+            store.close()
+            raise
+        return store
+
+    @staticmethod
+    def _slot_index(path: Path) -> int | None:
+        """A node's slot, from NODE.json or (fallback) its dir name."""
+        node_path = path / NODE_NAME
+        try:
+            info = json.loads(node_path.read_text())
+            return int(info["node_index"])
+        except (OSError, ValueError, TypeError, KeyError):
+            return node_dir_index(path)
+
+    @property
+    def meta(self) -> dict:
+        return self.manifest.get("meta", {})
+
+    @property
+    def data_dirs(self) -> list[Path | None]:
+        """Every known node directory path (``None`` = slot unlocatable)."""
+        return list(self._slots)
+
+    def _read_hook(self, path: Path) -> None:
+        if self.read_hook is not None:
+            self.read_hook(path)
+
+    def _warn(self, message: str) -> None:
+        warnings.warn(message, StorageWarning, stacklevel=4)
+
+    # -- recovery ----------------------------------------------------------
+    def _recover(self) -> None:
+        """Replay every reachable node, reconstruct the chain, repair.
+
+        The chain's length is the longest prefix of heights that can be
+        reconstructed from >= k agreeing stripes; records past it (a
+        crash's torn append group) are truncated with a warning, and
+        every damaged-but-recoverable stripe below it is read-repaired
+        immediately.
+        """
+        messages: list[str] = []
+        scans: list[list[_ScanRecord] | None] = [None] * self.code.nodes
+        for index, path in enumerate(self._slots):
+            if path is None:
+                messages.append(f"stripe slot {index} has no surviving directory")
+                continue
+            try:
+                node = _NodeLog(
+                    path,
+                    index,
+                    fsync=self.fsync,
+                    segment_bytes=self.segment_bytes,
+                    read_hook=self._read_hook,
+                )
+            except StorageError:
+                raise  # live-writer lock conflicts must not be masked
+            except OSError as exc:
+                messages.append(f"node {index} unreachable ({exc}); leaving offline")
+                continue
+            try:
+                scans[index] = node.scan(messages.append)
+            except OSError as exc:
+                node.close()
+                messages.append(f"node {index} unreadable ({exc}); leaving offline")
+                continue
+            self._nodes[index] = node
+
+        online = sum(1 for node in self._nodes if node is not None)
+        if online < self.code.k:
+            # below quorum nothing can be reconstructed — refuse before
+            # touching the survivors, whose stripes a rejoined node may
+            # still need
+            raise StorageError(
+                f"only {online} of {self.code.nodes} stripe node(s) "
+                f"reachable; k={self.code.k} are needed to reconstruct "
+                "any block (restore more node directories and reopen)"
+            )
+
+        # assemble the longest reconstructable prefix
+        height = 0
+        damaged: list[tuple[int, int]] = []  # (node_index, height) to repair
+        max_seen = max(
+            (len(scan) for scan in scans if scan is not None), default=0
+        )
+        while height < max_seen:
+            stripes: list[bytes | None] = [None] * self.code.nodes
+            meta_votes: dict[tuple[int, int], int] = {}
+            for index, scan in enumerate(scans):
+                if scan is None or height >= len(scan):
+                    continue
+                record = scan[height]
+                if record.stripe is None:
+                    continue
+                stripes[index] = record.stripe
+                key = (record.entry.payload_len, record.entry.payload_crc)
+                meta_votes[key] = meta_votes.get(key, 0) + 1
+            payload = self._reconstruct(stripes, meta_votes)
+            if payload is None:
+                break
+            payload_len, payload_crc = payload[1], payload[2]
+            try:
+                block = decode_block(self.backend, payload[0], self.bits)
+            except ReproError as exc:
+                messages.append(
+                    f"block {height} does not decode ({exc}); chain resumes "
+                    f"at height {height}"
+                )
+                break
+            self._blocks.append(block)
+            self._payload_meta.append((payload_len, payload_crc))
+            expected = self.code.encode(payload[0].ljust(payload_len, b"\x00"))
+            for index in range(self.code.nodes):
+                scan = scans[index]
+                has_valid = (
+                    scan is not None
+                    and height < len(scan)
+                    and scan[height].stripe == expected[index]
+                )
+                if not has_valid and self._nodes[index] is not None:
+                    damaged.append((index, height))
+            height += 1
+
+        chain_len = len(self._blocks)
+        for index, node in enumerate(self._nodes):
+            if node is None:
+                continue
+            dropped = node.truncate_to(chain_len)
+            if dropped:
+                messages.append(
+                    f"node {index}: {dropped} record(s) past height {chain_len} "
+                    "truncated (torn append group)"
+                )
+            node.drop_orphan_bytes(messages.append)
+            node.open_for_append()
+
+        repaired = self._repair_records(damaged)
+        if repaired:
+            messages.append(
+                f"read-repair reconstructed {repaired} stripe record(s) "
+                "from the survivors"
+            )
+        offline = [i for i, node in enumerate(self._nodes) if node is None]
+        if offline:
+            messages.append(
+                f"{len(offline)} of {self.code.nodes} stripe node(s) offline "
+                f"{offline}; serving degraded (tolerates "
+                f"{self.code.m - len(offline)} more loss(es)), scrub rebuilds them"
+            )
+        for message in messages:
+            self._warn(message)
+
+    def _reconstruct(
+        self,
+        stripes: list[bytes | None],
+        meta_votes: dict[tuple[int, int], int],
+    ) -> tuple[bytes, int, int] | None:
+        """Try to rebuild one height's payload from its valid stripes."""
+        for key in sorted(meta_votes, key=meta_votes.get, reverse=True):
+            payload_len, payload_crc = key
+            candidate = list(stripes)
+            # drop stripes whose recorded geometry disagrees with this vote
+            for index, stripe in enumerate(candidate):
+                if stripe is not None and len(stripe) != self.code.stripe_length(
+                    payload_len, index
+                ):
+                    candidate[index] = None
+            try:
+                payload = self.code.decode(candidate, payload_len)
+            except StorageError:
+                continue
+            if zlib.crc32(payload) == payload_crc:
+                return payload, payload_len, payload_crc
+        return None
+
+    def _repair_records(self, damaged: list[tuple[int, int]]) -> int:
+        """Rewrite (or re-append) reconstructed stripes on live nodes."""
+        repaired = 0
+        by_node: dict[int, list[int]] = {}
+        for index, height in damaged:
+            by_node.setdefault(index, []).append(height)
+        for index, heights in by_node.items():
+            node = self._nodes[index]
+            if node is None:
+                continue
+            for height in sorted(heights):
+                stripe = self._stripe_for(height, index)
+                meta = self._payload_meta[height]
+                try:
+                    if height < len(node.entries):
+                        node.rewrite(height, stripe)
+                    elif height == len(node.entries):
+                        node.append(height, stripe, meta[0], meta[1])
+                    else:
+                        continue  # an earlier repair failed; skip dependents
+                except OSError:
+                    self._offline(index, "repair write failed")
+                    break
+                repaired += 1
+        self._repaired_stripes += repaired
+        self._degraded_found += len(damaged)
+        return repaired
+
+    def _stripe_for(self, height: int, index: int) -> bytes:
+        payload = encode_block(self.backend, self._blocks[height])
+        return self.code.encode(payload)[index]
+
+    def _offline(self, index: int, reason: str) -> None:
+        node = self._nodes[index]
+        if node is None:
+            return
+        node.close()
+        self._nodes[index] = None
+        self._warn(
+            f"stripe node {index} ({self._slots[index]}) taken offline: {reason}"
+        )
+
+    # -- BlockStore protocol ----------------------------------------------
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self._blocks)
+
+    def block(self, height: int) -> Block:
+        return self._blocks[height]
+
+    def append(self, block: Block) -> None:
+        with self._lock:
+            if self._closed:
+                raise StorageError("striped block store is closed")
+            payload = encode_block(self.backend, block)
+            payload_crc = zlib.crc32(payload)
+            stripes = self.code.encode(payload)
+            height = len(self._blocks)
+            # stripe records first (fsync'd), index entries second: a
+            # crash between the two phases leaves an unindexed record
+            # tail that recovery truncates as one torn append group
+            online = []
+            for index, node in enumerate(self._nodes):
+                if node is None:
+                    continue
+                try:
+                    node.append(height, stripes[index], len(payload), payload_crc)
+                    online.append(index)
+                except OSError as exc:
+                    self._offline(index, f"append failed ({exc})")
+            self._blocks.append(block)
+            self._payload_meta.append((len(payload), payload_crc))
+            if len(online) < self.code.k and not self._below_quorum_warned:
+                self._below_quorum_warned = True
+                self._warn(
+                    f"only {len(online)} of {self.code.nodes} stripe nodes "
+                    f"accepted the append (k={self.code.k}): the on-disk copy "
+                    "is below reconstruction quorum until scrub rebuilds a node"
+                )
+
+    def sync(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            for node in self._nodes:
+                if node is not None:
+                    try:
+                        node.sync()
+                    except OSError:
+                        pass
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for node in self._nodes:
+                if node is not None:
+                    try:
+                        node.sync()
+                    except OSError:
+                        pass
+                    node.close()
+
+    def __enter__(self) -> "StripedBlockStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- health / scrub ----------------------------------------------------
+    def health(self) -> dict[str, int]:
+        """Live health counters, JSON/wire-ready (all plain ints).
+
+        ``nodes_online`` probes each directory with a couple of stat
+        calls, so a stripe directory deleted under a running store shows
+        up here immediately — before any scrub pass runs.
+        """
+        with self._lock:
+            online = 0
+            for index, node in enumerate(self._nodes):
+                if node is not None and self._node_present(index):
+                    online += 1
+            return {
+                "k": self.code.k,
+                "m": self.code.m,
+                "nodes": self.code.nodes,
+                "nodes_online": online,
+                "nodes_offline": self.code.nodes - online,
+                "blocks": len(self._blocks),
+                "degraded_stripes_found": self._degraded_found,
+                "repaired_stripes": self._repaired_stripes,
+                "rebuilt_nodes": self._rebuilt_nodes,
+                "scrub_cycles": self._scrub_cycles,
+                "scrub_position": self._scrub_position,
+                "scrubbed_stripes": self._scrub_checked,
+            }
+
+    def _node_present(self, index: int) -> bool:
+        path = self._slots[index]
+        return path is not None and (path / MANIFEST_NAME).exists()
+
+    def scrub_step(self, batch: int = 64) -> ScrubReport:
+        """One incremental scrub slice: detect, verify, repair, advance.
+
+        Checks every node's liveness (a directory deleted out from
+        under the store is noticed here), rebuilds offline nodes whose
+        paths are known, then verifies ``batch`` heights' stripes
+        against the recomputed encoding — CRC *and* parity consistency
+        — repairing any deviation in place.
+        """
+        with self._lock:
+            if self._closed:
+                raise StorageError("striped block store is closed")
+            report = ScrubReport()
+            # 1. liveness: a node whose directory vanished is offline
+            for index, node in enumerate(self._nodes):
+                if node is not None and not self._node_present(index):
+                    self._offline(index, "stripe directory disappeared")
+            # 2. resurrection: rebuild offline nodes with known paths
+            for index in range(self.code.nodes):
+                if self._nodes[index] is None and self._slots[index] is not None:
+                    if self._rebuild_node(index):
+                        report.rebuilt_nodes += 1
+            # 3. verification sweep over the next batch of heights
+            chain_len = len(self._blocks)
+            if chain_len:
+                start = self._scrub_position % chain_len
+                damaged: list[tuple[int, int]] = []
+                for step in range(min(batch, chain_len)):
+                    height = (start + step) % chain_len
+                    expected = None
+                    for index, node in enumerate(self._nodes):
+                        if node is None:
+                            continue
+                        if expected is None:
+                            payload = encode_block(
+                                self.backend, self._blocks[height]
+                            )
+                            expected = self.code.encode(payload)
+                        report.checked += 1
+                        self._scrub_checked += 1
+                        if node.read_record(height) != expected[index]:
+                            damaged.append((index, height))
+                    if (start + step + 1) >= chain_len:
+                        report.wrapped = True
+                self._scrub_position = (start + min(batch, chain_len)) % chain_len
+                if self._scrub_position == 0 and chain_len:
+                    report.wrapped = True
+                if report.wrapped:
+                    self._scrub_cycles += 1
+                repaired = self._repair_records(damaged)
+                report.repaired += repaired
+                if repaired:
+                    self._warn(
+                        f"scrub repaired {repaired} damaged stripe record(s)"
+                    )
+            else:
+                report.wrapped = True
+                self._scrub_cycles += 1
+            report.offline_nodes = sum(
+                1 for node in self._nodes if node is None
+            )
+            return report
+
+    def scrub(self, batch: int = 256) -> ScrubReport:
+        """A full scrub cycle: every height verified once."""
+        total = ScrubReport()
+        while True:
+            step = self.scrub_step(batch)
+            total.merge(step)
+            if step.wrapped:
+                return total
+
+    def _rebuild_node(self, index: int) -> bool:
+        """Recreate one node directory wholesale from the in-memory chain."""
+        path = self._slots[index]
+        assert path is not None
+        manifest_text = json.dumps(self.manifest, indent=2, sort_keys=True) + "\n"
+        try:
+            if path.exists():
+                # stale remains of a half-dead node: clear them first
+                for child in path.iterdir():
+                    child.unlink()
+            node = _NodeLog.create(
+                path,
+                index,
+                self.code.nodes,
+                manifest_text,
+                fsync=self.fsync,
+                segment_bytes=self.segment_bytes,
+                read_hook=self._read_hook,
+            )
+            node.open_for_append()
+            for height in range(len(self._blocks)):
+                payload_len, payload_crc = self._payload_meta[height]
+                node.append(
+                    height, self._stripe_for(height, index), payload_len, payload_crc
+                )
+        except OSError as exc:
+            self._warn(f"rebuild of stripe node {index} failed ({exc})")
+            return False
+        self._nodes[index] = node
+        self._rebuilt_nodes += 1
+        self._repaired_stripes += len(self._blocks)
+        self._warn(
+            f"stripe node {index} rebuilt at {path} "
+            f"({len(self._blocks)} record(s))"
+        )
+        return True

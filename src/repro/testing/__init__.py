@@ -18,11 +18,16 @@ Three pieces, composable but independent:
   client and a server while a :class:`Fault`/:class:`FaultPlan`
   schedule drops, delays, truncates, corrupts or disconnects specific
   frames, driving every retry/deadline/hygiene branch deterministically.
-  :class:`ManualClock` substitutes for ``time.monotonic`` wherever a
-  component takes a ``clock=`` callable.
+  :class:`DiskFaultStore` does the same below the chain: scripted lost
+  stripe directories, bit-rot, torn writes and EIO reads against a
+  :class:`~repro.storage.StripedBlockStore`, so every storage
+  degradation path is test-drivable too.  :class:`ManualClock`
+  substitutes for ``time.monotonic`` wherever a component takes a
+  ``clock=`` callable.
 """
 
 from repro.testing.clock import ManualClock
+from repro.testing.disk import DiskFaultStore
 from repro.testing.corpus import (
     CORPUS_SCENARIOS,
     CorpusReplayer,
@@ -44,6 +49,7 @@ from repro.testing.replay import (
 __all__ = [
     "CORPUS_SCENARIOS",
     "CorpusReplayer",
+    "DiskFaultStore",
     "Fault",
     "FaultPlan",
     "FaultProxy",

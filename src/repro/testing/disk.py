@@ -1,0 +1,198 @@
+"""Deterministic disk-fault injection for striped block storage.
+
+:class:`DiskFaultStore` drives every degradation path of a
+:class:`~repro.storage.striped.StripedBlockStore` on purpose, the way
+:class:`~repro.testing.faults.FaultProxy` drives the transport's: a test
+names the exact node, height and failure mode, so "lose two disks under
+live traffic" is a scripted scenario instead of a hope.  Four failure
+modes, matching what real media does:
+
+* :meth:`lose_node` — the whole stripe directory vanishes (dead disk,
+  ``rm -rf``, unmounted volume);
+* :meth:`bitrot` — one byte of one stored stripe record flips silently
+  (latent sector corruption; the CRC catches it on the next read);
+* :meth:`short_write` — the tail of a node's log and/or index is cut
+  mid-record (a torn write: power loss between write and fsync);
+* :meth:`eio_on_read` — reads of a node's files start failing with
+  ``EIO`` (a dying-but-present disk), via the store's ``read_hook``.
+
+Faults are injected directly against the on-disk files (or the read
+path), never through the store's own write API — exactly as a real
+fault would arrive.  The store under test can be live or closed;
+``eio_on_read`` needs a live store, the others work on bare
+directories too.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import shutil
+import threading
+from pathlib import Path
+
+from repro.storage.striped import (
+    _SREC_HEAD,
+    STRIPE_INDEX_NAME,
+    SEGMENT_PATTERN,
+    StripedBlockStore,
+)
+
+
+class DiskFaultStore:
+    """Scripted disk faults against one striped deployment.
+
+    Wraps a live :class:`StripedBlockStore` (installing itself as its
+    ``read_hook``) or, with ``store=None``, just a list of node
+    directories for faults that act on closed files.
+    """
+
+    def __init__(
+        self,
+        store: StripedBlockStore | None = None,
+        node_dirs: list[Path] | None = None,
+    ) -> None:
+        if store is None and node_dirs is None:
+            raise ValueError("need a store or explicit node directories")
+        self.store = store
+        if node_dirs is not None:
+            self._dirs: list[Path | None] = [Path(d) for d in node_dirs]
+        else:
+            assert store is not None
+            self._dirs = store.data_dirs
+        self._lock = threading.Lock()
+        #: node index -> remaining EIO reads (-1 = unlimited)
+        self._eio: dict[int, int] = {}
+        #: every fault actually applied: (kind, node_index, detail)
+        self.injected: list[tuple[str, int, str]] = []
+        if store is not None:
+            store.read_hook = self._read_hook
+
+    def _dir(self, index: int) -> Path:
+        path = self._dirs[index]
+        if path is None:
+            raise ValueError(f"node {index} has no known directory")
+        return path
+
+    def _log(self, kind: str, index: int, detail: str) -> None:
+        with self._lock:
+            self.injected.append((kind, index, detail))
+
+    # -- fault modes -------------------------------------------------------
+    def lose_node(self, index: int) -> None:
+        """Delete node ``index``'s whole stripe directory."""
+        path = self._dir(index)
+        shutil.rmtree(path, ignore_errors=True)
+        self._log("lose_node", index, str(path))
+
+    def bitrot(
+        self, index: int, height: int, *, offset: int = 0, xor_mask: int = 0xFF
+    ) -> None:
+        """Flip one byte inside the stored stripe for ``height`` on node
+        ``index`` — silent corruption the stripe CRC catches on read.
+
+        ``offset`` indexes into the stripe payload (not the record
+        header), so the damage is always in CRC-protected territory.
+        """
+        entry = self._find_entry(index, height)
+        seg_path = self._dir(index) / SEGMENT_PATTERN.format(entry[0])
+        record_off, stripe_len = entry[1], entry[2]
+        target = record_off + _SREC_HEAD.size + (offset % max(1, stripe_len))
+        with open(seg_path, "r+b") as handle:
+            handle.seek(target)
+            byte = handle.read(1)
+            if not byte:
+                raise ValueError(
+                    f"node {index} segment {seg_path.name} has no byte at {target}"
+                )
+            handle.seek(target)
+            handle.write(bytes([byte[0] ^ (xor_mask & 0xFF)]))
+        self._log("bitrot", index, f"height={height} offset={offset}")
+
+    def short_write(
+        self, index: int, *, segment_bytes: int = 1, index_bytes: int = 0
+    ) -> None:
+        """Cut the tail of node ``index``'s newest segment (and
+        optionally its index file) — a torn write at the worst moment.
+
+        ``segment_bytes``/``index_bytes`` say how many trailing bytes to
+        drop from each file; 0 leaves that file alone.
+        """
+        node_dir = self._dir(index)
+        if segment_bytes:
+            seg_path = self._latest_segment(node_dir)
+            self._truncate_tail(seg_path, segment_bytes)
+        if index_bytes:
+            self._truncate_tail(node_dir / STRIPE_INDEX_NAME, index_bytes)
+        self._log(
+            "short_write", index, f"segment-{segment_bytes} index-{index_bytes}"
+        )
+
+    def eio_on_read(self, index: int, count: int | None = None) -> None:
+        """Fail the next ``count`` file reads of node ``index`` with
+        ``EIO`` (``None`` = every read until :meth:`heal`).
+
+        Needs a live store — the failure is injected through its
+        ``read_hook``, which the store consults before every index,
+        segment or scrub read.
+        """
+        if self.store is None:
+            raise ValueError("eio_on_read needs a live store (read_hook)")
+        with self._lock:
+            self._eio[index] = -1 if count is None else count
+
+    def heal(self, index: int | None = None) -> None:
+        """Stop injecting EIO for ``index`` (or for every node)."""
+        with self._lock:
+            if index is None:
+                self._eio.clear()
+            else:
+                self._eio.pop(index, None)
+
+    # -- plumbing ----------------------------------------------------------
+    def _read_hook(self, path: Path) -> None:
+        index = self._node_of(path)
+        if index is None:
+            return
+        with self._lock:
+            remaining = self._eio.get(index)
+            if remaining is None or remaining == 0:
+                return
+            if remaining > 0:
+                self._eio[index] = remaining - 1
+            self.injected.append(("eio", index, path.name))
+        raise OSError(errno.EIO, "injected I/O error", str(path))
+
+    def _node_of(self, path: Path) -> int | None:
+        for index, node_dir in enumerate(self._dirs):
+            if node_dir is not None and node_dir == path.parent:
+                return index
+        return None
+
+    def _latest_segment(self, node_dir: Path) -> Path:
+        segments = sorted(node_dir.glob("seg-*.log"))
+        if not segments:
+            raise ValueError(f"{node_dir} has no segment files to tear")
+        return segments[-1]
+
+    @staticmethod
+    def _truncate_tail(path: Path, drop: int) -> None:
+        size = path.stat().st_size
+        with open(path, "r+b") as handle:
+            handle.truncate(max(0, size - drop))
+
+    def _find_entry(self, index: int, height: int) -> tuple[int, int, int]:
+        """(segment_id, record_offset, stripe_len) for one stored record.
+
+        Read from the node's on-disk index file, not the live store's
+        memory — faults must target what is actually on the platter.
+        """
+        from repro.storage.striped import _SIDX_ENTRY
+
+        raw = (self._dir(index) / STRIPE_INDEX_NAME).read_bytes()
+        pos = height * _SIDX_ENTRY.size
+        if pos + _SIDX_ENTRY.size > len(raw):
+            raise ValueError(f"node {index} has no record at height {height}")
+        entry = _SIDX_ENTRY.unpack_from(raw, pos)
+        # (height, segment, offset, stripe_len, stripe_crc, plen, pcrc)
+        return entry[1], entry[2], entry[3]

@@ -531,10 +531,12 @@ class ServerStats:
     The wire form of :meth:`~repro.api.service.ServiceEndpoint.stats`:
     ``endpoint`` carries the request counters, ``caches`` one section
     per serving cache, ``engine`` the subscription-engine counters,
-    ``pool`` the crypto-pool snapshot (``None`` without a pool) and
+    ``pool`` the crypto-pool snapshot (``None`` without a pool),
     ``server`` the transport-level counters — admission rejections,
     rate limiting, evictions — when a socket server is attached
-    (``None`` for a bare in-process endpoint).
+    (``None`` for a bare in-process endpoint), and ``storage`` the
+    striped store's degradation/scrub counters (``None`` for stores
+    without health tracking).
     """
 
     endpoint: dict[str, Scalar]
@@ -542,6 +544,7 @@ class ServerStats:
     engine: dict[str, Scalar]
     pool: dict[str, Scalar] | None
     server: dict[str, Scalar] | None
+    storage: dict[str, Scalar] | None = None
 
 
 def _write_scalar(writer: Writer, value: Scalar) -> None:
@@ -608,6 +611,7 @@ def encode_stats_response(stats: ServerStats) -> bytes:
     _write_info(writer, stats.engine)
     _write_optional_info(writer, stats.pool)
     _write_optional_info(writer, stats.server)
+    _write_optional_info(writer, stats.storage)
     return writer.getvalue()
 
 
@@ -621,9 +625,15 @@ def decode_stats_response(data: bytes) -> ServerStats:
     engine = _read_info(reader)
     pool = _read_optional_info(reader)
     server = _read_optional_info(reader)
+    storage = _read_optional_info(reader)
     reader.expect_end()
     return ServerStats(
-        endpoint=endpoint, caches=caches, engine=engine, pool=pool, server=server
+        endpoint=endpoint,
+        caches=caches,
+        engine=engine,
+        pool=pool,
+        server=server,
+        storage=storage,
     )
 
 

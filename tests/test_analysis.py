@@ -305,6 +305,80 @@ def test_blocking_rule_exempts_sync_defs_and_nested_functions(tmp_path):
     assert run(root, rules=["async-discipline"]).ok
 
 
+FSYNC_FIXTURE = {
+    "src/repro/storage/fixture_log.py": """\
+        import os
+
+
+        def install_manifest(tmp, path):
+            with open(tmp, "wb") as handle:
+                handle.write(b"{}")
+            os.replace(tmp, path)
+        """,
+}
+
+
+def test_fsync_rule_flags_replace_without_fsync(tmp_path):
+    root = make_project(tmp_path, FSYNC_FIXTURE)
+    finding = only_finding(run(root, rules=["fsync-discipline"]), "fsync-discipline")
+    assert "os.replace" in finding.message
+    assert "install_manifest" in finding.message
+    assert finding.line == 7
+
+
+def test_fsync_rule_flags_index_write_before_data_sync(tmp_path):
+    fixture = {
+        "src/repro/storage/fixture_log.py": """\
+            import os
+
+
+            class Log:
+                def append(self, record):
+                    self._segment_file.write(record)
+                    self._index_file.write(b"entry")
+                    self._flush(self._index_file)
+
+                def sneaky(self, record):
+                    # syncing the index itself proves nothing about the data
+                    self._index_file.flush()
+                    self._index_file.write(b"entry")
+            """,
+    }
+    root = make_project(tmp_path, fixture)
+    report = run(root, rules=["fsync-discipline"])
+    messages = [f.message for f in report.findings]
+    assert len(messages) == 2, report.render()
+    assert any("Log.append" in m for m in messages)
+    assert any("Log.sneaky" in m for m in messages)
+    assert all("index entry" in m for m in messages)
+
+
+def test_fsync_rule_accepts_the_durable_idioms(tmp_path):
+    fixture = {
+        "src/repro/storage/fixture_log.py": """\
+            import os
+
+
+            def install_manifest(tmp, path):
+                with open(tmp, "wb") as handle:
+                    handle.write(b"{}")
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp, path)
+
+
+            class Log:
+                def append(self, record):
+                    self._segment_file.write(record)
+                    self._flush(self._segment_file)
+                    self._index_file.write(b"entry")
+                    self._flush(self._index_file)
+            """,
+    }
+    root = make_project(tmp_path, fixture)
+    assert run(root, rules=["fsync-discipline"]).ok
+
+
 def test_exports_rule_flags_undocumented_export(tmp_path):
     fixture = dict(EXPORTS_FIXTURE)
     fixture["docs/API.md"] = """\
@@ -365,7 +439,7 @@ def test_suppression_is_per_rule():
 def test_repo_is_clean():
     report = run(REPO_ROOT)
     assert report.ok, report.render()
-    assert len(report.rules) == 6
+    assert len(report.rules) == 7
 
 
 # -- driver and CLI ------------------------------------------------------------
@@ -423,4 +497,5 @@ def test_cli_list_rules(capsys):
     names = capsys.readouterr().out.split()
     assert "lock-discipline" in names
     assert "async-discipline" in names
-    assert len(names) == 6
+    assert "fsync-discipline" in names
+    assert len(names) == 7

@@ -1,0 +1,135 @@
+"""Shift-XOR erasure code: exact recovery from any <= m erasures.
+
+The code underneath :class:`~repro.storage.StripedBlockStore` must be
+an MDS code in practice: any ``k`` surviving stripes of a ``(k, m)``
+encoding reconstruct the payload byte-for-byte.  These tests sweep
+every erasure pattern exhaustively for the deployment shape the
+acceptance scenario uses (k=4, m=2) and property-test the rest.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import StorageError
+from repro.storage import ShiftXORCode
+
+
+def erase(stripes, missing):
+    return [None if i in missing else s for i, s in enumerate(stripes)]
+
+
+def test_encode_shapes():
+    code = ShiftXORCode(4, 2)
+    payload = bytes(range(103))
+    stripes = code.encode(payload)
+    assert len(stripes) == code.nodes == 6
+    data_len = code.data_length(len(payload))
+    for index in range(4):
+        assert len(stripes[index]) == data_len
+        assert len(stripes[index]) == code.stripe_length(len(payload), index)
+    # parity stripe j carries the shift overhead: (k-1) * j extra bytes
+    assert len(stripes[4]) == data_len
+    assert len(stripes[5]) == data_len + 3
+
+
+def test_no_erasures_round_trip():
+    code = ShiftXORCode(4, 2)
+    payload = b"\x00\xff" * 50 + b"tail"
+    assert code.decode(code.encode(payload), len(payload)) == payload
+
+
+def test_every_two_erasure_pattern_recovers_k4_m2():
+    """The acceptance shape: any 2 of 6 stripes lost, payload intact."""
+    code = ShiftXORCode(4, 2)
+    payload = bytes((i * 37 + 11) % 256 for i in range(257))
+    stripes = code.encode(payload)
+    for missing in itertools.combinations(range(6), 2):
+        got = code.decode(erase(stripes, missing), len(payload))
+        assert got == payload, f"lost stripes {missing}"
+
+
+def test_every_single_erasure_pattern_recovers():
+    code = ShiftXORCode(4, 2)
+    payload = b"vchain" * 33
+    stripes = code.encode(payload)
+    for missing in range(6):
+        assert code.decode(erase(stripes, {missing}), len(payload)) == payload
+
+
+def test_three_erasures_general_solver():
+    """m=3 exercises the GF(2)[x] elimination path, not the closed forms."""
+    code = ShiftXORCode(3, 3)
+    payload = bytes((i * 101 + 7) % 256 for i in range(190))
+    stripes = code.encode(payload)
+    for missing in itertools.combinations(range(6), 3):
+        got = code.decode(erase(stripes, missing), len(payload))
+        assert got == payload, f"lost stripes {missing}"
+
+
+def test_too_many_erasures_is_refused():
+    code = ShiftXORCode(4, 2)
+    payload = b"x" * 64
+    stripes = erase(code.encode(payload), {0, 1, 2})
+    with pytest.raises(StorageError, match="unrecoverable"):
+        code.decode(stripes, len(payload))
+
+
+def test_wrong_stripe_count_is_refused():
+    code = ShiftXORCode(4, 2)
+    with pytest.raises(StorageError):
+        code.decode([b""] * 5, 0)
+
+
+def test_invalid_parameters_are_refused():
+    with pytest.raises(StorageError):
+        ShiftXORCode(0, 2)
+    with pytest.raises(StorageError):
+        ShiftXORCode(4, -1)
+
+
+def test_empty_and_tiny_payloads():
+    code = ShiftXORCode(4, 2)
+    for payload in (b"", b"a", b"ab", b"abc", b"abcd", b"abcde"):
+        stripes = code.encode(payload)
+        for missing in itertools.combinations(range(6), 2):
+            assert code.decode(erase(stripes, missing), len(payload)) == payload
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    payload=st.binary(min_size=0, max_size=400),
+    k=st.integers(min_value=1, max_value=5),
+    m=st.integers(min_value=0, max_value=3),
+    data=st.data(),
+)
+def test_random_erasure_round_trip(payload, k, m, data):
+    code = ShiftXORCode(k, m)
+    stripes = code.encode(payload)
+    n_lost = data.draw(st.integers(min_value=0, max_value=m))
+    missing = data.draw(
+        st.sets(
+            st.integers(min_value=0, max_value=code.nodes - 1),
+            min_size=n_lost,
+            max_size=n_lost,
+        )
+    )
+    assert code.decode(erase(stripes, missing), len(payload)) == payload
+
+
+def test_corrupt_surviving_stripe_is_detected_or_wrong():
+    """Decoding is not expected to correct *corruption* (the CRCs in the
+    store layer catch that) but an inconsistent stripe set must never
+    silently return the original payload from damaged inputs."""
+    code = ShiftXORCode(4, 2)
+    payload = bytes(range(200))
+    stripes = code.encode(payload)
+    bad = list(stripes)
+    bad[0] = bytes([bad[0][0] ^ 0xFF]) + bad[0][1:]
+    bad[1] = None  # force the solver to actually use parity
+    try:
+        got = code.decode(bad, len(payload))
+    except StorageError:
+        return
+    assert got != payload

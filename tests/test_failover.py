@@ -1,0 +1,236 @@
+"""SP failover and degraded serving — the acceptance scenario end to end.
+
+A ``k=4, m=2`` striped deployment is put behind the full serving stack
+and attacked with :class:`~repro.testing.DiskFaultStore` while query
+traffic is live: the endpoint must keep returning byte-identical
+verified responses, ``server_stats()`` must report the degradation,
+the scrubber must reconstruct the losses, and a standby server opened
+from the survivors — in this process or a fresh one — must serve the
+same chain.
+"""
+
+import random
+import signal
+import subprocess
+import sys
+import time
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro import VChainNetwork
+from repro.api import ServiceEndpoint, VChainClient, serve
+from repro.api.server import main as server_cli
+from repro.storage import StorageWarning, open_deployment
+from repro.testing import DiskFaultStore
+from repro.wire import encode_time_window_vo
+from tests.conftest import make_objects
+from tests.test_striped_store import K, M, N_BLOCKS, mine_striped, node_dirs
+
+
+def query_bytes(client, backend):
+    response = (
+        client.query().window(0, 1000).range(low=(0, 0), high=(200, 200)).execute()
+    )
+    response.raise_for_forgery()
+    return (
+        [o.object_id for o in response.results],
+        encode_time_window_vo(backend, response.vo),
+    )
+
+
+# -- the acceptance scenario ---------------------------------------------------
+def test_two_lost_dirs_under_live_traffic_then_scrub_then_standby(tmp_path):
+    net = mine_striped(tmp_path)
+    backend = net.accumulator.backend
+    baseline = query_bytes(net.client, backend)
+    net.close()
+
+    server = serve(tmp_path)
+    accumulator, encoder, params = open_deployment(tmp_path)
+    client = VChainClient.connect(server.address, accumulator, encoder, params)
+    assert query_bytes(client, backend) == baseline
+
+    # two stripe directories die under the running server
+    faults = DiskFaultStore(node_dirs=node_dirs(tmp_path))
+    faults.lose_node(1)
+    faults.lose_node(4)
+
+    # traffic continues, byte-identical; the wire stats report the damage
+    assert query_bytes(client, backend) == baseline
+    storage = client.server_stats().storage
+    assert storage is not None
+    assert storage["nodes_offline"] == 2
+    assert storage["nodes_online"] == 4
+
+    # scrub reconstructs both lost directories while serving continues
+    store = server.endpoint.sp.chain.store
+    with pytest.warns(StorageWarning) as caught:
+        report = store.scrub()
+    assert any("rebuilt" in str(w.message) for w in caught)
+    assert report.rebuilt_nodes == 2
+    assert query_bytes(client, backend) == baseline
+    storage = client.server_stats().storage
+    assert storage["nodes_online"] == K + M
+    assert storage["rebuilt_nodes"] == 2
+
+    client.close()
+    server.stop()
+    server.endpoint.close()
+
+    # a standby opened from an explicit survivor list serves the same chain
+    faults = DiskFaultStore(node_dirs=node_dirs(tmp_path))
+    faults.lose_node(0)
+    faults.lose_node(5)
+    with pytest.warns(StorageWarning, match="offline"):
+        standby = serve(node_dirs(tmp_path))
+    client = VChainClient.connect(standby.address, accumulator, encoder, params)
+    assert query_bytes(client, backend) == baseline
+    assert client.server_stats().storage["nodes_offline"] == 2
+    client.close()
+    standby.stop()
+    standby.endpoint.close()
+
+
+def test_background_scrubber_heals_without_an_operator(tmp_path):
+    mine_striped(tmp_path, n_blocks=2).close()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", StorageWarning)
+        endpoint = ServiceEndpoint.open(tmp_path, scrub_interval=0.05, scrub_batch=16)
+        try:
+            faults = DiskFaultStore(node_dirs=node_dirs(tmp_path))
+            faults.lose_node(3)
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                health = endpoint.storage_health()
+                if health["nodes_online"] == K + M and health["rebuilt_nodes"] >= 1:
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail(f"scrubber never rebuilt the node: {health}")
+        finally:
+            endpoint.close()
+
+
+def test_stats_carry_storage_health_for_striped_stores_only(tmp_path):
+    net = mine_striped(tmp_path / "striped", n_blocks=1)
+    endpoint = ServiceEndpoint(net.sp)
+    stats = endpoint.stats()
+    assert stats["storage"]["k"] == K
+    assert stats["storage"]["m"] == M
+    assert endpoint.server_stats().storage == stats["storage"]
+    net.close()
+
+    plain = VChainNetwork.create(seed=1)
+    endpoint = ServiceEndpoint(plain.sp)
+    assert endpoint.stats()["storage"] is None
+    assert endpoint.server_stats().storage is None
+    plain.close()
+
+
+def test_scrub_interval_must_be_positive(tmp_path):
+    mine_striped(tmp_path, n_blocks=1).close()
+    with pytest.raises(ValueError, match="scrub_interval"):
+        ServiceEndpoint.open(tmp_path, scrub_interval=0)
+
+
+# -- server CLI ----------------------------------------------------------------
+def test_cli_requires_exactly_one_target(tmp_path, capsys):
+    with pytest.raises(SystemExit):
+        server_cli([])
+    assert "exactly one of" in capsys.readouterr().err
+    with pytest.raises(SystemExit):
+        server_cli(["--data-dir", str(tmp_path), "--stripe-dirs", str(tmp_path)])
+    assert "exactly one of" in capsys.readouterr().err
+
+
+def test_cli_parity_assertion_refuses_mismatch(tmp_path, capsys):
+    mine_striped(tmp_path, n_blocks=1).close()
+    dirs = ",".join(str(d) for d in node_dirs(tmp_path))
+    with pytest.raises(SystemExit):
+        server_cli(["--stripe-dirs", dirs, "--parity", "3"])
+    assert f"--parity 3 but the deployment has m={M}" in capsys.readouterr().err
+
+
+# -- kill the primary, promote a standby (separate processes) ------------------
+def _spawn_server(args):
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.api.server", *args],
+        cwd="/root/repo",
+        env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.monotonic() + 60.0
+    banner = ""
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            raise AssertionError(f"server exited: {process.wait()}")
+        if line.startswith("serving "):
+            banner = line
+            break
+    else:
+        process.kill()
+        raise AssertionError("server never printed its banner")
+    host, port = banner.rsplit(" on ", 1)[1].split(" ")[0].split(":")
+    return process, (host, int(port))
+
+
+def test_kill_primary_standby_takes_over(tmp_path):
+    """The CI chaos scenario: SIGKILL the serving process mid-flight,
+    lose two stripe directories, and promote a standby from the
+    survivors — answers stay byte-identical and the standby's scrubber
+    restores full redundancy."""
+    net = mine_striped(tmp_path)
+    backend = net.accumulator.backend
+    baseline = query_bytes(net.client, backend)
+    net.close()
+    accumulator, encoder, params = open_deployment(tmp_path)
+
+    primary, address = _spawn_server(["--data-dir", str(tmp_path)])
+    try:
+        client = VChainClient.connect(address, accumulator, encoder, params)
+        assert query_bytes(client, backend) == baseline
+        client.close()
+    finally:
+        primary.send_signal(signal.SIGKILL)  # no shutdown, no lock release
+        primary.wait(timeout=30)
+        primary.stdout.close()
+
+    faults = DiskFaultStore(node_dirs=node_dirs(tmp_path))
+    faults.lose_node(2)
+    faults.lose_node(5)
+
+    survivors = ",".join(str(d) for d in node_dirs(tmp_path))
+    standby, address = _spawn_server(
+        ["--stripe-dirs", survivors, "--parity", str(M), "--scrub-interval", "0.1"]
+    )
+    try:
+        client = VChainClient.connect(address, accumulator, encoder, params)
+        assert query_bytes(client, backend) == baseline
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            storage = client.server_stats().storage
+            if storage["nodes_online"] == K + M:
+                break
+            time.sleep(0.2)
+        else:
+            pytest.fail(f"standby scrubber never rebuilt the losses: {storage}")
+        assert query_bytes(client, backend) == baseline
+        client.close()
+    finally:
+        standby.send_signal(signal.SIGTERM)
+        try:
+            standby.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            standby.kill()
+            standby.wait(timeout=30)
+        standby.stdout.close()
+
+    # SIGTERM took the graceful path: the store was closed, so every
+    # LOCK carries no PID stamp and the next open reclaims nothing
+    for node in node_dirs(tmp_path):
+        assert (Path(node) / "LOCK").read_bytes() == b""

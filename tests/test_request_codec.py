@@ -232,6 +232,7 @@ def test_server_stats_roundtrip():
         engine={"deliveries": 2},
         pool={"workers": 2, "mode": "fork"},
         server={"requests": 11, "evictions": 1},
+        storage={"nodes_online": 6, "repaired_stripes": 3},
     )
     assert decode_stats_response(encode_stats_response(stats)) == stats
 

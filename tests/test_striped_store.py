@@ -1,0 +1,551 @@
+"""Striped, erasure-coded chain storage: degradation, repair, failover.
+
+The contract under test is the acceptance scenario of the durability
+tier: a ``k=4, m=2`` deployment keeps serving **byte-identical**
+verified answers after any two stripe directories are lost, reports the
+degradation in its health counters, rebuilds the losses by scrubbing,
+and reopens from any surviving quorum — including in a different
+"process" that never saw the originals.  Faults are injected with
+:class:`~repro.testing.DiskFaultStore`, so every scenario is scripted
+and deterministic.
+"""
+
+import itertools
+import json
+import random
+import shutil
+import warnings
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import VChainNetwork
+from repro.errors import StorageError
+from repro.storage import (
+    FileBlockStore,
+    StorageWarning,
+    StripedBlockStore,
+    discover_stripe_dirs,
+    load_manifest,
+    open_chain_setup,
+    open_deployment,
+)
+from repro.storage.store import LOCK_NAME, MANIFEST_NAME
+from repro.storage.striped import _SIDX_ENTRY, _SREC_HEAD, STRIPE_INDEX_NAME
+from repro.storage.__main__ import main as storage_cli
+from repro.testing import DiskFaultStore
+from repro.wire import encode_block, encode_time_window_vo
+from tests.conftest import make_objects
+
+K, M = 4, 2
+N_BLOCKS = 5
+SEED = 47
+
+
+def mine_striped(parent, n_blocks=N_BLOCKS, seed=SEED, stripes=K, parity=M):
+    net = VChainNetwork.create(
+        seed=seed, data_dir=parent, stripes=stripes, parity=parity
+    )
+    rng = random.Random(seed)
+    for h in range(n_blocks):
+        net.mine(make_objects(rng, 3, h * 3, h * 10), timestamp=h * 10)
+    return net
+
+
+def mine_memory(n_blocks, seed=SEED):
+    net = VChainNetwork.create(seed=seed)
+    rng = random.Random(seed)
+    for h in range(n_blocks):
+        net.mine(make_objects(rng, 3, h * 3, h * 10), timestamp=h * 10)
+    return net
+
+
+def chain_bytes(net):
+    backend = net.accumulator.backend
+    return [encode_block(backend, block) for block in net.sp.chain]
+
+
+def query_vo(net):
+    response = (
+        net.client.query()
+        .window(0, 1000)
+        .range(low=(0, 0), high=(200, 200))
+        .execute()
+    )
+    response.raise_for_forgery()
+    return (
+        [o.object_id for o in response.results],
+        encode_time_window_vo(net.accumulator.backend, response.vo),
+    )
+
+
+def node_dirs(parent):
+    return sorted(Path(parent).glob("node-*"))
+
+
+# -- layout and round trip -----------------------------------------------------
+def test_create_layout_and_manifest(tmp_path):
+    net = mine_striped(tmp_path, n_blocks=2)
+    dirs = node_dirs(tmp_path)
+    assert [d.name for d in dirs] == [f"node-{i:02d}" for i in range(K + M)]
+    for d in dirs:
+        manifest = load_manifest(d)
+        assert manifest["striping"] == {"k": K, "m": M, "nodes": K + M}
+        assert json.loads((d / "NODE.json").read_text())["nodes"] == K + M
+    net.close()
+
+
+def test_plain_store_refuses_striped_node_dir(tmp_path):
+    mine_striped(tmp_path, n_blocks=1).close()
+    backend = VChainNetwork.create(seed=1).accumulator.backend
+    with pytest.raises(StorageError, match="striped"):
+        FileBlockStore.open(node_dirs(tmp_path)[0], backend)
+
+
+def test_striped_open_refuses_plain_dir(tmp_path):
+    net = VChainNetwork.create(seed=1, data_dir=tmp_path)
+    backend = net.accumulator.backend
+    net.close()
+    with pytest.raises(StorageError):
+        StripedBlockStore.open(tmp_path, backend)
+
+
+def test_reopen_round_trip_byte_identical(tmp_path):
+    net = mine_striped(tmp_path)
+    reference = chain_bytes(net)
+    ids_before, vo_before = query_vo(net)
+    net.close()
+
+    reopened = VChainNetwork.open(tmp_path)
+    assert chain_bytes(reopened) == reference
+    ids_after, vo_after = query_vo(reopened)
+    assert ids_after == ids_before
+    assert vo_after == vo_before
+    health = reopened.sp.chain.store.health()
+    assert health["nodes_online"] == K + M
+    assert health["blocks"] == N_BLOCKS
+    reopened.close()
+
+
+def test_matches_plain_store_answers(tmp_path):
+    striped = mine_striped(tmp_path / "striped")
+    plain = VChainNetwork.create(seed=SEED, data_dir=tmp_path / "plain")
+    rng = random.Random(SEED)
+    for h in range(N_BLOCKS):
+        plain.mine(make_objects(rng, 3, h * 3, h * 10), timestamp=h * 10)
+    assert chain_bytes(striped) == chain_bytes(plain)
+    assert query_vo(striped) == query_vo(plain)
+    striped.close()
+    plain.close()
+
+
+# -- degraded operation --------------------------------------------------------
+@pytest.mark.parametrize("lost", [(0, 1), (2, 5), (4, 5)])
+def test_any_two_lost_dirs_still_serve_byte_identical(tmp_path, lost):
+    net = mine_striped(tmp_path)
+    reference = chain_bytes(net)
+    ids_ref, vo_ref = query_vo(net)
+    net.close()
+
+    faults = DiskFaultStore(node_dirs=node_dirs(tmp_path))
+    for index in lost:
+        faults.lose_node(index)
+
+    with pytest.warns(StorageWarning, match="offline"):
+        degraded = VChainNetwork.open(tmp_path)
+    assert chain_bytes(degraded) == reference
+    assert query_vo(degraded) == (ids_ref, vo_ref)
+    health = degraded.sp.chain.store.health()
+    assert health["nodes_offline"] == 2
+    assert health["nodes_online"] == 4
+    degraded.close()
+
+
+def test_losing_more_than_m_dirs_is_unrecoverable(tmp_path):
+    net = mine_striped(tmp_path)
+    backend = net.accumulator.backend
+    net.close()
+    faults = DiskFaultStore(node_dirs=node_dirs(tmp_path))
+    for index in (0, 1, 2):
+        faults.lose_node(index)
+    with pytest.raises(StorageError, match="k=4 are needed"):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", StorageWarning)
+            StripedBlockStore.open(tmp_path, backend)
+    # refusal must not have truncated the survivors: a rejoined node may
+    # still need every one of their stripe records
+    for node_dir in node_dirs(tmp_path):
+        entries = (node_dir / STRIPE_INDEX_NAME).stat().st_size // _SIDX_ENTRY.size
+        assert entries == N_BLOCKS
+
+
+def test_failover_open_from_explicit_survivor_list(tmp_path):
+    """Standby-SP failover: a new process given only the surviving
+    directories serves the same chain."""
+    net = mine_striped(tmp_path)
+    reference = chain_bytes(net)
+    ids_ref, vo_ref = query_vo(net)
+    net.close()
+
+    faults = DiskFaultStore(node_dirs=node_dirs(tmp_path))
+    faults.lose_node(1)
+    faults.lose_node(3)
+    survivors = [d for d in node_dirs(tmp_path)]
+
+    with pytest.warns(StorageWarning, match="offline"):
+        standby = VChainNetwork.open(survivors)
+    assert chain_bytes(standby) == reference
+    assert query_vo(standby) == (ids_ref, vo_ref)
+    # the standby keeps mining where the primary stopped
+    rng = random.Random(99)
+    standby.mine(make_objects(rng, 3, 100, 500), timestamp=500)
+    assert len(standby.sp.chain) == N_BLOCKS + 1
+    standby.close()
+
+
+def test_chain_setup_and_deployment_accept_survivor_lists(tmp_path):
+    mine_striped(tmp_path).close()
+    faults = DiskFaultStore(node_dirs=node_dirs(tmp_path))
+    faults.lose_node(0)
+    survivors = node_dirs(tmp_path)  # the glob now only sees five
+    assert len(survivors) == K + M - 1
+    with pytest.warns(StorageWarning, match="offline"):
+        setup = open_chain_setup(survivors)
+    assert len(setup.chain) == N_BLOCKS
+    setup.close()
+    # the manifest-only reader answers from any one replica too
+    accumulator, _encoder, params = open_deployment([survivors[-1]])
+    assert accumulator is not None and params is not None
+
+
+def test_degraded_appends_then_scrub_restores_full_redundancy(tmp_path):
+    net = mine_striped(tmp_path)
+    net.close()
+    faults = DiskFaultStore(node_dirs=node_dirs(tmp_path))
+    faults.lose_node(2)
+    faults.lose_node(4)
+
+    with pytest.warns(StorageWarning, match="offline"):
+        degraded = VChainNetwork.open(tmp_path)
+    rng = random.Random(7)
+    degraded.mine(make_objects(rng, 3, 200, 600), timestamp=600)
+    reference = chain_bytes(degraded)
+    store = degraded.sp.chain.store
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", StorageWarning)
+        report = store.scrub()
+    assert report.rebuilt_nodes == 2
+    assert report.offline_nodes == 0
+    assert store.health()["nodes_online"] == K + M
+    degraded.close()
+
+    # after the scrub the rebuilt nodes carry the degraded-era block too
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always", StorageWarning)
+        reopened = VChainNetwork.open(tmp_path)
+    assert not caught, [str(w.message) for w in caught]
+    assert chain_bytes(reopened) == reference
+    reopened.close()
+
+
+# -- scrubbing and read repair -------------------------------------------------
+def test_scrub_rebuilds_lost_nodes(tmp_path):
+    mine_striped(tmp_path).close()
+    faults = DiskFaultStore(node_dirs=node_dirs(tmp_path))
+    faults.lose_node(0)
+    faults.lose_node(5)
+
+    with pytest.warns(StorageWarning, match="offline"):
+        net = VChainNetwork.open(tmp_path)
+    store = net.sp.chain.store
+    with pytest.warns(StorageWarning, match="rebuilt"):
+        report = store.scrub()
+    assert report.rebuilt_nodes == 2
+    assert report.offline_nodes == 0
+    assert report.wrapped
+    health = store.health()
+    assert health["nodes_online"] == K + M
+    assert health["rebuilt_nodes"] == 2
+    net.close()
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always", StorageWarning)
+        clean = VChainNetwork.open(tmp_path)
+    assert not caught, [str(w.message) for w in caught]
+    clean.close()
+
+
+def test_bitrot_is_read_repaired_on_open(tmp_path):
+    net = mine_striped(tmp_path)
+    reference = chain_bytes(net)
+    net.close()
+
+    faults = DiskFaultStore(node_dirs=node_dirs(tmp_path))
+    faults.bitrot(1, height=2)
+    faults.bitrot(4, height=0, offset=3)
+
+    with pytest.warns(StorageWarning):
+        reopened = VChainNetwork.open(tmp_path)
+    assert chain_bytes(reopened) == reference
+    assert reopened.sp.chain.store.health()["repaired_stripes"] >= 2
+    reopened.close()
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always", StorageWarning)
+        clean = VChainNetwork.open(tmp_path)
+    assert not caught, [str(w.message) for w in caught]
+    assert chain_bytes(clean) == reference
+    clean.close()
+
+
+def test_bitrot_is_caught_by_scrub_on_live_store(tmp_path):
+    net = mine_striped(tmp_path)
+    reference = chain_bytes(net)
+    store = net.sp.chain.store
+    store.sync()
+    faults = DiskFaultStore(store=store)
+    faults.bitrot(3, height=1)
+
+    with pytest.warns(StorageWarning, match="repair"):
+        report = store.scrub()
+    assert report.repaired >= 1
+    assert chain_bytes(net) == reference
+    net.close()
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always", StorageWarning)
+        clean = VChainNetwork.open(tmp_path)
+    assert not caught, [str(w.message) for w in caught]
+    clean.close()
+
+
+def test_live_node_loss_shows_in_health_and_scrub_rebuilds(tmp_path):
+    net = mine_striped(tmp_path)
+    store = net.sp.chain.store
+    faults = DiskFaultStore(store=store)
+    assert store.health()["nodes_offline"] == 0
+
+    faults.lose_node(2)
+    assert store.health()["nodes_offline"] == 1  # detected before any scrub
+
+    with pytest.warns(StorageWarning) as caught:
+        report = store.scrub()
+    assert any("rebuilt" in str(w.message) for w in caught)
+    assert report.rebuilt_nodes == 1
+    assert store.health()["nodes_offline"] == 0
+    net.close()
+
+
+def test_eio_reads_are_survived_and_logged(tmp_path):
+    net = mine_striped(tmp_path)
+    reference = chain_bytes(net)
+    store = net.sp.chain.store
+    faults = DiskFaultStore(store=store)
+    faults.eio_on_read(1)
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", StorageWarning)
+        store.scrub()
+    assert any(kind == "eio" and index == 1 for kind, index, _ in faults.injected)
+    faults.heal()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", StorageWarning)
+        store.scrub()
+    assert store.health()["nodes_online"] == K + M
+    assert chain_bytes(net) == reference
+    net.close()
+
+
+def test_short_write_on_minority_is_repaired(tmp_path):
+    net = mine_striped(tmp_path)
+    reference = chain_bytes(net)
+    net.close()
+    faults = DiskFaultStore(node_dirs=node_dirs(tmp_path))
+    faults.short_write(0, segment_bytes=5)
+    faults.short_write(3, segment_bytes=17, index_bytes=10)
+
+    with pytest.warns(StorageWarning):
+        reopened = VChainNetwork.open(tmp_path)
+    assert chain_bytes(reopened) == reference  # nothing lost: quorum intact
+    reopened.close()
+
+
+def test_scrub_step_is_incremental(tmp_path):
+    net = mine_striped(tmp_path)
+    store = net.sp.chain.store
+    report = store.scrub_step(batch=2)
+    assert report.checked > 0
+    assert not report.wrapped
+    health = store.health()
+    assert 0 < health["scrub_position"] < N_BLOCKS
+    while not report.wrapped:
+        report = store.scrub_step(batch=2)
+    assert store.health()["scrub_cycles"] == 1
+    net.close()
+
+
+# -- maintenance CLI -----------------------------------------------------------
+def test_cli_status_reports_health(tmp_path, capsys):
+    mine_striped(tmp_path, n_blocks=2).close()
+    assert storage_cli(["status", str(tmp_path)]) == 0
+    health = json.loads(capsys.readouterr().out)
+    assert health["nodes_online"] == K + M
+    assert health["blocks"] == 2
+
+    # a degraded deployment exits 1 so monitoring cron jobs can alert
+    faults = DiskFaultStore(node_dirs=node_dirs(tmp_path))
+    faults.lose_node(2)
+    assert storage_cli(["status", str(tmp_path)]) == 1
+    health = json.loads(capsys.readouterr().out)
+    assert health["nodes_offline"] == 1
+
+
+def test_cli_scrub_rebuilds_and_reports(tmp_path, capsys):
+    mine_striped(tmp_path, n_blocks=2).close()
+    faults = DiskFaultStore(node_dirs=node_dirs(tmp_path))
+    faults.lose_node(1)
+    assert storage_cli(["scrub", str(tmp_path)]) == 0
+    out, err = capsys.readouterr()
+    assert "rebuilt 1 node(s)" in out
+    assert "note:" in err  # degradation surfaced, not swallowed
+    assert json.loads(out[out.index("{") :])["nodes_online"] == K + M
+
+
+def test_cli_scrub_refuses_non_deployment(tmp_path, capsys):
+    assert storage_cli(["scrub", str(tmp_path)]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_discover_stripe_dirs(tmp_path):
+    mine_striped(tmp_path, n_blocks=1).close()
+    dirs = node_dirs(tmp_path)
+    assert discover_stripe_dirs(tmp_path) == dirs  # parent
+    assert discover_stripe_dirs(dirs[2]) == dirs  # one node -> siblings
+    assert discover_stripe_dirs(dirs[:3]) == dirs[:3]  # explicit list
+    assert discover_stripe_dirs(tmp_path / "nope") is None
+
+
+# -- plain-store regressions (the satellite hardening) -------------------------
+def test_corrupt_manifest_raises_typed_error(tmp_path):
+    VChainNetwork.create(seed=1, data_dir=tmp_path).close()
+    manifest_path = tmp_path / MANIFEST_NAME
+
+    manifest_path.write_text("{not json")
+    with pytest.raises(StorageError, match=str(manifest_path)):
+        load_manifest(tmp_path)
+
+    manifest_path.write_text('"a string, not an object"')
+    with pytest.raises(StorageError, match="JSON object"):
+        load_manifest(tmp_path)
+
+    manifest_path.write_text('{"format_version": 1}')
+    with pytest.raises(StorageError, match="missing required key"):
+        load_manifest(tmp_path)
+
+
+def test_stale_lock_from_dead_pid_is_reclaimed_with_warning(tmp_path):
+    VChainNetwork.create(seed=1, data_dir=tmp_path).close()
+    # a SIGKILL'd holder leaves its PID stamped in the LOCK file; use a
+    # PID from way outside the live range so the probe sees it as dead
+    (tmp_path / LOCK_NAME).write_bytes(b"99999999")
+    with pytest.warns(StorageWarning, match="reclaiming stale"):
+        net = VChainNetwork.open(tmp_path)
+    net.close()
+    # a clean close clears the stamp: no warning on the next open
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always", StorageWarning)
+        net = VChainNetwork.open(tmp_path)
+    assert not caught, [str(w.message) for w in caught]
+    net.close()
+
+
+# -- crash-point sweep (property) ----------------------------------------------
+@pytest.fixture(scope="module")
+def crashed_master(tmp_path_factory):
+    """One fully mined striped deployment, cloned per crash example."""
+    parent = tmp_path_factory.mktemp("striped-master")
+    net = mine_striped(parent)
+    reference = chain_bytes(net)
+    net.close()
+    return parent, reference
+
+
+_reference_prefixes: dict[int, tuple[list, bytes]] = {}
+
+
+def reference_prefix(length):
+    """Expected (result ids, VO bytes) for a chain of the first ``length``
+    blocks — mined fresh in memory, so the crashed store's answer is
+    compared against an independent reconstruction."""
+    if length not in _reference_prefixes:
+        net = mine_memory(length)
+        _reference_prefixes[length] = query_vo(net)
+    return _reference_prefixes[length]
+
+
+def crash_at(parent, height, completed_nodes, partial_bytes):
+    """Rewind a full deployment to the instant a crash hit block
+    ``height``: nodes ``< completed_nodes`` hold the record, the next
+    node holds ``partial_bytes`` of it, the rest never saw it."""
+    for j, node_dir in enumerate(node_dirs(parent)):
+        index_path = node_dir / STRIPE_INDEX_NAME
+        raw = index_path.read_bytes()
+        entry = _SIDX_ENTRY.unpack_from(raw, height * _SIDX_ENTRY.size)
+        record_off, stripe_len = entry[2], entry[3]
+        record_len = _SREC_HEAD.size + stripe_len
+        segment = node_dir / f"seg-{entry[1]:05d}.log"
+        if j < completed_nodes:
+            keep_seg = record_off + record_len
+            keep_idx = (height + 1) * _SIDX_ENTRY.size
+        elif j == completed_nodes:
+            keep_seg = record_off + (partial_bytes % record_len)
+            keep_idx = height * _SIDX_ENTRY.size
+        else:
+            keep_seg = record_off
+            keep_idx = height * _SIDX_ENTRY.size
+        with open(segment, "r+b") as handle:
+            handle.truncate(keep_seg)
+        with open(index_path, "r+b") as handle:
+            handle.truncate(keep_idx)
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    height=st.integers(min_value=1, max_value=N_BLOCKS - 1),
+    completed=st.integers(min_value=0, max_value=K + M),
+    partial=st.integers(min_value=1, max_value=10_000),
+)
+def test_crash_point_sweep_reopens_to_byte_identical_prefix(
+    crashed_master, tmp_path_factory, height, completed, partial
+):
+    """Sweep a crash through every write of the segment: whatever the
+    instant, reopen yields a clean prefix of the chain whose blocks and
+    VOs are byte-identical to an independently mined reference."""
+    master, reference = crashed_master
+    parent = tmp_path_factory.mktemp("crash")
+    for node_dir in node_dirs(master):
+        shutil.copytree(node_dir, parent / node_dir.name)
+    crash_at(parent, height, completed, partial)
+
+    # a block survives its crash iff >= k nodes finished the append
+    expected_len = height + 1 if completed >= K else height
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", StorageWarning)
+        net = VChainNetwork.open(parent)
+    assert len(net.sp.chain) == expected_len
+    assert chain_bytes(net) == reference[:expected_len]
+    assert query_vo(net) == reference_prefix(expected_len)
+    net.close()
+
+    # the repair was durable: the second open has nothing left to fix
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always", StorageWarning)
+        net = VChainNetwork.open(parent)
+    assert not caught, [str(w.message) for w in caught]
+    assert len(net.sp.chain) == expected_len
+    net.close()
