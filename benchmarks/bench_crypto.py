@@ -37,6 +37,7 @@ from common import build_network, get_dataset, print_row
 from repro.accumulators import ElementEncoder, make_accumulator
 from repro.crypto import bn254 as bn
 from repro.crypto import curve
+from repro.crypto.accel import dispatch
 from repro.crypto.backend import get_backend
 from repro.crypto.curve import (
     FP2_ONE,
@@ -356,6 +357,73 @@ def section_prove_verify(report: dict, parity: list) -> None:
     print_row("verify/batch", report["verify"]["batch_ss512"])
 
 
+def _accel_workload() -> dict:
+    """acc1 accumulate / prove / verify at capacity 256 under the
+    currently active provider, plus the canonical bytes of everything
+    it produced (the in-run parity gate compares them across impls)."""
+    backend = get_backend("ss512")
+    _sk, acc1 = make_accumulator("acc1", backend, capacity=256, rng=random.Random(5))
+    rng = random.Random(13)
+    multiset = Counter({rng.randrange(1, backend.order): 1 for _ in range(256)})
+    clause = Counter({rng.randrange(1, backend.order): 1 for _ in range(2)})
+    acc1.accumulate(multiset)  # warm the fixed-base tables
+    accumulate_s, value = timed(lambda: acc1.accumulate(multiset), repeat=5)
+    prove_s, proof = timed(lambda: acc1.prove_disjoint(multiset, clause), repeat=5)
+    clause_value = acc1.accumulate(clause)
+    verify_s, ok = timed(
+        lambda: acc1.verify_disjoint(value, clause_value, proof), repeat=5
+    )
+    encoded = b"".join(
+        backend.encode(part)
+        for part in (*value.parts, *clause_value.parts, *proof.parts)
+    )
+    return {
+        "accumulate_s": accumulate_s,
+        "prove_s": prove_s,
+        "verify_s": verify_s,
+        "accepts": ok,
+        "bytes": encoded,
+    }
+
+
+def section_accel(report: dict, parity: list) -> None:
+    """Best accelerated provider vs the pure-Python fast path (PR 4).
+
+    The other sections compare the fast path against the *naive*
+    reference; this one compares providers of the same algorithms, so
+    the speedup isolates what gmpy2 / the C extension buy.  Skipped —
+    with the reason recorded in the report — when only ``pure`` is
+    available, which is what lets ``--check`` pass on a machine with
+    neither accelerator installed.
+    """
+    impls = dispatch.available_impls()
+    best = impls[0]
+    if best == "pure":
+        reason = "no accelerated provider available (install gmpy2 or build the C extension)"
+        report["accel"] = {"impl": "pure", "skipped": reason}
+        print(f"accel: SKIPPED — {reason}")
+        return
+    previous = dispatch.active_impl()
+    try:
+        dispatch.set_impl("pure")
+        pure = _accel_workload()
+        dispatch.set_impl(best)
+        fast = _accel_workload()
+    finally:
+        dispatch.set_impl(previous)
+    parity.append((f"accel {best} accepts", fast["accepts"] and pure["accepts"]))
+    parity.append((f"accel {best} bytes == pure", fast["bytes"] == pure["bytes"]))
+    report["accel"] = {"impl": best}
+    for op in ("accumulate", "prove", "verify"):
+        row = {
+            "pure_s": round(pure[f"{op}_s"], 4),
+            f"{best}_s": round(fast[f"{op}_s"], 4),
+            "speedup": round(pure[f"{op}_s"] / fast[f"{op}_s"], 2),
+        }
+        report["accel"][op] = row
+        print_row(f"accel/{op}", row)
+
+
 def section_end_to_end(report: dict) -> None:
     """Mine + query + verify wall time on the benchmark substrate."""
     dataset = get_dataset("4SQ", 12)
@@ -386,8 +454,12 @@ def check(report: dict, baseline_path: str) -> list[str]:
     """
     baseline = json.loads(Path(baseline_path).read_text())
     failures = []
+    accel_skipped = report.get("accel", {}).get("skipped")
     for name, floor in baseline.get("floors", {}).items():
         parts = name.split("/")
+        if parts[0] == "accel" and accel_skipped:
+            print(f"check: skipping {name} — {accel_skipped}")
+            continue
         if parts[0] == "msm":
             rows = report.get("msm", {}).get(parts[1], [])
             node = next((r for r in rows if r["size"] == int(parts[2])), {})
@@ -418,11 +490,19 @@ def main() -> int:
     )
     args = parser.parse_args()
 
-    report: dict = {}
+    report: dict = {
+        "meta": {
+            "python": sys.version.split()[0],
+            "accel_impl": dispatch.active_impl(),
+            "accel_available": list(dispatch.available_impls()),
+            **dict(dispatch.active().meta),
+        }
+    }
     parity: list[tuple[str, bool]] = []
     section_msm(report, parity)
     section_accumulate(report, parity)
     section_prove_verify(report, parity)
+    section_accel(report, parity)
     if not args.skip_end_to_end:
         section_end_to_end(report)
 

@@ -1,7 +1,23 @@
 """Legacy setup shim: this environment's pip lacks the ``wheel`` package,
 so editable installs must go through ``setup.py develop``.  All project
-metadata lives in ``pyproject.toml``."""
+metadata lives in ``pyproject.toml``.
 
-from setuptools import setup
+The one thing that cannot be declared statically is the optional
+``_accelmodule`` C extension (the "native" accel provider).  It is marked
+``optional``: a missing compiler degrades the install to pure Python and
+the runtime probe in :mod:`repro.crypto.accel.dispatch` falls back.
+Build it in place with ``python setup.py build_ext --inplace``.
+"""
 
-setup()
+from setuptools import Extension, setup
+
+setup(
+    ext_modules=[
+        Extension(
+            "repro.crypto.accel._accelmodule",
+            sources=["src/repro/crypto/accel/_accelmodule.c"],
+            optional=True,
+            extra_compile_args=["-O2"],
+        )
+    ]
+)

@@ -23,6 +23,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 from typing import Any
 
+from repro.crypto.accel import dispatch
 from repro.crypto.backend import GroupElement, PairingBackend
 from repro.errors import CryptoError, KeyCapacityError
 
@@ -93,7 +94,7 @@ class KeyOracle:
             )
         element = self._cache.get(index)
         if element is None:
-            exponent = pow(self._secret.s, index, self._backend.order)
+            exponent = dispatch.modexp(self._secret.s, index, self._backend.order)
             element = self._backend.exp(self._backend.generator(), exponent)
             self._cache[index] = element
         return element

@@ -1,4 +1,4 @@
-"""The seven repo-specific checkers.
+"""The eight repo-specific checkers.
 
 Each rule is a module exposing ``NAME``, ``DESCRIPTION`` and
 ``check(project) -> list[Finding]``; :data:`ALL_RULES` is the registry
@@ -8,6 +8,7 @@ docs/ARCHITECTURE.md.
 """
 
 from repro.analysis.rules import (
+    accel,
     backends,
     blocking,
     codec,
@@ -18,11 +19,12 @@ from repro.analysis.rules import (
 )
 
 #: registry order is report order for equal file/line
-ALL_RULES = (codec, locks, pickles, backends, exports, blocking, fsync)
+ALL_RULES = (codec, locks, pickles, backends, exports, blocking, fsync, accel)
 
 __all__ = sorted(
     [
         "ALL_RULES",
+        "accel",
         "backends",
         "blocking",
         "codec",

@@ -169,6 +169,14 @@ def main(argv: list[str] | None = None) -> int:
         help="per-client requests/second token bucket (async server only)",
     )
     parser.add_argument(
+        "--accel",
+        default=None,
+        choices=("auto", "pure", "gmpy2", "native"),
+        help="arithmetic provider for the crypto hot loops (default: "
+        "probe for the fastest installed; results are byte-identical "
+        "under every choice)",
+    )
+    parser.add_argument(
         "--no-fsync",
         action="store_true",
         help="skip fsync on append (only matters if embedded miners write)",
@@ -190,6 +198,11 @@ def main(argv: list[str] | None = None) -> int:
         target = [d for d in args.stripe_dirs.split(",") if d]
         if not target:
             parser.error("--stripe-dirs needs at least one directory")
+
+    if args.accel is not None:
+        from repro.crypto.accel import dispatch
+
+        dispatch.set_impl(args.accel)
 
     recorder = None
     tap: FrameTap | None = None

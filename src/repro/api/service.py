@@ -48,6 +48,7 @@ from repro.core.prover import QueryStats
 from repro.core.query import SubscriptionQuery, TimeWindowQuery
 from repro.core.sp import ServiceProvider
 from repro.core.vo import TimeWindowVO
+from repro.crypto.accel import dispatch
 from repro.errors import ReproError, SubscriptionError
 from repro.parallel import CryptoPool, ParallelConfig, make_pool
 from repro.subscribe.engine import Delivery, SubscriptionEngine
@@ -408,6 +409,7 @@ class ServiceEndpoint:
             "pool": pool.stats().as_info() if pool is not None else None,
             "server": server() if server is not None else None,
             "storage": self.storage_health(),
+            "accel": dispatch.active_impl(),
         }
 
     def server_stats(self) -> ServerStats:
@@ -425,6 +427,7 @@ class ServiceEndpoint:
             pool=cast("dict[str, Scalar] | None", snapshot["pool"]),
             server=cast("dict[str, Scalar] | None", snapshot["server"]),
             storage=cast("dict[str, Scalar] | None", snapshot["storage"]),
+            accel=cast("str", snapshot["accel"]),
         )
 
     # -- time-window queries ----------------------------------------------

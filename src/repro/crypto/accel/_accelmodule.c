@@ -1,0 +1,1512 @@
+/* Native arithmetic kernels for repro.crypto — the "native" accel provider.
+ *
+ * Fixed-width Montgomery (CIOS) field arithmetic over the two base fields
+ * (ss512: 8×64-bit limbs, a = 1; BN254: 4 limbs, a = 0), with a small
+ * "ring" abstraction so the Jacobian point formulas and the wNAF ladder
+ * are written once and serve F_p for ss512, F_q and F_q² for BN254
+ * (both quadratic extensions are i² = -1).
+ *
+ * Parity contract (mirrors the pure code in curve.py / bn254.py / msm.py):
+ * every formula below follows the *same* algebraic sequence as its pure
+ * counterpart, so the Jacobian representative — including the Z
+ * coordinate — is identical, and every value crossing back into Python
+ * is a canonical residue in [0, p).  The one exception is
+ * ss512_miller_raw, whose inversion-free line evaluation scales each
+ * line by an F_p denominator that the final exponentiation annihilates
+ * (documented in accel/native.py).
+ */
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <stdint.h>
+#include <string.h>
+
+#if defined(PY_BIG_ENDIAN) && PY_BIG_ENDIAN
+#error "_accelmodule assumes a little-endian host"
+#endif
+
+#define MAXL 8      /* widest field: ss512, 511-bit prime */
+#define SLIMBS 9    /* scalar buffers: 512 bits + one limb of wNAF slack */
+#define IM 8        /* offset of the imaginary part inside an elem */
+
+typedef uint64_t elem[2 * MAXL]; /* [0..7] real, [8..15] imaginary */
+
+/* ---------------------------------------------------------------------------
+ * raw limb helpers (little-endian, n limbs)
+ * ------------------------------------------------------------------------ */
+static uint64_t
+limbs_add(uint64_t *out, const uint64_t *a, const uint64_t *b, int n)
+{
+    uint64_t carry = 0;
+    for (int i = 0; i < n; i++) {
+        __uint128_t cur = (__uint128_t)a[i] + b[i] + carry;
+        out[i] = (uint64_t)cur;
+        carry = (uint64_t)(cur >> 64);
+    }
+    return carry;
+}
+
+static uint64_t
+limbs_sub(uint64_t *out, const uint64_t *a, const uint64_t *b, int n)
+{
+    uint64_t borrow = 0;
+    for (int i = 0; i < n; i++) {
+        uint64_t bi = b[i];
+        uint64_t t = a[i] - bi;
+        uint64_t borrow2 = t > a[i];
+        uint64_t t2 = t - borrow;
+        borrow = borrow2 | (t2 > t);
+        out[i] = t2;
+    }
+    return borrow;
+}
+
+static int
+limbs_cmp(const uint64_t *a, const uint64_t *b, int n)
+{
+    for (int i = n - 1; i >= 0; i--) {
+        if (a[i] != b[i])
+            return a[i] > b[i] ? 1 : -1;
+    }
+    return 0;
+}
+
+static int
+limbs_is_zero(const uint64_t *a, int n)
+{
+    for (int i = 0; i < n; i++)
+        if (a[i])
+            return 0;
+    return 1;
+}
+
+static int
+limbs_bit_length(const uint64_t *a, int n)
+{
+    for (int i = n - 1; i >= 0; i--) {
+        if (a[i]) {
+            int bits = 0;
+            uint64_t v = a[i];
+            while (v) {
+                bits++;
+                v >>= 1;
+            }
+            return i * 64 + bits;
+        }
+    }
+    return 0;
+}
+
+/* out = a * 10 + digit (for parsing the decimal constants at init) */
+static void
+limbs_mul10_add(uint64_t *a, int n, uint64_t digit)
+{
+    uint64_t carry = digit;
+    for (int i = 0; i < n; i++) {
+        __uint128_t cur = (__uint128_t)a[i] * 10 + carry;
+        a[i] = (uint64_t)cur;
+        carry = (uint64_t)(cur >> 64);
+    }
+}
+
+static void
+limbs_from_dec(const char *s, uint64_t *out, int n)
+{
+    memset(out, 0, (size_t)n * 8);
+    for (; *s; s++)
+        limbs_mul10_add(out, n, (uint64_t)(*s - '0'));
+}
+
+/* ---------------------------------------------------------------------------
+ * Montgomery field context
+ * ------------------------------------------------------------------------ */
+typedef struct {
+    int n;               /* limb count */
+    uint64_t p[MAXL];    /* modulus */
+    uint64_t one[MAXL];  /* R mod p (Montgomery 1) */
+    uint64_t r2[MAXL];   /* R² mod p */
+    uint64_t n0;         /* -p⁻¹ mod 2⁶⁴ */
+} fctx;
+
+static void
+fe_shl1_mod(const fctx *c, uint64_t *a)
+{
+    uint64_t carry = 0;
+    for (int i = 0; i < c->n; i++) {
+        uint64_t next = a[i] >> 63;
+        a[i] = (a[i] << 1) | carry;
+        carry = next;
+    }
+    if (carry || limbs_cmp(a, c->p, c->n) >= 0)
+        limbs_sub(a, a, c->p, c->n);
+}
+
+static void
+fctx_init(fctx *c, int n, const char *p_dec)
+{
+    c->n = n;
+    limbs_from_dec(p_dec, c->p, n);
+    /* n0 = -p⁻¹ mod 2⁶⁴ via Newton iteration (p odd) */
+    uint64_t inv = 1;
+    for (int i = 0; i < 6; i++)
+        inv *= 2 - c->p[0] * inv;
+    c->n0 = (uint64_t)0 - inv;
+    /* R mod p and R² mod p by repeated doubling */
+    memset(c->one, 0, sizeof(c->one));
+    c->one[0] = 1;
+    for (int i = 0; i < 64 * n; i++)
+        fe_shl1_mod(c, c->one);
+    memcpy(c->r2, c->one, sizeof(c->r2));
+    for (int i = 0; i < 64 * n; i++)
+        fe_shl1_mod(c, c->r2);
+}
+
+static void
+fe_add(const fctx *c, const uint64_t *a, const uint64_t *b, uint64_t *out)
+{
+    uint64_t carry = limbs_add(out, a, b, c->n);
+    if (carry || limbs_cmp(out, c->p, c->n) >= 0)
+        limbs_sub(out, out, c->p, c->n);
+}
+
+static void
+fe_sub(const fctx *c, const uint64_t *a, const uint64_t *b, uint64_t *out)
+{
+    if (limbs_sub(out, a, b, c->n))
+        limbs_add(out, out, c->p, c->n);
+}
+
+static void
+fe_neg(const fctx *c, const uint64_t *a, uint64_t *out)
+{
+    if (limbs_is_zero(a, c->n))
+        memset(out, 0, (size_t)c->n * 8);
+    else
+        limbs_sub(out, c->p, a, c->n);
+}
+
+/* CIOS Montgomery multiplication: out = a·b·R⁻¹ mod p (a, b < p) */
+static void
+fe_mont_mul(const fctx *c, const uint64_t *a, const uint64_t *b, uint64_t *out)
+{
+    int n = c->n;
+    uint64_t t[MAXL + 2];
+    memset(t, 0, (size_t)(n + 2) * 8);
+    for (int i = 0; i < n; i++) {
+        uint64_t bi = b[i];
+        uint64_t carry = 0;
+        for (int j = 0; j < n; j++) {
+            __uint128_t cur = (__uint128_t)a[j] * bi + t[j] + carry;
+            t[j] = (uint64_t)cur;
+            carry = (uint64_t)(cur >> 64);
+        }
+        __uint128_t cur = (__uint128_t)t[n] + carry;
+        t[n] = (uint64_t)cur;
+        t[n + 1] = (uint64_t)(cur >> 64);
+
+        uint64_t m = t[0] * c->n0;
+        cur = (__uint128_t)m * c->p[0] + t[0];
+        carry = (uint64_t)(cur >> 64);
+        for (int j = 1; j < n; j++) {
+            cur = (__uint128_t)m * c->p[j] + t[j] + carry;
+            t[j - 1] = (uint64_t)cur;
+            carry = (uint64_t)(cur >> 64);
+        }
+        cur = (__uint128_t)t[n] + carry;
+        t[n - 1] = (uint64_t)cur;
+        t[n] = t[n + 1] + (uint64_t)(cur >> 64);
+    }
+    if (t[n] || limbs_cmp(t, c->p, c->n) >= 0)
+        limbs_sub(out, t, c->p, c->n);
+    else
+        memcpy(out, t, (size_t)n * 8);
+}
+
+/* ---------------------------------------------------------------------------
+ * Python long <-> limb conversions
+ * ------------------------------------------------------------------------ */
+#if PY_VERSION_HEX >= 0x030D00A4
+#define AS_BYTES(o, buf, len) \
+    _PyLong_AsByteArray((PyLongObject *)(o), (buf), (len), 1, 0, 1)
+#else
+#define AS_BYTES(o, buf, len) \
+    _PyLong_AsByteArray((PyLongObject *)(o), (buf), (len), 1, 0)
+#endif
+
+static int
+limbs_from_obj(PyObject *obj, uint64_t *out, int nlimbs)
+{
+    if (!PyLong_Check(obj)) {
+        PyErr_Format(PyExc_TypeError, "expected int, got %.80s",
+                     Py_TYPE(obj)->tp_name);
+        return -1;
+    }
+    memset(out, 0, (size_t)nlimbs * 8);
+    return AS_BYTES(obj, (unsigned char *)out, (size_t)nlimbs * 8);
+}
+
+static PyObject *
+obj_from_limbs(const uint64_t *in, int nlimbs)
+{
+    return _PyLong_FromByteArray((const unsigned char *)in, (size_t)nlimbs * 8,
+                                 1, 0);
+}
+
+/* Load a Python int as a field element in Montgomery form. */
+static int
+fe_from_obj(const fctx *c, PyObject *obj, uint64_t *out)
+{
+    uint64_t tmp[MAXL];
+    if (limbs_from_obj(obj, tmp, c->n) < 0)
+        return -1;
+    while (limbs_cmp(tmp, c->p, c->n) >= 0)
+        limbs_sub(tmp, tmp, c->p, c->n);
+    fe_mont_mul(c, tmp, c->r2, out);
+    return 0;
+}
+
+static PyObject *
+fe_to_obj(const fctx *c, const uint64_t *a)
+{
+    static const uint64_t lone[MAXL] = {1};
+    uint64_t tmp[MAXL];
+    fe_mont_mul(c, a, lone, tmp);
+    return obj_from_limbs(tmp, c->n);
+}
+
+/* ---------------------------------------------------------------------------
+ * ring abstraction: F_p (ext = 0) or F_p[i]/(i²+1) (ext = 1) over one fctx
+ * ------------------------------------------------------------------------ */
+typedef struct {
+    const fctx *f;
+    int ext;
+} ring;
+
+static void
+r_zero(const ring *R, uint64_t *a)
+{
+    memset(a, 0, sizeof(elem));
+    (void)R;
+}
+
+static int
+r_is_zero(const ring *R, const uint64_t *a)
+{
+    if (!limbs_is_zero(a, R->f->n))
+        return 0;
+    return !R->ext || limbs_is_zero(a + IM, R->f->n);
+}
+
+static void
+r_copy(const ring *R, uint64_t *dst, const uint64_t *src)
+{
+    memcpy(dst, src, sizeof(elem));
+    (void)R;
+}
+
+static void
+r_one(const ring *R, uint64_t *a)
+{
+    memset(a, 0, sizeof(elem));
+    memcpy(a, R->f->one, (size_t)R->f->n * 8);
+}
+
+static int
+r_eq(const ring *R, const uint64_t *a, const uint64_t *b)
+{
+    if (limbs_cmp(a, b, R->f->n) != 0)
+        return 0;
+    return !R->ext || limbs_cmp(a + IM, b + IM, R->f->n) == 0;
+}
+
+static void
+r_add(const ring *R, const uint64_t *a, const uint64_t *b, uint64_t *out)
+{
+    fe_add(R->f, a, b, out);
+    if (R->ext)
+        fe_add(R->f, a + IM, b + IM, out + IM);
+}
+
+static void
+r_sub(const ring *R, const uint64_t *a, const uint64_t *b, uint64_t *out)
+{
+    fe_sub(R->f, a, b, out);
+    if (R->ext)
+        fe_sub(R->f, a + IM, b + IM, out + IM);
+}
+
+static void
+r_neg(const ring *R, const uint64_t *a, uint64_t *out)
+{
+    fe_neg(R->f, a, out);
+    if (R->ext)
+        fe_neg(R->f, a + IM, out + IM);
+}
+
+/* out may not alias a or b */
+static void
+r_mul(const ring *R, const uint64_t *a, const uint64_t *b, uint64_t *out)
+{
+    const fctx *c = R->f;
+    if (!R->ext) {
+        fe_mont_mul(c, a, b, out);
+        return;
+    }
+    uint64_t t1[MAXL], t2[MAXL], t3[MAXL];
+    fe_mont_mul(c, a, b, t1);            /* ac */
+    fe_mont_mul(c, a + IM, b + IM, t2);  /* bd */
+    fe_mont_mul(c, a, b + IM, t3);       /* ad */
+    fe_mont_mul(c, a + IM, b, out + IM); /* bc */
+    fe_add(c, t3, out + IM, out + IM);   /* ad + bc */
+    fe_sub(c, t1, t2, out);              /* ac - bd */
+}
+
+/* out may not alias a */
+static void
+r_sqr(const ring *R, const uint64_t *a, uint64_t *out)
+{
+    const fctx *c = R->f;
+    if (!R->ext) {
+        fe_mont_mul(c, a, a, out);
+        return;
+    }
+    uint64_t t1[MAXL], t2[MAXL];
+    fe_sub(c, a, a + IM, t1);          /* a - b */
+    fe_add(c, a, a + IM, t2);          /* a + b */
+    fe_mont_mul(c, a, a + IM, out + IM);
+    fe_add(c, out + IM, out + IM, out + IM); /* 2ab */
+    fe_mont_mul(c, t1, t2, out);       /* (a-b)(a+b) */
+}
+
+static void
+r_dbl(const ring *R, const uint64_t *a, uint64_t *out)
+{
+    r_add(R, a, a, out);
+}
+
+/* ---------------------------------------------------------------------------
+ * Jacobian points over a ring; z == 0 encodes the point at infinity
+ * ------------------------------------------------------------------------ */
+typedef struct {
+    elem x, y, z;
+} jpt;
+
+static void
+jp_set_inf(const ring *R, jpt *p)
+{
+    r_zero(R, p->x);
+    r_zero(R, p->y);
+    r_zero(R, p->z);
+}
+
+static int
+jp_is_inf(const ring *R, const jpt *p)
+{
+    return r_is_zero(R, p->z);
+}
+
+static void
+jp_copy(const ring *R, jpt *dst, const jpt *src)
+{
+    r_copy(R, dst->x, src->x);
+    r_copy(R, dst->y, src->y);
+    r_copy(R, dst->z, src->z);
+}
+
+static void
+jp_neg(const ring *R, const jpt *p, jpt *out)
+{
+    r_copy(R, out->x, p->x);
+    r_neg(R, p->y, out->y);
+    r_copy(R, out->z, p->z);
+}
+
+/* Mirrors curve.jac_double / bn254.jac_double (a1 selects the a = 1 term).
+ * out may alias p. */
+static void
+jp_double(const ring *R, int a1, const jpt *p, jpt *out)
+{
+    if (jp_is_inf(R, p) || r_is_zero(R, p->y)) {
+        jp_set_inf(R, out);
+        return;
+    }
+    elem yy, s, m, t1, t2, x3, y3, z3;
+    r_sqr(R, p->y, yy);            /* yy = y² */
+    r_mul(R, p->x, yy, t1);
+    r_dbl(R, t1, t1);
+    r_dbl(R, t1, s);               /* s = 4·x·yy */
+    r_sqr(R, p->x, t1);
+    r_dbl(R, t1, t2);
+    r_add(R, t1, t2, m);           /* m = 3x² */
+    if (a1) {
+        r_sqr(R, p->z, t1);
+        r_sqr(R, t1, t2);
+        r_add(R, m, t2, m);        /* + z⁴ when a = 1 */
+    }
+    r_sqr(R, m, t1);
+    r_dbl(R, s, t2);
+    r_sub(R, t1, t2, x3);          /* x3 = m² - 2s */
+    r_sub(R, s, x3, t1);
+    r_mul(R, m, t1, t2);
+    r_sqr(R, yy, t1);
+    r_dbl(R, t1, t1);
+    r_dbl(R, t1, t1);
+    r_dbl(R, t1, t1);              /* 8·yy² */
+    r_sub(R, t2, t1, y3);          /* y3 = m(s - x3) - 8yy² */
+    r_mul(R, p->y, p->z, t1);
+    r_dbl(R, t1, z3);              /* z3 = 2yz */
+    r_copy(R, out->x, x3);
+    r_copy(R, out->y, y3);
+    r_copy(R, out->z, z3);
+}
+
+/* Mirrors curve.jac_add / bn254.jac_add.  out may alias either input. */
+static void
+jp_add(const ring *R, int a1, const jpt *p, const jpt *q, jpt *out)
+{
+    if (jp_is_inf(R, p)) {
+        jp_copy(R, out, q);
+        return;
+    }
+    if (jp_is_inf(R, q)) {
+        jp_copy(R, out, p);
+        return;
+    }
+    elem z1z1, z2z2, u1, u2, s1, s2, t1;
+    r_sqr(R, p->z, z1z1);
+    r_sqr(R, q->z, z2z2);
+    r_mul(R, p->x, z2z2, u1);
+    r_mul(R, q->x, z1z1, u2);
+    r_mul(R, p->y, z2z2, t1);
+    r_mul(R, t1, q->z, s1);
+    r_mul(R, q->y, z1z1, t1);
+    r_mul(R, t1, p->z, s2);
+    if (r_eq(R, u1, u2)) {
+        if (!r_eq(R, s1, s2))
+            jp_set_inf(R, out);
+        else
+            jp_double(R, a1, p, out);
+        return;
+    }
+    elem h, rr, hh, hhh, v, x3, y3, z3;
+    r_sub(R, u2, u1, h);
+    r_sub(R, s2, s1, rr);
+    r_sqr(R, h, hh);
+    r_mul(R, h, hh, hhh);
+    r_mul(R, u1, hh, v);
+    r_sqr(R, rr, t1);
+    r_sub(R, t1, hhh, t1);
+    r_sub(R, t1, v, t1);
+    r_sub(R, t1, v, x3);           /* x3 = r² - hhh - 2v */
+    r_sub(R, v, x3, t1);
+    r_mul(R, rr, t1, y3);
+    r_mul(R, s1, hhh, t1);
+    r_sub(R, y3, t1, y3);          /* y3 = r(v - x3) - s1·hhh */
+    r_mul(R, p->z, q->z, t1);
+    r_mul(R, t1, h, z3);
+    r_copy(R, out->x, x3);
+    r_copy(R, out->y, y3);
+    r_copy(R, out->z, z3);
+}
+
+/* Mirrors curve.jac_add_affine / bn254.jac_add_affine (Z₂ = 1).
+ * (ax, ay) is an affine point in Montgomery form; out may alias p. */
+static void
+jp_add_affine(const ring *R, int a1, const jpt *p, const uint64_t *ax,
+              const uint64_t *ay, jpt *out)
+{
+    if (jp_is_inf(R, p)) {
+        r_copy(R, out->x, ax);
+        r_copy(R, out->y, ay);
+        r_one(R, out->z);
+        return;
+    }
+    elem z1z1, u2, s2, t1;
+    r_sqr(R, p->z, z1z1);
+    r_mul(R, ax, z1z1, u2);
+    r_mul(R, ay, z1z1, t1);
+    r_mul(R, t1, p->z, s2);
+    if (r_eq(R, u2, p->x)) {
+        if (!r_eq(R, s2, p->y))
+            jp_set_inf(R, out);
+        else
+            jp_double(R, a1, p, out);
+        return;
+    }
+    elem h, rr, hh, hhh, v, x3, y3, z3;
+    r_sub(R, u2, p->x, h);
+    r_sub(R, s2, p->y, rr);
+    r_sqr(R, h, hh);
+    r_mul(R, h, hh, hhh);
+    r_mul(R, p->x, hh, v);
+    r_sqr(R, rr, t1);
+    r_sub(R, t1, hhh, t1);
+    r_sub(R, t1, v, t1);
+    r_sub(R, t1, v, x3);
+    r_sub(R, v, x3, t1);
+    r_mul(R, rr, t1, y3);
+    r_mul(R, p->y, hhh, t1);
+    r_sub(R, y3, t1, y3);
+    r_mul(R, p->z, h, z3);
+    r_copy(R, out->x, x3);
+    r_copy(R, out->y, y3);
+    r_copy(R, out->z, z3);
+}
+
+/* ---------------------------------------------------------------------------
+ * scalars and the width-5 wNAF ladder (mirrors msm._wnaf_digits and
+ * msm.jac_scalar_mul)
+ * ------------------------------------------------------------------------ */
+static void
+scalar_shr1(uint64_t *s)
+{
+    for (int i = 0; i < SLIMBS - 1; i++)
+        s[i] = (s[i] >> 1) | (s[i + 1] << 63);
+    s[SLIMBS - 1] >>= 1;
+}
+
+static void
+scalar_sub_small(uint64_t *s, uint64_t v)
+{
+    for (int i = 0; i < SLIMBS && v; i++) {
+        uint64_t t = s[i] - v;
+        v = t > s[i];
+        s[i] = t;
+    }
+}
+
+static void
+scalar_add_small(uint64_t *s, uint64_t v)
+{
+    for (int i = 0; i < SLIMBS && v; i++) {
+        uint64_t t = s[i] + v;
+        v = t < s[i];
+        s[i] = t;
+    }
+}
+
+#define WNAF_WIDTH 5
+#define WNAF_TABLE 8 /* (1 << (width - 1)) / 2 odd multiples */
+#define MAX_DIGITS 528
+
+/* Consumes s; returns the digit count (little-endian, digits odd in
+ * (-16, 16) for width 5). */
+static int
+wnaf_digits(uint64_t *s, int8_t *digits)
+{
+    const uint64_t window = 1u << WNAF_WIDTH;
+    const uint64_t half = window >> 1;
+    int count = 0;
+    while (!limbs_is_zero(s, SLIMBS)) {
+        int8_t digit = 0;
+        if (s[0] & 1) {
+            uint64_t d = s[0] & (window - 1);
+            if (d >= half) {
+                digit = (int8_t)((int64_t)d - (int64_t)window);
+                scalar_add_small(s, window - d);
+            } else {
+                digit = (int8_t)d;
+                scalar_sub_small(s, d);
+            }
+        }
+        digits[count++] = digit;
+        scalar_shr1(s);
+    }
+    return count;
+}
+
+/* scalar · (ax, ay), scalar > 0, scalar != 1 handled by the caller.
+ * scalar9 is consumed. */
+static void
+jp_scalar_mul(const ring *R, int a1, const uint64_t *ax, const uint64_t *ay,
+              uint64_t *scalar9, jpt *out)
+{
+    jpt base, twice, odd[WNAF_TABLE];
+    r_copy(R, base.x, ax);
+    r_copy(R, base.y, ay);
+    r_one(R, base.z);
+    jp_double(R, a1, &base, &twice);
+    jp_copy(R, &odd[0], &base);
+    for (int k = 1; k < WNAF_TABLE; k++)
+        jp_add(R, a1, &odd[k - 1], &twice, &odd[k]);
+    int8_t digits[MAX_DIGITS];
+    int count = wnaf_digits(scalar9, digits);
+    jpt acc, tmp;
+    jp_set_inf(R, &acc);
+    for (int i = count - 1; i >= 0; i--) {
+        jp_double(R, a1, &acc, &acc);
+        int d = digits[i];
+        if (d > 0) {
+            jp_add(R, a1, &acc, &odd[(d - 1) / 2], &acc);
+        } else if (d < 0) {
+            jp_neg(R, &odd[(-d - 1) / 2], &tmp);
+            jp_add(R, a1, &acc, &tmp, &acc);
+        }
+    }
+    jp_copy(R, out, &acc);
+}
+
+/* ---------------------------------------------------------------------------
+ * bucket collapse (mirrors msm._collapse_buckets): buckets with z == 0 are
+ * either empty or an accumulated point at infinity — in both cases the pure
+ * code's add is the identity, so one representation serves both.
+ * ------------------------------------------------------------------------ */
+static void
+jp_collapse_buckets(const ring *R, int a1, const jpt *buckets, int nbuckets,
+                    jpt *out)
+{
+    jpt running, total;
+    jp_set_inf(R, &running);
+    jp_set_inf(R, &total);
+    for (int d = nbuckets - 1; d >= 1; d--) {
+        if (!jp_is_inf(R, &buckets[d]))
+            jp_add(R, a1, &running, &buckets[d], &running);
+        if (!jp_is_inf(R, &running))
+            jp_add(R, a1, &total, &running, &total);
+    }
+    jp_copy(R, out, &total);
+}
+
+/* digit of an 8-limb scalar at bit offset `shift`, masked to `mask` */
+static unsigned long
+scalar_digit(const uint64_t *s, int shift, unsigned long mask)
+{
+    int limb = shift >> 6;
+    int off = shift & 63;
+    uint64_t lo = limb < MAXL ? s[limb] >> off : 0;
+    if (off && limb + 1 < MAXL)
+        lo |= s[limb + 1] << (64 - off);
+    return (unsigned long)lo & mask;
+}
+
+/* ---------------------------------------------------------------------------
+ * ss512 Miller loop, inversion-free: each line value is scaled by an F_p
+ * denominator (2ya, xp - xa, and powers of Z), all annihilated by the
+ * final exponentiation (p² - 1)/r = (p - 1)·cofactor.  Mirrors
+ * pairing.miller_loop_raw / pairing._step up to those F_p factors.
+ * ------------------------------------------------------------------------ */
+static const fctx *SS; /* set at module init */
+static ring RING_SS;   /* F_p for ss512 */
+static ring RING_SS2;  /* F_p² for ss512 (i² = -1) */
+static const fctx *BN;
+static ring RING_BN;
+static ring RING_BN2;
+static uint64_t R_ORDER[MAXL]; /* ss512 subgroup order r */
+static int R_ORDER_BITS;
+static PyObject *CryptoError; /* repro.errors.CryptoError */
+
+/* Tangent line at Jacobian T evaluated at S = (sx, i·sy), scaled by
+ * 2·Y·Z³ ∈ F_p; T is replaced by 2T.  lre/lim are F_p elements. */
+static void
+miller_dbl_step(jpt *t, const uint64_t *sx, const uint64_t *sy, uint64_t *lre,
+                uint64_t *lim)
+{
+    const fctx *c = SS;
+    const ring *R = &RING_SS;
+    if (limbs_is_zero(t->y, c->n)) {
+        /* vertical tangent: l = (Z²·sx - X) / Z², scaled by Z² */
+        uint64_t zz[MAXL], t1[MAXL];
+        fe_mont_mul(c, t->z, t->z, zz);
+        fe_mont_mul(c, zz, sx, t1);
+        fe_sub(c, t1, t->x, lre);
+        memset(lim, 0, (size_t)c->n * 8);
+        jp_set_inf(R, t);
+        return;
+    }
+    uint64_t yy[MAXL], zz[MAXL], m[MAXL], t1[MAXL], t2[MAXL];
+    uint64_t s[MAXL], x3[MAXL], y3[MAXL], z3[MAXL];
+    fe_mont_mul(c, t->y, t->y, yy);  /* Y² */
+    fe_mont_mul(c, t->z, t->z, zz);  /* Z² */
+    fe_mont_mul(c, t->x, t->x, t1);
+    fe_add(c, t1, t1, t2);
+    fe_add(c, t1, t2, m);            /* 3X² */
+    fe_mont_mul(c, zz, zz, t1);
+    fe_add(c, m, t1, m);             /* m = 3X² + Z⁴  (a = 1) */
+    /* l_re = m·(X - Z²·sx) - 2Y² */
+    fe_mont_mul(c, zz, sx, t1);
+    fe_sub(c, t->x, t1, t1);
+    fe_mont_mul(c, m, t1, t2);
+    fe_add(c, yy, yy, t1);
+    fe_sub(c, t2, t1, lre);
+    /* z3 = 2YZ;  l_im = z3·Z²·sy */
+    fe_mont_mul(c, t->y, t->z, t1);
+    fe_add(c, t1, t1, z3);
+    fe_mont_mul(c, z3, zz, t1);
+    fe_mont_mul(c, t1, sy, lim);
+    /* point update: s = 4X·Y², x3 = m² - 2s, y3 = m(s - x3) - 8Y⁴ */
+    fe_mont_mul(c, t->x, yy, t1);
+    fe_add(c, t1, t1, t1);
+    fe_add(c, t1, t1, s);
+    fe_mont_mul(c, m, m, t1);
+    fe_add(c, s, s, t2);
+    fe_sub(c, t1, t2, x3);
+    fe_sub(c, s, x3, t1);
+    fe_mont_mul(c, m, t1, y3);
+    fe_mont_mul(c, yy, yy, t1);
+    fe_add(c, t1, t1, t1);
+    fe_add(c, t1, t1, t1);
+    fe_add(c, t1, t1, t1);
+    fe_sub(c, y3, t1, y3);
+    memcpy(t->x, x3, (size_t)c->n * 8);
+    memcpy(t->y, y3, (size_t)c->n * 8);
+    memcpy(t->z, z3, (size_t)c->n * 8);
+}
+
+/* Chord line through Jacobian T and affine P = (xp, yp) evaluated at
+ * S = (sx, i·sy), scaled by (xp - xa)·Z³ ∈ F_p; T is replaced by T + P.
+ * sxp = sx - xp (precomputed).  Returns 0, or -1 with CryptoError set. */
+static int
+miller_add_step(jpt *t, const uint64_t *xp, const uint64_t *yp,
+                const uint64_t *sx, const uint64_t *sy, const uint64_t *sxp,
+                uint64_t *lre, uint64_t *lim)
+{
+    const fctx *c = SS;
+    const ring *R = &RING_SS;
+    if (jp_is_inf(R, t)) {
+        PyErr_SetString(CryptoError,
+                        "Miller loop did not close: point not of order r");
+        return -1;
+    }
+    uint64_t zz[MAXL], u2[MAXL], s2[MAXL], t1[MAXL], t2[MAXL];
+    fe_mont_mul(c, t->z, t->z, zz);
+    fe_mont_mul(c, xp, zz, u2);
+    fe_mont_mul(c, yp, zz, t1);
+    fe_mont_mul(c, t1, t->z, s2);
+    if (limbs_cmp(u2, t->x, c->n) == 0) {
+        if (limbs_cmp(s2, t->y, c->n) == 0) {
+            /* T == P: tangent case, same line as the doubling step */
+            miller_dbl_step(t, sx, sy, lre, lim);
+            return 0;
+        }
+        /* vertical chord: l = sx - xp, and T + P = infinity */
+        memcpy(lre, sxp, (size_t)c->n * 8);
+        memset(lim, 0, (size_t)c->n * 8);
+        jp_set_inf(R, t);
+        return 0;
+    }
+    uint64_t h[MAXL], rr[MAXL], hz[MAXL];
+    fe_sub(c, u2, t->x, h);
+    fe_sub(c, s2, t->y, rr);
+    fe_mont_mul(c, h, t->z, hz);
+    /* l_re = -(hz·yp + rr·(sx - xp));  l_im = hz·sy */
+    fe_mont_mul(c, hz, yp, t1);
+    fe_mont_mul(c, rr, sxp, t2);
+    fe_add(c, t1, t2, t1);
+    fe_neg(c, t1, lre);
+    fe_mont_mul(c, hz, sy, lim);
+    /* point update (mixed addition with z3 = hz) */
+    uint64_t hh[MAXL], hhh[MAXL], v[MAXL], x3[MAXL], y3[MAXL];
+    fe_mont_mul(c, h, h, hh);
+    fe_mont_mul(c, h, hh, hhh);
+    fe_mont_mul(c, t->x, hh, v);
+    fe_mont_mul(c, rr, rr, t1);
+    fe_sub(c, t1, hhh, t1);
+    fe_sub(c, t1, v, t1);
+    fe_sub(c, t1, v, x3);
+    fe_sub(c, v, x3, t1);
+    fe_mont_mul(c, rr, t1, y3);
+    fe_mont_mul(c, t->y, hhh, t1);
+    fe_sub(c, y3, t1, y3);
+    memcpy(t->x, x3, (size_t)c->n * 8);
+    memcpy(t->y, y3, (size_t)c->n * 8);
+    memcpy(t->z, hz, (size_t)c->n * 8);
+    return 0;
+}
+
+/* f_{r,P}(φ(Q)) up to an F_p factor.  P = (px, py), Q = (qx, qy) in
+ * Montgomery form; out is an F_p² elem. */
+static int
+miller_loop(const uint64_t *px, const uint64_t *py, const uint64_t *qx,
+            const uint64_t *qy, uint64_t *out)
+{
+    const fctx *c = SS;
+    const ring *R2 = &RING_SS2;
+    uint64_t sx[MAXL], sxp[MAXL];
+    fe_neg(c, qx, sx); /* φ(Q) = (-xq, i·yq) */
+    fe_sub(c, sx, px, sxp);
+    jpt t;
+    memset(&t, 0, sizeof(t));
+    memcpy(t.x, px, (size_t)c->n * 8);
+    memcpy(t.y, py, (size_t)c->n * 8);
+    memcpy(t.z, c->one, (size_t)c->n * 8);
+    elem f, line, tmp;
+    r_one(R2, f);
+    memset(line, 0, sizeof(line));
+    for (int i = R_ORDER_BITS - 2; i >= 0; i--) {
+        miller_dbl_step(&t, sx, qy, line, line + IM);
+        r_sqr(R2, f, tmp);
+        r_mul(R2, tmp, line, f);
+        if ((R_ORDER[i >> 6] >> (i & 63)) & 1) {
+            if (miller_add_step(&t, px, py, sx, qy, sxp, line, line + IM) < 0)
+                return -1;
+            r_mul(R2, f, line, tmp);
+            r_copy(R2, f, tmp);
+        }
+    }
+    if (!jp_is_inf(&RING_SS, &t)) {
+        PyErr_SetString(CryptoError,
+                        "Miller loop did not close: point not of order r");
+        return -1;
+    }
+    r_copy(R2, out, f);
+    return 0;
+}
+
+/* ---------------------------------------------------------------------------
+ * Python wrappers: ss512 (coordinates are plain ints; infinity = z == 0,
+ * canonically the tuple (1, 1, 0) exactly like curve.JAC_INFINITY)
+ * ------------------------------------------------------------------------ */
+static int
+ss_jpt_from_obj(PyObject *obj, jpt *out)
+{
+    PyObject *seq = PySequence_Fast(obj, "expected a Jacobian (x, y, z) tuple");
+    if (seq == NULL)
+        return -1;
+    if (PySequence_Fast_GET_SIZE(seq) != 3) {
+        Py_DECREF(seq);
+        PyErr_SetString(PyExc_ValueError, "expected a Jacobian (x, y, z) tuple");
+        return -1;
+    }
+    uint64_t zraw[MAXL];
+    if (limbs_from_obj(PySequence_Fast_GET_ITEM(seq, 2), zraw, SS->n) < 0) {
+        Py_DECREF(seq);
+        return -1;
+    }
+    memset(out, 0, sizeof(*out));
+    if (limbs_is_zero(zraw, SS->n)) {
+        Py_DECREF(seq);
+        return 0; /* infinity */
+    }
+    while (limbs_cmp(zraw, SS->p, SS->n) >= 0)
+        limbs_sub(zraw, zraw, SS->p, SS->n);
+    fe_mont_mul(SS, zraw, SS->r2, out->z);
+    if (fe_from_obj(SS, PySequence_Fast_GET_ITEM(seq, 0), out->x) < 0 ||
+        fe_from_obj(SS, PySequence_Fast_GET_ITEM(seq, 1), out->y) < 0) {
+        Py_DECREF(seq);
+        return -1;
+    }
+    Py_DECREF(seq);
+    return 0;
+}
+
+static int
+ss_affine_from_obj(PyObject *obj, uint64_t *ax, uint64_t *ay)
+{
+    PyObject *seq = PySequence_Fast(obj, "expected an affine (x, y) tuple");
+    if (seq == NULL)
+        return -1;
+    if (PySequence_Fast_GET_SIZE(seq) != 2) {
+        Py_DECREF(seq);
+        PyErr_SetString(PyExc_ValueError, "expected an affine (x, y) tuple");
+        return -1;
+    }
+    int rc = fe_from_obj(SS, PySequence_Fast_GET_ITEM(seq, 0), ax);
+    if (rc == 0)
+        rc = fe_from_obj(SS, PySequence_Fast_GET_ITEM(seq, 1), ay);
+    Py_DECREF(seq);
+    return rc;
+}
+
+static PyObject *
+ss_jpt_to_obj(const jpt *p)
+{
+    if (jp_is_inf(&RING_SS, p))
+        return Py_BuildValue("(iii)", 1, 1, 0);
+    PyObject *x = fe_to_obj(SS, p->x);
+    PyObject *y = x ? fe_to_obj(SS, p->y) : NULL;
+    PyObject *z = y ? fe_to_obj(SS, p->z) : NULL;
+    if (z == NULL) {
+        Py_XDECREF(x);
+        Py_XDECREF(y);
+        return NULL;
+    }
+    return Py_BuildValue("(NNN)", x, y, z);
+}
+
+static PyObject *
+py_ss512_jac_double(PyObject *self, PyObject *arg)
+{
+    jpt p;
+    if (ss_jpt_from_obj(arg, &p) < 0)
+        return NULL;
+    jp_double(&RING_SS, 1, &p, &p);
+    return ss_jpt_to_obj(&p);
+}
+
+static PyObject *
+py_ss512_jac_add(PyObject *self, PyObject *args)
+{
+    PyObject *lhs_obj, *rhs_obj;
+    if (!PyArg_ParseTuple(args, "OO", &lhs_obj, &rhs_obj))
+        return NULL;
+    jpt p, q;
+    if (ss_jpt_from_obj(lhs_obj, &p) < 0)
+        return NULL;
+    if (jp_is_inf(&RING_SS, &p))
+        return Py_NewRef(rhs_obj); /* pure returns rhs verbatim */
+    if (ss_jpt_from_obj(rhs_obj, &q) < 0)
+        return NULL;
+    if (jp_is_inf(&RING_SS, &q))
+        return Py_NewRef(lhs_obj);
+    jp_add(&RING_SS, 1, &p, &q, &p);
+    return ss_jpt_to_obj(&p);
+}
+
+static PyObject *
+py_ss512_jac_add_affine(PyObject *self, PyObject *args)
+{
+    PyObject *lhs_obj, *rhs_obj;
+    if (!PyArg_ParseTuple(args, "OO", &lhs_obj, &rhs_obj))
+        return NULL;
+    jpt p;
+    if (ss_jpt_from_obj(lhs_obj, &p) < 0)
+        return NULL;
+    if (jp_is_inf(&RING_SS, &p)) {
+        /* pure: (rhs[0], rhs[1], 1) with the original coordinate objects */
+        PyObject *seq = PySequence_Fast(rhs_obj, "expected an affine tuple");
+        if (seq == NULL || PySequence_Fast_GET_SIZE(seq) != 2) {
+            Py_XDECREF(seq);
+            if (!PyErr_Occurred())
+                PyErr_SetString(PyExc_ValueError, "expected an affine tuple");
+            return NULL;
+        }
+        PyObject *out = Py_BuildValue("(OOi)", PySequence_Fast_GET_ITEM(seq, 0),
+                                      PySequence_Fast_GET_ITEM(seq, 1), 1);
+        Py_DECREF(seq);
+        return out;
+    }
+    uint64_t ax[MAXL], ay[MAXL];
+    if (ss_affine_from_obj(rhs_obj, ax, ay) < 0)
+        return NULL;
+    jp_add_affine(&RING_SS, 1, &p, ax, ay, &p);
+    return ss_jpt_to_obj(&p);
+}
+
+static PyObject *
+py_ss512_scalar_mul(PyObject *self, PyObject *args)
+{
+    PyObject *x_obj, *y_obj, *s_obj;
+    if (!PyArg_ParseTuple(args, "OOO", &x_obj, &y_obj, &s_obj))
+        return NULL;
+    uint64_t s[SLIMBS];
+    memset(s, 0, sizeof(s));
+    if (limbs_from_obj(s_obj, s, MAXL) < 0)
+        return NULL;
+    if (limbs_is_zero(s, MAXL))
+        return Py_BuildValue("(iii)", 1, 1, 0);
+    if (limbs_bit_length(s, MAXL) == 1)
+        return Py_BuildValue("(OOi)", x_obj, y_obj, 1); /* scalar == 1 */
+    uint64_t ax[MAXL], ay[MAXL];
+    if (fe_from_obj(SS, x_obj, ax) < 0 || fe_from_obj(SS, y_obj, ay) < 0)
+        return NULL;
+    jpt out;
+    jp_scalar_mul(&RING_SS, 1, ax, ay, s, &out);
+    return ss_jpt_to_obj(&out);
+}
+
+static PyObject *
+py_ss512_fixed_base_msm(PyObject *self, PyObject *args)
+{
+    PyObject *tables_obj, *scalars_obj;
+    int width;
+    if (!PyArg_ParseTuple(args, "OOi", &tables_obj, &scalars_obj, &width))
+        return NULL;
+    if (width < 1 || width > 16) {
+        PyErr_SetString(PyExc_ValueError, "width must be in [1, 16]");
+        return NULL;
+    }
+    PyObject *tables = PySequence_Fast(tables_obj, "tables must be a sequence");
+    if (tables == NULL)
+        return NULL;
+    PyObject *scalars = PySequence_Fast(scalars_obj, "scalars must be a sequence");
+    if (scalars == NULL) {
+        Py_DECREF(tables);
+        return NULL;
+    }
+    Py_ssize_t n = PySequence_Fast_GET_SIZE(tables);
+    if (PySequence_Fast_GET_SIZE(scalars) != n) {
+        PyErr_SetString(PyExc_ValueError,
+                        "zip() argument 2 is shorter or longer than argument 1");
+        goto fail;
+    }
+    unsigned long mask = (1ul << width) - 1;
+    jpt *buckets = PyMem_Calloc(mask + 1, sizeof(jpt));
+    if (buckets == NULL) {
+        PyErr_NoMemory();
+        goto fail;
+    }
+    for (Py_ssize_t i = 0; i < n; i++) {
+        PyObject *table_obj = PySequence_Fast_GET_ITEM(tables, i);
+        if (table_obj == Py_None)
+            continue;
+        uint64_t s[MAXL];
+        if (limbs_from_obj(PySequence_Fast_GET_ITEM(scalars, i), s, MAXL) < 0)
+            goto fail_buckets;
+        int bits = limbs_bit_length(s, MAXL);
+        if (bits == 0)
+            continue;
+        PyObject *table = PySequence_Fast(table_obj, "table must be a sequence");
+        if (table == NULL)
+            goto fail_buckets;
+        Py_ssize_t tlen = PySequence_Fast_GET_SIZE(table);
+        int nwin = (bits + width - 1) / width;
+        for (int w = 0; w < nwin; w++) {
+            unsigned long digit = scalar_digit(s, w * width, mask);
+            if (!digit)
+                continue;
+            if (w >= tlen) {
+                PyErr_SetString(PyExc_IndexError, "window table too short");
+                Py_DECREF(table);
+                goto fail_buckets;
+            }
+            PyObject *shifted = PySequence_Fast_GET_ITEM(table, w);
+            if (shifted == Py_None)
+                continue;
+            uint64_t ax[MAXL], ay[MAXL];
+            if (ss_affine_from_obj(shifted, ax, ay) < 0) {
+                Py_DECREF(table);
+                goto fail_buckets;
+            }
+            jpt *b = &buckets[digit];
+            /* empty bucket (z == 0): mixed add yields (x, y, 1) = to_jac */
+            jp_add_affine(&RING_SS, 1, b, ax, ay, b);
+        }
+        Py_DECREF(table);
+    }
+    jpt total;
+    jp_collapse_buckets(&RING_SS, 1, buckets, (int)(mask + 1), &total);
+    PyMem_Free(buckets);
+    Py_DECREF(tables);
+    Py_DECREF(scalars);
+    return ss_jpt_to_obj(&total);
+fail_buckets:
+    PyMem_Free(buckets);
+fail:
+    Py_DECREF(tables);
+    Py_DECREF(scalars);
+    return NULL;
+}
+
+static PyObject *
+py_ss512_pippenger(PyObject *self, PyObject *args)
+{
+    PyObject *pairs_obj;
+    int width, max_bits;
+    if (!PyArg_ParseTuple(args, "Oii", &pairs_obj, &width, &max_bits))
+        return NULL;
+    if (width < 1 || width > 16 || max_bits < 1 || max_bits > 64 * MAXL) {
+        PyErr_SetString(PyExc_ValueError, "width/max_bits out of range");
+        return NULL;
+    }
+    PyObject *pairs = PySequence_Fast(pairs_obj, "pairs must be a sequence");
+    if (pairs == NULL)
+        return NULL;
+    Py_ssize_t n = PySequence_Fast_GET_SIZE(pairs);
+    typedef struct {
+        uint64_t x[MAXL], y[MAXL], s[MAXL];
+    } ppair;
+    ppair *loaded = PyMem_Malloc((size_t)(n > 0 ? n : 1) * sizeof(ppair));
+    unsigned long mask = (1ul << width) - 1;
+    jpt *buckets = PyMem_Malloc((mask + 1) * sizeof(jpt));
+    if (loaded == NULL || buckets == NULL) {
+        PyErr_NoMemory();
+        goto fail;
+    }
+    for (Py_ssize_t i = 0; i < n; i++) {
+        PyObject *pair = PySequence_Fast(PySequence_Fast_GET_ITEM(pairs, i),
+                                         "pair must be a (point, scalar) tuple");
+        if (pair == NULL || PySequence_Fast_GET_SIZE(pair) != 2) {
+            Py_XDECREF(pair);
+            if (!PyErr_Occurred())
+                PyErr_SetString(PyExc_ValueError,
+                                "pair must be a (point, scalar) tuple");
+            goto fail;
+        }
+        if (ss_affine_from_obj(PySequence_Fast_GET_ITEM(pair, 0), loaded[i].x,
+                               loaded[i].y) < 0 ||
+            limbs_from_obj(PySequence_Fast_GET_ITEM(pair, 1), loaded[i].s,
+                           MAXL) < 0) {
+            Py_DECREF(pair);
+            goto fail;
+        }
+        Py_DECREF(pair);
+    }
+    jpt acc;
+    jp_set_inf(&RING_SS, &acc);
+    for (int win = (max_bits + width - 1) / width - 1; win >= 0; win--) {
+        if (!jp_is_inf(&RING_SS, &acc)) {
+            for (int k = 0; k < width; k++)
+                jp_double(&RING_SS, 1, &acc, &acc);
+        }
+        memset(buckets, 0, (mask + 1) * sizeof(jpt));
+        int shift = win * width;
+        for (Py_ssize_t i = 0; i < n; i++) {
+            unsigned long digit = scalar_digit(loaded[i].s, shift, mask);
+            if (digit)
+                jp_add_affine(&RING_SS, 1, &buckets[digit], loaded[i].x,
+                              loaded[i].y, &buckets[digit]);
+        }
+        jpt coll;
+        jp_collapse_buckets(&RING_SS, 1, buckets, (int)(mask + 1), &coll);
+        jp_add(&RING_SS, 1, &acc, &coll, &acc);
+    }
+    PyMem_Free(loaded);
+    PyMem_Free(buckets);
+    Py_DECREF(pairs);
+    return ss_jpt_to_obj(&acc);
+fail:
+    PyMem_Free(loaded);
+    PyMem_Free(buckets);
+    Py_DECREF(pairs);
+    return NULL;
+}
+
+static PyObject *
+py_ss512_miller_raw(PyObject *self, PyObject *args)
+{
+    PyObject *px_obj, *py_obj, *qx_obj, *qy_obj;
+    if (!PyArg_ParseTuple(args, "OOOO", &px_obj, &py_obj, &qx_obj, &qy_obj))
+        return NULL;
+    uint64_t px[MAXL], py[MAXL], qx[MAXL], qy[MAXL];
+    if (fe_from_obj(SS, px_obj, px) < 0 || fe_from_obj(SS, py_obj, py) < 0 ||
+        fe_from_obj(SS, qx_obj, qx) < 0 || fe_from_obj(SS, qy_obj, qy) < 0)
+        return NULL;
+    elem f;
+    if (miller_loop(px, py, qx, qy, f) < 0)
+        return NULL;
+    return Py_BuildValue("(NN)", fe_to_obj(SS, f), fe_to_obj(SS, f + IM));
+}
+
+static PyObject *
+py_ss512_fp2_mul(PyObject *self, PyObject *args)
+{
+    PyObject *a_obj, *b_obj, *c_obj, *d_obj;
+    if (!PyArg_ParseTuple(args, "OOOO", &a_obj, &b_obj, &c_obj, &d_obj))
+        return NULL;
+    elem u, v, out;
+    memset(u, 0, sizeof(u));
+    memset(v, 0, sizeof(v));
+    if (fe_from_obj(SS, a_obj, u) < 0 || fe_from_obj(SS, b_obj, u + IM) < 0 ||
+        fe_from_obj(SS, c_obj, v) < 0 || fe_from_obj(SS, d_obj, v + IM) < 0)
+        return NULL;
+    r_mul(&RING_SS2, u, v, out);
+    return Py_BuildValue("(NN)", fe_to_obj(SS, out), fe_to_obj(SS, out + IM));
+}
+
+static PyObject *
+py_ss512_fp2_square(PyObject *self, PyObject *args)
+{
+    PyObject *a_obj, *b_obj;
+    if (!PyArg_ParseTuple(args, "OO", &a_obj, &b_obj))
+        return NULL;
+    elem u, out;
+    memset(u, 0, sizeof(u));
+    if (fe_from_obj(SS, a_obj, u) < 0 || fe_from_obj(SS, b_obj, u + IM) < 0)
+        return NULL;
+    r_sqr(&RING_SS2, u, out);
+    return Py_BuildValue("(NN)", fe_to_obj(SS, out), fe_to_obj(SS, out + IM));
+}
+
+static PyObject *
+py_ss512_fp2_pow(PyObject *self, PyObject *args)
+{
+    PyObject *a_obj, *b_obj, *e_obj;
+    if (!PyArg_ParseTuple(args, "OOO", &a_obj, &b_obj, &e_obj))
+        return NULL;
+    elem base, result, tmp;
+    memset(base, 0, sizeof(base));
+    if (fe_from_obj(SS, a_obj, base) < 0 || fe_from_obj(SS, b_obj, base + IM) < 0)
+        return NULL;
+    uint64_t e[MAXL];
+    if (limbs_from_obj(e_obj, e, MAXL) < 0)
+        return NULL;
+    r_one(&RING_SS2, result);
+    int bits = limbs_bit_length(e, MAXL);
+    for (int i = 0; i < bits; i++) {
+        if ((e[i >> 6] >> (i & 63)) & 1) {
+            r_mul(&RING_SS2, result, base, tmp);
+            r_copy(&RING_SS2, result, tmp);
+        }
+        r_sqr(&RING_SS2, base, tmp);
+        r_copy(&RING_SS2, base, tmp);
+    }
+    return Py_BuildValue("(NN)", fe_to_obj(SS, result),
+                         fe_to_obj(SS, result + IM));
+}
+
+/* ---------------------------------------------------------------------------
+ * Python wrappers: BN254 (coordinates are ints for G1, 2-sequences of ints
+ * for G2 over F_q²; infinity = Python None, matching bn254.py)
+ * ------------------------------------------------------------------------ */
+static int
+bn_elem_from_obj(const ring *R, PyObject *obj, uint64_t *out)
+{
+    memset(out, 0, sizeof(elem));
+    if (!R->ext)
+        return fe_from_obj(R->f, obj, out);
+    PyObject *seq = PySequence_Fast(obj, "expected a 2-sequence of ints");
+    if (seq == NULL)
+        return -1;
+    if (PySequence_Fast_GET_SIZE(seq) != 2) {
+        Py_DECREF(seq);
+        PyErr_SetString(PyExc_ValueError, "expected a 2-sequence of ints");
+        return -1;
+    }
+    int rc = fe_from_obj(R->f, PySequence_Fast_GET_ITEM(seq, 0), out);
+    if (rc == 0)
+        rc = fe_from_obj(R->f, PySequence_Fast_GET_ITEM(seq, 1), out + IM);
+    Py_DECREF(seq);
+    return rc;
+}
+
+static PyObject *
+bn_elem_to_obj(const ring *R, const uint64_t *a)
+{
+    if (!R->ext)
+        return fe_to_obj(R->f, a);
+    return Py_BuildValue("(NN)", fe_to_obj(R->f, a), fe_to_obj(R->f, a + IM));
+}
+
+static PyObject *
+bn_jpt_to_obj(const ring *R, const jpt *p)
+{
+    if (jp_is_inf(R, p))
+        Py_RETURN_NONE;
+    return Py_BuildValue("(NNN)", bn_elem_to_obj(R, p->x),
+                         bn_elem_to_obj(R, p->y), bn_elem_to_obj(R, p->z));
+}
+
+static PyObject *
+bn_jac_double_impl(const ring *R, PyObject *args)
+{
+    PyObject *x_obj, *y_obj, *z_obj;
+    if (!PyArg_ParseTuple(args, "OOO", &x_obj, &y_obj, &z_obj))
+        return NULL;
+    jpt p;
+    if (bn_elem_from_obj(R, x_obj, p.x) < 0 ||
+        bn_elem_from_obj(R, y_obj, p.y) < 0 ||
+        bn_elem_from_obj(R, z_obj, p.z) < 0)
+        return NULL;
+    jp_double(R, 0, &p, &p);
+    return bn_jpt_to_obj(R, &p);
+}
+
+static PyObject *
+bn_jac_add_impl(const ring *R, PyObject *args)
+{
+    PyObject *obj[6];
+    if (!PyArg_ParseTuple(args, "OOOOOO", &obj[0], &obj[1], &obj[2], &obj[3],
+                          &obj[4], &obj[5]))
+        return NULL;
+    jpt p, q;
+    if (bn_elem_from_obj(R, obj[0], p.x) < 0 ||
+        bn_elem_from_obj(R, obj[1], p.y) < 0 ||
+        bn_elem_from_obj(R, obj[2], p.z) < 0 ||
+        bn_elem_from_obj(R, obj[3], q.x) < 0 ||
+        bn_elem_from_obj(R, obj[4], q.y) < 0 ||
+        bn_elem_from_obj(R, obj[5], q.z) < 0)
+        return NULL;
+    jp_add(R, 0, &p, &q, &p);
+    return bn_jpt_to_obj(R, &p);
+}
+
+static PyObject *
+bn_jac_add_affine_impl(const ring *R, PyObject *args)
+{
+    PyObject *obj[5];
+    if (!PyArg_ParseTuple(args, "OOOOO", &obj[0], &obj[1], &obj[2], &obj[3],
+                          &obj[4]))
+        return NULL;
+    jpt p;
+    elem ax, ay;
+    if (bn_elem_from_obj(R, obj[0], p.x) < 0 ||
+        bn_elem_from_obj(R, obj[1], p.y) < 0 ||
+        bn_elem_from_obj(R, obj[2], p.z) < 0 ||
+        bn_elem_from_obj(R, obj[3], ax) < 0 ||
+        bn_elem_from_obj(R, obj[4], ay) < 0)
+        return NULL;
+    jp_add_affine(R, 0, &p, ax, ay, &p);
+    return bn_jpt_to_obj(R, &p);
+}
+
+static PyObject *
+bn_scalar_mul_impl(const ring *R, PyObject *args)
+{
+    PyObject *x_obj, *y_obj, *s_obj;
+    if (!PyArg_ParseTuple(args, "OOO", &x_obj, &y_obj, &s_obj))
+        return NULL;
+    uint64_t s[SLIMBS];
+    memset(s, 0, sizeof(s));
+    if (limbs_from_obj(s_obj, s, MAXL) < 0)
+        return NULL;
+    if (limbs_is_zero(s, MAXL))
+        Py_RETURN_NONE;
+    if (limbs_bit_length(s, MAXL) == 1) { /* scalar == 1: to_jacobian */
+        if (R->ext)
+            return Py_BuildValue("(OO(ii))", x_obj, y_obj, 1, 0);
+        return Py_BuildValue("(OOi)", x_obj, y_obj, 1);
+    }
+    elem ax, ay;
+    if (bn_elem_from_obj(R, x_obj, ax) < 0 || bn_elem_from_obj(R, y_obj, ay) < 0)
+        return NULL;
+    jpt out;
+    jp_scalar_mul(R, 0, ax, ay, s, &out);
+    return bn_jpt_to_obj(R, &out);
+}
+
+static PyObject *
+py_bn_jac_double(PyObject *self, PyObject *args)
+{
+    return bn_jac_double_impl(&RING_BN, args);
+}
+
+static PyObject *
+py_bn2_jac_double(PyObject *self, PyObject *args)
+{
+    return bn_jac_double_impl(&RING_BN2, args);
+}
+
+static PyObject *
+py_bn_jac_add(PyObject *self, PyObject *args)
+{
+    return bn_jac_add_impl(&RING_BN, args);
+}
+
+static PyObject *
+py_bn2_jac_add(PyObject *self, PyObject *args)
+{
+    return bn_jac_add_impl(&RING_BN2, args);
+}
+
+static PyObject *
+py_bn_jac_add_affine(PyObject *self, PyObject *args)
+{
+    return bn_jac_add_affine_impl(&RING_BN, args);
+}
+
+static PyObject *
+py_bn2_jac_add_affine(PyObject *self, PyObject *args)
+{
+    return bn_jac_add_affine_impl(&RING_BN2, args);
+}
+
+static PyObject *
+py_bn_scalar_mul(PyObject *self, PyObject *args)
+{
+    return bn_scalar_mul_impl(&RING_BN, args);
+}
+
+static PyObject *
+py_bn2_scalar_mul(PyObject *self, PyObject *args)
+{
+    return bn_scalar_mul_impl(&RING_BN2, args);
+}
+
+/* ---------------------------------------------------------------------------
+ * metadata and module plumbing
+ * ------------------------------------------------------------------------ */
+static PyObject *
+py_impl_info(PyObject *self, PyObject *noargs)
+{
+    return Py_BuildValue("{s:s, s:s}", "compiler", Py_GetCompiler(), "abi",
+                         PY_VERSION);
+}
+
+static PyObject *
+py_constants(PyObject *self, PyObject *noargs)
+{
+    return Py_BuildValue("{s:N, s:N, s:N}", "ss512_p",
+                         obj_from_limbs(SS->p, SS->n), "ss512_r",
+                         obj_from_limbs(R_ORDER, MAXL), "bn254_p",
+                         obj_from_limbs(BN->p, BN->n));
+}
+
+static PyMethodDef accel_methods[] = {
+    {"ss512_jac_double", py_ss512_jac_double, METH_O,
+     "Jacobian doubling on the ss512 curve (a = 1)."},
+    {"ss512_jac_add", py_ss512_jac_add, METH_VARARGS,
+     "Jacobian addition on the ss512 curve."},
+    {"ss512_jac_add_affine", py_ss512_jac_add_affine, METH_VARARGS,
+     "Mixed Jacobian + affine addition on the ss512 curve."},
+    {"ss512_scalar_mul", py_ss512_scalar_mul, METH_VARARGS,
+     "Width-5 wNAF ladder: scalar * (x, y), Jacobian result."},
+    {"ss512_fixed_base_msm", py_ss512_fixed_base_msm, METH_VARARGS,
+     "Shared bucket pass over fixed-base window tables, Jacobian result."},
+    {"ss512_pippenger", py_ss512_pippenger, METH_VARARGS,
+     "One-shot Pippenger MSM over (point, scalar) pairs, Jacobian result."},
+    {"ss512_miller_raw", py_ss512_miller_raw, METH_VARARGS,
+     "Inversion-free Miller loop (raw value up to an F_p factor)."},
+    {"ss512_fp2_mul", py_ss512_fp2_mul, METH_VARARGS,
+     "F_p2 product for the ss512 pairing target group."},
+    {"ss512_fp2_square", py_ss512_fp2_square, METH_VARARGS,
+     "F_p2 square for the ss512 pairing target group."},
+    {"ss512_fp2_pow", py_ss512_fp2_pow, METH_VARARGS,
+     "F_p2 exponentiation (non-negative exponent up to 512 bits)."},
+    {"bn_jac_double", py_bn_jac_double, METH_VARARGS,
+     "Jacobian doubling on BN254 G1 (a = 0)."},
+    {"bn2_jac_double", py_bn2_jac_double, METH_VARARGS,
+     "Jacobian doubling on the BN254 twist over F_q2."},
+    {"bn_jac_add", py_bn_jac_add, METH_VARARGS, "Jacobian addition on BN254 G1."},
+    {"bn2_jac_add", py_bn2_jac_add, METH_VARARGS,
+     "Jacobian addition on the BN254 twist."},
+    {"bn_jac_add_affine", py_bn_jac_add_affine, METH_VARARGS,
+     "Mixed addition on BN254 G1."},
+    {"bn2_jac_add_affine", py_bn2_jac_add_affine, METH_VARARGS,
+     "Mixed addition on the BN254 twist."},
+    {"bn_scalar_mul", py_bn_scalar_mul, METH_VARARGS,
+     "wNAF ladder on BN254 G1."},
+    {"bn2_scalar_mul", py_bn2_scalar_mul, METH_VARARGS,
+     "wNAF ladder on the BN254 twist."},
+    {"impl_info", py_impl_info, METH_NOARGS,
+     "Compiler/ABI metadata for benchmark reports."},
+    {"_constants", py_constants, METH_NOARGS,
+     "Field/group constants baked into the extension (for parity checks)."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef accel_module = {
+    PyModuleDef_HEAD_INIT,
+    "repro.crypto.accel._accelmodule",
+    "Montgomery-arithmetic kernels for the ss512 and BN254 curves.",
+    -1,
+    accel_methods,
+};
+
+static fctx CTX_SS;
+static fctx CTX_BN;
+
+#define SS512_P_DEC                                                            \
+    "669876107683929280479803234508072810260149531256858220102081310174764160" \
+    "437214702507480514196674554500680131236521549512067394065064524749317042" \
+    "8513098411"
+#define SS512_R_DEC "1132706623188116297760294080913586700152711772617"
+#define BN254_P_DEC                                                            \
+    "218882428718392752222464057452572750886963111572978236626890378946452262" \
+    "08583"
+
+PyMODINIT_FUNC
+PyInit__accelmodule(void)
+{
+    fctx_init(&CTX_SS, 8, SS512_P_DEC);
+    fctx_init(&CTX_BN, 4, BN254_P_DEC);
+    SS = &CTX_SS;
+    BN = &CTX_BN;
+    RING_SS.f = &CTX_SS;
+    RING_SS.ext = 0;
+    RING_SS2.f = &CTX_SS;
+    RING_SS2.ext = 1;
+    RING_BN.f = &CTX_BN;
+    RING_BN.ext = 0;
+    RING_BN2.f = &CTX_BN;
+    RING_BN2.ext = 1;
+    limbs_from_dec(SS512_R_DEC, R_ORDER, MAXL);
+    R_ORDER_BITS = limbs_bit_length(R_ORDER, MAXL);
+
+    PyObject *errors = PyImport_ImportModule("repro.errors");
+    if (errors == NULL)
+        return NULL;
+    CryptoError = PyObject_GetAttrString(errors, "CryptoError");
+    Py_DECREF(errors);
+    if (CryptoError == NULL)
+        return NULL;
+    return PyModule_Create(&accel_module);
+}

@@ -1,0 +1,67 @@
+"""Type stubs for the optional ``_accelmodule`` C extension.
+
+Coordinate conventions mirror the pure modules: ss512 points are plain
+``int`` tuples with ``(1, 1, 0)`` as Jacobian infinity; BN254 G1
+coordinates are ints, twist coordinates are ``(re, im)`` int pairs, and
+``None`` is the BN point at infinity.
+"""
+
+from typing import Sequence
+
+_Jac = tuple[int, int, int]
+_Affine = tuple[int, int]
+_Fp2 = tuple[int, int]
+_Pair2 = tuple[int, int]
+_BnJac = tuple[int, int, int] | None
+_Bn2Jac = tuple[_Pair2, _Pair2, _Pair2] | None
+
+def ss512_jac_double(point: _Jac, /) -> _Jac: ...
+def ss512_jac_add(lhs: _Jac, rhs: _Jac, /) -> _Jac: ...
+def ss512_jac_add_affine(lhs: _Jac, rhs: _Affine, /) -> _Jac: ...
+def ss512_scalar_mul(x: int, y: int, scalar: int, /) -> _Jac: ...
+def ss512_fixed_base_msm(
+    tables: Sequence[Sequence[_Affine | None] | None],
+    scalars: Sequence[int],
+    width: int,
+    /,
+) -> _Jac: ...
+def ss512_pippenger(
+    pairs: Sequence[tuple[_Affine, int]], width: int, max_bits: int, /
+) -> _Jac: ...
+def ss512_miller_raw(px: int, py: int, qx: int, qy: int, /) -> _Fp2: ...
+def ss512_fp2_mul(a: int, b: int, c: int, d: int, /) -> _Fp2: ...
+def ss512_fp2_square(a: int, b: int, /) -> _Fp2: ...
+def ss512_fp2_pow(a: int, b: int, exponent: int, /) -> _Fp2: ...
+def bn_jac_double(x: int, y: int, z: int, /) -> _BnJac: ...
+def bn2_jac_double(
+    x: Sequence[int], y: Sequence[int], z: Sequence[int], /
+) -> _Bn2Jac: ...
+def bn_jac_add(
+    x1: int, y1: int, z1: int, x2: int, y2: int, z2: int, /
+) -> _BnJac: ...
+def bn2_jac_add(
+    x1: Sequence[int],
+    y1: Sequence[int],
+    z1: Sequence[int],
+    x2: Sequence[int],
+    y2: Sequence[int],
+    z2: Sequence[int],
+    /,
+) -> _Bn2Jac: ...
+def bn_jac_add_affine(
+    x1: int, y1: int, z1: int, x2: int, y2: int, /
+) -> _BnJac: ...
+def bn2_jac_add_affine(
+    x1: Sequence[int],
+    y1: Sequence[int],
+    z1: Sequence[int],
+    x2: Sequence[int],
+    y2: Sequence[int],
+    /,
+) -> _Bn2Jac: ...
+def bn_scalar_mul(x: int, y: int, scalar: int, /) -> _BnJac: ...
+def bn2_scalar_mul(
+    x: Sequence[int], y: Sequence[int], scalar: int, /
+) -> _Bn2Jac: ...
+def impl_info() -> dict[str, str]: ...
+def _constants() -> dict[str, int]: ...

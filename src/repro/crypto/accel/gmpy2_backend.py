@@ -1,0 +1,164 @@
+"""The gmpy2 provider: GMP ``mpz`` integers under the pure formulas.
+
+The point formulas in :mod:`repro.crypto.curve` and
+:mod:`repro.crypto.bn254` are polymorphic over int-like coordinates, so
+this provider does not duplicate any algebra: its kernels lift
+coordinates to ``mpz`` at the ``to_jac`` boundary, run the *same* pure
+functions (whose ``%``, ``*`` and seam-routed inversions then all
+execute inside GMP), and demote back to plain ``int`` at the
+``to_affine`` boundary so canonical encodings never see an ``mpz``.
+Identical formulas over an isomorphic integer type means identical
+residues — byte parity with the pure path is structural, and the parity
+suite (``tests/test_accel.py``) plus the in-run bench gate assert it
+anyway.
+
+Import of this module fails cleanly when gmpy2 is absent; the dispatch
+layer records the provider as unavailable and falls back.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import gmpy2
+from gmpy2 import invert, mpz, powmod
+
+from repro.crypto import bn254, curve, pairing
+from repro.crypto.accel.dispatch import CurveKernels, Fp2, Provider
+
+JacPoint = Any
+AffinePoint = Any
+
+_MPZ_ONE = mpz(1)
+
+
+# -- scalar seam --------------------------------------------------------------
+def _modexp(base: int, exponent: int, modulus: int) -> int:
+    try:
+        return int(powmod(base, exponent, modulus))
+    except ZeroDivisionError:
+        # negative exponent on a non-invertible base: match builtin pow()
+        raise ValueError("base is not invertible for the given modulus") from None
+
+
+def _modinv(value: int, modulus: int) -> int:
+    try:
+        return int(invert(value, modulus))
+    except ZeroDivisionError:
+        raise ValueError("base is not invertible for the given modulus") from None
+
+
+def _imul(a: int, b: int) -> int:
+    return int(mpz(a) * mpz(b))
+
+
+# -- ss512 kernels ------------------------------------------------------------
+def _ss_to_jac(point: AffinePoint) -> JacPoint:
+    if point is None:
+        return curve.JAC_INFINITY
+    return (mpz(point[0]), mpz(point[1]), _MPZ_ONE)
+
+
+def _ss_to_affine(point: JacPoint) -> AffinePoint:
+    result = curve.from_jacobian(point)
+    if result is None:
+        return None
+    return (int(result[0]), int(result[1]))
+
+
+def _ss_batch_to_affine(points: list[JacPoint]) -> list[AffinePoint]:
+    return [
+        None if result is None else (int(result[0]), int(result[1]))
+        for result in curve.batch_from_jacobian(points)
+    ]
+
+
+def _ss_miller_raw(p_point: Any, q_point: Any) -> Fp2:
+    """The pure Miller loop over mpz-lifted points — exact raw parity."""
+    if p_point is None or q_point is None:
+        return curve.FP2_ONE
+    raw = pairing.miller_loop_raw(
+        (mpz(p_point[0]), mpz(p_point[1])),
+        (mpz(q_point[0]), mpz(q_point[1])),
+    )
+    return (int(raw[0]), int(raw[1]))
+
+
+def _ss_fp2_pow(u: Fp2, e: int) -> Fp2:
+    """Square-and-multiply kept in the mpz domain end to end."""
+    if e < 0:
+        u = curve.fp2_inv(u)
+        e = -e
+    p = curve.FIELD_PRIME
+    ra, rb = _MPZ_ONE, mpz(0)
+    a, b = mpz(u[0]), mpz(u[1])
+    while e:
+        if e & 1:
+            ra, rb = (ra * a - rb * b) % p, (ra * b + rb * a) % p
+        a, b = (a - b) * (a + b) % p, 2 * a * b % p
+        e >>= 1
+    return (int(ra), int(rb))
+
+
+# -- bn254 kernels ------------------------------------------------------------
+def _lift_field(element: Any) -> Any:
+    if isinstance(element, bn254.FQ):
+        return bn254.FQ(mpz(element.n))
+    return type(element)([mpz(c) for c in element.coeffs])
+
+
+def _demote_field(element: Any) -> Any:
+    if isinstance(element, bn254.FQ):
+        return bn254.FQ(int(element.n))
+    return type(element)([int(c) for c in element.coeffs])
+
+
+def _bn_to_jac(point: AffinePoint) -> JacPoint:
+    if point is None:
+        return None
+    return bn254.to_jacobian((_lift_field(point[0]), _lift_field(point[1])))
+
+
+def _bn_to_affine(point: JacPoint) -> AffinePoint:
+    result = bn254.from_jacobian(point)
+    if result is None:
+        return None
+    return (_demote_field(result[0]), _demote_field(result[1]))
+
+
+def _bn_batch_to_affine(points: list[JacPoint]) -> list[AffinePoint]:
+    return [
+        None if result is None else (_demote_field(result[0]), _demote_field(result[1]))
+        for result in bn254.batch_from_jacobian(points)
+    ]
+
+
+def build() -> Provider:
+    ss512 = CurveKernels(
+        to_jac=_ss_to_jac,
+        double=curve.jac_double,
+        add=curve.jac_add,
+        add_affine=curve.jac_add_affine,
+        neg=curve.jac_neg,
+        to_affine=_ss_to_affine,
+        batch_to_affine=_ss_batch_to_affine,
+    )
+    bn = CurveKernels(
+        to_jac=_bn_to_jac,
+        double=bn254.jac_double,
+        add=bn254.jac_add,
+        add_affine=bn254.jac_add_affine,
+        neg=bn254.jac_neg,
+        to_affine=_bn_to_affine,
+        batch_to_affine=_bn_batch_to_affine,
+    )
+    return Provider(
+        name="gmpy2",
+        modexp=_modexp,
+        modinv=_modinv,
+        imul=_imul,
+        kernels={"ss512": ss512, "bn254": bn},
+        ss512_miller_raw=_ss_miller_raw,
+        ss512_fp2_pow=_ss_fp2_pow,
+        meta={"gmpy2": gmpy2.version(), "mp": gmpy2.mp_version()},
+    )

@@ -1,0 +1,199 @@
+"""The native provider: Python wrappers over the ``_accelmodule`` C core.
+
+The C extension implements Montgomery-form field arithmetic and whole
+inner loops (wNAF ladder, fixed-base and Pippenger bucket passes, an
+inversion-free Jacobian Miller loop) for the ss512 curve, plus the
+Jacobian point kernels and wNAF ladder for both BN254 source groups.
+This module adapts those functions to the kernel signatures the
+dispatch layer expects: unwrapping ``FQ``/``FQ2`` coordinates to plain
+ints on the way in and rewrapping on the way out, and short-circuiting
+the identity cases the C code does not need to see.
+
+Parity contract: every point kernel implements the *same* formula
+sequence as the pure code, so Jacobian tuples — not just affine
+results — are bit-identical.  The one documented exception is
+``ss512_miller_raw``: its inversion-free line evaluation scales each
+step's line by an F_p denominator, so the raw Miller value differs
+from the pure one by an F_p factor that the final exponentiation
+``(p²-1)/r = (p-1)·cofactor`` annihilates.  Raw values are only ever
+consumed through the final exponentiation, and the parity suite
+asserts equality on pairing outputs and VO bytes.
+
+Import of this module fails cleanly when the extension has not been
+built; the dispatch layer records the provider as unavailable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.crypto import bn254, curve
+from repro.crypto.accel import _accelmodule as _mod
+from repro.crypto.accel import pure
+from repro.crypto.accel.dispatch import MAX_SCALAR_BITS, CurveKernels, Fp2, Provider
+
+JacPoint = Any
+AffinePoint = Any
+
+# An extension built from a stale checkout is worse than no extension:
+# refuse to load unless its baked-in constants match the Python curves
+# (ImportError marks the provider unavailable and the probe falls back).
+_constants = _mod._constants()
+if (
+    _constants["ss512_p"] != curve.FIELD_PRIME
+    or _constants["ss512_r"] != curve.SUBGROUP_ORDER
+    or _constants["bn254_p"] != bn254.FIELD_MODULUS
+):
+    raise ImportError("_accelmodule was built for different curve parameters")
+
+
+# -- ss512 kernels ------------------------------------------------------------
+def _ss_add_affine(lhs: JacPoint, rhs: AffinePoint) -> JacPoint:
+    if rhs is None:
+        return lhs
+    return _mod.ss512_jac_add_affine(lhs, rhs)
+
+
+def _ss_scalar_mul(point: AffinePoint, scalar: int) -> JacPoint:
+    return _mod.ss512_scalar_mul(point[0], point[1], scalar)
+
+
+def _ss_fixed_base_msm(
+    tables: Sequence[Any], scalars: Sequence[int], width: int
+) -> JacPoint:
+    return _mod.ss512_fixed_base_msm(list(tables), list(scalars), width)
+
+
+def _ss_pippenger(
+    pairs: list[tuple[AffinePoint, int]], width: int, max_bits: int
+) -> JacPoint:
+    return _mod.ss512_pippenger(pairs, width, max_bits)
+
+
+def _ss_miller_raw(p_point: Any, q_point: Any) -> Fp2:
+    if p_point is None or q_point is None:
+        return curve.FP2_ONE
+    return _mod.ss512_miller_raw(p_point[0], p_point[1], q_point[0], q_point[1])
+
+
+def _ss_fp2_mul(u: Fp2, v: Fp2) -> Fp2:
+    return _mod.ss512_fp2_mul(u[0], u[1], v[0], v[1])
+
+
+def _ss_fp2_square(u: Fp2) -> Fp2:
+    return _mod.ss512_fp2_square(u[0], u[1])
+
+
+def _ss_fp2_pow(u: Fp2, e: int) -> Fp2 | None:
+    if e < 0:
+        u = curve.fp2_inv(u)
+        e = -e
+    if e.bit_length() > MAX_SCALAR_BITS:
+        return None  # decline: caller runs the pure loop
+    return _mod.ss512_fp2_pow(u[0], u[1], e)
+
+
+# -- bn254 kernels (shared by G1 over FQ and G2 over FQ2) ---------------------
+_FQ = bn254.FQ
+_FQ2 = bn254.FQ2
+
+
+def _wrap1(res: tuple[int, int, int] | None) -> JacPoint:
+    if res is None:
+        return None
+    return (_FQ(res[0]), _FQ(res[1]), _FQ(res[2]))
+
+
+def _wrap2(
+    res: tuple[tuple[int, int], tuple[int, int], tuple[int, int]] | None,
+) -> JacPoint:
+    if res is None:
+        return None
+    return (_FQ2(res[0]), _FQ2(res[1]), _FQ2(res[2]))
+
+
+def _bn_double(point: JacPoint) -> JacPoint:
+    if point is None:
+        return None
+    x, y, z = point
+    if type(x) is _FQ:
+        return _wrap1(_mod.bn_jac_double(x.n, y.n, z.n))
+    return _wrap2(_mod.bn2_jac_double(x.coeffs, y.coeffs, z.coeffs))
+
+
+def _bn_add(p1: JacPoint, p2: JacPoint) -> JacPoint:
+    if p1 is None:
+        return p2
+    if p2 is None:
+        return p1
+    x1, y1, z1 = p1
+    x2, y2, z2 = p2
+    if type(x1) is _FQ:
+        return _wrap1(_mod.bn_jac_add(x1.n, y1.n, z1.n, x2.n, y2.n, z2.n))
+    return _wrap2(
+        _mod.bn2_jac_add(
+            x1.coeffs, y1.coeffs, z1.coeffs, x2.coeffs, y2.coeffs, z2.coeffs
+        )
+    )
+
+
+def _bn_add_affine(p1: JacPoint, affine: AffinePoint) -> JacPoint:
+    if affine is None:
+        return p1
+    if p1 is None:
+        return bn254.to_jacobian(affine)
+    x1, y1, z1 = p1
+    x2, y2 = affine
+    if type(x1) is _FQ:
+        return _wrap1(_mod.bn_jac_add_affine(x1.n, y1.n, z1.n, x2.n, y2.n))
+    return _wrap2(
+        _mod.bn2_jac_add_affine(x1.coeffs, y1.coeffs, z1.coeffs, x2.coeffs, y2.coeffs)
+    )
+
+
+def _bn_scalar_mul(point: AffinePoint, scalar: int) -> JacPoint:
+    x, y = point
+    if type(x) is _FQ:
+        return _wrap1(_mod.bn_scalar_mul(x.n, y.n, scalar))
+    return _wrap2(_mod.bn2_scalar_mul(x.coeffs, y.coeffs, scalar))
+
+
+def build() -> Provider:
+    ss512 = CurveKernels(
+        to_jac=curve.to_jacobian,
+        double=_mod.ss512_jac_double,
+        add=_mod.ss512_jac_add,
+        add_affine=_ss_add_affine,
+        neg=curve.jac_neg,
+        to_affine=curve.from_jacobian,
+        batch_to_affine=curve.batch_from_jacobian,
+        scalar_mul=_ss_scalar_mul,
+        fixed_base_msm=_ss_fixed_base_msm,
+        pippenger=_ss_pippenger,
+    )
+    bn = CurveKernels(
+        to_jac=bn254.to_jacobian,
+        double=_bn_double,
+        add=_bn_add,
+        add_affine=_bn_add_affine,
+        neg=bn254.jac_neg,
+        to_affine=bn254.from_jacobian,
+        batch_to_affine=bn254.batch_from_jacobian,
+        scalar_mul=_bn_scalar_mul,
+    )
+    # CPython's three-argument pow / int multiply are already C-speed
+    # extended-gcd / Karatsuba over arbitrary widths; the extension's
+    # fixed-width Montgomery contexts would not beat them, so the
+    # scalar seam stays on the pure implementations.
+    return Provider(
+        name="native",
+        modexp=pure._modexp,
+        modinv=pure._modinv,
+        imul=pure._imul,
+        kernels={"ss512": ss512, "bn254": bn},
+        ss512_miller_raw=_ss_miller_raw,
+        ss512_fp2_mul=_ss_fp2_mul,
+        ss512_fp2_square=_ss_fp2_square,
+        ss512_fp2_pow=_ss_fp2_pow,
+        meta=dict(_mod.impl_info()),
+    )

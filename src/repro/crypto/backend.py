@@ -24,6 +24,7 @@ from abc import ABC, abstractmethod
 from typing import Any
 
 from repro.crypto import curve, msm, pairing
+from repro.crypto.accel import dispatch
 from repro.crypto.curve import FP2_ONE, fp2_inv, fp2_mul, fp2_pow
 from repro.crypto.field import PrimeField
 from repro.crypto.pairing import tate_pairing
@@ -178,6 +179,17 @@ class PairingBackend(ABC):
         """Uniform non-zero scalar in Z_r (for key generation)."""
         return rng.randrange(1, self.order)
 
+    @property
+    def accel_impl(self) -> str:
+        """Name of the arithmetic provider serving this backend.
+
+        Real backends run on the process-wide active provider
+        (``pure`` / ``gmpy2`` / ``native``); the simulated backend
+        overrides this with ``"simulated"`` since it never touches
+        group arithmetic.
+        """
+        return dispatch.active_impl()
+
 
 class SupersingularBackend(PairingBackend):
     """The real pairing group (see :mod:`repro.crypto.curve`)."""
@@ -275,9 +287,20 @@ class SupersingularBackend(PairingBackend):
         return a[0].to_bytes(64, "big") + a[1].to_bytes(64, "big")
 
 
-def get_backend(name: str = "ss512") -> PairingBackend:
+def get_backend(name: str = "ss512", accel: str | None = None) -> PairingBackend:
     """Backend factory: ``"ss512"``, ``"bn254"`` (both real) or
-    ``"simulated"`` (fast exponent arithmetic for benchmarks)."""
+    ``"simulated"`` (fast exponent arithmetic for benchmarks).
+
+    ``accel`` selects the process-wide arithmetic provider before the
+    backend is constructed: ``"auto"`` probes for the fastest available
+    implementation, ``"pure"`` / ``"gmpy2"`` / ``"native"`` pin one
+    explicitly (raising :class:`~repro.errors.CryptoError` when it is
+    not installed).  ``None`` leaves the current selection untouched.
+    The provider is global — it accelerates every backend instance —
+    and never changes any byte the backend produces.
+    """
+    if accel is not None:
+        dispatch.set_impl(accel)
     if name == "ss512":
         return SupersingularBackend()
     if name == "bn254":

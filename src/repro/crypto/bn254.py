@@ -15,6 +15,7 @@ Python, so a pairing costs on the order of a second — fine for the
 
 from __future__ import annotations
 
+from repro.crypto.accel import dispatch
 from repro.errors import CryptoError
 
 #: Base field prime.
@@ -53,10 +54,10 @@ class FQ:
     __rmul__ = __mul__
 
     def __truediv__(self, other):
-        return FQ(self.n * pow(_coerce(other), -1, _P))
+        return FQ(self.n * dispatch.modinv(_coerce(other), _P))
 
     def __pow__(self, exponent: int):
-        return FQ(pow(self.n, exponent, _P))
+        return FQ(dispatch.modexp(self.n, exponent, _P))
 
     def __neg__(self):
         return FQ(-self.n)
@@ -136,7 +137,7 @@ class FQP:
 
     def __truediv__(self, other):
         if isinstance(other, (int, FQ)):
-            inv = pow(_coerce(other), -1, _P)
+            inv = dispatch.modinv(_coerce(other), _P)
             return type(self)([c * inv for c in self.coeffs])
         self._same(other)
         return self * other.inv()
@@ -184,7 +185,7 @@ class FQP:
             lm, low, hm, high = nm, new, lm, low
         if low[0] == 0:
             raise CryptoError("zero has no inverse in the extension field")
-        inv0 = pow(low[0], -1, _P)
+        inv0 = dispatch.modinv(low[0], _P)
         return type(self)([c * inv0 % _P for c in lm[: self.degree]])
 
     def _same(self, other) -> None:
@@ -212,7 +213,7 @@ def _poly_div(a, b):
     dega, degb = _deg(a), _deg(b)
     temp = list(a)
     quotient = [0] * len(a)
-    inv_lead = pow(b[degb], -1, _P)
+    inv_lead = dispatch.modinv(b[degb], _P)
     for i in range(dega - degb, -1, -1):
         factor = temp[degb + i] * inv_lead % _P
         quotient[i] = (quotient[i] + factor) % _P
@@ -298,7 +299,9 @@ def multiply(point: Point, scalar: int) -> Point:
         return multiply(neg(point), -scalar)
     from repro.crypto import msm  # local import: msm imports this module
 
-    return from_jacobian(msm.jac_scalar_mul(msm.BN254_OPS, point, scalar))
+    return msm.jac_to_affine(
+        msm.BN254_OPS, msm.jac_scalar_mul(msm.BN254_OPS, point, scalar)
+    )
 
 
 def neg(point: Point) -> Point:
@@ -327,7 +330,7 @@ def _field_one_like(element):
 
 def _field_inv(element):
     if isinstance(element, FQ):
-        return FQ(pow(element.n, -1, _P))
+        return FQ(dispatch.modinv(element.n, _P))
     return element.inv()
 
 

@@ -25,6 +25,7 @@ the line slope anyway.
 
 from __future__ import annotations
 
+from repro.crypto.accel import dispatch
 from repro.crypto.field import PrimeField
 from repro.errors import CryptoError
 
@@ -70,9 +71,9 @@ def add(lhs: Point, rhs: Point) -> Point:
         if (y1 + y2) % p == 0:
             return None
         # tangent; a = 1 for y² = x³ + x
-        lam = (3 * x1 * x1 + 1) * pow(2 * y1, -1, p) % p
+        lam = (3 * x1 * x1 + 1) * dispatch.modinv(2 * y1, p) % p
     else:
-        lam = (y2 - y1) * pow(x2 - x1, -1, p) % p
+        lam = (y2 - y1) * dispatch.modinv(x2 - x1, p) % p
     x3 = (lam * lam - x1 - x2) % p
     y3 = (lam * (x1 - x3) - y1) % p
     return (x3, y3)
@@ -103,7 +104,7 @@ def from_jacobian(point: JacPoint) -> Point:
     if z == 0:
         return None
     p = FIELD_PRIME
-    z_inv = pow(z, -1, p)
+    z_inv = dispatch.modinv(z, p)
     z_inv2 = z_inv * z_inv % p
     return (x * z_inv2 % p, y * z_inv2 % p * z_inv % p)
 
@@ -121,7 +122,7 @@ def batch_from_jacobian(points: list[JacPoint]) -> list[Point]:
         if z != 0:
             acc = acc * z % p
         prefix.append(acc)
-    inv = pow(acc, -1, p)
+    inv = dispatch.modinv(acc, p)
     out: list[Point] = [None] * len(points)
     for i in range(len(points) - 1, -1, -1):
         x, y, z = points[i]
@@ -224,7 +225,9 @@ def multiply(point: Point, scalar: int) -> Point:
         return neg(multiply(point, -scalar))
     from repro.crypto import msm
 
-    return from_jacobian(msm.jac_scalar_mul(msm.SS512_OPS, point, scalar))
+    return msm.jac_to_affine(
+        msm.SS512_OPS, msm.jac_scalar_mul(msm.SS512_OPS, point, scalar)
+    )
 
 
 def random_subgroup_point(rng) -> Point:
@@ -284,6 +287,9 @@ def fp2_sub(u: Fp2Element, v: Fp2Element) -> Fp2Element:
 
 
 def fp2_mul(u: Fp2Element, v: Fp2Element) -> Fp2Element:
+    hook = dispatch.active().ss512_fp2_mul
+    if hook is not None:
+        return hook(u, v)
     p = FIELD_PRIME
     a, b = u
     c, d = v
@@ -293,6 +299,9 @@ def fp2_mul(u: Fp2Element, v: Fp2Element) -> Fp2Element:
 
 
 def fp2_square(u: Fp2Element) -> Fp2Element:
+    hook = dispatch.active().ss512_fp2_square
+    if hook is not None:
+        return hook(u)
     p = FIELD_PRIME
     a, b = u
     return ((a - b) * (a + b) % p, 2 * a * b % p)
@@ -304,11 +313,16 @@ def fp2_inv(u: Fp2Element) -> Fp2Element:
     norm = (a * a + b * b) % p
     if norm == 0:
         raise CryptoError("zero has no inverse in F_p2")
-    inv_norm = pow(norm, -1, p)
+    inv_norm = dispatch.modinv(norm, p)
     return (a * inv_norm % p, (-b) * inv_norm % p)
 
 
 def fp2_pow(u: Fp2Element, e: int) -> Fp2Element:
+    hook = dispatch.active().ss512_fp2_pow
+    if hook is not None:
+        accelerated = hook(u, e)
+        if accelerated is not None:  # None: declined (oversized exponent)
+            return accelerated
     if e < 0:
         # invert once, then square-and-multiply on |e| — no recursion
         u = fp2_inv(u)

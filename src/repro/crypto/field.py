@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.crypto.accel import dispatch
 from repro.errors import CryptoError
 
 
@@ -57,13 +58,13 @@ class PrimeField:
         """Multiplicative inverse; raises on zero."""
         if a % self.modulus == 0:
             raise CryptoError("zero has no multiplicative inverse")
-        return pow(a, -1, self.modulus)
+        return dispatch.modinv(a, self.modulus)
 
     def div(self, a: int, b: int) -> int:
         return (a * self.inv(b)) % self.modulus
 
     def pow(self, a: int, e: int) -> int:
-        return pow(a, e, self.modulus)
+        return dispatch.modexp(a, e, self.modulus)
 
     # -- square roots (p ≡ 3 mod 4 fast path) ----------------------------
     def sqrt(self, a: int) -> int | None:
@@ -78,7 +79,7 @@ class PrimeField:
             return 0
         if self.modulus % 4 != 3:
             raise CryptoError("sqrt implemented only for p ≡ 3 (mod 4)")
-        root = pow(a, (self.modulus + 1) // 4, self.modulus)
+        root = dispatch.modexp(a, (self.modulus + 1) // 4, self.modulus)
         if root * root % self.modulus != a:
             return None
         return root
@@ -88,7 +89,7 @@ class PrimeField:
         a %= self.modulus
         if a == 0:
             return True
-        return pow(a, (self.modulus - 1) // 2, self.modulus) == 1
+        return dispatch.modexp(a, (self.modulus - 1) // 2, self.modulus) == 1
 
     # -- misc -------------------------------------------------------------
     def rand(self, rng) -> int:

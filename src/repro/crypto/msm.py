@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from repro.crypto import bn254, curve
+from repro.crypto.accel import dispatch
 
 JacPoint = Any
 AffinePoint = Any
@@ -111,6 +112,49 @@ OPS_REGISTRY["ss512"] = SS512_OPS
 OPS_REGISTRY["bn254"] = BN254_OPS
 
 
+# -- accelerated-provider resolution ------------------------------------------
+#: effective CurveOps per (provider, curve); transient (never pickled)
+_ACCEL_OPS_CACHE: dict[tuple[str, str], CurveOps] = {}
+
+
+def _active_ops(ops: CurveOps) -> tuple[CurveOps, dispatch.CurveKernels | None]:
+    """The ops the active accel provider wants the algorithms to run on.
+
+    The pure provider publishes no kernels, so this returns the original
+    adapter untouched — selecting ``pure`` costs nothing per operation.
+    An accelerated provider substitutes its kernel set (same call
+    signatures, provider-domain points); the composite kernels ride
+    along for the loops that can dispatch whole inner passes.
+    """
+    provider = dispatch.active()
+    kernels = provider.kernels.get(ops.name) if ops.name else None
+    if kernels is None:
+        return ops, None
+    key = (provider.name, ops.name)
+    effective = _ACCEL_OPS_CACHE.get(key)
+    if effective is None:
+        effective = CurveOps(
+            infinity=ops.infinity,
+            is_infinity=ops.is_infinity,
+            to_jac=kernels.to_jac,
+            double=kernels.double,
+            add=kernels.add,
+            add_affine=kernels.add_affine,
+            neg=kernels.neg,
+            to_affine=kernels.to_affine,
+            batch_to_affine=kernels.batch_to_affine,
+        )
+        _ACCEL_OPS_CACHE[key] = effective
+    return effective, kernels
+
+
+def jac_to_affine(ops: CurveOps, point: JacPoint) -> AffinePoint:
+    """Normalize through the active provider, which also demotes any
+    provider-domain coordinates back to the canonical Python types."""
+    run_ops, _ = _active_ops(ops)
+    return run_ops.to_affine(point)
+
+
 # -- single-scalar multiplication (wNAF) --------------------------------------
 def _wnaf_digits(scalar: int, width: int) -> list[int]:
     """Little-endian width-``w`` NAF: digits odd in ``(-2^{w-1}, 2^{w-1})``."""
@@ -136,20 +180,29 @@ def jac_scalar_mul(
     """``scalar · point`` in Jacobian coordinates (``scalar > 0``)."""
     if point is None or scalar == 0:
         return ops.infinity
-    base = ops.to_jac(point)
+    run_ops, kernels = _active_ops(ops)
+    if (
+        kernels is not None
+        and kernels.scalar_mul is not None
+        and width == 5
+        and 0 < scalar
+        and scalar.bit_length() <= dispatch.MAX_SCALAR_BITS
+    ):
+        return kernels.scalar_mul(point, scalar)
+    base = run_ops.to_jac(point)
     if scalar == 1:
         return base
-    twice = ops.double(base)
+    twice = run_ops.double(base)
     odd = [base]  # odd[k] = (2k+1)·P
     for _ in range((1 << (width - 1)) // 2 - 1):
-        odd.append(ops.add(odd[-1], twice))
-    acc = ops.infinity
+        odd.append(run_ops.add(odd[-1], twice))
+    acc = run_ops.infinity
     for digit in reversed(_wnaf_digits(scalar, width)):
-        acc = ops.double(acc)
+        acc = run_ops.double(acc)
         if digit > 0:
-            acc = ops.add(acc, odd[(digit - 1) // 2])
+            acc = run_ops.add(acc, odd[(digit - 1) // 2])
         elif digit < 0:
-            acc = ops.add(acc, ops.neg(odd[(-digit - 1) // 2]))
+            acc = run_ops.add(acc, run_ops.neg(odd[(-digit - 1) // 2]))
     return acc
 
 
@@ -192,12 +245,20 @@ def pippenger(
         return jac_scalar_mul(ops, pairs[0][0], pairs[0][1])
     max_bits = max(scalar.bit_length() for _, scalar in pairs)
     width = _pick_window(len(pairs), max_bits)
+    run_ops, kernels = _active_ops(ops)
+    if (
+        kernels is not None
+        and kernels.pippenger is not None
+        and max_bits <= dispatch.MAX_SCALAR_BITS
+        and all(scalar > 0 for _, scalar in pairs)
+    ):
+        return kernels.pippenger(pairs, width, max_bits)
     mask = (1 << width) - 1
-    acc = ops.infinity
+    acc = run_ops.infinity
     for win in range(((max_bits + width - 1) // width) - 1, -1, -1):
-        if not ops.is_infinity(acc):
+        if not run_ops.is_infinity(acc):
             for _ in range(width):
-                acc = ops.double(acc)
+                acc = run_ops.double(acc)
         shift = win * width
         buckets: list[JacPoint | None] = [None] * (mask + 1)
         for base, scalar in pairs:
@@ -205,9 +266,11 @@ def pippenger(
             if digit:
                 slot = buckets[digit]
                 buckets[digit] = (
-                    ops.to_jac(base) if slot is None else ops.add_affine(slot, base)
+                    run_ops.to_jac(base)
+                    if slot is None
+                    else run_ops.add_affine(slot, base)
                 )
-        acc = ops.add(acc, _collapse_buckets(ops, buckets))
+        acc = run_ops.add(acc, _collapse_buckets(run_ops, buckets))
     return acc
 
 
@@ -215,7 +278,7 @@ def msm(
     ops: CurveOps, bases: Sequence[AffinePoint], scalars: Sequence[int]
 ) -> AffinePoint:
     """Affine Pippenger MSM."""
-    return ops.to_affine(pippenger(ops, bases, scalars))
+    return jac_to_affine(ops, pippenger(ops, bases, scalars))
 
 
 # -- fixed-base MSM with precomputed window tables ----------------------------
@@ -233,14 +296,15 @@ def fixed_base_windows(
     """Shifted copies ``[B, 2^w·B, 2^{2w}·B, ...]`` covering ``num_bits``."""
     if base is None:
         return None
+    run_ops, _ = _active_ops(ops)
     n_windows = (num_bits + width - 1) // width
-    jac = ops.to_jac(base)
+    jac = run_ops.to_jac(base)
     copies = [jac]
     for _ in range(n_windows - 1):
         for _ in range(width):
-            jac = ops.double(jac)
+            jac = run_ops.double(jac)
         copies.append(jac)
-    return ops.batch_to_affine(copies)
+    return run_ops.batch_to_affine(copies)
 
 
 def fixed_base_msm(
@@ -254,6 +318,18 @@ def fixed_base_msm(
     Every window of every scalar lands in one shared bucket pass, so the
     whole MSM is mixed additions only — no doublings.
     """
+    if len(tables) != len(scalars):
+        raise ValueError("tables and scalars must have equal length")
+    run_ops, kernels = _active_ops(ops)
+    if (
+        kernels is not None
+        and kernels.fixed_base_msm is not None
+        and all(
+            0 <= scalar and scalar.bit_length() <= dispatch.MAX_SCALAR_BITS
+            for scalar in scalars
+        )
+    ):
+        return run_ops.to_affine(kernels.fixed_base_msm(tables, scalars, width))
     mask = (1 << width) - 1
     buckets: list[JacPoint | None] = [None] * (mask + 1)
     for table, scalar in zip(tables, scalars, strict=True):
@@ -267,10 +343,10 @@ def fixed_base_msm(
                 if shifted is not None:
                     slot = buckets[digit]
                     buckets[digit] = (
-                        ops.to_jac(shifted)
+                        run_ops.to_jac(shifted)
                         if slot is None
-                        else ops.add_affine(slot, shifted)
+                        else run_ops.add_affine(slot, shifted)
                     )
             scalar >>= width
             window += 1
-    return ops.to_affine(_collapse_buckets(ops, buckets))
+    return run_ops.to_affine(_collapse_buckets(run_ops, buckets))

@@ -14,6 +14,7 @@ exactly the ``e: G × G → H`` primitive the vChain paper builds on.
 
 from __future__ import annotations
 
+from repro.crypto.accel import dispatch
 from repro.crypto.curve import (
     FIELD_PRIME,
     SUBGROUP_ORDER,
@@ -50,9 +51,9 @@ def _step(a: Point, b: Point, sx: int, sy_imag: int) -> tuple[Fp2Element, Point]
         # but returning it keeps the function total for the addition step.
         return ((sx - xa) % _P, 0), None
     if a == b:
-        lam = (3 * xa * xa + 1) * pow(2 * ya, -1, _P) % _P
+        lam = (3 * xa * xa + 1) * dispatch.modinv(2 * ya, _P) % _P
     else:
-        lam = (yb - ya) * pow(xb - xa, -1, _P) % _P
+        lam = (yb - ya) * dispatch.modinv(xb - xa, _P) % _P
     # l(S) = yS - ya - λ(xS - xa);  yS = i·sy_imag so the real part is
     # -(ya + λ(sx - xa)) and the imaginary part is sy_imag.
     real = (-(ya + lam * (sx - xa))) % _P
@@ -86,6 +87,21 @@ def miller_loop_raw(p_point: Point, q_point: Point) -> Fp2Element:
     return f
 
 
+def _miller(p_point: Point, q_point: Point) -> Fp2Element:
+    """Raw Miller value via the active provider, for internal consumers.
+
+    A provider's hook may return the value scaled by an F_p factor (the
+    native inversion-free loop does), which the final exponentiation
+    annihilates — so this helper is only valid on paths that feed the
+    result through :func:`final_exponentiation`.  Callers who need the
+    exact raw value use :func:`miller_loop_raw` directly.
+    """
+    hook = dispatch.active().ss512_miller_raw
+    if hook is not None:
+        return hook(p_point, q_point)
+    return miller_loop_raw(p_point, q_point)
+
+
 def final_exponentiation(f: Fp2Element) -> Fp2Element:
     """Raise to ``(p²-1)/r``; uses ``f^(p-1) = conj(f) · f^{-1}``."""
     eased = fp2_mul(fp2_conjugate(f), fp2_inv(f))
@@ -100,7 +116,7 @@ def tate_pairing(p_point: Point, q_point: Point) -> Fp2Element:
     """
     if p_point is None or q_point is None:
         return FP2_ONE
-    return final_exponentiation(miller_loop_raw(p_point, q_point))
+    return final_exponentiation(_miller(p_point, q_point))
 
 
 def multi_pairing(pairs: list[tuple[Point, Point]]) -> Fp2Element:
@@ -114,5 +130,5 @@ def multi_pairing(pairs: list[tuple[Point, Point]]) -> Fp2Element:
     for p_point, q_point in pairs:
         if p_point is None or q_point is None:
             continue
-        f = fp2_mul(f, miller_loop_raw(p_point, q_point))
+        f = fp2_mul(f, _miller(p_point, q_point))
     return final_exponentiation(f)

@@ -20,6 +20,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Sequence
 
 from repro.crypto.field import PrimeField
+from repro.crypto.accel import dispatch
 from repro.errors import CryptoError
 
 Poly = list[int]
@@ -168,7 +169,7 @@ class PolynomialRing:
         b_int = int.from_bytes(
             b"".join(c.to_bytes(width, "little") for c in b), "little"
         )
-        product = (a_int * b_int).to_bytes((len(a) + len(b)) * width, "little")
+        product = dispatch.imul(a_int, b_int).to_bytes((len(a) + len(b)) * width, "little")
         p = self.field.modulus
         out = [
             int.from_bytes(product[i * width : (i + 1) * width], "little") % p
@@ -188,7 +189,7 @@ class PolynomialRing:
         p = self.field.modulus
         rem = list(a)
         quot = [0] * max(0, len(a) - len(b) + 1)
-        inv_lead = pow(b[-1], -1, p)
+        inv_lead = dispatch.modinv(b[-1], p)
         for shift in range(len(rem) - len(b), -1, -1):
             factor = rem[shift + len(b) - 1] * inv_lead % p
             if factor:
@@ -215,7 +216,7 @@ class PolynomialRing:
             v0, v1 = v1, self.sub(v0, self.mul(q, v1))
         if r0:
             # make gcd monic so callers can test g == [1] directly
-            inv_lead = pow(r0[-1], -1, self.field.modulus)
+            inv_lead = dispatch.modinv(r0[-1], self.field.modulus)
             r0 = self.scale(r0, inv_lead)
             u0 = self.scale(u0, inv_lead)
             v0 = self.scale(v0, inv_lead)

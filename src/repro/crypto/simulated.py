@@ -47,6 +47,11 @@ class SimulatedBackend(PairingBackend):
         self.order = SUBGROUP_ORDER
         self.scalar_field = Fr
 
+    @property
+    def accel_impl(self) -> str:
+        # exponent arithmetic only — no group operations to accelerate
+        return "simulated"
+
     # -- G ---------------------------------------------------------------
     def generator(self) -> SimElement:
         return (_G_TAG, 1)

@@ -47,6 +47,7 @@ from repro.accumulators.base import (
     MultisetAccumulator,
 )
 from repro.accumulators.encoding import ElementEncoder
+from repro.crypto.accel import dispatch
 from repro.errors import ParallelError
 
 #: chunks scheduled per worker per map (smaller chunks balance skew,
@@ -138,11 +139,18 @@ _WORKER_ENCODER: ElementEncoder | None = None
 
 
 def _init_worker(
-    accumulator: MultisetAccumulator, encoder: ElementEncoder
+    accumulator: MultisetAccumulator,
+    encoder: ElementEncoder,
+    accel_impl: str = "auto",
 ) -> None:  # pragma: no cover - runs in worker processes
     global _WORKER_ACCUMULATOR, _WORKER_ENCODER
     _WORKER_ACCUMULATOR = accumulator
     _WORKER_ENCODER = encoder
+    # Match the parent's arithmetic provider (spawn-mode workers start
+    # with a fresh, unresolved dispatch state).  fallback=True: a worker
+    # landing in a leaner environment degrades to the probe order
+    # instead of dying — results are byte-identical either way.
+    dispatch.set_impl(accel_impl, fallback=True)
 
 
 def _worker_sleep(seconds: float) -> int:  # pragma: no cover - worker-side
@@ -247,7 +255,7 @@ class CryptoPool:
                 max_workers=self._workers,
                 mp_context=context,
                 initializer=_init_worker,
-                initargs=(accumulator, encoder),
+                initargs=(accumulator, encoder, dispatch.active_impl()),
             )
             self._warmup()
 

@@ -24,13 +24,16 @@ from __future__ import annotations
 
 import os
 import random
+from contextlib import contextmanager
 from pathlib import Path
+from typing import Iterator
 
 from repro import ProtocolParams, VChainNetwork
 from repro.api import AsyncSocketServer, SocketServer, SocketTransport, VChainClient
 from repro.api.builder import QueryBuilder
 from repro.chain import DataObject
 from repro.core.query import TimeWindowQuery
+from repro.crypto.accel import dispatch
 from repro.crypto.backend import PairingBackend
 from repro.errors import SubscriptionError
 from repro.testing.recorder import SessionRecorder, load_recording
@@ -113,8 +116,26 @@ def _base_meta(scenario: str) -> dict[str, str]:
         "seed": "33",
         "blocks": "8",
         "backend": "simulated",
+        "accel": "pure",
         "expect_mismatches": "1" if scenario == "forged" else "0",
     }
+
+
+@contextmanager
+def _pinned_accel(impl: str) -> Iterator[None]:
+    """Pin the arithmetic provider for a record/replay session.
+
+    The stats response names the live provider, so the serving side
+    must run the impl the corpus was recorded under — crypto bytes are
+    provider-independent, but the observability snapshot is honest
+    about its environment.  The previous selection is restored on exit.
+    """
+    previous = dispatch.active_impl()
+    dispatch.set_impl(impl)
+    try:
+        yield
+    finally:
+        dispatch.set_impl(previous)
 
 
 def _window_query(builder: QueryBuilder) -> TimeWindowQuery:
@@ -230,22 +251,27 @@ def record_scenario(scenario: str) -> SessionRecording:
     except KeyError:
         raise ValueError(f"unknown corpus scenario {scenario!r}") from None
     meta = _base_meta(scenario)
-    net = corpus_network(meta)
-    recorder = SessionRecorder(label=f"corpus-{scenario}", meta=meta)
-    backend = net.accumulator.backend
-    try:
-        server = AsyncSocketServer(net.endpoint).start()
+    with _pinned_accel(meta["accel"]):
+        net = corpus_network(meta)
+        recorder = SessionRecorder(label=f"corpus-{scenario}", meta=meta)
+        backend = net.accumulator.backend
         try:
-            transport = SocketTransport(server.address, backend, tap=recorder.tap())
-            client = VChainClient(transport, net.accumulator, net.encoder, net.params)
+            server = AsyncSocketServer(net.endpoint).start()
             try:
-                steps(client)
+                transport = SocketTransport(
+                    server.address, backend, tap=recorder.tap()
+                )
+                client = VChainClient(
+                    transport, net.accumulator, net.encoder, net.params
+                )
+                try:
+                    steps(client)
+                finally:
+                    client.close()
             finally:
-                client.close()
+                server.stop()
         finally:
-            server.stop()
-    finally:
-        net.close()
+            net.close()
     recording = normalize_recording(backend, recorder.recording())
     if scenario == "forged":
         recording = _forge_query_response(backend, recording)
@@ -277,20 +303,21 @@ class CorpusReplayer:
         protocol must not be able to tell apart.
         """
         recording = load_recording(path)
-        net = corpus_network(recording.meta)
-        try:
-            live: AsyncSocketServer | SocketServer
-            if server == "async":
-                live = AsyncSocketServer(net.endpoint).start()
-            elif server == "threaded":
-                live = SocketServer(net.endpoint).start()
-            else:
-                raise ValueError(f"unknown server kind {server!r}")
+        with _pinned_accel(recording.meta.get("accel", "pure")):
+            net = corpus_network(recording.meta)
             try:
-                return replay_recording(
-                    recording, live.address, net.accumulator.backend
-                )
+                live: AsyncSocketServer | SocketServer
+                if server == "async":
+                    live = AsyncSocketServer(net.endpoint).start()
+                elif server == "threaded":
+                    live = SocketServer(net.endpoint).start()
+                else:
+                    raise ValueError(f"unknown server kind {server!r}")
+                try:
+                    return replay_recording(
+                        recording, live.address, net.accumulator.backend
+                    )
+                finally:
+                    live.stop()
             finally:
-                live.stop()
-        finally:
-            net.close()
+                net.close()

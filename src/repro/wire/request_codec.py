@@ -534,9 +534,11 @@ class ServerStats:
     ``pool`` the crypto-pool snapshot (``None`` without a pool),
     ``server`` the transport-level counters — admission rejections,
     rate limiting, evictions — when a socket server is attached
-    (``None`` for a bare in-process endpoint), and ``storage`` the
+    (``None`` for a bare in-process endpoint), ``storage`` the
     striped store's degradation/scrub counters (``None`` for stores
-    without health tracking).
+    without health tracking), and ``accel`` the name of the arithmetic
+    provider serving the endpoint's crypto (``pure`` / ``gmpy2`` /
+    ``native``).
     """
 
     endpoint: dict[str, Scalar]
@@ -545,6 +547,7 @@ class ServerStats:
     pool: dict[str, Scalar] | None
     server: dict[str, Scalar] | None
     storage: dict[str, Scalar] | None = None
+    accel: str = "pure"
 
 
 def _write_scalar(writer: Writer, value: Scalar) -> None:
@@ -612,6 +615,7 @@ def encode_stats_response(stats: ServerStats) -> bytes:
     _write_optional_info(writer, stats.pool)
     _write_optional_info(writer, stats.server)
     _write_optional_info(writer, stats.storage)
+    writer.text(stats.accel)
     return writer.getvalue()
 
 
@@ -626,6 +630,7 @@ def decode_stats_response(data: bytes) -> ServerStats:
     pool = _read_optional_info(reader)
     server = _read_optional_info(reader)
     storage = _read_optional_info(reader)
+    accel = reader.text()
     reader.expect_end()
     return ServerStats(
         endpoint=endpoint,
@@ -634,6 +639,7 @@ def decode_stats_response(data: bytes) -> ServerStats:
         pool=pool,
         server=server,
         storage=storage,
+        accel=accel,
     )
 
 

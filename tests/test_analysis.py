@@ -379,6 +379,66 @@ def test_fsync_rule_accepts_the_durable_idioms(tmp_path):
     assert run(root, rules=["fsync-discipline"]).ok
 
 
+ACCEL_FIXTURE = {
+    "src/repro/crypto/fixture_field.py": """\
+        import gmpy2
+
+
+        def inv(value, modulus):
+            return int(gmpy2.invert(value, modulus))
+        """,
+}
+
+
+def test_accel_rule_flags_direct_gmpy2_import(tmp_path):
+    root = make_project(tmp_path, ACCEL_FIXTURE)
+    finding = only_finding(run(root, rules=["accel-dispatch"]), "accel-dispatch")
+    assert "gmpy2" in finding.message
+    assert "dispatch" in finding.message
+    assert finding.line == 1
+
+
+def test_accel_rule_flags_provider_and_extension_imports(tmp_path):
+    fixture = {
+        "src/repro/crypto/fixture_curve.py": """\
+            from repro.crypto.accel import native
+            from repro.crypto.accel import _accelmodule
+            """,
+        "src/repro/accumulators/fixture_keys.py": """\
+            from repro.crypto.accel.gmpy2_backend import build
+            """,
+    }
+    root = make_project(tmp_path, fixture)
+    report = run(root, rules=["accel-dispatch"])
+    assert len(report.findings) == 3, report.render()
+    assert all(f.rule == "accel-dispatch" for f in report.findings)
+
+
+def test_accel_rule_accepts_the_seam_and_the_providers(tmp_path):
+    fixture = {
+        "src/repro/crypto/fixture_field.py": """\
+            from repro.crypto.accel import dispatch
+
+
+            def inv(value, modulus):
+                return dispatch.modinv(value, modulus)
+            """,
+        "src/repro/crypto/accel/gmpy2_backend.py": """\
+            import gmpy2
+            """,
+        "src/repro/crypto/accel/native.py": """\
+            from repro.crypto.accel import _accelmodule, pure
+            """,
+        "src/repro/crypto/accel/dispatch.py": """\
+            def load():
+                from repro.crypto.accel import gmpy2_backend, native, pure
+                return (gmpy2_backend, native, pure)
+            """,
+    }
+    root = make_project(tmp_path, fixture)
+    assert run(root, rules=["accel-dispatch"]).ok
+
+
 def test_exports_rule_flags_undocumented_export(tmp_path):
     fixture = dict(EXPORTS_FIXTURE)
     fixture["docs/API.md"] = """\
@@ -439,7 +499,7 @@ def test_suppression_is_per_rule():
 def test_repo_is_clean():
     report = run(REPO_ROOT)
     assert report.ok, report.render()
-    assert len(report.rules) == 7
+    assert len(report.rules) == 8
 
 
 # -- driver and CLI ------------------------------------------------------------
@@ -498,4 +558,5 @@ def test_cli_list_rules(capsys):
     assert "lock-discipline" in names
     assert "async-discipline" in names
     assert "fsync-discipline" in names
-    assert len(names) == 7
+    assert "accel-dispatch" in names
+    assert len(names) == 8

@@ -48,6 +48,10 @@ def main() -> int:
                         help="CryptoPool worker processes (1 = serial); "
                         "profiles then show the parent-side orchestration "
                         "while the crypto runs in the workers")
+    parser.add_argument("--accel", default=None,
+                        choices=["auto", "pure", "gmpy2", "native"],
+                        help="arithmetic provider for the crypto hot loops "
+                        "(default: probe for the fastest installed)")
     parser.add_argument("--phase", choices=[*PHASES, "all"], default="all",
                         help="profile only one phase")
     parser.add_argument("--sort", default="cumulative",
@@ -57,6 +61,11 @@ def main() -> int:
     parser.add_argument("--out", default=None,
                         help="write combined .pstats instead of printing")
     args = parser.parse_args()
+
+    if args.accel is not None:
+        from repro.crypto.accel import dispatch
+
+        dispatch.set_impl(args.accel)
 
     dataset = foursquare_like(args.blocks, objects_per_block=args.objects)
     params = ProtocolParams(mode="both", bits=dataset.bits,
